@@ -1,0 +1,38 @@
+# OFMF build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+reproduce:
+	$(GO) run ./cmd/expbench -exp all
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/memory-failover
+	$(GO) run ./examples/storage-compose
+	$(GO) run ./examples/burstbuffer
+	$(GO) run ./examples/fabric-failover
+	$(GO) run ./examples/composable-batch
+
+clean:
+	$(GO) clean ./...

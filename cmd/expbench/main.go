@@ -1,0 +1,145 @@
+// Command expbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	expbench                 # everything
+//	expbench -exp fig3       # one experiment
+//	expbench -exp fig3 -reps 10 -seed 99
+//
+// Experiments: table1, table2, table3, fig1, fig3, fig4, startup,
+// ofmfscale, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+)
+import "ofmf/internal/exp"
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment id (table1|table2|table3|fig1|fig3|fig4|startup|ofmfscale|all)")
+		reps  = flag.Int("reps", 0, "override repetition count")
+		seed  = flag.Uint64("seed", 0, "override random seed")
+		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		nodes = flag.String("nodes", "", "override fig3/fig4 node counts, comma-separated (e.g. 1,4,16,64,256)")
+	)
+	flag.Parse()
+
+	render := func(t exp.Table) {
+		if *asCSV {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+	run := func(id string) bool { return *which == "all" || *which == id }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		render(exp.Table1())
+	}
+	if run("table2") {
+		ran = true
+		render(exp.Table2())
+	}
+	if run("table3") {
+		ran = true
+		render(exp.Table3())
+	}
+	if run("fig1") {
+		ran = true
+		cfg := exp.DefaultFig1()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := exp.RunFig1(cfg)
+		if err != nil {
+			log.Fatalf("expbench: fig1: %v", err)
+		}
+		render(exp.Fig1Table(res))
+	}
+	if run("fig3") {
+		ran = true
+		cfg := exp.DefaultFig3()
+		if counts := parseCounts(*nodes); counts != nil {
+			cfg.NodeCounts = counts
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		render(exp.Fig3Table(exp.RunFig3(cfg)))
+	}
+	if run("fig4") {
+		ran = true
+		cfg := exp.DefaultFig3()
+		cfg.NodeCounts = []int{1, 2, 4, 8, 16, 32, 64}
+		if counts := parseCounts(*nodes); counts != nil {
+			cfg.NodeCounts = counts
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		render(exp.Fig4Table(exp.RunFig4(cfg)))
+	}
+	if run("startup") {
+		ran = true
+		cfg := exp.DefaultLifecycle()
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		points, err := exp.RunLifecycle(cfg)
+		if err != nil {
+			log.Fatalf("expbench: startup: %v", err)
+		}
+		render(exp.LifecycleTable(points))
+	}
+	if run("ofmfscale") {
+		ran = true
+		points, err := exp.RunScale(exp.DefaultScale())
+		if err != nil {
+			log.Fatalf("expbench: ofmfscale: %v", err)
+		}
+		render(exp.ScaleTable(points))
+	}
+	if !ran {
+		log.Fatalf("expbench: unknown experiment %q (want %s)", *which,
+			strings.Join([]string{"table1", "table2", "table3", "fig1", "fig3", "fig4", "startup", "ofmfscale", "all"}, "|"))
+	}
+}
+
+// parseCounts parses a comma-separated node-count list; nil when empty or
+// malformed.
+func parseCounts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n := 0
+		for _, c := range strings.TrimSpace(part) {
+			if c < '0' || c > '9' {
+				return nil
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n == 0 {
+			return nil
+		}
+		out = append(out, n)
+	}
+	return out
+}

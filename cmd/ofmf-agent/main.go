@@ -1,0 +1,138 @@
+// Command ofmf-agent runs a standalone OFMF Agent: it registers with a
+// remote OFMF over HTTP, publishes the resource subtree of its emulated
+// hardware, serves the ops endpoint the OFMF forwards fabric mutations
+// to, and pushes hardware events upward — the right-hand column of the
+// paper's architecture, as its own process.
+//
+// Usage:
+//
+//	ofmf-agent -ofmf http://localhost:8080 -kind cxl   -listen :9001
+//	ofmf-agent -ofmf http://localhost:8080 -kind nvme  -listen :9002
+//	ofmf-agent -ofmf http://localhost:8080 -kind fabric -listen :9003
+//	ofmf-agent -ofmf http://localhost:8080 -kind gpu   -listen :9004
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"ofmf/internal/agent"
+	"ofmf/internal/agent/cxlagent"
+	"ofmf/internal/agent/fabagent"
+	"ofmf/internal/agent/gpuagent"
+	"ofmf/internal/agent/nvmeagent"
+	"ofmf/internal/emul/cxlsim"
+	"ofmf/internal/emul/fabsim"
+	"ofmf/internal/emul/gpusim"
+	"ofmf/internal/emul/nvmesim"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+func main() {
+	var (
+		ofmfURL  = flag.String("ofmf", "http://localhost:8080", "OFMF base URL")
+		kind     = flag.String("kind", "cxl", "agent kind: cxl, nvme, fabric, gpu")
+		listen   = flag.String("listen", ":9001", "ops server listen address")
+		name     = flag.String("name", "", "fabric name (defaults per kind)")
+		nodes    = flag.Int("nodes", 8, "emulated host attach points")
+		capacity = flag.Int64("capacity", 0, "emulated capacity (MiB for cxl, bytes for nvme)")
+		token    = flag.String("token", "", "X-Auth-Token for an authenticated OFMF")
+	)
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("ofmf-agent: listen: %v", err)
+	}
+	callback := "http://" + lis.Addr().String()
+	remote := &agent.Remote{BaseURL: *ofmfURL, CallbackURL: callback, Token: *token}
+
+	var start func() error
+	var sourceURI func() odata.ID
+	switch *kind {
+	case "cxl":
+		app := cxlsim.New()
+		capMiB := *capacity
+		if capMiB <= 0 {
+			capMiB = 256 * 1024
+		}
+		for i := 0; i < 4; i++ {
+			must(app.AddDevice(fmt.Sprintf("dev%d", i), capMiB/4, "DRAM"))
+		}
+		for i := 0; i < *nodes; i++ {
+			must(app.AddPort(fmt.Sprintf("node%03d", i+1)))
+		}
+		fab := pick(*name, "CXL")
+		ag := cxlagent.New(remote, app, fab, fab+"MemoryAppliance")
+		start = ag.Start
+		sourceURI = ag.SourceURI
+	case "nvme":
+		target := nvmesim.New()
+		capBytes := *capacity
+		if capBytes <= 0 {
+			capBytes = 16 << 40
+		}
+		must(target.AddPool("pool0", capBytes))
+		fab := pick(*name, "NVMe")
+		ag := nvmeagent.New(remote, target, fab, "JBOF1")
+		for i := 0; i < *nodes; i++ {
+			ag.RegisterHost(fmt.Sprintf("node%03d", i+1))
+		}
+		start = ag.Start
+		sourceURI = ag.SourceURI
+	case "fabric":
+		fabric := fabsim.New()
+		if _, err := fabsim.BuildFatTree(fabric, "port-", 2, 2, (*nodes+1)/2, 100, 400); err != nil {
+			log.Fatalf("ofmf-agent: topology: %v", err)
+		}
+		fab := pick(*name, "HPC")
+		ag := fabagent.New(remote, fabric, fab, redfish.ProtocolInfiniBand)
+		start = ag.Start
+		sourceURI = ag.SourceURI
+	case "gpu":
+		pool := gpusim.New()
+		for i := 0; i < 8; i++ {
+			must(pool.AddGPU(fmt.Sprintf("gpu%d", i), "A100", 40960, 7))
+		}
+		fab := pick(*name, "PCIe")
+		ag := gpuagent.New(remote, pool, fab, "GPUPool")
+		start = ag.Start
+		sourceURI = ag.SourceURI
+	default:
+		log.Fatalf("ofmf-agent: unknown kind %q", *kind)
+	}
+
+	// Serve the ops endpoint before registering so forwarded operations
+	// never race the registration.
+	srv := &http.Server{Handler: remote.Handler()}
+	go func() {
+		if err := srv.Serve(lis); err != http.ErrServerClosed {
+			log.Fatalf("ofmf-agent: serve: %v", err)
+		}
+	}()
+	if err := start(); err != nil {
+		log.Fatalf("ofmf-agent: start: %v", err)
+	}
+	stopHeartbeat := agent.StartHeartbeat(remote, sourceURI(), 10*time.Second)
+	defer stopHeartbeat()
+	fmt.Printf("ofmf-agent: %s agent registered with %s, ops server on %s\n", *kind, *ofmfURL, callback)
+	select {}
+}
+
+func pick(override, def string) string {
+	if override != "" {
+		return override
+	}
+	return def
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatalf("ofmf-agent: %v", err)
+	}
+}

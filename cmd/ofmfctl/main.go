@@ -1,0 +1,153 @@
+// Command ofmfctl is the operator CLI for an OFMF deployment: browse the
+// Redfish tree, mutate agent-owned resources, and drive the Composability
+// Layer.
+//
+// Usage:
+//
+//	ofmfctl [-url http://localhost:8080] [-login user:pass] <command> [args]
+//
+// Commands:
+//
+//	root                       print the service root
+//	get <path>                 print a resource
+//	members <path>             list a collection's members
+//	patch <path> <json>        PATCH a resource
+//	delete <path>              DELETE a resource
+//	compose <json>             submit a composition request
+//	decompose <id>             tear a composition down
+//	compositions               list live compositions
+//	stats                      composability utilization counters
+//	events [EventType]         tail the SSE event stream
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"ofmf/internal/client"
+	"ofmf/internal/composer"
+	"ofmf/internal/odata"
+	"ofmf/internal/service"
+)
+
+func main() {
+	var (
+		url   = flag.String("url", "http://localhost:8080", "OFMF base URL")
+		login = flag.String("login", "", "authenticate with user:password")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := client.New(*url)
+	if *login != "" {
+		user, pass, ok := strings.Cut(*login, ":")
+		if !ok {
+			log.Fatal("ofmfctl: -login must be user:password")
+		}
+		if err := c.Login(user, pass); err != nil {
+			log.Fatalf("ofmfctl: login: %v", err)
+		}
+	}
+
+	switch cmd := args[0]; cmd {
+	case "root":
+		root, err := c.Root()
+		check(err)
+		dump(root)
+	case "get":
+		need(args, 2, "get <path>")
+		var out map[string]any
+		check(c.Get(odata.ID(args[1]), &out))
+		dump(out)
+	case "members":
+		need(args, 2, "members <path>")
+		members, err := c.Members(odata.ID(args[1]))
+		check(err)
+		for _, m := range members {
+			fmt.Println(m)
+		}
+	case "patch":
+		need(args, 3, "patch <path> <json>")
+		var patch map[string]any
+		check(json.Unmarshal([]byte(args[2]), &patch))
+		check(c.Patch(odata.ID(args[1]), patch))
+		fmt.Println("patched", args[1])
+	case "delete":
+		need(args, 2, "delete <path>")
+		check(c.Delete(odata.ID(args[1])))
+		fmt.Println("deleted", args[1])
+	case "compose":
+		need(args, 2, "compose <json>")
+		var req composer.Request
+		check(json.Unmarshal([]byte(args[1]), &req))
+		comp, err := c.Compose(req)
+		check(err)
+		dump(comp)
+	case "decompose":
+		need(args, 2, "decompose <id>")
+		check(c.Decompose(args[1]))
+		fmt.Println("decomposed", args[1])
+	case "compositions":
+		comps, err := c.Compositions()
+		check(err)
+		dump(comps)
+	case "stats":
+		stats, err := c.ComposerStats()
+		check(err)
+		dump(stats)
+	case "events":
+		streamURL := *url + string(service.SSEURI)
+		if len(args) > 1 {
+			streamURL += "?EventType=" + args[1]
+		}
+		req, err := http.NewRequest(http.MethodGet, streamURL, nil)
+		check(err)
+		if tok := c.Token(); tok != "" {
+			req.Header.Set("X-Auth-Token", tok)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		check(err)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("ofmfctl: event stream returned %s", resp.Status)
+		}
+		fmt.Fprintln(os.Stderr, "ofmfctl: tailing events (ctrl-c to stop)")
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "data: ") {
+				fmt.Println(strings.TrimPrefix(line, "data: "))
+			}
+		}
+		check(scanner.Err())
+	default:
+		log.Fatalf("ofmfctl: unknown command %q", cmd)
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("ofmfctl: usage: %s", usage)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("ofmfctl: %v", err)
+	}
+}
+
+func dump(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	check(err)
+	fmt.Println(string(b))
+}

@@ -1,0 +1,8 @@
+// Package ofmf is a from-scratch Go implementation of the OpenFabrics
+// Management Framework (OFMF): centralized composable HPC management over
+// Redfish/Swordfish, with technology-specific fabric Agents, emulated
+// composable hardware (CXL memory, NVMe-oF storage, network fabrics, GPU
+// pools), a Composability Manager, and the full evaluation harness
+// reproducing the paper's tables and figures. See README.md for the
+// architecture overview and DESIGN.md for the per-experiment index.
+package ofmf

@@ -1,0 +1,84 @@
+// Memory-failover: the paper's out-of-memory mitigation scenario.
+// A running composition approaches memory exhaustion; the workload
+// manager raises an OFMF alert; the Composability Manager's rule engine
+// reacts by hot-adding fabric-attached CXL memory to the live system —
+// "dynamic provisioning of resources to maintain running client
+// computations".
+//
+//	go run ./examples/memory-failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ofmf/internal/composer"
+	"ofmf/internal/core"
+	"ofmf/internal/redfish"
+)
+
+func main() {
+	f, err := core.New(core.Config{
+		Nodes:        2,
+		OOMHotAddMiB: 8192, // the rule hot-adds 8 GiB per alert
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// A simulation job starts with 16 GiB of fabric memory.
+	comp, err := f.Composer.Compose(composer.Request{
+		Name:            "climate-sim",
+		Cores:           32,
+		FabricMemoryMiB: 16 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composed %s on %s with %d MiB fabric memory\n",
+		comp.ID, comp.Node, comp.Request.FabricMemoryMiB)
+	fmt.Printf("CXL pool free: %d MiB\n\n", f.CXL.FreeMiB())
+
+	// The job's memory footprint grows; the workload manager publishes
+	// an out-of-memory alert naming the composition. In a deployment this
+	// arrives through the OFMF event service from a node agent.
+	for round := 1; round <= 3; round++ {
+		fmt.Printf("round %d: memory pressure detected, raising %s\n", round, composer.MessageOutOfMemory)
+		f.Service.Bus().Publish(redfish.EventRecord{
+			EventType:   redfish.EventAlert,
+			EventID:     fmt.Sprintf("oom-%d", round),
+			Severity:    "Critical",
+			Message:     "composition approaching memory exhaustion",
+			MessageID:   composer.MessageOutOfMemory,
+			MessageArgs: []string{comp.ID},
+		})
+		waitForFired(f, round)
+		got, err := f.Composer.Get(comp.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rule fired: composition now holds %d memory chunks; CXL pool free %d MiB\n",
+			len(got.Resources), f.CXL.FreeMiB())
+	}
+
+	got, _ := f.Composer.Get(comp.ID)
+	fmt.Printf("\nfinal composition resources:\n")
+	for _, r := range got.Resources {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("the job survived three memory-pressure episodes without a restart\n")
+}
+
+// waitForFired blocks until the OOM rule has fired n times (event
+// delivery is asynchronous through the bus).
+func waitForFired(f *core.Framework, n int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Rules.Fired("oom-hot-add") < n {
+		if time.Now().After(deadline) {
+			log.Fatalf("rule did not fire within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

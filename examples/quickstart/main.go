@@ -1,0 +1,90 @@
+// Quickstart: assemble an in-process OFMF testbed, browse the aggregated
+// Redfish tree through the HTTP API, compose a system with fabric-attached
+// memory, storage and a GPU slice, then tear it down.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"ofmf/internal/client"
+	"ofmf/internal/composer"
+	"ofmf/internal/core"
+	"ofmf/internal/service"
+)
+
+func main() {
+	// 1. One call brings up the OFMF, four emulated hardware platforms,
+	//    their Agents, and the Composability Manager.
+	f, err := core.New(core.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+
+	// 2. The whole disaggregated infrastructure is one Redfish tree.
+	root, err := c.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service root: %s (Redfish %s)\n", root.Name, root.RedfishVersion)
+	fabrics, err := c.Fabrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fab := range fabrics {
+		fmt.Printf("  fabric %-6s type=%s\n", fab.ID, fab.FabricType)
+	}
+	systems, err := c.Systems()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d physical compute nodes registered\n", len(systems))
+
+	// 3. Compose a system: 8 cores + 8 GiB CXL memory + 1 GiB NVMe volume
+	//    + one GPU slice, placed by the composer's policy.
+	comp, err := c.Compose(composer.Request{
+		Name:            "quickstart-sys",
+		Cores:           8,
+		FabricMemoryMiB: 8192,
+		StorageBytes:    1 << 30,
+		GPUSlices:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomposed %s on %s with %d fabric resources:\n", comp.ID, comp.Node, len(comp.Resources))
+	for _, r := range comp.Resources {
+		fmt.Printf("  %s\n", r)
+	}
+
+	// 4. The composed system is a first-class Redfish resource.
+	var sys map[string]any
+	if err := c.Get(comp.SystemURI, &sys); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system %v type=%v\n", sys["Id"], sys["SystemType"])
+
+	// 5. Hardware truth: the emulated appliances hold the allocations.
+	fmt.Printf("\nCXL pool free: %d MiB, GPU slices free: %d\n", f.CXL.FreeMiB(), f.GPUs.FreeSlices())
+
+	// 6. Decompose; everything returns to the pools.
+	if err := c.Decompose(comp.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after decompose — CXL pool free: %d MiB, GPU slices free: %d\n",
+		f.CXL.FreeMiB(), f.GPUs.FreeSlices())
+
+	members, err := c.Members(service.SystemsURI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("systems remaining in tree: %d\n", len(members))
+}

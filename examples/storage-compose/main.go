@@ -1,0 +1,91 @@
+// Storage-compose: drive the Swordfish storage path directly through the
+// Redfish API — provision an NVMe-oF volume from the pooled JBOF, zone
+// the initiator and target, connect the volume to a compute node, and
+// observe the emulated target's state at each step.
+//
+//	go run ./examples/storage-compose
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"ofmf/internal/client"
+	"ofmf/internal/core"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+func main() {
+	f, err := core.New(core.Config{Nodes: 2, NVMePoolBytes: 4 << 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	c := client.New(srv.URL)
+
+	storage := f.NVMeAgent.StorageID()
+	fabric := f.NVMeAgent.FabricID()
+
+	// 1. Inspect the pool through Swordfish.
+	var pool redfish.StoragePool
+	if err := c.Get(storage.Append("StoragePools", "pool0"), &pool); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool0: %d bytes provisioned, %d consumed\n",
+		pool.Capacity.Data.AllocatedBytes, pool.Capacity.Data.ConsumedBytes)
+
+	// 2. Provision a 256 GiB volume: POST to the Volumes collection; the
+	//    NVMe Agent carves the namespace on the emulated target.
+	var vol redfish.Volume
+	status, err := c.PostJSON(string(storage.Append("Volumes")), map[string]any{"CapacityBytes": int64(256) << 30}, &vol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created volume %s (%d bytes) — HTTP %d\n", vol.ID, vol.CapacityBytes, status)
+
+	// 3. Connect node001: the agent attaches the namespace to the node's
+	//    dedicated subsystem and establishes the host controller.
+	conn, err := c.CreateConnection(fabric, redfish.Connection{
+		VolumeInfo: []redfish.VolumeInfo{{
+			AccessCapabilities: []string{"Read", "Write"},
+			Volume:             redfish.Ref(vol.ODataID),
+		}},
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef(fabric.Append("Endpoints", "node001"))},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connection %s established (%s)\n", conn.ID, conn.ConnectionType)
+
+	// 4. Hardware truth from the emulated target.
+	for _, v := range f.NVMe.Volumes() {
+		fmt.Printf("target volume %s: %d bytes, subsystem %q\n", v.ID, v.Bytes, v.Subsystem)
+		if v.Subsystem != "" {
+			sub, err := f.NVMe.SubsystemInfo(v.Subsystem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  connected hosts: %v\n", sub.Hosts())
+		}
+	}
+
+	// 5. Tear down in order: connection first, then the volume.
+	if err := c.Delete(conn.ODataID); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Delete(vol.ODataID); err != nil {
+		log.Fatal(err)
+	}
+	var after redfish.StoragePool
+	if err := c.Get(storage.Append("StoragePools", "pool0"), &after); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after teardown: pool0 consumed %d bytes, %d namespaces on target\n",
+		after.Capacity.Data.ConsumedBytes, len(f.NVMe.Volumes()))
+}

@@ -1,0 +1,3 @@
+module ofmf
+
+go 1.22

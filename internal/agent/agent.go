@@ -1,0 +1,340 @@
+// Package agent provides the OFMF Agent framework. Agents are the
+// technology-specific translators on the right side of the paper's
+// architecture diagram: each one owns a fabric subtree of the OFMF's
+// Redfish tree, publishes the resources its hardware exposes, forwards
+// hardware events upward, and applies fabric mutations (zones,
+// connections, port state) the OFMF forwards to it.
+//
+// An agent talks to the OFMF through a Conn. Local connects directly to an
+// in-process service instance; Remote speaks HTTP to a standalone OFMF, so
+// the same agent implementations run in both deployments.
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+// Conn is an agent's channel to the OFMF.
+type Conn interface {
+	// Register announces the agent and its owned subtrees to the
+	// AggregationService, returning the AggregationSource URI.
+	Register(src redfish.AggregationSource) (odata.ID, error)
+	// PublishSubtree replaces the agent's resource subtree in the OFMF
+	// tree. Resources absent from the map are removed, except those under
+	// a keep prefix (OFMF-owned zones and connections).
+	PublishSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error
+	// PublishEvent forwards a hardware event into the OFMF event service.
+	PublishEvent(rec redfish.EventRecord)
+	// AttachHandler wires the agent's fabric handler so the OFMF forwards
+	// fabric mutations to it.
+	AttachHandler(h service.FabricHandler) error
+	// DetachHandler removes the handler for the fabric.
+	DetachHandler(fabricID odata.ID)
+	// TouchSource refreshes the aggregation source's heartbeat timestamp.
+	TouchSource(sourceURI odata.ID, timestamp string) error
+	// RegisterCollections declares the agent's collection URIs so the
+	// OFMF serves them as browsable collections.
+	RegisterCollections(colls service.CollectionsPayload) error
+}
+
+// Local connects an agent to an in-process OFMF service.
+type Local struct {
+	Service *service.Service
+}
+
+// Register stores the aggregation source directly.
+func (l *Local) Register(src redfish.AggregationSource) (odata.ID, error) {
+	st := l.Service.Store()
+	id := st.NextID(service.AggregationSourcesURI)
+	uri := service.AggregationSourcesURI.Append(id)
+	name := src.Name
+	if name == "" {
+		name = "Agent " + id
+	}
+	src.Resource = odata.NewResource(uri, redfish.TypeAggregationSource, name)
+	src.Status = odata.StatusOK()
+	if err := st.Create(uri, src); err != nil {
+		return "", err
+	}
+	return uri, nil
+}
+
+// PublishSubtree installs the subtree into the service store.
+func (l *Local) PublishSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
+	return l.Service.Store().PutSubtree(prefix, resources, keep...)
+}
+
+// PublishEvent publishes on the service bus.
+func (l *Local) PublishEvent(rec redfish.EventRecord) {
+	l.Service.Bus().Publish(rec)
+}
+
+// AttachHandler registers the handler with the service.
+func (l *Local) AttachHandler(h service.FabricHandler) error {
+	l.Service.RegisterFabricHandler(h)
+	return nil
+}
+
+// DetachHandler unregisters the handler.
+func (l *Local) DetachHandler(fabricID odata.ID) {
+	l.Service.UnregisterFabricHandler(fabricID)
+}
+
+// TouchSource patches the aggregation source's heartbeat in the store.
+func (l *Local) TouchSource(sourceURI odata.ID, timestamp string) error {
+	return l.Service.Store().Patch(sourceURI, heartbeatPatch(timestamp), "")
+}
+
+func heartbeatPatch(timestamp string) map[string]any {
+	return map[string]any{"Oem": map[string]any{"OFMF": map[string]any{"LastHeartbeat": timestamp}}}
+}
+
+// RegisterCollections registers the collections directly in the store.
+func (l *Local) RegisterCollections(colls service.CollectionsPayload) error {
+	for uri, meta := range colls {
+		l.Service.Store().RegisterCollection(uri, meta[0], meta[1])
+	}
+	return nil
+}
+
+// Remote connects an agent to a standalone OFMF over HTTP. CallbackURL is
+// the base URL of the agent's own ops server (see Serve); the OFMF
+// forwards fabric mutations there.
+type Remote struct {
+	BaseURL     string // OFMF base, e.g. http://host:8080
+	CallbackURL string
+	Token       string // X-Auth-Token when the OFMF enforces auth
+	Client      *http.Client
+
+	mu       sync.Mutex
+	handlers map[odata.ID]service.FabricHandler
+}
+
+func (r *Remote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *Remote) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("agent: marshal: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, r.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.Token != "" {
+		req.Header.Set("X-Auth-Token", r.Token)
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("agent: %s %s returned %s: %s", method, path, resp.Status, data)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Register POSTs the aggregation source, advertising the callback URL.
+func (r *Remote) Register(src redfish.AggregationSource) (odata.ID, error) {
+	if src.HostName == "" {
+		src.HostName = r.CallbackURL
+	}
+	var created redfish.AggregationSource
+	if err := r.do(http.MethodPost, string(service.AggregationSourcesURI), src, &created); err != nil {
+		return "", err
+	}
+	return created.ODataID, nil
+}
+
+// PublishSubtree pushes the subtree through the OFMF's OEM aggregation
+// endpoint.
+func (r *Remote) PublishSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
+	payload := service.SubtreePayload{Prefix: prefix, Keep: keep, Resources: make(map[odata.ID]json.RawMessage, len(resources))}
+	for id, v := range resources {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("agent: marshal %s: %w", id, err)
+		}
+		payload.Resources[id] = b
+	}
+	return r.do(http.MethodPost, string(service.SubtreeOemURI), payload, nil)
+}
+
+// PublishEvent pushes the record through the OFMF's OEM event endpoint.
+func (r *Remote) PublishEvent(rec redfish.EventRecord) {
+	_ = r.do(http.MethodPost, string(service.EventsOemURI), rec, nil)
+}
+
+// TouchSource PATCHes the aggregation source's heartbeat over HTTP.
+func (r *Remote) TouchSource(sourceURI odata.ID, timestamp string) error {
+	return r.do(http.MethodPatch, string(sourceURI), heartbeatPatch(timestamp), nil)
+}
+
+// RegisterCollections pushes the collection declarations through the
+// OFMF's OEM endpoint.
+func (r *Remote) RegisterCollections(colls service.CollectionsPayload) error {
+	return r.do(http.MethodPost, string(service.CollectionsOemURI), colls, nil)
+}
+
+// AttachHandler records the handler locally; the OFMF forwards operations
+// to the callback server which dispatches to it.
+func (r *Remote) AttachHandler(h service.FabricHandler) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.handlers == nil {
+		r.handlers = make(map[odata.ID]service.FabricHandler)
+	}
+	r.handlers[h.FabricID()] = h
+	return nil
+}
+
+// DetachHandler removes a handler from the callback dispatch table.
+func (r *Remote) DetachHandler(fabricID odata.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.handlers, fabricID)
+}
+
+// Handler returns the HTTP handler of the agent's ops server, dispatching
+// forwarded operations to attached fabric handlers.
+func (r *Remote) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/agent/ops", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var op service.OpRequest
+		if err := json.NewDecoder(req.Body).Decode(&op); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		r.mu.Lock()
+		var h service.FabricHandler
+		for fid, cand := range r.handlers {
+			if op.Target.Under(fid) {
+				h = cand
+				break
+			}
+		}
+		r.mu.Unlock()
+		if h == nil {
+			http.Error(w, "no handler for "+string(op.Target), http.StatusNotFound)
+			return
+		}
+		resp, err := dispatchOp(h, op)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+func dispatchOp(h service.FabricHandler, op service.OpRequest) (service.OpResponse, error) {
+	switch op.Op {
+	case "CreateZone":
+		var zone redfish.Zone
+		if err := json.Unmarshal(op.Resource, &zone); err != nil {
+			return service.OpResponse{}, err
+		}
+		if err := h.CreateZone(&zone); err != nil {
+			return service.OpResponse{}, err
+		}
+		b, err := json.Marshal(zone)
+		return service.OpResponse{Resource: b}, err
+	case "DeleteZone":
+		return service.OpResponse{}, h.DeleteZone(op.Target)
+	case "CreateConnection":
+		var conn redfish.Connection
+		if err := json.Unmarshal(op.Resource, &conn); err != nil {
+			return service.OpResponse{}, err
+		}
+		if err := h.CreateConnection(&conn); err != nil {
+			return service.OpResponse{}, err
+		}
+		b, err := json.Marshal(conn)
+		return service.OpResponse{Resource: b}, err
+	case "DeleteConnection":
+		return service.OpResponse{}, h.DeleteConnection(op.Target)
+	case "Patch":
+		return service.OpResponse{}, h.Patch(op.Target, op.Patch)
+	case "CreateResource":
+		prov, ok := h.(service.ResourceProvisioner)
+		if !ok {
+			return service.OpResponse{}, fmt.Errorf("agent: handler cannot provision resources")
+		}
+		res, err := prov.CreateResource(op.Target, op.URI, op.Resource)
+		if err != nil {
+			return service.OpResponse{}, err
+		}
+		b, err := json.Marshal(res)
+		return service.OpResponse{Resource: b}, err
+	case "DeleteResource":
+		prov, ok := h.(service.ResourceProvisioner)
+		if !ok {
+			return service.OpResponse{}, fmt.Errorf("agent: handler cannot provision resources")
+		}
+		return service.OpResponse{}, prov.DeleteResource(op.Target)
+	default:
+		return service.OpResponse{}, fmt.Errorf("agent: unknown op %q", op.Op)
+	}
+}
+
+// StartHeartbeat periodically refreshes the aggregation source's
+// LastHeartbeat until the returned stop function is called, letting the
+// OFMF (and monitoring clients) detect dead agents.
+func StartHeartbeat(conn Conn, sourceURI odata.ID, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				_ = conn.TouchSource(sourceURI, redfish.Timestamp(time.Now()))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package gpuagent implements the OFMF Agent for a pooled GPU appliance.
+// It publishes the pool as a chassis holding accelerator Processor
+// resources, provisions partitions via Processor POSTs, and realizes
+// Connections as partition-to-host attachments.
+package gpuagent
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ofmf/internal/agent"
+	"ofmf/internal/emul/gpusim"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownPartition = errors.New("gpuagent: unknown partition")
+	ErrBadConnection    = errors.New("gpuagent: connection must name one initiator endpoint and one partition")
+	ErrUnsupported      = errors.New("gpuagent: unsupported operation")
+)
+
+// Agent is the GPU pool agent.
+type Agent struct {
+	conn agent.Conn
+	pool *gpusim.Pool
+
+	fabricID  odata.ID
+	chassisID odata.ID
+
+	// pubMu serializes Publish; see cxlagent.Agent.pubMu.
+	pubMu sync.Mutex
+
+	mu        sync.Mutex
+	partByURI map[odata.ID]string
+	conns     map[odata.ID]string // connection URI -> partition id
+	eventSeq  int
+	sourceURI odata.ID
+}
+
+// New creates a GPU pool agent.
+func New(conn agent.Conn, pool *gpusim.Pool, fabricName, chassisName string) *Agent {
+	return &Agent{
+		conn:      conn,
+		pool:      pool,
+		fabricID:  service.FabricsURI.Append(fabricName),
+		chassisID: service.ChassisURI.Append(chassisName),
+		partByURI: make(map[odata.ID]string),
+		conns:     make(map[odata.ID]string),
+	}
+}
+
+// FabricID returns the fabric subtree root the agent owns.
+func (a *Agent) FabricID() odata.ID { return a.fabricID }
+
+// SourceURI returns the AggregationSource resource created at Start,
+// used for heartbeat refreshes.
+func (a *Agent) SourceURI() odata.ID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sourceURI
+}
+
+// ChassisID returns the chassis subtree root the agent owns.
+func (a *Agent) ChassisID() odata.ID { return a.chassisID }
+
+// Start registers with the OFMF, attaches handlers and publishes.
+func (a *Agent) Start() error {
+	uri, err := a.conn.Register(redfish.AggregationSource{
+		Resource: odata.Resource{Name: "GPU Agent (" + a.chassisID.Leaf() + ")"},
+		Oem:      redfish.AggSourceOem{OFMF: &redfish.AgentDescriptor{Technology: "GPU", Version: "1.0"}},
+		Links: redfish.AggSourceLinks{ResourcesAccessed: []odata.Ref{
+			odata.NewRef(a.fabricID), odata.NewRef(a.chassisID),
+		}},
+	})
+	if err != nil {
+		return fmt.Errorf("gpuagent: register: %w", err)
+	}
+	a.mu.Lock()
+	a.sourceURI = uri
+	a.mu.Unlock()
+	if err := a.conn.RegisterCollections(a.Collections()); err != nil {
+		return fmt.Errorf("gpuagent: register collections: %w", err)
+	}
+	if err := a.conn.AttachHandler(a); err != nil {
+		return err
+	}
+	if err := a.conn.AttachHandler(&subHandler{agent: a, prefix: a.chassisID}); err != nil {
+		return err
+	}
+	a.pool.Subscribe(a.onHardwareEvent)
+	return a.Publish()
+}
+
+// Stop detaches the agent's handlers.
+func (a *Agent) Stop() {
+	a.conn.DetachHandler(a.fabricID)
+	a.conn.DetachHandler(a.chassisID)
+}
+
+type subHandler struct {
+	agent  *Agent
+	prefix odata.ID
+}
+
+func (s *subHandler) FabricID() odata.ID { return s.prefix }
+func (s *subHandler) CreateConnection(c *redfish.Connection) error {
+	return s.agent.CreateConnection(c)
+}
+func (s *subHandler) DeleteConnection(id odata.ID) error        { return s.agent.DeleteConnection(id) }
+func (s *subHandler) CreateZone(z *redfish.Zone) error          { return s.agent.CreateZone(z) }
+func (s *subHandler) DeleteZone(id odata.ID) error              { return s.agent.DeleteZone(id) }
+func (s *subHandler) Patch(id odata.ID, p map[string]any) error { return s.agent.Patch(id, p) }
+func (s *subHandler) CreateResource(coll, uri odata.ID, payload json.RawMessage) (any, error) {
+	return s.agent.CreateResource(coll, uri, payload)
+}
+func (s *subHandler) DeleteResource(id odata.ID) error { return s.agent.DeleteResource(id) }
+
+func (a *Agent) onHardwareEvent(ev gpusim.Event) {
+	a.mu.Lock()
+	a.eventSeq++
+	id := fmt.Sprintf("gpu-%d", a.eventSeq)
+	a.mu.Unlock()
+	a.conn.PublishEvent(redfish.EventRecord{
+		EventType: redfish.EventAlert,
+		EventID:   id,
+		Severity:  "OK",
+		Message:   fmt.Sprintf("gpu pool: %s partition=%s host=%s", ev.Kind, ev.Partition, ev.Host),
+		MessageID: "OFMF.1.0.GPU" + ev.Kind,
+	})
+}
+
+// partitionRequest is the accepted payload for partition provisioning.
+type partitionRequest struct {
+	Oem struct {
+		OFMF struct {
+			Slices int    `json:"Slices"`
+			GPU    string `json:"GPU"`
+		} `json:"OFMF"`
+	} `json:"Oem"`
+}
+
+// CreateResource provisions a GPU partition when the target collection is
+// the agent's Processors collection.
+func (a *Agent) CreateResource(coll, uri odata.ID, payload json.RawMessage) (any, error) {
+	if coll != a.chassisID.Append("Processors") {
+		return nil, fmt.Errorf("%w: POST %s", ErrUnsupported, coll)
+	}
+	var req partitionRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("gpuagent: bad partition request: %w", err)
+	}
+	slices := req.Oem.OFMF.Slices
+	if slices < 1 {
+		slices = 1
+	}
+	var partID string
+	var err error
+	if req.Oem.OFMF.GPU != "" {
+		partID, err = a.pool.Carve(req.Oem.OFMF.GPU, slices)
+	} else {
+		partID, err = a.pool.CarveAny(slices)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.partByURI[uri] = partID
+	a.mu.Unlock()
+	res := a.partitionResource(uri, partID, slices, "")
+	if err := a.Publish(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DeleteResource releases a GPU partition.
+func (a *Agent) DeleteResource(id odata.ID) error {
+	a.mu.Lock()
+	partID, ok := a.partByURI[id]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, id)
+	}
+	if err := a.pool.Delete(partID); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	delete(a.partByURI, id)
+	a.mu.Unlock()
+	return a.Publish()
+}
+
+// CreateConnection attaches the referenced partition to the initiator.
+// The partition is referenced through the connection's target endpoint
+// whose leaf is the partition resource id.
+func (a *Agent) CreateConnection(conn *redfish.Connection) error {
+	if len(conn.Links.InitiatorEndpoints) != 1 || len(conn.Links.TargetEndpoints) != 1 {
+		return ErrBadConnection
+	}
+	host := conn.Links.InitiatorEndpoints[0].ODataID.Leaf()
+	partURI := a.chassisID.Append("Processors", conn.Links.TargetEndpoints[0].ODataID.Leaf())
+	a.mu.Lock()
+	partID, ok := a.partByURI[partURI]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, partURI)
+	}
+	if err := a.pool.Attach(partID, host); err != nil {
+		return fmt.Errorf("gpuagent: attach: %w", err)
+	}
+	conn.ConnectionType = "Memory"
+	a.mu.Lock()
+	a.conns[conn.ODataID] = partID
+	a.mu.Unlock()
+	return a.Publish()
+}
+
+// DeleteConnection detaches the partition.
+func (a *Agent) DeleteConnection(id odata.ID) error {
+	a.mu.Lock()
+	partID, ok := a.conns[id]
+	delete(a.conns, id)
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("gpuagent: unknown connection %s", id)
+	}
+	if err := a.pool.Detach(partID); err != nil {
+		return err
+	}
+	return a.Publish()
+}
+
+// CreateZone accepts zone bookkeeping.
+func (a *Agent) CreateZone(zone *redfish.Zone) error { return nil }
+
+// DeleteZone accepts zone removal.
+func (a *Agent) DeleteZone(id odata.ID) error { return nil }
+
+// Patch rejects hardware property changes.
+func (a *Agent) Patch(id odata.ID, patch map[string]any) error {
+	return fmt.Errorf("%w: PATCH %s", ErrUnsupported, id)
+}
+
+func (a *Agent) partitionResource(uri odata.ID, partID string, slices int, host string) redfish.Processor {
+	res := redfish.Processor{
+		Resource:      odata.NewResource(uri, redfish.TypeProcessor, partID),
+		ProcessorType: "GPU",
+		Status:        odata.StatusOK(),
+		TotalCores:    slices,
+	}
+	if host != "" {
+		res.Desc = "attached to " + host
+		res.Status.State = odata.StateComposed
+	}
+	return res
+}
+
+// Publish rebuilds and pushes the agent's subtrees from pool state.
+// Publishes are serialized so snapshots advance monotonically.
+func (a *Agent) Publish() error {
+	a.pubMu.Lock()
+	defer a.pubMu.Unlock()
+	fab := make(map[odata.ID]any)
+	cha := make(map[odata.ID]any)
+
+	fab[a.fabricID] = redfish.Fabric{
+		Resource:    odata.NewResource(a.fabricID, redfish.TypeFabric, a.fabricID.Leaf()+" Fabric"),
+		FabricType:  redfish.ProtocolPCIe,
+		Status:      odata.StatusOK(),
+		Endpoints:   redfish.Ref(a.fabricID.Append("Endpoints")),
+		Zones:       redfish.Ref(a.fabricID.Append("Zones")),
+		Connections: redfish.Ref(a.fabricID.Append("Connections")),
+	}
+	cha[a.chassisID] = redfish.Chassis{
+		Resource:    odata.NewResource(a.chassisID, redfish.TypeChassis, a.chassisID.Leaf()),
+		ChassisType: "Shelf",
+		Status:      odata.StatusOK(),
+	}
+
+	for _, g := range a.pool.GPUs() {
+		gpuURI := a.chassisID.Append("GPUs", g.ID)
+		cha[gpuURI] = redfish.Processor{
+			Resource:      odata.NewResource(gpuURI, redfish.TypeProcessor, g.ID),
+			ProcessorType: "GPU",
+			Model:         g.Model,
+			TotalCores:    g.Slices,
+			Status:        odata.StatusOK(),
+		}
+	}
+
+	a.mu.Lock()
+	partURIs := make(map[string]odata.ID, len(a.partByURI))
+	for uri, id := range a.partByURI {
+		partURIs[id] = uri
+	}
+	a.mu.Unlock()
+	for _, p := range a.pool.Partitions() {
+		uri, ok := partURIs[p.ID]
+		if !ok {
+			continue
+		}
+		cha[uri] = a.partitionResource(uri, p.ID, p.Slices, p.Host)
+		epURI := a.fabricID.Append("Endpoints", uri.Leaf())
+		fab[epURI] = redfish.Endpoint{
+			Resource:         odata.NewResource(epURI, redfish.TypeEndpoint, "Partition "+p.ID),
+			EndpointProtocol: redfish.ProtocolPCIe,
+			ConnectedEntities: []redfish.ConnectedEntity{{
+				EntityType: "Processor", EntityRole: "Target", EntityLink: redfish.Ref(uri),
+			}},
+			Status: odata.StatusOK(),
+		}
+	}
+
+	keep := []odata.ID{a.fabricID.Append("Zones"), a.fabricID.Append("Connections")}
+	if err := a.conn.PublishSubtree(a.fabricID, fab, keep...); err != nil {
+		return fmt.Errorf("gpuagent: publish fabric: %w", err)
+	}
+	if err := a.conn.PublishSubtree(a.chassisID, cha); err != nil {
+		return fmt.Errorf("gpuagent: publish chassis: %w", err)
+	}
+	return nil
+}
+
+// Collections returns the collection URIs to register for this agent.
+func (a *Agent) Collections() service.CollectionsPayload {
+	return service.CollectionsPayload{
+		a.fabricID.Append("Endpoints"):   {redfish.TypeEndpointCollection, "Endpoints"},
+		a.fabricID.Append("Zones"):       {redfish.TypeZoneCollection, "Zones"},
+		a.fabricID.Append("Connections"): {redfish.TypeConnectionCollection, "Connections"},
+		a.chassisID.Append("GPUs"):       {redfish.TypeProcessorCollection, "GPUs"},
+		a.chassisID.Append("Processors"): {redfish.TypeProcessorCollection, "GPU Partitions"},
+	}
+}

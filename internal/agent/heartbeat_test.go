@@ -1,0 +1,99 @@
+package agent_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ofmf/internal/agent"
+	"ofmf/internal/agent/cxlagent"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+func heartbeatOf(t *testing.T, svc *service.Service, ag *cxlagent.Agent) string {
+	t.Helper()
+	var src redfish.AggregationSource
+	if err := svc.Store().GetAs(ag.SourceURI(), &src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Oem.OFMF == nil {
+		t.Fatal("missing OFMF descriptor")
+	}
+	return src.Oem.OFMF.LastHeartbeat
+}
+
+func TestHeartbeatLocal(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	conn := &agent.Local{Service: tb.svc}
+	ag := cxlagent.New(conn, app, "CXL", "CXLMemoryAppliance")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := heartbeatOf(t, tb.svc, ag); got != "" {
+		t.Errorf("initial heartbeat = %q", got)
+	}
+	stop := agent.StartHeartbeat(conn, ag.SourceURI(), 3*time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for heartbeatOf(t, tb.svc, ag) == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never refreshed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	// Timestamp parses as RFC3339.
+	if _, err := time.Parse(time.RFC3339, heartbeatOf(t, tb.svc, ag)); err != nil {
+		t.Errorf("bad timestamp: %v", err)
+	}
+}
+
+func TestHeartbeatRemote(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	remote := &agent.Remote{BaseURL: tb.srv.URL}
+	opsSrv := httptest.NewServer(remote.Handler())
+	defer opsSrv.Close()
+	remote.CallbackURL = opsSrv.URL
+
+	ag := cxlagent.New(remote, app, "CXL", "CXLMemoryAppliance")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// TouchSource travels over HTTP PATCH; the service must accept it even
+	// without DirectWrites.
+	if err := remote.TouchSource(ag.SourceURI(), "2023-05-15T00:00:00Z"); err != nil {
+		t.Fatal(err)
+	}
+	if got := heartbeatOf(t, tb.svc, ag); got != "2023-05-15T00:00:00Z" {
+		t.Errorf("heartbeat = %q", got)
+	}
+}
+
+func TestAgentStopDetachesHandlers(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	ag := cxlagent.New(&agent.Local{Service: tb.svc}, app, "CXL", "CXLMemoryAppliance")
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag.Stop()
+	// With handlers detached, fabric POSTs are no longer forwarded to
+	// hardware: a connection that would previously bind is stored
+	// verbatim (no DirectWrites needed since Connections POST is always
+	// allowed) but nothing is bound.
+	resp, _ := tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/CXL/Connections", redfish.Connection{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	binds, _ := app.Counters()
+	if binds != 0 {
+		t.Errorf("binds = %d after Stop", binds)
+	}
+}

@@ -1,0 +1,642 @@
+package agent_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ofmf/internal/agent"
+	"ofmf/internal/agent/cxlagent"
+	"ofmf/internal/agent/fabagent"
+	"ofmf/internal/agent/gpuagent"
+	"ofmf/internal/agent/nvmeagent"
+	"ofmf/internal/emul/cxlsim"
+	"ofmf/internal/emul/fabsim"
+	"ofmf/internal/emul/gpusim"
+	"ofmf/internal/emul/nvmesim"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+// testbed assembles an in-process OFMF with an HTTP front end.
+type testbed struct {
+	svc *service.Service
+	srv *httptest.Server
+}
+
+func newTestbed(t *testing.T) *testbed {
+	t.Helper()
+	svc := service.New(service.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return &testbed{svc: svc, srv: srv}
+}
+
+func (tb *testbed) registerCollections(t *testing.T, colls map[odata.ID][2]string) {
+	t.Helper()
+	for uri, meta := range colls {
+		tb.svc.Store().RegisterCollection(uri, meta[0], meta[1])
+	}
+}
+
+func (tb *testbed) do(t *testing.T, method, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, tb.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func newCXLAppliance(t *testing.T) *cxlsim.Appliance {
+	t.Helper()
+	app := cxlsim.New(cxlsim.WithoutSleep())
+	if err := app.AddDevice("dev0", 65536, "DRAM"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"node1", "node2"} {
+		if err := app.AddPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return app
+}
+
+func TestCXLAgentEndToEnd(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	ag := cxlagent.New(&agent.Local{Service: tb.svc}, app, "CXL", "CXLMemoryAppliance")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The aggregated tree serves the fabric and appliance.
+	resp, body := tb.do(t, http.MethodGet, "/redfish/v1/Fabrics/CXL", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fabric GET = %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = tb.do(t, http.MethodGet, "/redfish/v1/Chassis/CXLMemoryAppliance/Memory/dev0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memory GET = %d", resp.StatusCode)
+	}
+
+	// Carve a chunk via Redfish POST.
+	chunksColl := "/redfish/v1/Chassis/CXLMemoryAppliance/MemoryDomains/Domain0/MemoryChunks"
+	resp, body = tb.do(t, http.MethodPost, chunksColl, map[string]any{"MemoryChunkSizeMiB": 8192})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("chunk POST = %d: %s", resp.StatusCode, body)
+	}
+	var chunk redfish.MemoryChunks
+	if err := json.Unmarshal(body, &chunk); err != nil {
+		t.Fatal(err)
+	}
+	if chunk.MemoryChunkSizeMiB != 8192 {
+		t.Errorf("chunk size = %d", chunk.MemoryChunkSizeMiB)
+	}
+	if app.FreeMiB() != 65536-8192 {
+		t.Errorf("appliance free = %d", app.FreeMiB())
+	}
+
+	// Attach the chunk to node1 via a Connection.
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/CXL/Connections", redfish.Connection{
+		MemoryChunkInfo: []redfish.MemoryChunkInfo{{
+			AccessCapabilities: []string{"Read", "Write"},
+			MemoryChunk:        redfish.Ref(chunk.ODataID),
+		}},
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/CXL/Endpoints/node1")},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	var conn redfish.Connection
+	if err := json.Unmarshal(body, &conn); err != nil {
+		t.Fatal(err)
+	}
+	chunks := app.Chunks()
+	if len(chunks) != 1 || len(chunks[0].BoundPorts()) != 1 || chunks[0].BoundPorts()[0] != "node1" {
+		t.Fatalf("appliance state = %+v", chunks)
+	}
+
+	// The republished chunk resource shows the binding.
+	resp, body = tb.do(t, http.MethodGet, string(chunk.ODataID), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk GET = %d", resp.StatusCode)
+	}
+	var chunkNow redfish.MemoryChunks
+	if err := json.Unmarshal(body, &chunkNow); err != nil {
+		t.Fatal(err)
+	}
+	if len(chunkNow.Links.Endpoints) != 1 {
+		t.Errorf("chunk links = %+v", chunkNow.Links)
+	}
+
+	// Deleting the connection unbinds; deleting the chunk releases.
+	resp, _ = tb.do(t, http.MethodDelete, string(conn.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("connection DELETE = %d", resp.StatusCode)
+	}
+	if got := app.Chunks()[0].BoundPorts(); len(got) != 0 {
+		t.Errorf("still bound: %v", got)
+	}
+	resp, _ = tb.do(t, http.MethodDelete, string(chunk.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("chunk DELETE = %d", resp.StatusCode)
+	}
+	if app.FreeMiB() != 65536 {
+		t.Errorf("free after release = %d", app.FreeMiB())
+	}
+}
+
+func TestCXLAgentRejectsOversizedChunk(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	ag := cxlagent.New(&agent.Local{Service: tb.svc}, app, "CXL", "CXLMemoryAppliance")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := tb.do(t, http.MethodPost,
+		"/redfish/v1/Chassis/CXLMemoryAppliance/MemoryDomains/Domain0/MemoryChunks",
+		map[string]any{"MemoryChunkSizeMiB": 1 << 30})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	// Collection remains empty.
+	members, err := tb.svc.Store().Members(odata.ID("/redfish/v1/Chassis/CXLMemoryAppliance/MemoryDomains/Domain0/MemoryChunks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Errorf("members = %v", members)
+	}
+}
+
+func TestNVMeAgentEndToEnd(t *testing.T) {
+	tb := newTestbed(t)
+	target := nvmesim.New()
+	if err := target.AddPool("pool0", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	ag := nvmeagent.New(&agent.Local{Service: tb.svc}, target, "NVMe", "JBOF1")
+	tb.registerCollections(t, ag.Collections())
+	ag.RegisterHost("node1")
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provision a volume.
+	resp, body := tb.do(t, http.MethodPost, "/redfish/v1/Storage/JBOF1/Volumes",
+		map[string]any{"CapacityBytes": 1 << 30})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("volume POST = %d: %s", resp.StatusCode, body)
+	}
+	var vol redfish.Volume
+	if err := json.Unmarshal(body, &vol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Connect node1 to the volume.
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/NVMe/Connections", redfish.Connection{
+		VolumeInfo: []redfish.VolumeInfo{{Volume: redfish.Ref(vol.ODataID)}},
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/NVMe/Endpoints/node1")},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	var conn redfish.Connection
+	if err := json.Unmarshal(body, &conn); err != nil {
+		t.Fatal(err)
+	}
+	// Target state: volume attached, host connected.
+	vols := target.Volumes()
+	if len(vols) != 1 || vols[0].Subsystem == "" {
+		t.Fatalf("volumes = %+v", vols)
+	}
+	sub, err := target.SubsystemInfo(vols[0].Subsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Hosts()) != 1 {
+		t.Errorf("hosts = %v", sub.Hosts())
+	}
+
+	// Tear down.
+	resp, _ = tb.do(t, http.MethodDelete, string(conn.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("connection DELETE = %d", resp.StatusCode)
+	}
+	vols = target.Volumes()
+	if vols[0].Subsystem != "" {
+		t.Error("volume still attached after connection delete")
+	}
+	resp, _ = tb.do(t, http.MethodDelete, string(vol.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("volume DELETE = %d", resp.StatusCode)
+	}
+	if len(target.Volumes()) != 0 {
+		t.Error("volume survived delete")
+	}
+}
+
+func TestFabAgentLinkFailureEventAndPatch(t *testing.T) {
+	tb := newTestbed(t)
+	fab := fabsim.New()
+	if _, err := fabsim.BuildFatTree(fab, "n", 2, 2, 2, 100, 400); err != nil {
+		t.Fatal(err)
+	}
+	ag := fabagent.New(&agent.Local{Service: tb.svc}, fab, "IB", redfish.ProtocolInfiniBand)
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ports are visible with LinkUp.
+	resp, body := tb.do(t, http.MethodGet, "/redfish/v1/Fabrics/IB/Switches/leaf0/Ports/spine0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("port GET = %d: %s", resp.StatusCode, body)
+	}
+	var port redfish.Port
+	if err := json.Unmarshal(body, &port); err != nil {
+		t.Fatal(err)
+	}
+	if port.LinkStatus != "LinkUp" {
+		t.Errorf("LinkStatus = %s", port.LinkStatus)
+	}
+
+	// PATCH LinkState=Disabled fails the link in hardware and the tree.
+	resp, body = tb.do(t, http.MethodPatch, "/redfish/v1/Fabrics/IB/Switches/leaf0/Ports/spine0",
+		map[string]any{"LinkState": "Disabled"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("port PATCH = %d: %s", resp.StatusCode, body)
+	}
+	l, err := fab.Link("leaf0", "spine0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Up() {
+		t.Error("link still up after PATCH")
+	}
+	resp, body = tb.do(t, http.MethodGet, "/redfish/v1/Fabrics/IB/Switches/leaf0/Ports/spine0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("port GET = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &port); err != nil {
+		t.Fatal(err)
+	}
+	if port.LinkStatus != "LinkDown" {
+		t.Errorf("published LinkStatus = %s", port.LinkStatus)
+	}
+
+	// Restore.
+	resp, _ = tb.do(t, http.MethodPatch, "/redfish/v1/Fabrics/IB/Switches/leaf0/Ports/spine0",
+		map[string]any{"LinkState": "Enabled"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore PATCH = %d", resp.StatusCode)
+	}
+	l, _ = fab.Link("leaf0", "spine0")
+	if !l.Up() {
+		t.Error("link not restored")
+	}
+}
+
+func TestFabAgentZonesAndConnections(t *testing.T) {
+	tb := newTestbed(t)
+	fab := fabsim.New()
+	if _, err := fabsim.BuildStar(fab, "h", 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	ag := fabagent.New(&agent.Local{Service: tb.svc}, fab, "IB", redfish.ProtocolInfiniBand)
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Create a zone of h0,h1.
+	resp, body := tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/IB/Zones", redfish.Zone{
+		Links: redfish.ZoneLinks{Endpoints: []odata.Ref{
+			odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h0"),
+			odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h1"),
+		}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("zone POST = %d: %s", resp.StatusCode, body)
+	}
+	var zone redfish.Zone
+	if err := json.Unmarshal(body, &zone); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fab.Zones()); got != 1 {
+		t.Fatalf("fabric zones = %d", got)
+	}
+
+	// A connection within the zone succeeds.
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/IB/Connections", redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h0")},
+			TargetEndpoints:    []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h1")},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	if got := len(fab.Flows()); got != 1 {
+		t.Errorf("flows = %d", got)
+	}
+
+	// A connection crossing the zone boundary is rejected.
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/IB/Connections", redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h0")},
+			TargetEndpoints:    []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/IB/Endpoints/h2")},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-zone POST = %d: %s", resp.StatusCode, body)
+	}
+
+	// Deleting the zone restores the open fabric.
+	resp, _ = tb.do(t, http.MethodDelete, string(zone.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("zone DELETE = %d", resp.StatusCode)
+	}
+	if got := len(fab.Zones()); got != 0 {
+		t.Errorf("fabric zones = %d", got)
+	}
+}
+
+func TestGPUAgentEndToEnd(t *testing.T) {
+	tb := newTestbed(t)
+	pool := gpusim.New()
+	if err := pool.AddGPU("gpu0", "A100", 40960, 7); err != nil {
+		t.Fatal(err)
+	}
+	ag := gpuagent.New(&agent.Local{Service: tb.svc}, pool, "PCIe", "GPUPool")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Carve a 2-slice partition.
+	resp, body := tb.do(t, http.MethodPost, "/redfish/v1/Chassis/GPUPool/Processors",
+		map[string]any{"Oem": map[string]any{"OFMF": map[string]any{"Slices": 2}}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("partition POST = %d: %s", resp.StatusCode, body)
+	}
+	var part redfish.Processor
+	if err := json.Unmarshal(body, &part); err != nil {
+		t.Fatal(err)
+	}
+	if pool.FreeSlices() != 5 {
+		t.Errorf("free slices = %d", pool.FreeSlices())
+	}
+
+	// Attach to node1.
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/PCIe/Connections", redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Systems/node1")},
+			TargetEndpoints:    []odata.Ref{odata.NewRef(odata.ID("/redfish/v1/Fabrics/PCIe/Endpoints").Append(part.ODataID.Leaf()))},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	var conn redfish.Connection
+	if err := json.Unmarshal(body, &conn); err != nil {
+		t.Fatal(err)
+	}
+	parts := pool.Partitions()
+	if len(parts) != 1 || parts[0].Host != "node1" {
+		t.Fatalf("partitions = %+v", parts)
+	}
+
+	// Detach and delete.
+	resp, _ = tb.do(t, http.MethodDelete, string(conn.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("connection DELETE = %d", resp.StatusCode)
+	}
+	resp, _ = tb.do(t, http.MethodDelete, string(part.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("partition DELETE = %d", resp.StatusCode)
+	}
+	if pool.FreeSlices() != 7 {
+		t.Errorf("free slices = %d", pool.FreeSlices())
+	}
+}
+
+// TestRemoteFabAgentAllOps exercises every forwarded operation over the
+// HTTP agent protocol — zone create/delete, connection create/delete,
+// port patch — against an out-of-process fabric agent.
+func TestRemoteFabAgentAllOps(t *testing.T) {
+	tb := newTestbed(t)
+	fab := fabsim.New()
+	if _, err := fabsim.BuildStar(fab, "h", 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	remote := &agent.Remote{BaseURL: tb.srv.URL}
+	opsSrv := httptest.NewServer(remote.Handler())
+	defer opsSrv.Close()
+	remote.CallbackURL = opsSrv.URL
+
+	ag := fabagent.New(remote, fab, "IB", redfish.ProtocolInfiniBand)
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fabric := ag.FabricID()
+	ep := func(n string) odata.Ref { return odata.NewRef(fabric.Append("Endpoints", n)) }
+
+	// Zone.
+	resp, body := tb.do(t, http.MethodPost, string(fabric.Append("Zones")), redfish.Zone{
+		Links: redfish.ZoneLinks{Endpoints: []odata.Ref{ep("h0"), ep("h1")}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("zone POST = %d: %s", resp.StatusCode, body)
+	}
+	var zone redfish.Zone
+	if err := json.Unmarshal(body, &zone); err != nil {
+		t.Fatal(err)
+	}
+	if len(fab.Zones()) != 1 {
+		t.Fatalf("zones = %d", len(fab.Zones()))
+	}
+
+	// Connection within the zone.
+	resp, body = tb.do(t, http.MethodPost, string(fabric.Append("Connections")), redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{ep("h0")},
+			TargetEndpoints:    []odata.Ref{ep("h1")},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	var conn redfish.Connection
+	if err := json.Unmarshal(body, &conn); err != nil {
+		t.Fatal(err)
+	}
+	if len(fab.Flows()) != 1 {
+		t.Fatalf("flows = %d", len(fab.Flows()))
+	}
+
+	// Cross-zone connection rejected end to end.
+	resp, _ = tb.do(t, http.MethodPost, string(fabric.Append("Connections")), redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{ep("h0")},
+			TargetEndpoints:    []odata.Ref{ep("h2")},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-zone POST = %d", resp.StatusCode)
+	}
+
+	// Patch a port down and back up.
+	port := fabric.Append("Switches", "sw0", "Ports", "h2")
+	resp, _ = tb.do(t, http.MethodPatch, string(port), map[string]any{"LinkState": "Disabled"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch = %d", resp.StatusCode)
+	}
+	l, _ := fab.Link("sw0", "h2")
+	if l.Up() {
+		t.Error("link still up after remote patch")
+	}
+	resp, _ = tb.do(t, http.MethodPatch, string(port), map[string]any{"LinkState": "Enabled"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore patch = %d", resp.StatusCode)
+	}
+	// Unsupported patch rejected through the wire.
+	resp, _ = tb.do(t, http.MethodPatch, string(fabric.Append("Endpoints", "h0")), map[string]any{"Name": "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unsupported patch = %d", resp.StatusCode)
+	}
+
+	// Teardown: connection then zone, both forwarded.
+	resp, _ = tb.do(t, http.MethodDelete, string(conn.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("connection DELETE = %d", resp.StatusCode)
+	}
+	if len(fab.Flows()) != 0 {
+		t.Error("flow survived remote delete")
+	}
+	resp, _ = tb.do(t, http.MethodDelete, string(zone.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("zone DELETE = %d", resp.StatusCode)
+	}
+	if len(fab.Zones()) != 0 {
+		t.Error("zone survived remote delete")
+	}
+}
+
+// TestRemoteDeprovision exercises DeleteResource over the HTTP agent
+// protocol.
+func TestRemoteDeprovision(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+	remote := &agent.Remote{BaseURL: tb.srv.URL}
+	opsSrv := httptest.NewServer(remote.Handler())
+	defer opsSrv.Close()
+	remote.CallbackURL = opsSrv.URL
+	ag := cxlagent.New(remote, app, "CXL", "CXLMemoryAppliance")
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+	chunks := "/redfish/v1/Chassis/CXLMemoryAppliance/MemoryDomains/Domain0/MemoryChunks"
+	resp, body := tb.do(t, http.MethodPost, chunks, map[string]any{"MemoryChunkSizeMiB": 128})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, body)
+	}
+	var chunk redfish.MemoryChunks
+	if err := json.Unmarshal(body, &chunk); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = tb.do(t, http.MethodDelete, string(chunk.ODataID), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	if app.FreeMiB() != 65536 {
+		t.Errorf("free = %d", app.FreeMiB())
+	}
+}
+
+// TestRemoteAgentEndToEnd runs the CXL agent out of process: the agent
+// talks to the OFMF over HTTP and receives forwarded operations on its own
+// ops server, exactly as a standalone deployment would.
+func TestRemoteAgentEndToEnd(t *testing.T) {
+	tb := newTestbed(t)
+	app := newCXLAppliance(t)
+
+	remote := &agent.Remote{BaseURL: tb.srv.URL}
+	opsSrv := httptest.NewServer(remote.Handler())
+	defer opsSrv.Close()
+	remote.CallbackURL = opsSrv.URL
+
+	ag := cxlagent.New(remote, app, "CXL", "CXLMemoryAppliance")
+	tb.registerCollections(t, ag.Collections())
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The aggregation source is registered with the callback URL.
+	members, err := tb.svc.Store().Members(service.AggregationSourcesURI)
+	if err != nil || len(members) != 1 {
+		t.Fatalf("sources = %v, %v", members, err)
+	}
+	var src redfish.AggregationSource
+	if err := tb.svc.Store().GetAs(members[0], &src); err != nil {
+		t.Fatal(err)
+	}
+	if src.HostName != opsSrv.URL {
+		t.Errorf("HostName = %s", src.HostName)
+	}
+
+	// Full provisioning flow over HTTP.
+	resp, body := tb.do(t, http.MethodPost,
+		"/redfish/v1/Chassis/CXLMemoryAppliance/MemoryDomains/Domain0/MemoryChunks",
+		map[string]any{"MemoryChunkSizeMiB": 4096})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("chunk POST = %d: %s", resp.StatusCode, body)
+	}
+	var chunk redfish.MemoryChunks
+	if err := json.Unmarshal(body, &chunk); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = tb.do(t, http.MethodPost, "/redfish/v1/Fabrics/CXL/Connections", redfish.Connection{
+		MemoryChunkInfo: []redfish.MemoryChunkInfo{{MemoryChunk: redfish.Ref(chunk.ODataID)}},
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/CXL/Endpoints/node2")},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("connection POST = %d: %s", resp.StatusCode, body)
+	}
+	chunks := app.Chunks()
+	if len(chunks) != 1 || len(chunks[0].BoundPorts()) != 1 || chunks[0].BoundPorts()[0] != "node2" {
+		t.Fatalf("appliance state = %+v", chunks)
+	}
+}

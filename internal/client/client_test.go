@@ -1,0 +1,289 @@
+package client_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ofmf/internal/client"
+	"ofmf/internal/composer"
+	"ofmf/internal/core"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+	"ofmf/internal/sessions"
+)
+
+func newTestbed(t *testing.T, cfg core.Config) (*core.Framework, *client.Client) {
+	t.Helper()
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		f.Close()
+	})
+	return f, client.New(srv.URL)
+}
+
+func TestRootAndNavigation(t *testing.T) {
+	_, c := newTestbed(t, core.Config{Nodes: 2})
+	root, err := c.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.RedfishVersion == "" || root.Fabrics == nil {
+		t.Fatalf("root = %+v", root)
+	}
+	fabrics, err := c.Fabrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fabrics) != 4 { // CXL, NVMe, HPC, PCIe
+		t.Errorf("fabrics = %d", len(fabrics))
+	}
+	systems, err := c.Systems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 2 {
+		t.Errorf("systems = %d", len(systems))
+	}
+	eps, err := c.Endpoints(fabrics[0].ODataID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) == 0 {
+		t.Error("no endpoints")
+	}
+}
+
+func TestMembersFollowsPaging(t *testing.T) {
+	f, c := newTestbed(t, core.Config{Nodes: 5})
+	all, err := c.Members(service.SystemsURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("members = %d", len(all))
+	}
+	// A paged fetch through the raw URL yields the same set.
+	paged, err := c.Members(service.SystemsURI + "?$top=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paged) != 5 {
+		t.Errorf("paged members = %d, want 5 via nextLink chain", len(paged))
+	}
+	_ = f
+}
+
+func TestNotFoundError(t *testing.T) {
+	_, c := newTestbed(t, core.Config{Nodes: 1})
+	var out map[string]any
+	err := c.Get("/redfish/v1/Systems/ghost", &out)
+	if !client.IsNotFound(err) {
+		t.Errorf("err = %v", err)
+	}
+	var he *client.HTTPError
+	if !errors.As(err, &he) || he.StatusCode != 404 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoginFlow(t *testing.T) {
+	f, err := core.New(core.Config{
+		Nodes:   1,
+		Service: service.Config{Credentials: sessions.StaticCredentials(map[string]string{"ops": "pw"})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	defer f.Close()
+
+	c := client.New(srv.URL)
+	if _, err := c.Systems(); err == nil {
+		t.Fatal("unauthenticated request succeeded")
+	}
+	if err := c.Login("ops", "bad"); err == nil {
+		t.Fatal("bad login succeeded")
+	}
+	if err := c.Login("ops", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Token() == "" {
+		t.Fatal("no token stored")
+	}
+	if _, err := c.Systems(); err != nil {
+		t.Fatalf("authenticated request failed: %v", err)
+	}
+}
+
+func TestComposeViaClient(t *testing.T) {
+	f, c := newTestbed(t, core.Config{Nodes: 2})
+	comp, err := c.Compose(composer.Request{Cores: 8, FabricMemoryMiB: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.ID == "" {
+		t.Fatalf("composition = %+v", comp)
+	}
+	list, err := c.Compositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Errorf("compositions = %d", len(list))
+	}
+	stats, err := c.ComposerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UsedCores != 8 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if err := c.Decompose(comp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if f.CXL.FreeMiB() != 4*256*1024 {
+		t.Errorf("cxl free = %d", f.CXL.FreeMiB())
+	}
+}
+
+func TestPortPatchViaClient(t *testing.T) {
+	f, c := newTestbed(t, core.Config{Nodes: 4})
+	fabric := f.FabAgent.FabricID()
+	port := fabric.Append("Switches", "leaf0", "Ports", "spine0")
+	if err := c.Patch(port, map[string]any{"LinkState": "Disabled"}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := f.Fabric.Link("leaf0", "spine0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Up() {
+		t.Error("link still up")
+	}
+	if err := c.Patch(port, map[string]any{"LinkState": "Enabled"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeEventsEndToEnd(t *testing.T) {
+	_, c := newTestbed(t, core.Config{Nodes: 1})
+	var mu sync.Mutex
+	var events []redfish.Event
+	el, err := c.SubscribeEvents(redfish.EventDestination{
+		EventTypes: []string{redfish.EventResourceAdded},
+		Context:    "client-test",
+	}, func(ev redfish.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+
+	// Composition adds resources → ResourceAdded events reach the client.
+	if _, err := c.Compose(composer.Request{Cores: 4, FabricMemoryMiB: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no events delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	ev := events[0]
+	mu.Unlock()
+	if ev.Context != "client-test" {
+		t.Errorf("context = %q", ev.Context)
+	}
+	if err := el.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestZoneAndConnectionViaClient(t *testing.T) {
+	f, c := newTestbed(t, core.Config{Nodes: 4})
+	fabric := f.FabAgent.FabricID()
+	eps, err := c.Endpoints(fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) < 2 {
+		t.Fatalf("endpoints = %d", len(eps))
+	}
+	zone, err := c.CreateZone(fabric, redfish.Zone{
+		Links: redfish.ZoneLinks{Endpoints: []odata.Ref{
+			odata.NewRef(eps[0].ODataID), odata.NewRef(eps[1].ODataID),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("zone: %v", err)
+	}
+	if len(f.Fabric.Zones()) != 1 {
+		t.Errorf("fabric zones = %d", len(f.Fabric.Zones()))
+	}
+
+	conn, err := c.CreateConnection(fabric, redfish.Connection{
+		Links: redfish.ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef(eps[0].ODataID)},
+			TargetEndpoints:    []odata.Ref{odata.NewRef(eps[1].ODataID)},
+		},
+	})
+	if err != nil {
+		t.Fatalf("connection: %v", err)
+	}
+	if len(f.Fabric.Flows()) != 1 {
+		t.Errorf("flows = %d", len(f.Fabric.Flows()))
+	}
+	if err := c.Delete(conn.ODataID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(zone.ODataID); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Fabric.Flows()) != 0 || len(f.Fabric.Zones()) != 0 {
+		t.Errorf("fabric not cleaned: flows=%d zones=%d", len(f.Fabric.Flows()), len(f.Fabric.Zones()))
+	}
+}
+
+func TestComposeAsyncViaClient(t *testing.T) {
+	f, c := newTestbed(t, core.Config{Nodes: 2})
+	monitor, err := c.ComposeAsync(composer.Request{Name: "async-client", Cores: 4, FabricMemoryMiB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := c.WaitTask(monitor, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.TaskState != redfish.TaskCompleted {
+		t.Fatalf("task = %+v", task)
+	}
+	comps, err := c.Compositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 {
+		t.Errorf("compositions = %d", len(comps))
+	}
+	_ = f
+}

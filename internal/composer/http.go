@@ -1,0 +1,136 @@
+package composer
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the Composability Layer's REST facade — the interface
+// the paper places between clients (workload managers, runtimes,
+// administrators) and the OFMF:
+//
+//	POST   /composer/v1/Compose           — realize a Request
+//	GET    /composer/v1/Compositions      — list live compositions
+//	GET    /composer/v1/Compositions/{id} — inspect one
+//	DELETE /composer/v1/Compositions/{id} — decompose
+//	POST   /composer/v1/Compositions/{id}/Actions/HotAddMemory — grow memory
+//	GET    /composer/v1/Stats             — utilization counters
+func (c *Composer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/composer/v1/Compose", c.handleCompose)
+	mux.HandleFunc("/composer/v1/ComposeAsync", c.handleComposeAsync)
+	mux.HandleFunc("/composer/v1/Compositions", c.handleList)
+	mux.HandleFunc("/composer/v1/Compositions/", c.handleComposition)
+	mux.HandleFunc("/composer/v1/Stats", c.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownComp), errors.Is(err, ErrUnknownNode):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNoCapacity), errors.Is(err, ErrNoPool):
+		status = http.StatusConflict
+	case errors.Is(err, ErrInvalidRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (c *Composer) handleCompose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	comp, err := c.Compose(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/composer/v1/Compositions/"+comp.ID)
+	writeJSON(w, http.StatusCreated, comp)
+}
+
+// handleComposeAsync accepts the request and returns 202 with the Redfish
+// task monitor in Location, per the Redfish asynchronous-operation
+// pattern.
+func (c *Composer) handleComposeAsync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	task := c.ComposeAsync(req)
+	w.Header().Set("Location", string(task.URI()))
+	writeJSON(w, http.StatusAccepted, map[string]string{"TaskMonitor": string(task.URI())})
+}
+
+func (c *Composer) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Compositions())
+}
+
+func (c *Composer) handleComposition(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/composer/v1/Compositions/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		comp, err := c.Get(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, comp)
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		if err := c.Decompose(id); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case len(parts) == 3 && parts[1] == "Actions" && parts[2] == "HotAddMemory" && r.Method == http.MethodPost:
+		var body struct {
+			SizeMiB int64 `json:"SizeMiB"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SizeMiB <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "SizeMiB must be positive"})
+			return
+		}
+		if err := c.HotAddMemory(id, body.SizeMiB); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "unsupported", http.StatusMethodNotAllowed)
+	}
+}
+
+func (c *Composer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}

@@ -1,0 +1,105 @@
+package composer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the compute node for a composition request. Nodes arrive
+// sorted by name; implementations must not mutate the slice.
+type Policy interface {
+	SelectNode(nodes []NodeState, req Request) (string, error)
+}
+
+// FirstFit picks the first node (by name) with enough free cores. It is
+// the cheapest policy and tends to pack the name-ordered front of the
+// cluster.
+type FirstFit struct{}
+
+// SelectNode implements Policy.
+func (FirstFit) SelectNode(nodes []NodeState, req Request) (string, error) {
+	for _, n := range nodes {
+		if n.FreeCores() >= req.Cores {
+			return n.Name, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %d cores", ErrNoCapacity, req.Cores)
+}
+
+// BestFit picks the node whose free cores leave the least slack,
+// minimizing fragmentation.
+type BestFit struct{}
+
+// SelectNode implements Policy.
+func (BestFit) SelectNode(nodes []NodeState, req Request) (string, error) {
+	best := ""
+	bestSlack := math.MaxInt
+	for _, n := range nodes {
+		free := n.FreeCores()
+		if free < req.Cores {
+			continue
+		}
+		slack := free - req.Cores
+		if slack < bestSlack {
+			best, bestSlack = n.Name, slack
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: %d cores", ErrNoCapacity, req.Cores)
+	}
+	return best, nil
+}
+
+// WorstFit picks the node with the most free cores, spreading load and
+// leaving room for later large requests on every node.
+type WorstFit struct{}
+
+// SelectNode implements Policy.
+func (WorstFit) SelectNode(nodes []NodeState, req Request) (string, error) {
+	best := ""
+	bestFree := -1
+	for _, n := range nodes {
+		free := n.FreeCores()
+		if free >= req.Cores && free > bestFree {
+			best, bestFree = n.Name, free
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: %d cores", ErrNoCapacity, req.Cores)
+	}
+	return best, nil
+}
+
+// TopologyAware prefers the fitting node closest (per Distance) to the
+// pooled resources the request needs, breaking ties by best fit. Distance
+// typically counts fabric hops between the node and the pool chassis.
+type TopologyAware struct {
+	// Distance returns the cost between a node and the pooled resources.
+	// Smaller is closer. Nil distances degrade to BestFit.
+	Distance func(node string, req Request) int
+}
+
+// SelectNode implements Policy.
+func (p TopologyAware) SelectNode(nodes []NodeState, req Request) (string, error) {
+	if p.Distance == nil {
+		return BestFit{}.SelectNode(nodes, req)
+	}
+	best := ""
+	bestDist := math.MaxInt
+	bestSlack := math.MaxInt
+	for _, n := range nodes {
+		free := n.FreeCores()
+		if free < req.Cores {
+			continue
+		}
+		d := p.Distance(n.Name, req)
+		slack := free - req.Cores
+		if d < bestDist || (d == bestDist && slack < bestSlack) {
+			best, bestDist, bestSlack = n.Name, d, slack
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: %d cores", ErrNoCapacity, req.Cores)
+	}
+	return best, nil
+}

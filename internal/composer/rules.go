@@ -1,0 +1,109 @@
+package composer
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+// Rule reacts to OFMF events — the paper's "dynamic provisioning of
+// resources to maintain running client computations".
+type Rule struct {
+	// Name labels the rule in Fired() accounting.
+	Name string
+	// Matches selects the events the rule reacts to.
+	Matches func(rec redfish.EventRecord) bool
+	// Action runs for each matching event.
+	Action func(rec redfish.EventRecord)
+}
+
+// RuleEngine subscribes to the OFMF event bus and dispatches rules.
+type RuleEngine struct {
+	mu    sync.Mutex
+	rules []Rule
+	fired map[string]int
+}
+
+// NewRuleEngine creates an empty engine.
+func NewRuleEngine() *RuleEngine {
+	return &RuleEngine{fired: make(map[string]int)}
+}
+
+// Add registers a rule.
+func (e *RuleEngine) Add(r Rule) {
+	e.mu.Lock()
+	e.rules = append(e.rules, r)
+	e.mu.Unlock()
+}
+
+// Fired reports how many times the named rule has triggered.
+func (e *RuleEngine) Fired(name string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired[name]
+}
+
+// Bind subscribes the engine to the bus; every published event is matched
+// against every rule.
+func (e *RuleEngine) Bind(bus *events.Bus) error {
+	_, err := bus.Subscribe(events.SinkFunc(func(_ context.Context, ev redfish.Event) error {
+		for _, rec := range ev.Events {
+			e.dispatch(rec)
+		}
+		return nil
+	}), events.Filter{}, "composability-rules")
+	return err
+}
+
+// Dispatch runs the engine on one record directly (used by in-process
+// publishers and tests).
+func (e *RuleEngine) Dispatch(rec redfish.EventRecord) { e.dispatch(rec) }
+
+func (e *RuleEngine) dispatch(rec redfish.EventRecord) {
+	e.mu.Lock()
+	rules := append([]Rule(nil), e.rules...)
+	e.mu.Unlock()
+	for _, r := range rules {
+		if r.Matches(rec) {
+			e.mu.Lock()
+			e.fired[r.Name]++
+			e.mu.Unlock()
+			r.Action(rec)
+		}
+	}
+}
+
+// MessageOutOfMemory is the alert message id the OOM mitigation rule
+// listens for; workload managers publish it when a composition nears
+// memory exhaustion.
+const MessageOutOfMemory = "OFMF.1.0.OutOfMemory"
+
+// OOMRule hot-adds stepMiB of fabric memory to the composition named in
+// the event's MessageArgs[0] whenever an out-of-memory alert arrives.
+func OOMRule(c *Composer, stepMiB int64) Rule {
+	return Rule{
+		Name: "oom-hot-add",
+		Matches: func(rec redfish.EventRecord) bool {
+			return rec.MessageID == MessageOutOfMemory && len(rec.MessageArgs) > 0
+		},
+		Action: func(rec redfish.EventRecord) {
+			_ = c.HotAddMemory(rec.MessageArgs[0], stepMiB)
+		},
+	}
+}
+
+// LinkFailoverRule invokes onFailure for every fabric LinkDown alert — the
+// hook point for network fail-over orchestration above what agents already
+// re-route themselves.
+func LinkFailoverRule(onFailure func(rec redfish.EventRecord)) Rule {
+	return Rule{
+		Name: "link-failover",
+		Matches: func(rec redfish.EventRecord) bool {
+			return strings.HasSuffix(rec.MessageID, "FabricLinkDown")
+		},
+		Action: onFailure,
+	}
+}

@@ -1,0 +1,237 @@
+package core_test
+
+import (
+	"testing"
+
+	"ofmf/internal/composer"
+	"ofmf/internal/core"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+func TestFrameworkDefaults(t *testing.T) {
+	f, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(f.NodeNames) != 4 {
+		t.Errorf("nodes = %d", len(f.NodeNames))
+	}
+	if f.CXL.FreeMiB() != 4*256*1024 {
+		t.Errorf("cxl = %d", f.CXL.FreeMiB())
+	}
+	if f.GPUs.FreeSlices() != 56 {
+		t.Errorf("gpu slices = %d", f.GPUs.FreeSlices())
+	}
+	stats := f.Composer.Stats()
+	if stats.TotalCores != 4*56 {
+		t.Errorf("cores = %d", stats.TotalCores)
+	}
+}
+
+func TestFrameworkTreeComplete(t *testing.T) {
+	f, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st := f.Service.Store()
+
+	// All four fabrics published.
+	fabrics, err := st.Members(service.FabricsURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fabrics) != 4 {
+		t.Errorf("fabrics = %v", fabrics)
+	}
+	// Physical systems registered.
+	systems, err := st.Members(service.SystemsURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 2 {
+		t.Errorf("systems = %v", systems)
+	}
+	// Agents registered as aggregation sources.
+	sources, err := st.Members(service.AggregationSourcesURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 4 {
+		t.Errorf("sources = %v", sources)
+	}
+	// Storage subtree present.
+	if !st.Exists(f.NVMeAgent.StorageID()) {
+		t.Error("storage subtree missing")
+	}
+}
+
+func TestNodeName(t *testing.T) {
+	if core.NodeName(0) != "node001" || core.NodeName(127) != "node128" {
+		t.Errorf("names = %s, %s", core.NodeName(0), core.NodeName(127))
+	}
+}
+
+func TestTelemetryReportsUtilization(t *testing.T) {
+	f, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	comp, err := f.Composer.Compose(composer.Request{Cores: 8, FabricMemoryMiB: 2048, GPUSlices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := f.Telem.Generate("pool-utilization")
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make(map[string]string)
+	for _, v := range report.MetricValues {
+		values[v.MetricID] = v.MetricValue
+	}
+	if values["UsedCores"] != "8" {
+		t.Errorf("UsedCores = %q", values["UsedCores"])
+	}
+	if values["FreeGPUSlices"] != "53" {
+		t.Errorf("FreeGPUSlices = %q", values["FreeGPUSlices"])
+	}
+	// Report is browsable in the tree.
+	uri := service.TelemetryServiceURI.Append("MetricReports", "pool-utilization")
+	var stored redfish.MetricReport
+	if err := f.Service.Store().GetAs(uri, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if len(stored.MetricValues) != 4 {
+		t.Errorf("stored values = %d", len(stored.MetricValues))
+	}
+	if err := f.Composer.Decompose(comp.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionsBrowsable(t *testing.T) {
+	f, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st := f.Service.Store()
+	for _, coll := range []odata.ID{
+		f.CXLAgent.FabricID().Append("Endpoints"),
+		f.CXLAgent.ChassisID().Append("Memory"),
+		f.NVMeAgent.StorageID().Append("StoragePools"),
+		f.FabAgent.FabricID().Append("Switches"),
+		f.GPUAgent.ChassisID().Append("GPUs"),
+	} {
+		members, err := st.Members(coll)
+		if err != nil {
+			t.Errorf("%s: %v", coll, err)
+			continue
+		}
+		if len(members) == 0 {
+			t.Errorf("%s: empty", coll)
+		}
+	}
+}
+
+// TestRedfishConformanceWalk GETs every resource the testbed serves and
+// validates the Redfish invariants: @odata.id equals the request URI,
+// @odata.type is present, and every link target under the service root
+// resolves (no dangling references).
+func TestRedfishConformanceWalk(t *testing.T) {
+	f, err := core.New(core.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Add a composition so composed resources are walked too.
+	if _, err := f.Composer.Compose(composer.Request{Cores: 4, FabricMemoryMiB: 1024, StorageBytes: 1 << 20, GPUSlices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Service.Store()
+	ids := st.IDs()
+	if len(ids) < 50 {
+		t.Fatalf("suspiciously small tree: %d resources", len(ids))
+	}
+	exists := make(map[odata.ID]bool, len(ids))
+	for _, id := range ids {
+		exists[id] = true
+	}
+	var walked, links, dangling int
+	for _, id := range ids {
+		var res map[string]any
+		if err := st.GetAs(id, &res); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		walked++
+		if got, _ := res["@odata.id"].(string); got != string(id) {
+			t.Errorf("%s: @odata.id = %q", id, got)
+		}
+		if ot, _ := res["@odata.type"].(string); ot == "" {
+			t.Errorf("%s: missing @odata.type", id)
+		}
+		for _, target := range collectRefs(res) {
+			links++
+			if !exists[target] && !st.IsCollection(target) {
+				dangling++
+				t.Errorf("%s: dangling link to %s", id, target)
+			}
+		}
+	}
+	t.Logf("walked %d resources, %d links, %d dangling", walked, links, dangling)
+}
+
+// collectRefs finds every @odata.id reference inside a resource payload
+// (excluding the resource's own identity member).
+func collectRefs(res map[string]any) []odata.ID {
+	var out []odata.ID
+	var walk func(v any)
+	walk = func(v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, val := range x {
+				if k == "@odata.id" {
+					if s, ok := val.(string); ok && s != "" {
+						out = append(out, odata.ID(s))
+					}
+					continue
+				}
+				walk(val)
+			}
+		case []any:
+			for _, item := range x {
+				walk(item)
+			}
+		}
+	}
+	for k, val := range res {
+		if k == "@odata.id" { // the resource's own identity
+			continue
+		}
+		walk(val)
+	}
+	return out
+}
+
+func TestCloseIsClean(t *testing.T) {
+	f, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// After close the service store is still readable (no panics), and a
+	// new framework can be built independently.
+	if f.Service.Store().Len() == 0 {
+		t.Error("store emptied by close")
+	}
+	f2, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+}

@@ -1,0 +1,267 @@
+package cxlsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newAppliance(t *testing.T) *Appliance {
+	t.Helper()
+	a := New(WithoutSleep())
+	if err := a.AddDevice("dev0", 1024, "DRAM"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddDevice("dev1", 2048, "DRAM"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"p0", "p1", "p2"} {
+		if err := a.AddPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestCarveAccountsCapacity(t *testing.T) {
+	a := newAppliance(t)
+	id, err := a.Carve("dev0", 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := a.FreeMiB(); free != 1024+2048-512 {
+		t.Errorf("free = %d", free)
+	}
+	c, err := a.Chunk(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeMiB != 512 || c.Device != "dev0" {
+		t.Errorf("chunk = %+v", c)
+	}
+}
+
+func TestCarveRejectsOverCapacity(t *testing.T) {
+	a := newAppliance(t)
+	if _, err := a.Carve("dev0", 2000, 1); !errors.Is(err, ErrCapacity) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := a.Carve("ghost", 10, 1); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCarveAnyPicksMostFree(t *testing.T) {
+	a := newAppliance(t)
+	id, err := a.CarveAny(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := a.Chunk(id)
+	if c.Device != "dev1" { // dev1 has 2048 free vs dev0's 1024
+		t.Errorf("device = %s", c.Device)
+	}
+	if _, err := a.CarveAny(4096, 1); !errors.Is(err, ErrCapacity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBindUnbindLifecycle(t *testing.T) {
+	a := newAppliance(t)
+	id, err := a.Carve("dev0", 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(id, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := a.Chunk(id)
+	if got := c.BoundPorts(); len(got) != 1 || got[0] != "p0" {
+		t.Errorf("bound = %v", got)
+	}
+	if err := a.Bind(id, "p0"); !errors.Is(err, ErrAlreadyBound) {
+		t.Errorf("double bind err = %v", err)
+	}
+	// Exclusive chunk: second port rejected.
+	if err := a.Bind(id, "p1"); !errors.Is(err, ErrHeadLimit) {
+		t.Errorf("head limit err = %v", err)
+	}
+	if err := a.Unbind(id, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unbind(id, "p0"); !errors.Is(err, ErrNotBound) {
+		t.Errorf("double unbind err = %v", err)
+	}
+	binds, unbinds := a.Counters()
+	if binds != 1 || unbinds != 1 {
+		t.Errorf("counters = %d/%d", binds, unbinds)
+	}
+}
+
+func TestMultiHeadedSharing(t *testing.T) {
+	a := newAppliance(t)
+	id, err := a.Carve("dev1", 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(id, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(id, "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(id, "p2"); !errors.Is(err, ErrHeadLimit) {
+		t.Errorf("third head err = %v", err)
+	}
+}
+
+func TestReleaseRequiresUnbound(t *testing.T) {
+	a := newAppliance(t)
+	id, err := a.Carve("dev0", 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(id, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(id); !errors.Is(err, ErrChunkBusy) {
+		t.Errorf("busy release err = %v", err)
+	}
+	if err := a.Unbind(id, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if free := a.FreeMiB(); free != 3072 {
+		t.Errorf("free after release = %d", free)
+	}
+	if err := a.Release(id); !errors.Is(err, ErrUnknownChunk) {
+		t.Errorf("double release err = %v", err)
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	a := newAppliance(t)
+	if err := a.Bind("ghost", "p0"); !errors.Is(err, ErrUnknownChunk) {
+		t.Errorf("err = %v", err)
+	}
+	id, _ := a.Carve("dev0", 10, 1)
+	if err := a.Bind(id, "ghost"); !errors.Is(err, ErrUnknownPort) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateIDs(t *testing.T) {
+	a := newAppliance(t)
+	if err := a.AddDevice("dev0", 1, "DRAM"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.AddPort("p0"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	a := newAppliance(t)
+	var mu sync.Mutex
+	var kinds []string
+	a.Subscribe(func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, e.Kind)
+		mu.Unlock()
+	})
+	id, _ := a.Carve("dev0", 10, 1)
+	_ = a.Bind(id, "p0")
+	_ = a.Unbind(id, "p0")
+	_ = a.Release(id)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"ChunkCreated", "Bound", "Unbound", "ChunkReleased"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event[%d] = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestPropertyCapacityConservation(t *testing.T) {
+	// For any sequence of carves and releases, free + allocated == total.
+	prop := func(sizes []uint16) bool {
+		a := New(WithoutSleep())
+		if err := a.AddDevice("d", 1_000_000, "DRAM"); err != nil {
+			return false
+		}
+		var carved []string
+		var sum int64
+		for _, s := range sizes {
+			size := int64(s%4096) + 1
+			id, err := a.Carve("d", size, 1)
+			if err != nil {
+				return false
+			}
+			carved = append(carved, id)
+			sum += size
+		}
+		if a.FreeMiB() != 1_000_000-sum {
+			return false
+		}
+		for _, id := range carved {
+			if err := a.Release(id); err != nil {
+				return false
+			}
+		}
+		return a.FreeMiB() == 1_000_000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentCarveBind(t *testing.T) {
+	a := New(WithoutSleep())
+	if err := a.AddDevice("d", 1_000_000, "DRAM"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := a.AddPort(portName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := a.Carve("d", 16, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := a.Bind(id, portName(g)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := a.Unbind(id, portName(g)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := a.Release(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if free := a.FreeMiB(); free != 1_000_000 {
+		t.Errorf("free = %d after balanced workload", free)
+	}
+}
+
+func portName(i int) string { return string(rune('a' + i)) }

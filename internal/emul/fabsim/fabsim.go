@@ -1,0 +1,535 @@
+// Package fabsim emulates a network fabric: switches, ports, links and
+// attached endpoints, with shortest-path routing, zoning enforcement,
+// per-link bandwidth accounting and link-failure injection. It is the
+// hardware substrate behind the OFMF's generic fabric Agent — the paper's
+// testbeds attach real InfiniBand or Slingshot fabric managers here; the
+// emulator exposes the same operations those managers perform.
+package fabsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownNode   = errors.New("fabsim: unknown node")
+	ErrUnknownLink   = errors.New("fabsim: unknown link")
+	ErrNoRoute       = errors.New("fabsim: no route")
+	ErrNotZoned      = errors.New("fabsim: endpoints not in a common zone")
+	ErrBandwidth     = errors.New("fabsim: insufficient bandwidth")
+	ErrUnknownZone   = errors.New("fabsim: unknown zone")
+	ErrUnknownFlow   = errors.New("fabsim: unknown flow")
+	ErrDuplicateNode = errors.New("fabsim: duplicate node")
+	ErrSelfLink      = errors.New("fabsim: link endpoints identical")
+	ErrZoneExists    = errors.New("fabsim: zone already exists")
+)
+
+// NodeKind distinguishes switches from endpoints.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindSwitch NodeKind = iota
+	KindEndpoint
+)
+
+// Node is one fabric element.
+type Node struct {
+	ID   string
+	Kind NodeKind
+}
+
+// Link joins two nodes with a capacity.
+type Link struct {
+	A, B         string
+	CapacityGbps float64
+	up           bool
+	reserved     float64
+}
+
+// Up reports whether the link is operational.
+func (l *Link) Up() bool { return l.up }
+
+// ReservedGbps reports the bandwidth currently reserved on the link.
+func (l *Link) ReservedGbps() float64 { return l.reserved }
+
+// Event describes a fabric state change delivered to listeners.
+type Event struct {
+	Kind string // LinkDown, LinkUp, ZoneCreated, ZoneDeleted, FlowReserved, FlowReleased
+	Link string // link key for link events
+	Zone string // zone id for zone events
+}
+
+// Listener receives fabric events.
+type Listener func(Event)
+
+// Flow is a reserved bandwidth allocation along a route.
+type Flow struct {
+	ID    string
+	From  string
+	To    string
+	Gbps  float64
+	Route []string // node ids including both endpoints
+}
+
+// Fabric is the emulated interconnect.
+type Fabric struct {
+	mu        sync.RWMutex
+	nodes     map[string]Node
+	links     map[string]*Link
+	adj       map[string][]string
+	zones     map[string]map[string]struct{}
+	flows     map[string]*Flow
+	nextFlow  int
+	listeners []Listener
+}
+
+// New creates an empty fabric.
+func New() *Fabric {
+	return &Fabric{
+		nodes: make(map[string]Node),
+		links: make(map[string]*Link),
+		adj:   make(map[string][]string),
+		zones: make(map[string]map[string]struct{}),
+		flows: make(map[string]*Flow),
+	}
+}
+
+// Subscribe registers a listener for fabric events.
+func (f *Fabric) Subscribe(l Listener) {
+	f.mu.Lock()
+	f.listeners = append(f.listeners, l)
+	f.mu.Unlock()
+}
+
+func (f *Fabric) emit(ev Event) {
+	f.mu.RLock()
+	ls := f.listeners
+	f.mu.RUnlock()
+	for _, l := range ls {
+		l(ev)
+	}
+}
+
+// linkKey produces the canonical key for an undirected link.
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// AddSwitch adds a switch node.
+func (f *Fabric) AddSwitch(id string) error { return f.addNode(id, KindSwitch) }
+
+// AddEndpoint adds an endpoint node (host HCA, device port).
+func (f *Fabric) AddEndpoint(id string) error { return f.addNode(id, KindEndpoint) }
+
+func (f *Fabric) addNode(id string, kind NodeKind) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	f.nodes[id] = Node{ID: id, Kind: kind}
+	return nil
+}
+
+// AddLink joins two existing nodes with the given capacity. Links start up.
+func (f *Fabric) AddLink(a, b string, capacityGbps float64) error {
+	if a == b {
+		return ErrSelfLink
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	if _, ok := f.nodes[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	key := linkKey(a, b)
+	if _, ok := f.links[key]; ok {
+		return nil // idempotent
+	}
+	f.links[key] = &Link{A: a, B: b, CapacityGbps: capacityGbps, up: true}
+	f.adj[a] = append(f.adj[a], b)
+	f.adj[b] = append(f.adj[b], a)
+	return nil
+}
+
+// Nodes returns all node ids, sorted.
+func (f *Fabric) Nodes() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Endpoints returns all endpoint node ids, sorted.
+func (f *Fabric) Endpoints() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var ids []string
+	for id, n := range f.nodes {
+		if n.Kind == KindEndpoint {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Switches returns all switch node ids, sorted.
+func (f *Fabric) Switches() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var ids []string
+	for id, n := range f.nodes {
+		if n.Kind == KindSwitch {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Link returns a snapshot of the link between a and b.
+func (f *Fabric) Link(a, b string) (Link, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	l, ok := f.links[linkKey(a, b)]
+	if !ok {
+		return Link{}, fmt.Errorf("%w: %s-%s", ErrUnknownLink, a, b)
+	}
+	return *l, nil
+}
+
+// Links returns snapshots of every link, sorted by key.
+func (f *Fabric) Links() []Link {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.links))
+	for k := range f.links {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Link, len(keys))
+	for i, k := range keys {
+		out[i] = *f.links[k]
+	}
+	return out
+}
+
+// FailLink marks the link between a and b down and notifies listeners.
+func (f *Fabric) FailLink(a, b string) error { return f.setLink(a, b, false) }
+
+// RestoreLink marks the link between a and b up and notifies listeners.
+func (f *Fabric) RestoreLink(a, b string) error { return f.setLink(a, b, true) }
+
+func (f *Fabric) setLink(a, b string, up bool) error {
+	key := linkKey(a, b)
+	f.mu.Lock()
+	l, ok := f.links[key]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s-%s", ErrUnknownLink, a, b)
+	}
+	changed := l.up != up
+	l.up = up
+	f.mu.Unlock()
+	if changed {
+		kind := "LinkDown"
+		if up {
+			kind = "LinkUp"
+		}
+		f.emit(Event{Kind: kind, Link: key})
+	}
+	return nil
+}
+
+// CreateZone defines a zone containing the given endpoint ids.
+func (f *Fabric) CreateZone(id string, endpoints []string) error {
+	f.mu.Lock()
+	if _, ok := f.zones[id]; ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrZoneExists, id)
+	}
+	for _, ep := range endpoints {
+		n, ok := f.nodes[ep]
+		if !ok || n.Kind != KindEndpoint {
+			f.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrUnknownNode, ep)
+		}
+	}
+	set := make(map[string]struct{}, len(endpoints))
+	for _, ep := range endpoints {
+		set[ep] = struct{}{}
+	}
+	f.zones[id] = set
+	f.mu.Unlock()
+	f.emit(Event{Kind: "ZoneCreated", Zone: id})
+	return nil
+}
+
+// DeleteZone removes a zone.
+func (f *Fabric) DeleteZone(id string) error {
+	f.mu.Lock()
+	if _, ok := f.zones[id]; !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownZone, id)
+	}
+	delete(f.zones, id)
+	f.mu.Unlock()
+	f.emit(Event{Kind: "ZoneDeleted", Zone: id})
+	return nil
+}
+
+// Zones returns the ids of all zones, sorted.
+func (f *Fabric) Zones() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.zones))
+	for id := range f.zones {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ZoneMembers returns a zone's endpoint ids, sorted.
+func (f *Fabric) ZoneMembers(id string) ([]string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	set, ok := f.zones[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownZone, id)
+	}
+	members := make([]string, 0, len(set))
+	for m := range set {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	return members, nil
+}
+
+// sameZoneLocked reports whether a and b share a zone. With no zones
+// defined the fabric is open (default zoning).
+func (f *Fabric) sameZoneLocked(a, b string) bool {
+	if len(f.zones) == 0 {
+		return true
+	}
+	for _, set := range f.zones {
+		if _, oka := set[a]; oka {
+			if _, okb := set[b]; okb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Route computes a shortest path from a to b over operational links,
+// enforcing zoning when both are endpoints. The returned path includes
+// both endpoints.
+func (f *Fabric) Route(a, b string) ([]string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.routeLocked(a, b)
+}
+
+func (f *Fabric) routeLocked(a, b string) ([]string, error) {
+	na, ok := f.nodes[a]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	nb, ok := f.nodes[b]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	if na.Kind == KindEndpoint && nb.Kind == KindEndpoint && !f.sameZoneLocked(a, b) {
+		return nil, fmt.Errorf("%w: %s and %s", ErrNotZoned, a, b)
+	}
+	// BFS over up links.
+	prev := map[string]string{a: a}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		neighbors := append([]string(nil), f.adj[cur]...)
+		sort.Strings(neighbors) // deterministic routing
+		for _, nxt := range neighbors {
+			if _, seen := prev[nxt]; seen {
+				continue
+			}
+			l := f.links[linkKey(cur, nxt)]
+			if l == nil || !l.up {
+				continue
+			}
+			// Traffic never transits through another endpoint.
+			if f.nodes[nxt].Kind == KindEndpoint && nxt != b {
+				continue
+			}
+			prev[nxt] = cur
+			queue = append(queue, nxt)
+		}
+	}
+	if _, ok := prev[b]; !ok {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoRoute, a, b)
+	}
+	var path []string
+	for cur := b; ; cur = prev[cur] {
+		path = append(path, cur)
+		if cur == a {
+			break
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Reserve routes a flow from a to b and reserves gbps along every link of
+// the path. It fails without side effects if any link lacks headroom.
+func (f *Fabric) Reserve(a, b string, gbps float64) (*Flow, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path, err := f.routeLocked(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(path); i++ {
+		l := f.links[linkKey(path[i], path[i+1])]
+		if l.reserved+gbps > l.CapacityGbps {
+			return nil, fmt.Errorf("%w: link %s-%s (%.0f of %.0f Gbps used)",
+				ErrBandwidth, l.A, l.B, l.reserved, l.CapacityGbps)
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		f.links[linkKey(path[i], path[i+1])].reserved += gbps
+	}
+	f.nextFlow++
+	flow := &Flow{
+		ID:    fmt.Sprintf("flow-%d", f.nextFlow),
+		From:  a,
+		To:    b,
+		Gbps:  gbps,
+		Route: path,
+	}
+	f.flows[flow.ID] = flow
+	return cloneFlow(flow), nil
+}
+
+// Release frees the bandwidth held by a flow.
+func (f *Fabric) Release(flowID string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	flow, ok := f.flows[flowID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, flowID)
+	}
+	for i := 0; i+1 < len(flow.Route); i++ {
+		l := f.links[linkKey(flow.Route[i], flow.Route[i+1])]
+		if l != nil {
+			l.reserved -= flow.Gbps
+			if l.reserved < 0 {
+				l.reserved = 0
+			}
+		}
+	}
+	delete(f.flows, flowID)
+	return nil
+}
+
+// Flows returns snapshots of active flows, sorted by id.
+func (f *Fabric) Flows() []Flow {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Flow, len(ids))
+	for i, id := range ids {
+		out[i] = *cloneFlow(f.flows[id])
+	}
+	return out
+}
+
+// RerouteBroken re-routes flows whose path crosses a down link. It returns
+// the ids of flows successfully re-routed and of flows left stranded.
+func (f *Fabric) RerouteBroken() (rerouted, stranded []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		flow := f.flows[id]
+		if f.routeUpLocked(flow.Route) {
+			continue
+		}
+		// Free old reservations first so the new path can reuse healthy links.
+		for i := 0; i+1 < len(flow.Route); i++ {
+			if l := f.links[linkKey(flow.Route[i], flow.Route[i+1])]; l != nil {
+				l.reserved -= flow.Gbps
+				if l.reserved < 0 {
+					l.reserved = 0
+				}
+			}
+		}
+		path, err := f.routeLocked(flow.From, flow.To)
+		if err == nil {
+			ok := true
+			for i := 0; i+1 < len(path); i++ {
+				l := f.links[linkKey(path[i], path[i+1])]
+				if l.reserved+flow.Gbps > l.CapacityGbps {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := 0; i+1 < len(path); i++ {
+					f.links[linkKey(path[i], path[i+1])].reserved += flow.Gbps
+				}
+				flow.Route = path
+				rerouted = append(rerouted, id)
+				continue
+			}
+		}
+		delete(f.flows, id)
+		stranded = append(stranded, id)
+	}
+	return rerouted, stranded
+}
+
+func (f *Fabric) routeUpLocked(path []string) bool {
+	for i := 0; i+1 < len(path); i++ {
+		l := f.links[linkKey(path[i], path[i+1])]
+		if l == nil || !l.up {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneFlow(fl *Flow) *Flow {
+	c := *fl
+	c.Route = append([]string(nil), fl.Route...)
+	return &c
+}

@@ -1,0 +1,418 @@
+package fabsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func starFabric(t *testing.T, n int) (*Fabric, TopologySpec) {
+	t.Helper()
+	f := New()
+	spec, err := BuildStar(f, "h", n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, spec
+}
+
+func TestBuildStar(t *testing.T) {
+	f, spec := starFabric(t, 4)
+	if len(spec.Endpoints) != 4 || len(spec.Switches) != 1 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if got := len(f.Links()); got != 4 {
+		t.Errorf("links = %d", got)
+	}
+	if got := len(f.Endpoints()); got != 4 {
+		t.Errorf("endpoints = %d", got)
+	}
+}
+
+func TestRouteThroughSwitch(t *testing.T) {
+	f, _ := starFabric(t, 3)
+	path, err := f.Route("h0", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"h0", "sw0", "h2"}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestRouteNeverTransitsEndpoint(t *testing.T) {
+	f := New()
+	for _, n := range []string{"a", "b", "c"} {
+		if err := f.AddEndpoint(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a-b-c chain through endpoint b: no route a->c allowed.
+	if err := f.AddLink("a", "b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddLink("b", "c", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Route("a", "c"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRouteUnknownNode(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	if _, err := f.Route("h0", "ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLinkFailureBlocksRoute(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	if err := f.FailLink("h1", "sw0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Route("h0", "h1"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v", err)
+	}
+	if err := f.RestoreLink("h1", "sw0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Route("h0", "h1"); err != nil {
+		t.Errorf("route after restore: %v", err)
+	}
+}
+
+func TestFailoverAlternatePath(t *testing.T) {
+	// Two-spine fat tree: failing one spine path must reroute via the other.
+	f := New()
+	spec, err := BuildFatTree(f, "n", 2, 2, 1, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Endpoints[0], spec.Endpoints[1]
+	path, err := f.Route(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 { // host-leaf-spine-leaf-host
+		t.Fatalf("path = %v", path)
+	}
+	usedSpine := path[2]
+	if err := f.FailLink(path[1], usedSpine); err != nil {
+		t.Fatal(err)
+	}
+	path2, err := f.Route(a, b)
+	if err != nil {
+		t.Fatalf("no failover path: %v", err)
+	}
+	if path2[2] == usedSpine {
+		t.Errorf("reroute still uses failed spine: %v", path2)
+	}
+}
+
+func TestZoningEnforced(t *testing.T) {
+	f, _ := starFabric(t, 4)
+	if err := f.CreateZone("z1", []string{"h0", "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Route("h0", "h1"); err != nil {
+		t.Errorf("zoned route failed: %v", err)
+	}
+	if _, err := f.Route("h0", "h2"); !errors.Is(err, ErrNotZoned) {
+		t.Errorf("cross-zone route err = %v", err)
+	}
+	if err := f.DeleteZone("z1"); err != nil {
+		t.Fatal(err)
+	}
+	// No zones → open fabric again.
+	if _, err := f.Route("h0", "h2"); err != nil {
+		t.Errorf("open route failed: %v", err)
+	}
+}
+
+func TestZoneValidation(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	if err := f.CreateZone("z", []string{"sw0"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("switch in zone err = %v", err)
+	}
+	if err := f.CreateZone("z", []string{"h0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateZone("z", []string{"h1"}); !errors.Is(err, ErrZoneExists) {
+		t.Errorf("duplicate zone err = %v", err)
+	}
+	if err := f.DeleteZone("ghost"); !errors.Is(err, ErrUnknownZone) {
+		t.Errorf("delete unknown err = %v", err)
+	}
+	members, err := f.ZoneMembers("z")
+	if err != nil || len(members) != 1 || members[0] != "h0" {
+		t.Errorf("members = %v, %v", members, err)
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	flow, err := f.Reserve("h0", "h1", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f.Link("h0", "sw0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ReservedGbps() != 60 {
+		t.Errorf("reserved = %f", l.ReservedGbps())
+	}
+	// Second flow exceeding capacity fails without partial reservation.
+	if _, err := f.Reserve("h0", "h1", 60); !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("err = %v", err)
+	}
+	l, _ = f.Link("h0", "sw0")
+	if l.ReservedGbps() != 60 {
+		t.Errorf("failed reserve leaked: %f", l.ReservedGbps())
+	}
+	if err := f.Release(flow.ID); err != nil {
+		t.Fatal(err)
+	}
+	l, _ = f.Link("h0", "sw0")
+	if l.ReservedGbps() != 0 {
+		t.Errorf("release did not free: %f", l.ReservedGbps())
+	}
+	if err := f.Release(flow.ID); !errors.Is(err, ErrUnknownFlow) {
+		t.Errorf("double release err = %v", err)
+	}
+}
+
+func TestRerouteBroken(t *testing.T) {
+	f := New()
+	spec, err := BuildFatTree(f, "n", 2, 2, 1, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Endpoints[0], spec.Endpoints[1]
+	flow, err := f.Reserve(a, b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := flow.Route[2]
+	if err := f.FailLink(flow.Route[1], spine); err != nil {
+		t.Fatal(err)
+	}
+	rerouted, stranded := f.RerouteBroken()
+	if len(rerouted) != 1 || len(stranded) != 0 {
+		t.Fatalf("rerouted = %v, stranded = %v", rerouted, stranded)
+	}
+	flows := f.Flows()
+	if len(flows) != 1 {
+		t.Fatal("flow lost")
+	}
+	if flows[0].Route[2] == spine {
+		t.Errorf("still routed via failed spine: %v", flows[0].Route)
+	}
+	// Old path released: the failed link holds no reservation.
+	l, _ := f.Link(flow.Route[1], spine)
+	if l.ReservedGbps() != 0 {
+		t.Errorf("stale reservation on failed link: %f", l.ReservedGbps())
+	}
+}
+
+func TestRerouteStrandsWhenNoPath(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	flow, err := f.Reserve("h0", "h1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailLink("h1", "sw0"); err != nil {
+		t.Fatal(err)
+	}
+	rerouted, stranded := f.RerouteBroken()
+	if len(rerouted) != 0 || len(stranded) != 1 || stranded[0] != flow.ID {
+		t.Errorf("rerouted = %v, stranded = %v", rerouted, stranded)
+	}
+	if len(f.Flows()) != 0 {
+		t.Error("stranded flow not removed")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	f, _ := starFabric(t, 2)
+	var mu sync.Mutex
+	var evs []Event
+	f.Subscribe(func(e Event) {
+		mu.Lock()
+		evs = append(evs, e)
+		mu.Unlock()
+	})
+	if err := f.FailLink("h0", "sw0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailLink("h0", "sw0"); err != nil { // no duplicate event
+		t.Fatal(err)
+	}
+	if err := f.RestoreLink("h0", "sw0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateZone("z", []string{"h0"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	kinds := make([]string, len(evs))
+	for i, e := range evs {
+		kinds[i] = e.Kind
+	}
+	want := []string{"LinkDown", "LinkUp", "ZoneCreated"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event[%d] = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestDuplicateAndSelfLinks(t *testing.T) {
+	f := New()
+	if err := f.AddSwitch("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSwitch("s"); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("dup node err = %v", err)
+	}
+	if err := f.AddLink("s", "s", 1); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self link err = %v", err)
+	}
+	if err := f.AddLink("s", "ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown link err = %v", err)
+	}
+}
+
+func TestBuildFatTreeShape(t *testing.T) {
+	f := New()
+	spec, err := BuildFatTree(f, "n", 4, 2, 8, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Endpoints) != 32 {
+		t.Errorf("endpoints = %d", len(spec.Endpoints))
+	}
+	if len(spec.Switches) != 6 {
+		t.Errorf("switches = %d", len(spec.Switches))
+	}
+	// links: 4 leaves * 2 spines + 32 host links = 40
+	if got := len(f.Links()); got != 40 {
+		t.Errorf("links = %d", got)
+	}
+}
+
+func TestBuildDragonflyConnectivity(t *testing.T) {
+	f := New()
+	spec, err := BuildDragonfly(f, "n", 3, 2, 2, 200, 400, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Endpoints) != 12 {
+		t.Fatalf("endpoints = %d", len(spec.Endpoints))
+	}
+	// Every endpoint pair must be routable.
+	for i, a := range spec.Endpoints {
+		for _, b := range spec.Endpoints[i+1:] {
+			if _, err := f.Route(a, b); err != nil {
+				t.Fatalf("route %s->%s: %v", a, b, err)
+			}
+		}
+	}
+}
+
+func TestPropertyRouteSymmetricLength(t *testing.T) {
+	f := New()
+	spec, err := BuildFatTree(f, "n", 3, 2, 4, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(spec.Endpoints)
+	prop := func(i, j uint8) bool {
+		a := spec.Endpoints[int(i)%n]
+		b := spec.Endpoints[int(j)%n]
+		if a == b {
+			return true
+		}
+		p1, err1 := f.Route(a, b)
+		p2, err2 := f.Route(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(p1) == len(p2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReserveReleaseInvariant(t *testing.T) {
+	// After any sequence of reserve/release pairs, total reservation is zero.
+	f, _ := starFabric(t, 4)
+	prop := func(ops []uint8) bool {
+		var flows []string
+		for _, op := range ops {
+			a := fmt.Sprintf("h%d", int(op)%4)
+			b := fmt.Sprintf("h%d", (int(op)+1)%4)
+			fl, err := f.Reserve(a, b, 1)
+			if err != nil {
+				return false
+			}
+			flows = append(flows, fl.ID)
+		}
+		for _, id := range flows {
+			if err := f.Release(id); err != nil {
+				return false
+			}
+		}
+		for _, l := range f.Links() {
+			if l.ReservedGbps() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReserveRelease(t *testing.T) {
+	f := New()
+	if _, err := BuildFatTree(f, "n", 4, 4, 4, 1e9, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := fmt.Sprintf("n%d-0", g%4)
+			b := fmt.Sprintf("n%d-1", (g+1)%4)
+			for i := 0; i < 50; i++ {
+				fl, err := f.Reserve(a, b, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Release(fl.ID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, l := range f.Links() {
+		if l.ReservedGbps() != 0 {
+			t.Errorf("leaked reservation on %s-%s: %f", l.A, l.B, l.ReservedGbps())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package fabsim
+
+import "fmt"
+
+// TopologySpec summarizes a built topology for callers that need to
+// enumerate the generated element ids.
+type TopologySpec struct {
+	Switches  []string
+	Endpoints []string
+}
+
+// BuildStar wires n endpoints to one central switch. Endpoint ids are
+// prefix0..prefix{n-1}; the switch id is "sw0".
+func BuildStar(f *Fabric, prefix string, n int, linkGbps float64) (TopologySpec, error) {
+	spec := TopologySpec{}
+	if err := f.AddSwitch("sw0"); err != nil {
+		return spec, err
+	}
+	spec.Switches = []string{"sw0"}
+	for i := 0; i < n; i++ {
+		ep := fmt.Sprintf("%s%d", prefix, i)
+		if err := f.AddEndpoint(ep); err != nil {
+			return spec, err
+		}
+		if err := f.AddLink(ep, "sw0", linkGbps); err != nil {
+			return spec, err
+		}
+		spec.Endpoints = append(spec.Endpoints, ep)
+	}
+	return spec, nil
+}
+
+// BuildFatTree wires a two-level fat tree: nLeaf leaf switches each hosting
+// hostsPerLeaf endpoints, fully connected to nSpine spine switches.
+// Endpoint ids are prefix{leaf}-{host}; switches are leaf{i} and spine{j}.
+func BuildFatTree(f *Fabric, prefix string, nLeaf, nSpine, hostsPerLeaf int, edgeGbps, coreGbps float64) (TopologySpec, error) {
+	spec := TopologySpec{}
+	for j := 0; j < nSpine; j++ {
+		id := fmt.Sprintf("spine%d", j)
+		if err := f.AddSwitch(id); err != nil {
+			return spec, err
+		}
+		spec.Switches = append(spec.Switches, id)
+	}
+	for i := 0; i < nLeaf; i++ {
+		leaf := fmt.Sprintf("leaf%d", i)
+		if err := f.AddSwitch(leaf); err != nil {
+			return spec, err
+		}
+		spec.Switches = append(spec.Switches, leaf)
+		for j := 0; j < nSpine; j++ {
+			if err := f.AddLink(leaf, fmt.Sprintf("spine%d", j), coreGbps); err != nil {
+				return spec, err
+			}
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			ep := fmt.Sprintf("%s%d-%d", prefix, i, h)
+			if err := f.AddEndpoint(ep); err != nil {
+				return spec, err
+			}
+			if err := f.AddLink(ep, leaf, edgeGbps); err != nil {
+				return spec, err
+			}
+			spec.Endpoints = append(spec.Endpoints, ep)
+		}
+	}
+	return spec, nil
+}
+
+// BuildDragonfly wires groups of routers: routers within a group are fully
+// meshed, each pair of groups is joined by one global link, and each
+// router hosts hostsPerRouter endpoints.
+func BuildDragonfly(f *Fabric, prefix string, groups, routersPerGroup, hostsPerRouter int, localGbps, globalGbps, edgeGbps float64) (TopologySpec, error) {
+	spec := TopologySpec{}
+	router := func(g, r int) string { return fmt.Sprintf("g%dr%d", g, r) }
+	for g := 0; g < groups; g++ {
+		for r := 0; r < routersPerGroup; r++ {
+			id := router(g, r)
+			if err := f.AddSwitch(id); err != nil {
+				return spec, err
+			}
+			spec.Switches = append(spec.Switches, id)
+			for h := 0; h < hostsPerRouter; h++ {
+				ep := fmt.Sprintf("%sg%dr%d-%d", prefix, g, r, h)
+				if err := f.AddEndpoint(ep); err != nil {
+					return spec, err
+				}
+				if err := f.AddLink(ep, id, edgeGbps); err != nil {
+					return spec, err
+				}
+				spec.Endpoints = append(spec.Endpoints, ep)
+			}
+		}
+		// Local full mesh.
+		for a := 0; a < routersPerGroup; a++ {
+			for b := a + 1; b < routersPerGroup; b++ {
+				if err := f.AddLink(router(g, a), router(g, b), localGbps); err != nil {
+					return spec, err
+				}
+			}
+		}
+	}
+	// One global link per group pair, spread across routers round-robin.
+	for ga := 0; ga < groups; ga++ {
+		for gb := ga + 1; gb < groups; gb++ {
+			ra := gb % routersPerGroup
+			rb := ga % routersPerGroup
+			if err := f.AddLink(router(ga, ra), router(gb, rb), globalGbps); err != nil {
+				return spec, err
+			}
+		}
+	}
+	return spec, nil
+}

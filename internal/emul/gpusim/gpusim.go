@@ -1,0 +1,262 @@
+// Package gpusim emulates a pooled GPU appliance: accelerator devices that
+// can be partitioned (MIG-style fractional slices) and attached to hosts
+// over the fabric. It provides the GPU composition substrate the paper
+// lists in the OFMF project scope ("Network, GPU, and CPU Composition").
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownGPU       = errors.New("gpusim: unknown gpu")
+	ErrUnknownPartition = errors.New("gpusim: unknown partition")
+	ErrDuplicate        = errors.New("gpusim: duplicate id")
+	ErrNoCapacity       = errors.New("gpusim: insufficient slices")
+	ErrAttached         = errors.New("gpusim: partition attached")
+	ErrNotAttached      = errors.New("gpusim: partition not attached")
+	ErrAlreadyAttached  = errors.New("gpusim: partition already attached")
+)
+
+// GPU is one accelerator device. A GPU exposes Slices equal shares
+// (MIG-style); a partition consumes one or more slices.
+type GPU struct {
+	ID        string
+	Model     string
+	MemoryMiB int64
+	Slices    int
+	used      int
+}
+
+// FreeSlices reports the unpartitioned slice count.
+func (g *GPU) FreeSlices() int { return g.Slices - g.used }
+
+// Partition is a carved GPU share attachable to one host.
+type Partition struct {
+	ID     string
+	GPU    string
+	Slices int
+	Host   string // empty when detached
+}
+
+// Event describes a pool state change.
+type Event struct {
+	Kind      string // PartitionCreated, PartitionDeleted, Attached, Detached
+	Partition string
+	Host      string
+}
+
+// Listener receives pool events.
+type Listener func(Event)
+
+// Pool is the emulated GPU appliance.
+type Pool struct {
+	mu         sync.Mutex
+	gpus       map[string]*GPU
+	partitions map[string]*Partition
+	nextPart   int
+	listeners  []Listener
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{gpus: make(map[string]*GPU), partitions: make(map[string]*Partition)}
+}
+
+// Subscribe registers a listener for pool events.
+func (p *Pool) Subscribe(l Listener) {
+	p.mu.Lock()
+	p.listeners = append(p.listeners, l)
+	p.mu.Unlock()
+}
+
+func (p *Pool) emit(ev Event) {
+	p.mu.Lock()
+	ls := p.listeners
+	p.mu.Unlock()
+	for _, l := range ls {
+		l(ev)
+	}
+}
+
+// AddGPU installs a device with the given slice count.
+func (p *Pool) AddGPU(id, model string, memoryMiB int64, slices int) error {
+	if slices < 1 {
+		slices = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.gpus[id]; ok {
+		return fmt.Errorf("%w: gpu %s", ErrDuplicate, id)
+	}
+	p.gpus[id] = &GPU{ID: id, Model: model, MemoryMiB: memoryMiB, Slices: slices}
+	return nil
+}
+
+// Carve creates a partition of the given slice count on the GPU.
+func (p *Pool) Carve(gpuID string, slices int) (string, error) {
+	if slices < 1 {
+		slices = 1
+	}
+	p.mu.Lock()
+	g, ok := p.gpus[gpuID]
+	if !ok {
+		p.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	if g.used+slices > g.Slices {
+		p.mu.Unlock()
+		return "", fmt.Errorf("%w: gpu %s has %d slices free, need %d",
+			ErrNoCapacity, gpuID, g.Slices-g.used, slices)
+	}
+	g.used += slices
+	p.nextPart++
+	id := fmt.Sprintf("part-%d", p.nextPart)
+	p.partitions[id] = &Partition{ID: id, GPU: gpuID, Slices: slices}
+	p.mu.Unlock()
+	p.emit(Event{Kind: "PartitionCreated", Partition: id})
+	return id, nil
+}
+
+// CarveAny creates a partition on whichever GPU has the most free slices.
+func (p *Pool) CarveAny(slices int) (string, error) {
+	if slices < 1 {
+		slices = 1
+	}
+	p.mu.Lock()
+	var best string
+	bestFree := -1
+	ids := make([]string, 0, len(p.gpus))
+	for id := range p.gpus {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		g := p.gpus[id]
+		free := g.Slices - g.used
+		if free >= slices && free > bestFree {
+			best, bestFree = id, free
+		}
+	}
+	p.mu.Unlock()
+	if best == "" {
+		return "", fmt.Errorf("%w: no gpu with %d slices free", ErrNoCapacity, slices)
+	}
+	return p.Carve(best, slices)
+}
+
+// Delete frees a partition; it must be detached.
+func (p *Pool) Delete(partID string) error {
+	p.mu.Lock()
+	part, ok := p.partitions[partID]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, partID)
+	}
+	if part.Host != "" {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrAttached, partID, part.Host)
+	}
+	if g, ok := p.gpus[part.GPU]; ok {
+		g.used -= part.Slices
+	}
+	delete(p.partitions, partID)
+	p.mu.Unlock()
+	p.emit(Event{Kind: "PartitionDeleted", Partition: partID})
+	return nil
+}
+
+// Attach binds the partition to a host.
+func (p *Pool) Attach(partID, host string) error {
+	p.mu.Lock()
+	part, ok := p.partitions[partID]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, partID)
+	}
+	if part.Host != "" {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrAlreadyAttached, partID, part.Host)
+	}
+	part.Host = host
+	p.mu.Unlock()
+	p.emit(Event{Kind: "Attached", Partition: partID, Host: host})
+	return nil
+}
+
+// Detach unbinds the partition from its host.
+func (p *Pool) Detach(partID string) error {
+	p.mu.Lock()
+	part, ok := p.partitions[partID]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, partID)
+	}
+	if part.Host == "" {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotAttached, partID)
+	}
+	host := part.Host
+	part.Host = ""
+	p.mu.Unlock()
+	p.emit(Event{Kind: "Detached", Partition: partID, Host: host})
+	return nil
+}
+
+// GPUs returns snapshots of all devices, sorted by id.
+func (p *Pool) GPUs() []GPU {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.gpus))
+	for id := range p.gpus {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]GPU, len(ids))
+	for i, id := range ids {
+		out[i] = *p.gpus[id]
+	}
+	return out
+}
+
+// Partitions returns snapshots of all partitions, sorted by id.
+func (p *Pool) Partitions() []Partition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.partitions))
+	for id := range p.partitions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Partition, len(ids))
+	for i, id := range ids {
+		out[i] = *p.partitions[id]
+	}
+	return out
+}
+
+// Partition returns a snapshot of the partition with the given id.
+func (p *Pool) Partition(id string) (Partition, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	part, ok := p.partitions[id]
+	if !ok {
+		return Partition{}, fmt.Errorf("%w: %s", ErrUnknownPartition, id)
+	}
+	return *part, nil
+}
+
+// FreeSlices reports the total free slices across the pool.
+func (p *Pool) FreeSlices() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := 0
+	for _, g := range p.gpus {
+		free += g.Slices - g.used
+	}
+	return free
+}

@@ -1,0 +1,207 @@
+package gpusim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newPool(t *testing.T) *Pool {
+	t.Helper()
+	p := New()
+	if err := p.AddGPU("gpu0", "A100", 40960, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGPU("gpu1", "A100", 40960, 7); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCarveAccountsSlices(t *testing.T) {
+	p := newPool(t)
+	id, err := p.Carve("gpu0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := p.FreeSlices(); free != 11 {
+		t.Errorf("free = %d", free)
+	}
+	part, err := p.Partition(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.GPU != "gpu0" || part.Slices != 3 {
+		t.Errorf("partition = %+v", part)
+	}
+}
+
+func TestCarveOverCapacity(t *testing.T) {
+	p := newPool(t)
+	if _, err := p.Carve("gpu0", 8); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := p.Carve("ghost", 1); !errors.Is(err, ErrUnknownGPU) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCarveAnyPicksMostFree(t *testing.T) {
+	p := newPool(t)
+	if _, err := p.Carve("gpu0", 4); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.CarveAny(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := p.Partition(id)
+	if part.GPU != "gpu1" {
+		t.Errorf("picked %s, want gpu1", part.GPU)
+	}
+	if _, err := p.CarveAny(8); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAttachDetachLifecycle(t *testing.T) {
+	p := newPool(t)
+	id, _ := p.Carve("gpu0", 1)
+	if err := p.Attach(id, "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(id, "node2"); !errors.Is(err, ErrAlreadyAttached) {
+		t.Errorf("double attach err = %v", err)
+	}
+	if err := p.Delete(id); !errors.Is(err, ErrAttached) {
+		t.Errorf("delete attached err = %v", err)
+	}
+	if err := p.Detach(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Detach(id); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("double detach err = %v", err)
+	}
+	if err := p.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if free := p.FreeSlices(); free != 14 {
+		t.Errorf("free = %d", free)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	p := newPool(t)
+	var mu sync.Mutex
+	var kinds []string
+	p.Subscribe(func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, e.Kind)
+		mu.Unlock()
+	})
+	id, _ := p.Carve("gpu0", 1)
+	_ = p.Attach(id, "n1")
+	_ = p.Detach(id)
+	_ = p.Delete(id)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"PartitionCreated", "Attached", "Detached", "PartitionDeleted"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event[%d] = %s", i, kinds[i])
+		}
+	}
+}
+
+func TestDuplicateGPU(t *testing.T) {
+	p := newPool(t)
+	if err := p.AddGPU("gpu0", "x", 1, 1); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPropertySliceConservation(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		p := New()
+		if err := p.AddGPU("g", "m", 1, 1000); err != nil {
+			return false
+		}
+		var ids []string
+		total := 0
+		for _, op := range ops {
+			n := int(op)%7 + 1
+			id, err := p.Carve("g", n)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+			total += n
+		}
+		if p.FreeSlices() != 1000-total {
+			return false
+		}
+		for _, id := range ids {
+			if err := p.Delete(id); err != nil {
+				return false
+			}
+		}
+		return p.FreeSlices() == 1000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentCarveDelete(t *testing.T) {
+	p := New()
+	if err := p.AddGPU("g", "m", 1, 100000); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := p.Carve("g", 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Attach(id, "h"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Detach(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.FreeSlices() != 100000 {
+		t.Errorf("free = %d", p.FreeSlices())
+	}
+}
+
+func TestListings(t *testing.T) {
+	p := newPool(t)
+	gpus := p.GPUs()
+	if len(gpus) != 2 || gpus[0].ID != "gpu0" || gpus[0].FreeSlices() != 7 {
+		t.Errorf("gpus = %+v", gpus)
+	}
+	id, _ := p.Carve("gpu1", 2)
+	parts := p.Partitions()
+	if len(parts) != 1 || parts[0].ID != id {
+		t.Errorf("partitions = %+v", parts)
+	}
+}

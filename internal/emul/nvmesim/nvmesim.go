@@ -1,0 +1,382 @@
+// Package nvmesim emulates an NVMe-over-Fabrics storage target: drives
+// grouped into capacity pools, volumes (namespaces) carved from pools and
+// exported through subsystems, and host connections establishing
+// controllers. It stands in for the JBOF/disaggregated-storage appliances
+// the paper's composable architecture pools, exposing the operations an
+// NVMe-oF fabric agent performs.
+package nvmesim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownPool      = errors.New("nvmesim: unknown pool")
+	ErrUnknownVolume    = errors.New("nvmesim: unknown volume")
+	ErrUnknownSubsystem = errors.New("nvmesim: unknown subsystem")
+	ErrUnknownHost      = errors.New("nvmesim: unknown connection")
+	ErrCapacity         = errors.New("nvmesim: insufficient capacity")
+	ErrVolumeBusy       = errors.New("nvmesim: volume attached to subsystem")
+	ErrDuplicate        = errors.New("nvmesim: duplicate id")
+	ErrNotAttached      = errors.New("nvmesim: volume not attached")
+	ErrAlreadyAttached  = errors.New("nvmesim: volume already attached")
+	ErrNotConnected     = errors.New("nvmesim: host not connected")
+	ErrAlreadyConnected = errors.New("nvmesim: host already connected")
+	ErrACL              = errors.New("nvmesim: host not allowed by subsystem")
+)
+
+// Pool is a capacity pool backed by drives.
+type Pool struct {
+	ID            string
+	CapacityBytes int64
+	allocated     int64
+}
+
+// AllocatedBytes reports the bytes carved into volumes.
+func (p *Pool) AllocatedBytes() int64 { return p.allocated }
+
+// Volume is a provisioned namespace.
+type Volume struct {
+	ID        string
+	Pool      string
+	Bytes     int64
+	Subsystem string // empty when unattached
+}
+
+// Subsystem is an NVMe subsystem (NQN) exporting namespaces to hosts.
+type Subsystem struct {
+	NQN        string
+	allowed    map[string]struct{} // host NQNs; empty = allow any
+	namespaces map[string]struct{} // volume ids
+	hosts      map[string]struct{} // connected host NQNs
+}
+
+// Namespaces returns the attached volume ids, sorted.
+func (s *Subsystem) Namespaces() []string { return sortedKeys(s.namespaces) }
+
+// Hosts returns the connected host NQNs, sorted.
+func (s *Subsystem) Hosts() []string { return sortedKeys(s.hosts) }
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Event describes a target state change.
+type Event struct {
+	Kind      string // VolumeCreated, VolumeDeleted, Attached, Detached, HostConnected, HostDisconnected
+	Volume    string
+	Subsystem string
+	Host      string
+}
+
+// Listener receives target events.
+type Listener func(Event)
+
+// Target is the emulated NVMe-oF target.
+type Target struct {
+	mu         sync.Mutex
+	pools      map[string]*Pool
+	volumes    map[string]*Volume
+	subsystems map[string]*Subsystem
+	nextVolume int
+	listeners  []Listener
+}
+
+// New creates an empty target.
+func New() *Target {
+	return &Target{
+		pools:      make(map[string]*Pool),
+		volumes:    make(map[string]*Volume),
+		subsystems: make(map[string]*Subsystem),
+	}
+}
+
+// Subscribe registers a listener for target events.
+func (t *Target) Subscribe(l Listener) {
+	t.mu.Lock()
+	t.listeners = append(t.listeners, l)
+	t.mu.Unlock()
+}
+
+func (t *Target) emit(ev Event) {
+	t.mu.Lock()
+	ls := t.listeners
+	t.mu.Unlock()
+	for _, l := range ls {
+		l(ev)
+	}
+}
+
+// AddPool installs a capacity pool.
+func (t *Target) AddPool(id string, capacityBytes int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.pools[id]; ok {
+		return fmt.Errorf("%w: pool %s", ErrDuplicate, id)
+	}
+	t.pools[id] = &Pool{ID: id, CapacityBytes: capacityBytes}
+	return nil
+}
+
+// AddSubsystem installs a subsystem. allowedHosts restricts which host
+// NQNs may connect; empty means any host.
+func (t *Target) AddSubsystem(nqn string, allowedHosts []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subsystems[nqn]; ok {
+		return fmt.Errorf("%w: subsystem %s", ErrDuplicate, nqn)
+	}
+	allowed := make(map[string]struct{}, len(allowedHosts))
+	for _, h := range allowedHosts {
+		allowed[h] = struct{}{}
+	}
+	t.subsystems[nqn] = &Subsystem{
+		NQN:        nqn,
+		allowed:    allowed,
+		namespaces: make(map[string]struct{}),
+		hosts:      make(map[string]struct{}),
+	}
+	return nil
+}
+
+// AllowHost adds a host NQN to a subsystem's access list.
+func (t *Target) AllowHost(subsysNQN, hostNQN string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.subsystems[subsysNQN]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSubsystem, subsysNQN)
+	}
+	s.allowed[hostNQN] = struct{}{}
+	return nil
+}
+
+// CreateVolume carves a volume from the pool and returns its id.
+func (t *Target) CreateVolume(poolID string, bytes int64) (string, error) {
+	t.mu.Lock()
+	p, ok := t.pools[poolID]
+	if !ok {
+		t.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrUnknownPool, poolID)
+	}
+	if p.allocated+bytes > p.CapacityBytes {
+		t.mu.Unlock()
+		return "", fmt.Errorf("%w: pool %s has %d bytes free, need %d",
+			ErrCapacity, poolID, p.CapacityBytes-p.allocated, bytes)
+	}
+	p.allocated += bytes
+	t.nextVolume++
+	id := fmt.Sprintf("vol-%d", t.nextVolume)
+	t.volumes[id] = &Volume{ID: id, Pool: poolID, Bytes: bytes}
+	t.mu.Unlock()
+	t.emit(Event{Kind: "VolumeCreated", Volume: id})
+	return id, nil
+}
+
+// DeleteVolume frees a volume. The volume must be detached.
+func (t *Target) DeleteVolume(id string) error {
+	t.mu.Lock()
+	v, ok := t.volumes[id]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownVolume, id)
+	}
+	if v.Subsystem != "" {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s in %s", ErrVolumeBusy, id, v.Subsystem)
+	}
+	if p, ok := t.pools[v.Pool]; ok {
+		p.allocated -= v.Bytes
+	}
+	delete(t.volumes, id)
+	t.mu.Unlock()
+	t.emit(Event{Kind: "VolumeDeleted", Volume: id})
+	return nil
+}
+
+// Attach exports the volume as a namespace of the subsystem.
+func (t *Target) Attach(volumeID, subsysNQN string) error {
+	t.mu.Lock()
+	v, ok := t.volumes[volumeID]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownVolume, volumeID)
+	}
+	s, ok := t.subsystems[subsysNQN]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSubsystem, subsysNQN)
+	}
+	if v.Subsystem != "" {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s in %s", ErrAlreadyAttached, volumeID, v.Subsystem)
+	}
+	v.Subsystem = subsysNQN
+	s.namespaces[volumeID] = struct{}{}
+	t.mu.Unlock()
+	t.emit(Event{Kind: "Attached", Volume: volumeID, Subsystem: subsysNQN})
+	return nil
+}
+
+// Detach removes the volume from its subsystem.
+func (t *Target) Detach(volumeID string) error {
+	t.mu.Lock()
+	v, ok := t.volumes[volumeID]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownVolume, volumeID)
+	}
+	if v.Subsystem == "" {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotAttached, volumeID)
+	}
+	nqn := v.Subsystem
+	if s, ok := t.subsystems[nqn]; ok {
+		delete(s.namespaces, volumeID)
+	}
+	v.Subsystem = ""
+	t.mu.Unlock()
+	t.emit(Event{Kind: "Detached", Volume: volumeID, Subsystem: nqn})
+	return nil
+}
+
+// Connect establishes a host controller on the subsystem. The host must be
+// on the subsystem's access list (when one is configured).
+func (t *Target) Connect(hostNQN, subsysNQN string) error {
+	t.mu.Lock()
+	s, ok := t.subsystems[subsysNQN]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSubsystem, subsysNQN)
+	}
+	if len(s.allowed) > 0 {
+		if _, ok := s.allowed[hostNQN]; !ok {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: %s on %s", ErrACL, hostNQN, subsysNQN)
+		}
+	}
+	if _, ok := s.hosts[hostNQN]; ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrAlreadyConnected, hostNQN, subsysNQN)
+	}
+	s.hosts[hostNQN] = struct{}{}
+	t.mu.Unlock()
+	t.emit(Event{Kind: "HostConnected", Subsystem: subsysNQN, Host: hostNQN})
+	return nil
+}
+
+// Disconnect tears down the host's controller on the subsystem.
+func (t *Target) Disconnect(hostNQN, subsysNQN string) error {
+	t.mu.Lock()
+	s, ok := t.subsystems[subsysNQN]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSubsystem, subsysNQN)
+	}
+	if _, ok := s.hosts[hostNQN]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrNotConnected, hostNQN, subsysNQN)
+	}
+	delete(s.hosts, hostNQN)
+	t.mu.Unlock()
+	t.emit(Event{Kind: "HostDisconnected", Subsystem: subsysNQN, Host: hostNQN})
+	return nil
+}
+
+// Pool returns a snapshot of the pool with the given id.
+func (t *Target) Pool(id string) (Pool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pools[id]
+	if !ok {
+		return Pool{}, fmt.Errorf("%w: %s", ErrUnknownPool, id)
+	}
+	return *p, nil
+}
+
+// Pools returns snapshots of all pools, sorted by id.
+func (t *Target) Pools() []Pool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, 0, len(t.pools))
+	for id := range t.pools {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Pool, len(ids))
+	for i, id := range ids {
+		out[i] = *t.pools[id]
+	}
+	return out
+}
+
+// Volume returns a snapshot of the volume with the given id.
+func (t *Target) Volume(id string) (Volume, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.volumes[id]
+	if !ok {
+		return Volume{}, fmt.Errorf("%w: %s", ErrUnknownVolume, id)
+	}
+	return *v, nil
+}
+
+// Volumes returns snapshots of all volumes, sorted by id.
+func (t *Target) Volumes() []Volume {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, 0, len(t.volumes))
+	for id := range t.volumes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Volume, len(ids))
+	for i, id := range ids {
+		out[i] = *t.volumes[id]
+	}
+	return out
+}
+
+// SubsystemInfo returns a snapshot of the subsystem with the given NQN.
+func (t *Target) SubsystemInfo(nqn string) (Subsystem, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.subsystems[nqn]
+	if !ok {
+		return Subsystem{}, fmt.Errorf("%w: %s", ErrUnknownSubsystem, nqn)
+	}
+	cp := Subsystem{NQN: s.NQN, allowed: cloneSet(s.allowed), namespaces: cloneSet(s.namespaces), hosts: cloneSet(s.hosts)}
+	return cp, nil
+}
+
+// Subsystems returns all subsystem NQNs, sorted.
+func (t *Target) Subsystems() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sortedKeys(toSet(t.subsystems))
+}
+
+func toSet[V any](m map[string]V) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func cloneSet(m map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package nvmesim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	subsys = "nqn.2023-05.org.ofmf:subsys1"
+	hostA  = "nqn.2023-05.org.ofmf:hostA"
+	hostB  = "nqn.2023-05.org.ofmf:hostB"
+)
+
+func newTarget(t *testing.T) *Target {
+	t.Helper()
+	tg := New()
+	if err := tg.AddPool("pool0", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.AddSubsystem(subsys, nil); err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestVolumeLifecycle(t *testing.T) {
+	tg := newTarget(t)
+	id, err := tg.CreateVolume("pool0", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tg.Pool("pool0")
+	if p.AllocatedBytes() != 100_000 {
+		t.Errorf("allocated = %d", p.AllocatedBytes())
+	}
+	if err := tg.DeleteVolume(id); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = tg.Pool("pool0")
+	if p.AllocatedBytes() != 0 {
+		t.Errorf("allocated after delete = %d", p.AllocatedBytes())
+	}
+	if err := tg.DeleteVolume(id); !errors.Is(err, ErrUnknownVolume) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestCreateVolumeOverCapacity(t *testing.T) {
+	tg := newTarget(t)
+	if _, err := tg.CreateVolume("pool0", 2_000_000); !errors.Is(err, ErrCapacity) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := tg.CreateVolume("ghost", 1); !errors.Is(err, ErrUnknownPool) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	tg := newTarget(t)
+	id, err := tg.CreateVolume("pool0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Attach(id, subsys); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Attach(id, subsys); !errors.Is(err, ErrAlreadyAttached) {
+		t.Errorf("double attach err = %v", err)
+	}
+	s, err := tg.SubsystemInfo(subsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := s.Namespaces(); len(ns) != 1 || ns[0] != id {
+		t.Errorf("namespaces = %v", ns)
+	}
+	if err := tg.DeleteVolume(id); !errors.Is(err, ErrVolumeBusy) {
+		t.Errorf("busy delete err = %v", err)
+	}
+	if err := tg.Detach(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Detach(id); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("double detach err = %v", err)
+	}
+	if err := tg.DeleteVolume(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostConnectACL(t *testing.T) {
+	tg := New()
+	if err := tg.AddSubsystem(subsys, []string{hostA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Connect(hostB, subsys); !errors.Is(err, ErrACL) {
+		t.Errorf("ACL err = %v", err)
+	}
+	if err := tg.Connect(hostA, subsys); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Connect(hostA, subsys); !errors.Is(err, ErrAlreadyConnected) {
+		t.Errorf("double connect err = %v", err)
+	}
+	if err := tg.AllowHost(subsys, hostB); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Connect(hostB, subsys); err != nil {
+		t.Errorf("connect after allow: %v", err)
+	}
+	s, _ := tg.SubsystemInfo(subsys)
+	if got := s.Hosts(); len(got) != 2 {
+		t.Errorf("hosts = %v", got)
+	}
+	if err := tg.Disconnect(hostA, subsys); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Disconnect(hostA, subsys); !errors.Is(err, ErrNotConnected) {
+		t.Errorf("double disconnect err = %v", err)
+	}
+}
+
+func TestOpenSubsystemAllowsAnyHost(t *testing.T) {
+	tg := newTarget(t)
+	if err := tg.Connect(hostB, subsys); err != nil {
+		t.Errorf("open subsystem rejected host: %v", err)
+	}
+}
+
+func TestDuplicateIDs(t *testing.T) {
+	tg := newTarget(t)
+	if err := tg.AddPool("pool0", 1); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+	if err := tg.AddSubsystem(subsys, nil); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	tg := newTarget(t)
+	var mu sync.Mutex
+	var kinds []string
+	tg.Subscribe(func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, e.Kind)
+		mu.Unlock()
+	})
+	id, _ := tg.CreateVolume("pool0", 10)
+	_ = tg.Attach(id, subsys)
+	_ = tg.Connect(hostA, subsys)
+	_ = tg.Disconnect(hostA, subsys)
+	_ = tg.Detach(id)
+	_ = tg.DeleteVolume(id)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"VolumeCreated", "Attached", "HostConnected", "HostDisconnected", "Detached", "VolumeDeleted"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event[%d] = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestListings(t *testing.T) {
+	tg := newTarget(t)
+	v1, _ := tg.CreateVolume("pool0", 10)
+	v2, _ := tg.CreateVolume("pool0", 20)
+	vols := tg.Volumes()
+	if len(vols) != 2 || vols[0].ID != v1 || vols[1].ID != v2 {
+		t.Errorf("volumes = %v", vols)
+	}
+	if got := tg.Subsystems(); len(got) != 1 || got[0] != subsys {
+		t.Errorf("subsystems = %v", got)
+	}
+	if got := tg.Pools(); len(got) != 1 || got[0].ID != "pool0" {
+		t.Errorf("pools = %v", got)
+	}
+}
+
+func TestPropertyPoolConservation(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		tg := New()
+		if err := tg.AddPool("p", 1<<40); err != nil {
+			return false
+		}
+		var ids []string
+		var sum int64
+		for _, s := range sizes {
+			size := int64(s) + 1
+			id, err := tg.CreateVolume("p", size)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+			sum += size
+		}
+		p, _ := tg.Pool("p")
+		if p.AllocatedBytes() != sum {
+			return false
+		}
+		for _, id := range ids {
+			if err := tg.DeleteVolume(id); err != nil {
+				return false
+			}
+		}
+		p, _ = tg.Pool("p")
+		return p.AllocatedBytes() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentVolumeOps(t *testing.T) {
+	tg := newTarget(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := tg.CreateVolume("pool0", 16)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tg.Attach(id, subsys); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tg.Detach(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tg.DeleteVolume(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p, _ := tg.Pool("pool0")
+	if p.AllocatedBytes() != 0 {
+		t.Errorf("allocated = %d", p.AllocatedBytes())
+	}
+}

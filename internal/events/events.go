@@ -1,0 +1,364 @@
+// Package events implements the OFMF event subsystem: a publish/subscribe
+// bus carrying Redfish event records to registered destinations. Each
+// subscription gets a bounded delivery queue drained by its own worker so a
+// slow subscriber cannot stall the management plane; deliveries are retried
+// with a configurable attempt count and backoff, matching the Redfish
+// EventService DeliveryRetryAttempts/DeliveryRetryIntervalSeconds model.
+package events
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+// Sink receives delivered events. HTTP destinations and in-process
+// subscribers both implement it.
+type Sink interface {
+	Deliver(ctx context.Context, ev redfish.Event) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ctx context.Context, ev redfish.Event) error
+
+// Deliver calls f.
+func (f SinkFunc) Deliver(ctx context.Context, ev redfish.Event) error { return f(ctx, ev) }
+
+// HTTPSink posts events to a subscriber's destination URL using the
+// Redfish event payload format.
+type HTTPSink struct {
+	URL    string
+	Client *http.Client
+}
+
+// Deliver posts the event as JSON and treats any 2xx status as success.
+func (h *HTTPSink) Deliver(ctx context.Context, ev redfish.Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("events: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("events: destination returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Filter selects which events a subscription receives. Zero-value filters
+// match everything.
+type Filter struct {
+	// EventTypes restricts delivery to the listed Redfish event types.
+	EventTypes []string
+	// Origins restricts delivery to events whose OriginOfCondition equals
+	// one of the listed resources, or lies beneath one of them when
+	// Subordinate is set.
+	Origins     []odata.ID
+	Subordinate bool
+}
+
+// Matches reports whether the filter admits the record.
+func (f Filter) Matches(rec redfish.EventRecord) bool {
+	if len(f.EventTypes) > 0 {
+		ok := false
+		for _, t := range f.EventTypes {
+			if t == rec.EventType {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Origins) > 0 {
+		if rec.OriginOfCondition == nil {
+			return false
+		}
+		origin := rec.OriginOfCondition.ODataID
+		ok := false
+		for _, o := range f.Origins {
+			if origin == o || (f.Subordinate && origin.Under(o)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Config tunes the bus's delivery behaviour.
+type Config struct {
+	// RetryAttempts is the number of delivery attempts per event (≥1).
+	RetryAttempts int
+	// RetryInterval separates successive attempts.
+	RetryInterval time.Duration
+	// QueueDepth bounds each subscription's pending-event queue; events
+	// beyond the bound are dropped and counted.
+	QueueDepth int
+	// Synchronous delivers events inline on the publisher's goroutine
+	// instead of through per-subscription queues. Retries still apply. It
+	// exists for the delivery-strategy ablation benchmark.
+	Synchronous bool
+	// OnDeliveryFailure, when set, is invoked after each delivery that
+	// exhausts its retries, with the consecutive-failure count; a
+	// successful delivery resets the count. The OFMF uses it to degrade
+	// the subscription resource's health in the tree.
+	OnDeliveryFailure func(subscriptionID string, consecutive int)
+}
+
+// DefaultConfig mirrors the EventService defaults the OFMF advertises.
+func DefaultConfig() Config {
+	return Config{RetryAttempts: 3, RetryInterval: 50 * time.Millisecond, QueueDepth: 256}
+}
+
+// Stats counts delivery outcomes across the bus.
+type Stats struct {
+	Published int64 // events published
+	Delivered int64 // successful deliveries (per subscription)
+	Failed    int64 // deliveries abandoned after retries
+	Dropped   int64 // events dropped on full queues
+}
+
+// Subscription is one registered event destination.
+type Subscription struct {
+	ID      string
+	Context string
+	Filter  Filter
+
+	sink        Sink
+	queue       chan redfish.EventRecord
+	cancel      context.CancelFunc
+	done        chan struct{}
+	consecutive int64 // consecutive delivery failures (atomic)
+}
+
+// Bus fans events out to subscriptions.
+type Bus struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	subs   map[string]*Subscription
+	nextID int64
+	closed bool
+
+	published int64
+	delivered int64
+	failed    int64
+	dropped   int64
+}
+
+// NewBus creates a bus with the given configuration. Zero-valued fields
+// are replaced with defaults.
+func NewBus(cfg Config) *Bus {
+	def := DefaultConfig()
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = def.RetryAttempts
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = def.RetryInterval
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = def.QueueDepth
+	}
+	return &Bus{cfg: cfg, subs: make(map[string]*Subscription)}
+}
+
+// ErrClosed is returned when operating on a closed bus.
+var ErrClosed = errors.New("events: bus closed")
+
+// Subscribe registers a sink with a filter and returns the subscription.
+func (b *Bus) Subscribe(sink Sink, filter Filter, contextStr string) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextID++
+	sub := &Subscription{
+		ID:      fmt.Sprintf("%d", b.nextID),
+		Context: contextStr,
+		Filter:  filter,
+		sink:    sink,
+		done:    make(chan struct{}),
+	}
+	if !b.cfg.Synchronous {
+		ctx, cancel := context.WithCancel(context.Background())
+		sub.cancel = cancel
+		sub.queue = make(chan redfish.EventRecord, b.cfg.QueueDepth)
+		go b.drain(ctx, sub)
+	} else {
+		close(sub.done)
+	}
+	b.subs[sub.ID] = sub
+	return sub, nil
+}
+
+// Unsubscribe removes the subscription and stops its worker.
+func (b *Bus) Unsubscribe(id string) error {
+	b.mu.Lock()
+	sub, ok := b.subs[id]
+	if ok {
+		delete(b.subs, id)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("events: no subscription %q", id)
+	}
+	if sub.cancel != nil {
+		sub.cancel()
+		<-sub.done
+	}
+	return nil
+}
+
+// Subscriptions returns a snapshot of current subscription ids.
+func (b *Bus) Subscriptions() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ids := make([]string, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Publish fans the record out to every matching subscription.
+func (b *Bus) Publish(rec redfish.EventRecord) {
+	atomic.AddInt64(&b.published, 1)
+	b.mu.RLock()
+	targets := make([]*Subscription, 0, len(b.subs))
+	for _, sub := range b.subs {
+		if sub.Filter.Matches(rec) {
+			targets = append(targets, sub)
+		}
+	}
+	sync := b.cfg.Synchronous
+	b.mu.RUnlock()
+
+	for _, sub := range targets {
+		if sync {
+			b.attempt(context.Background(), sub, rec)
+			continue
+		}
+		select {
+		case sub.queue <- rec:
+		default:
+			atomic.AddInt64(&b.dropped, 1)
+		}
+	}
+}
+
+func (b *Bus) drain(ctx context.Context, sub *Subscription) {
+	defer close(sub.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case rec := <-sub.queue:
+			b.attempt(ctx, sub, rec)
+		}
+	}
+}
+
+func (b *Bus) attempt(ctx context.Context, sub *Subscription, rec redfish.EventRecord) {
+	ev := redfish.Event{
+		ODataType: redfish.TypeEvent,
+		ID:        rec.EventID,
+		Name:      "OFMF Event",
+		Context:   sub.Context,
+		Events:    []redfish.EventRecord{rec},
+	}
+	for i := 0; i < b.cfg.RetryAttempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(b.cfg.RetryInterval):
+			}
+		}
+		if err := sub.sink.Deliver(ctx, ev); err == nil {
+			atomic.AddInt64(&b.delivered, 1)
+			atomic.StoreInt64(&sub.consecutive, 0)
+			return
+		}
+	}
+	atomic.AddInt64(&b.failed, 1)
+	n := atomic.AddInt64(&sub.consecutive, 1)
+	if b.cfg.OnDeliveryFailure != nil {
+		b.cfg.OnDeliveryFailure(sub.ID, int(n))
+	}
+}
+
+// Stats returns a snapshot of delivery counters.
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Published: atomic.LoadInt64(&b.published),
+		Delivered: atomic.LoadInt64(&b.delivered),
+		Failed:    atomic.LoadInt64(&b.failed),
+		Dropped:   atomic.LoadInt64(&b.dropped),
+	}
+}
+
+// Close stops all subscription workers. The bus accepts no further
+// subscriptions; Publish becomes a no-op for queued subscriptions.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[string]*Subscription)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if s.cancel != nil {
+			s.cancel()
+			<-s.done
+		}
+	}
+}
+
+// Record builds an event record with the current timestamp.
+func Record(eventType, eventID, message string, origin odata.ID) redfish.EventRecord {
+	rec := redfish.EventRecord{
+		EventType:      eventType,
+		EventID:        eventID,
+		EventTimestamp: redfish.Timestamp(time.Now()),
+		Message:        message,
+		Severity:       "OK",
+	}
+	if !origin.IsZero() {
+		ref := odata.NewRef(origin)
+		rec.OriginOfCondition = &ref
+	}
+	return rec
+}

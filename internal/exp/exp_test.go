@@ -1,0 +1,386 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"ofmf/internal/sim/workload"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14})
+	if s.N != 3 || s.Mean != 12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.SD-2) > 1e-9 {
+		t.Errorf("sd = %f", s.SD)
+	}
+	// t(2) = 4.303 → CI = 4.303 * 2 / sqrt(3) ≈ 4.968
+	if math.Abs(s.CI95-4.968) > 0.01 {
+		t.Errorf("ci = %f", s.CI95)
+	}
+	if s.Min != 10 || s.Max != 14 {
+		t.Errorf("min/max = %f/%f", s.Min, s.Max)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty = %+v", got)
+	}
+	one := Summarize([]float64{5})
+	if one.Mean != 5 || one.CI95 != 0 {
+		t.Errorf("single = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(samples, 50); got != 3 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := Percentile(samples, 100); got != 5 {
+		t.Errorf("p100 = %f", got)
+	}
+	if got := Percentile(samples, 1); got != 1 {
+		t.Errorf("p1 = %f", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %f", got)
+	}
+}
+
+func TestHPLTableMatchesGenerator(t *testing.T) {
+	for _, row := range workload.HPLTable() {
+		gen := workload.HPLParams(row.Nodes)
+		if gen.P != row.P || gen.Q != row.Q {
+			t.Errorf("n=%d: generated grid %dx%d, table %dx%d", row.Nodes, gen.P, gen.Q, row.P, row.Q)
+		}
+		// N extrapolation reproduces the published sizes to within 2 rows
+		// (the authors' rounding).
+		if d := gen.N - row.N; d < -2 || d > 2 {
+			t.Errorf("n=%d: generated N %d, table %d", row.Nodes, gen.N, row.N)
+		}
+		if gen.P*gen.Q != 56*row.Nodes {
+			t.Errorf("n=%d: grid %dx%d does not cover %d ranks", row.Nodes, gen.P, gen.Q, 56*row.Nodes)
+		}
+	}
+}
+
+func TestHPLBaseRuntimeUnder15Minutes(t *testing.T) {
+	// "When run alone, this takes less than 15 minutes to complete", and
+	// sizes were chosen to approximately preserve the runtime.
+	base1 := workload.BaseRuntime(1)
+	for _, row := range workload.HPLTable() {
+		rt := workload.BaseRuntime(row.Nodes)
+		if rt >= 900 {
+			t.Errorf("n=%d: base runtime %.0f s >= 15 min", row.Nodes, rt)
+		}
+		if math.Abs(rt-base1)/base1 > 0.02 {
+			t.Errorf("n=%d: runtime %.0f s drifts from single-node %.0f s", row.Nodes, rt, base1)
+		}
+	}
+}
+
+func TestIORTableValues(t *testing.T) {
+	rows := workload.DefaultIOR().Rows()
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string]string{
+		"[srun] -n": "56",
+		"-t":        "512",
+		"-T":        "20",
+		"-D":        "60",
+		"-i":        "1048576",
+		"-a":        "POSIX",
+		"-s":        "1024",
+		"-F":        "enabled",
+		"-Y":        "enabled",
+	}
+	got := make(map[string]string)
+	for _, r := range rows {
+		got[r.Parameter] = r.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %q, want %q", k, got[k], v)
+		}
+	}
+	if files := workload.DefaultIOR().Files(128); files != 56*128 {
+		t.Errorf("files = %d", files)
+	}
+}
+
+func TestTable1IsolationShape(t *testing.T) {
+	// The paper's isolation column: CPU- and memory-bound strong,
+	// network medium-to-strong, all I/O profiles weak.
+	want := map[string]string{
+		"CPU-bound":       "Strong",
+		"Memory-bound":    "Strong",
+		"Network-bound":   "Medium-to-Strong",
+		"IOPs-bound":      "Weak",
+		"Bandwidth-bound": "Weak",
+		"Metadata-bound":  "Weak",
+	}
+	for _, p := range workload.Profiles() {
+		if got := p.Isolation(); got != want[p.Name] {
+			t.Errorf("%s isolation = %s, want %s (slowdown %.3f)",
+				p.Name, got, want[p.Name], p.CoScheduledSlowdown())
+		}
+	}
+}
+
+// fastFig3 keeps CI runtimes low while preserving the statistics.
+func fastFig3() Fig3Config {
+	cfg := DefaultFig3()
+	cfg.NodeCounts = []int{2, 64, 128}
+	cfg.Reps = 7
+	return cfg
+}
+
+func findPoint(points []Fig3Point, c Class, n int) Fig3Point {
+	for _, p := range points {
+		if p.Class == c && p.Nodes == n {
+			return p
+		}
+	}
+	return Fig3Point{}
+}
+
+func TestFig3ShapeTargets(t *testing.T) {
+	points := RunFig3(fastFig3())
+
+	// Single IOR node slows a 128-node HPL by 7–13 %.
+	single := findPoint(points, SingleBeeOND, 128)
+	if s := single.Slowdown(); s < 0.05 || s > 0.16 {
+		t.Errorf("Single BeeOND @128 slowdown = %.1f%%, want ≈7–13%%", s*100)
+	}
+
+	// Matching BeeOND (no meta) at 128 nodes: 47–52 % extended runtime.
+	noMeta := findPoint(points, MatchingBeeONDNoMeta, 128)
+	if s := noMeta.Slowdown(); s < 0.44 || s > 0.56 {
+		t.Errorf("Matching BeeOND (no meta) @128 slowdown = %.1f%%, want ≈47–52%%", s*100)
+	}
+
+	// Metadata placement makes no definitive difference.
+	withMeta := findPoint(points, MatchingBeeOND, 128)
+	if d := math.Abs(withMeta.Slowdown() - noMeta.Slowdown()); d > 0.05 {
+		t.Errorf("meta placement difference = %.1f%%, want indistinct (<5%%)", d*100)
+	}
+
+	// Matching Lustre leaves HPL essentially unaffected (it is in fact
+	// slightly faster than HPL-only, which carries idle daemons).
+	lus := findPoint(points, MatchingLustre, 128)
+	if s := lus.Slowdown(); s > 0.005 {
+		t.Errorf("Matching Lustre @128 slowdown = %.1f%%, want ≈0", s*100)
+	}
+
+	// Matching-load impact grows with node count.
+	small := findPoint(points, MatchingBeeOND, 2)
+	if small.Slowdown() >= withMeta.Slowdown() {
+		t.Errorf("matching impact did not grow with scale: %.1f%% @2 vs %.1f%% @128",
+			small.Slowdown()*100, withMeta.Slowdown()*100)
+	}
+}
+
+func TestFig4IdleDaemonOverhead(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.NodeCounts = []int{2, 64}
+	cfg.Reps = 8
+	points := RunFig4(cfg)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var at2, at64 Fig4Point
+	for _, p := range points {
+		switch p.Nodes {
+		case 2:
+			at2 = p
+		case 64:
+			at64 = p
+		}
+	}
+	// "For the 64-node HPL cases, this impact was likely between 0.9 and 2.5%."
+	if at64.OverheadFrac < 0.005 || at64.OverheadFrac > 0.03 {
+		t.Errorf("overhead @64 = %.2f%%, want ≈0.9–2.5%%", at64.OverheadFrac*100)
+	}
+	// "This impact grows with the size of the job."
+	if at64.OverheadFrac <= at2.OverheadFrac {
+		t.Errorf("overhead did not grow: %.2f%% @2 vs %.2f%% @64",
+			at2.OverheadFrac*100, at64.OverheadFrac*100)
+	}
+	// HPL-only (with daemons) is slower than Lustre+IOR — the paper's
+	// surprising finding.
+	if at64.WithDaemons.Mean <= at64.LustreIOR.Mean {
+		t.Error("idle-daemon arm not slower than Lustre arm")
+	}
+}
+
+func TestLifecycleUnderPaperBounds(t *testing.T) {
+	points, err := RunLifecycle(DefaultLifecycle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Assemble.Max >= 3 {
+			t.Errorf("assemble @%d nodes = %.2f s, want < 3 s", p.Nodes, p.Assemble.Max)
+		}
+		if p.Teardown.Max >= 6 {
+			t.Errorf("teardown @%d nodes = %.2f s, want < 6 s", p.Nodes, p.Teardown.Max)
+		}
+	}
+	// Scale independence: 512-node assembly within 25 % of 2-node.
+	first, last := points[0], points[len(points)-1]
+	if RelDiff(last.Assemble.Mean, first.Assemble.Mean) > 0.25 {
+		t.Errorf("assembly grew with scale: %.2f s @2 vs %.2f s @512",
+			first.Assemble.Mean, last.Assemble.Mean)
+	}
+}
+
+func TestSlurmLifecycleRoles(t *testing.T) {
+	res, err := RunSlurmLifecycle(8, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Record
+	if rec.State.String() != "COMPLETED" {
+		t.Fatalf("state = %s (%s)", rec.State, rec.FailureReason)
+	}
+	if rec.PrologSeconds >= 3 {
+		t.Errorf("prolog = %.2f s", rec.PrologSeconds)
+	}
+	if rec.EpilogSeconds >= 6 {
+		t.Errorf("epilog = %.2f s", rec.EpilogSeconds)
+	}
+	if res.MetaNode != "node001" {
+		t.Errorf("meta node = %s", res.MetaNode)
+	}
+	if res.RolesByNode["node001"] != "mgmtd+meta+storage+client" {
+		t.Errorf("lowest node role = %s", res.RolesByNode["node001"])
+	}
+	if res.RolesByNode["node002"] != "storage+client" {
+		t.Errorf("other node role = %s", res.RolesByNode["node002"])
+	}
+}
+
+func TestSlurmDrivenFig3CrossValidates(t *testing.T) {
+	// The analytic harness (RunFig3) and the end-to-end Slurm path
+	// (RunFig3Slurm) must agree: same mechanisms, different plumbing.
+	cfg := DefaultFig3()
+	cfg.NodeCounts = []int{16}
+	cfg.Reps = 8
+	direct := findPoint(RunFig3(cfg), MatchingBeeOND, 16)
+
+	viaSlurm, err := RunFig3Slurm(cfg, MatchingBeeOND, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(RelDiff(viaSlurm.Runtime.Mean, direct.Runtime.Mean)); d > 0.03 {
+		t.Errorf("paths disagree by %.1f%%: slurm %.1f s vs direct %.1f s",
+			d*100, viaSlurm.Runtime.Mean, direct.Runtime.Mean)
+	}
+	// Filesystem lifecycle bounds hold inside the job too.
+	if viaSlurm.Prolog.Max >= 3 {
+		t.Errorf("prolog max = %.2f s", viaSlurm.Prolog.Max)
+	}
+	if viaSlurm.Epilog.Max >= 6 {
+		t.Errorf("epilog max = %.2f s", viaSlurm.Epilog.Max)
+	}
+
+	// The Lustre arm carries no prolog cost (no beeond constraint).
+	lus, err := RunFig3Slurm(cfg, MatchingLustre, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lus.Prolog.Max != 0 {
+		t.Errorf("lustre prolog = %.2f s, want 0", lus.Prolog.Max)
+	}
+}
+
+func TestSlurmLifecycleFailureDrainsNode(t *testing.T) {
+	// Inject a certain hardware start failure: the job must FAIL and the
+	// offending node must be drained for inspection — the paper's error
+	// handling path.
+	cfg := DefaultLifecycle().FS
+	cfg.StartFailProb = 1
+	res, err := RunSlurmLifecycleFS(4, 100, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Record.State.String() != "FAILED" {
+		t.Fatalf("state = %s", res.Record.State)
+	}
+	if res.Record.FailureReason == "" {
+		t.Error("no failure reason recorded")
+	}
+	if len(res.DrainedNodes) != 1 {
+		t.Errorf("drained = %v", res.DrainedNodes)
+	}
+}
+
+func TestFig1ComposableBeatsStatic(t *testing.T) {
+	cfg := DefaultFig1()
+	cfg.Nodes = 8
+	cfg.Jobs = 48
+	res, err := RunFig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Composable.JobsPlaced < res.Static.JobsPlaced {
+		t.Errorf("composable placed %d < static %d", res.Composable.JobsPlaced, res.Static.JobsPlaced)
+	}
+	if res.Composable.StrandedFrac >= res.Static.StrandedFrac {
+		t.Errorf("composable stranding %.1f%% not below static %.1f%%",
+			res.Composable.StrandedFrac*100, res.Static.StrandedFrac*100)
+	}
+}
+
+func TestScaleSweepSmall(t *testing.T) {
+	points, err := RunScale(ScaleConfig{TreeSizes: []int{100, 1000}, Ops: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GetP50 <= 0 || p.PatchP50 <= 0 || p.ComposePerSec <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "t",
+		Header: []string{"A", "Blong"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"t\n", "A", "Blong", "333"} {
+		if !contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Smoke-render every real table.
+	if Table1().String() == "" || Table2().String() == "" || Table3().String() == "" {
+		t.Error("empty paper table")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && index(s, sub) >= 0
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"fmt"
+
+	"ofmf/internal/composer"
+	"ofmf/internal/core"
+	"ofmf/internal/sim/des"
+)
+
+// Fig1Config parameterizes the stranded-resources experiment behind
+// Figure 1: the same total hardware budget deployed two ways — statically
+// provisioned into every node ("all of the options") versus pooled behind
+// the OFMF and composed on demand.
+type Fig1Config struct {
+	// Nodes is the compute-node count (default 16).
+	Nodes int
+	// CoresPerNode (default 56).
+	CoresPerNode int
+	// StaticMemMiB is the memory provisioned in every node in the static
+	// arm (default 256 GiB); the composable arm pools the same total.
+	StaticMemMiB int64
+	// StaticGPUSlices is the accelerator capacity per node in the static
+	// arm (default 14 = two 7-slice GPUs); pooled in the composable arm.
+	StaticGPUSlices int
+	// Jobs is the number of submissions drawn from the mix (default 64).
+	Jobs int
+	// Seed drives the job mix.
+	Seed uint64
+}
+
+// DefaultFig1 returns the default setup.
+func DefaultFig1() Fig1Config {
+	return Fig1Config{
+		Nodes:           16,
+		CoresPerNode:    56,
+		StaticMemMiB:    256 * 1024,
+		StaticGPUSlices: 14,
+		Jobs:            64,
+		Seed:            7,
+	}
+}
+
+// JobDemand is one job's resource request.
+type JobDemand struct {
+	Cores     int
+	MemMiB    int64
+	GPUSlices int
+}
+
+// JobMix draws a heterogeneous HPC job mix: compute-only, memory-heavy,
+// GPU, and mixed jobs in realistic proportions.
+func JobMix(cfg Fig1Config, rng *des.RNG) []JobDemand {
+	jobs := make([]JobDemand, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		var j JobDemand
+		switch pick := rng.Float64(); {
+		case pick < 0.40: // compute-only
+			j = JobDemand{Cores: 8 + rng.Intn(24), MemMiB: 16 * 1024}
+		case pick < 0.65: // memory-heavy
+			j = JobDemand{Cores: 4 + rng.Intn(12), MemMiB: int64(128+rng.Intn(128)) * 1024}
+		case pick < 0.85: // GPU
+			j = JobDemand{Cores: 4 + rng.Intn(8), MemMiB: 32 * 1024, GPUSlices: 2 + rng.Intn(10)}
+		default: // mixed heavyweight
+			j = JobDemand{Cores: 16 + rng.Intn(16), MemMiB: int64(64+rng.Intn(96)) * 1024, GPUSlices: 1 + rng.Intn(6)}
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// ArmResult summarizes one deployment arm after placing the mix.
+type ArmResult struct {
+	Name       string
+	JobsPlaced int
+	JobsTotal  int
+	CoreUtil   float64
+	MemUtil    float64
+	GPUUtil    float64
+	// StrandedFrac is the provisioned capacity that cannot serve any
+	// queued job (weighted mean over the three resource classes).
+	StrandedFrac float64
+}
+
+// Fig1Result pairs the two arms.
+type Fig1Result struct {
+	Static     ArmResult
+	Composable ArmResult
+}
+
+// RunFig1 places the same job mix on both arms and reports utilization.
+func RunFig1(cfg Fig1Config) (Fig1Result, error) {
+	if cfg.Nodes == 0 {
+		cfg = DefaultFig1()
+	}
+	rng := des.NewRNG(cfg.Seed)
+	jobs := JobMix(cfg, rng)
+
+	static := placeStatic(cfg, jobs)
+
+	comp, err := placeComposable(cfg, jobs)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{Static: static, Composable: comp}, nil
+}
+
+// placeStatic packs jobs onto statically provisioned nodes under the
+// exclusive-node allocation conventional HPC schedulers use: a job takes
+// whole nodes, and every resource of those nodes — used or not — is
+// assigned to it. A CPU-only job therefore strands its nodes' GPUs and
+// surplus memory, the exact mechanism the paper's Figure 1 illustrates.
+func placeStatic(cfg Fig1Config, jobs []JobDemand) ArmResult {
+	freeNodes := cfg.Nodes
+	res := ArmResult{Name: "Static provisioning", JobsTotal: len(jobs)}
+	var usedCores int
+	var usedMem int64
+	var usedSlices int
+	for _, j := range jobs {
+		need := (j.Cores + cfg.CoresPerNode - 1) / cfg.CoresPerNode
+		// The job's memory and GPU demand must also fit in the nodes it
+		// takes, or it needs more of them.
+		for need*int(cfg.StaticMemMiB) < int(j.MemMiB) || need*cfg.StaticGPUSlices < j.GPUSlices {
+			need++
+		}
+		if need > freeNodes {
+			continue
+		}
+		freeNodes -= need
+		usedCores += j.Cores
+		usedMem += j.MemMiB
+		usedSlices += j.GPUSlices
+		res.JobsPlaced++
+	}
+	totCores := cfg.Nodes * cfg.CoresPerNode
+	totMem := int64(cfg.Nodes) * cfg.StaticMemMiB
+	totSlices := cfg.Nodes * cfg.StaticGPUSlices
+	res.CoreUtil = float64(usedCores) / float64(totCores)
+	res.MemUtil = float64(usedMem) / float64(totMem)
+	res.GPUUtil = float64(usedSlices) / float64(totSlices)
+	res.StrandedFrac = 1 - (res.CoreUtil+res.MemUtil+res.GPUUtil)/3
+	return res
+}
+
+// placeComposable routes the same jobs through the real Composability
+// Manager over pooled hardware of identical total size.
+func placeComposable(cfg Fig1Config, jobs []JobDemand) (ArmResult, error) {
+	gpus := cfg.Nodes * cfg.StaticGPUSlices / 7
+	if gpus < 1 {
+		gpus = 1
+	}
+	f, err := core.New(core.Config{
+		Nodes:        cfg.Nodes,
+		CoresPerNode: cfg.CoresPerNode,
+		CXLDevices:   cfg.Nodes,
+		CXLDeviceMiB: cfg.StaticMemMiB,
+		GPUs:         gpus,
+		SlicesPerGPU: 7,
+		Policy:       composer.BestFit{},
+	})
+	if err != nil {
+		return ArmResult{}, err
+	}
+	defer f.Close()
+
+	res := ArmResult{Name: "Composable (OFMF)", JobsTotal: len(jobs)}
+	var usedCores int
+	var usedMem int64
+	var usedSlices int
+	for i, j := range jobs {
+		req := composer.Request{
+			Name:            fmt.Sprintf("mixjob-%d", i),
+			Cores:           j.Cores,
+			FabricMemoryMiB: j.MemMiB,
+			GPUSlices:       j.GPUSlices,
+		}
+		if _, err := f.Composer.Compose(req); err != nil {
+			continue // job does not fit; resources stay pooled for others
+		}
+		res.JobsPlaced++
+		usedCores += j.Cores
+		usedMem += j.MemMiB
+		usedSlices += j.GPUSlices
+	}
+	totCores := cfg.Nodes * cfg.CoresPerNode
+	totMem := int64(cfg.Nodes) * cfg.StaticMemMiB
+	totSlices := gpus * 7
+	res.CoreUtil = float64(usedCores) / float64(totCores)
+	res.MemUtil = float64(usedMem) / float64(totMem)
+	res.GPUUtil = float64(usedSlices) / float64(totSlices)
+	res.StrandedFrac = 1 - (res.CoreUtil+res.MemUtil+res.GPUUtil)/3
+	return res, nil
+}
+
+// Fig1Table renders the comparison.
+func Fig1Table(r Fig1Result) Table {
+	row := func(a ArmResult) []string {
+		return []string{
+			a.Name,
+			fmt.Sprintf("%d / %d", a.JobsPlaced, a.JobsTotal),
+			FmtPercent(a.CoreUtil),
+			FmtPercent(a.MemUtil),
+			FmtPercent(a.GPUUtil),
+			FmtPercent(a.StrandedFrac),
+		}
+	}
+	return Table{
+		Title:  "Figure 1: stranded resources — static vs composable deployment of the same hardware",
+		Header: []string{"Arm", "Jobs placed", "Core util", "Memory util", "GPU util", "Stranded"},
+		Rows:   [][]string{row(r.Static), row(r.Composable)},
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+
+	"ofmf/internal/sim/beeond"
+	"ofmf/internal/sim/cluster"
+	"ofmf/internal/sim/des"
+	"ofmf/internal/sim/interfere"
+	"ofmf/internal/sim/lustre"
+	"ofmf/internal/sim/workload"
+)
+
+// Class is one of the paper's five experiment classes (§Experimental
+// Procedure).
+type Class int
+
+// The five classes.
+const (
+	HPLOnly Class = iota
+	MatchingLustre
+	SingleBeeOND
+	MatchingBeeOND
+	MatchingBeeONDNoMeta
+)
+
+// Classes lists every experiment class in presentation order.
+func Classes() []Class {
+	return []Class{HPLOnly, MatchingLustre, SingleBeeOND, MatchingBeeOND, MatchingBeeONDNoMeta}
+}
+
+// String names the class as the paper does.
+func (c Class) String() string {
+	switch c {
+	case HPLOnly:
+		return "HPL-Only"
+	case MatchingLustre:
+		return "Matching Lustre"
+	case SingleBeeOND:
+		return "Single BeeOND"
+	case MatchingBeeOND:
+		return "Matching BeeOND"
+	case MatchingBeeONDNoMeta:
+		return "Matching BeeOND (no meta)"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Fig3Config parameterizes the multinode interference experiment.
+type Fig3Config struct {
+	// NodeCounts are the HPL sizes; default {1,2,4,...,128} per Table II.
+	NodeCounts []int
+	// Reps is the repetition count; the paper ran 7–10 (Lustre arms 3).
+	Reps int
+	// LustreReps overrides the Matching Lustre repetition count (paper: 3).
+	LustreReps int
+	// Seed makes the experiment reproducible.
+	Seed uint64
+	// Interference calibrates the steal model.
+	Interference interfere.Config
+	// Lustre calibrates the central-filesystem arm.
+	Lustre lustre.Config
+}
+
+// DefaultFig3 matches the paper's setup.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		NodeCounts:   []int{1, 2, 4, 8, 16, 32, 64, 128},
+		Reps:         8,
+		LustreReps:   3,
+		Seed:         20230515,
+		Interference: interfere.DefaultConfig(),
+		Lustre:       lustre.DefaultConfig(),
+	}
+}
+
+// Fig3Point is one (class, node count) cell of the figure.
+type Fig3Point struct {
+	Class   Class
+	Nodes   int
+	Runtime Summary
+	// BaselineMean is the HPL-Only mean at the same node count, for
+	// relative-impact reporting.
+	BaselineMean float64
+	Samples      []float64
+}
+
+// Slowdown reports the relative runtime increase over the HPL-Only arm.
+func (p Fig3Point) Slowdown() float64 { return RelDiff(p.Runtime.Mean, p.BaselineMean) }
+
+// RunFig3 reproduces Figure 3: HPL execution times with and without IOR
+// processes co-located within the partition, across the five classes.
+func RunFig3(cfg Fig3Config) []Fig3Point {
+	if len(cfg.NodeCounts) == 0 {
+		cfg = DefaultFig3()
+	}
+	root := des.NewRNG(cfg.Seed)
+	var points []Fig3Point
+	baselines := make(map[int]float64)
+
+	for _, class := range Classes() {
+		for _, n := range cfg.NodeCounts {
+			reps := cfg.Reps
+			if class == MatchingLustre && cfg.LustreReps > 0 {
+				reps = cfg.LustreReps
+			}
+			samples := make([]float64, 0, reps)
+			for rep := 0; rep < reps; rep++ {
+				rng := root.Split(uint64(class)<<32 ^ uint64(n)<<8 ^ uint64(rep))
+				samples = append(samples, runOnce(cfg, class, n, rng))
+			}
+			pt := Fig3Point{Class: class, Nodes: n, Runtime: Summarize(samples), Samples: samples}
+			if class == HPLOnly {
+				baselines[n] = pt.Runtime.Mean
+			}
+			pt.BaselineMean = baselines[n]
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// runOnce simulates one experiment: an n-node HPL sharing an allocation
+// with the class's IOR arrangement.
+func runOnce(cfg Fig3Config, class Class, n int, rng *des.RNG) float64 {
+	loads := nodeLoads(cfg, class, n)
+	model := workload.HPLModel{Nodes: n}
+	return model.Run(rng, func(node, phase int, r *des.RNG) float64 {
+		return interfere.Sample(cfg.Interference, loads[node], r)
+	})
+}
+
+// nodeLoads builds the per-HPL-node filesystem load for the class,
+// following the paper's process layout: the allocation is sorted by
+// hostname; HPL occupies the first n compute slots (after the optional
+// dedicated metadata node), IOR the remainder; BeeOND spans the entire
+// allocation with the lowest node as Mgmtd/Meta.
+func nodeLoads(cfg Fig3Config, class Class, n int) []interfere.NodeLoad {
+	ior := workload.DefaultIOR()
+	loads := make([]interfere.NodeLoad, n)
+
+	switch class {
+	case HPLOnly:
+		// BeeOND daemons configured and started (same job scripts), but no
+		// storage operations.
+		for i := range loads {
+			loads[i] = interfere.NodeLoad{DaemonsResident: true, MetaServer: i == 0}
+		}
+
+	case MatchingLustre:
+		// No BeeOND daemons loaded; IOR targets external Lustre servers,
+		// leaving only residual fabric-level impact on compute nodes.
+		lc := cfg.Lustre
+		if lc.ComputeImpact == 0 && lc.ComputeImpactSD == 0 {
+			lc = lustre.DefaultConfig()
+		}
+		for i := range loads {
+			loads[i] = interfere.NodeLoad{
+				ExternalResidual:   lc.ComputeImpact,
+				ExternalResidualSD: lc.ComputeImpactSD,
+			}
+		}
+
+	case SingleBeeOND, MatchingBeeOND, MatchingBeeONDNoMeta:
+		iorNodes := 1
+		if class != SingleBeeOND {
+			iorNodes = n
+		}
+		dedicatedMeta := 0
+		if class == MatchingBeeONDNoMeta {
+			dedicatedMeta = 1
+		}
+		total := dedicatedMeta + n + iorNodes
+		allNodes := make([]string, total)
+		for i := range allNodes {
+			allNodes[i] = cluster.NodeName(i)
+		}
+		fs := beeond.New(beeond.DefaultConfig(), allNodes)
+		files := fs.Stripe(ior.Files(iorNodes))
+		meta := fs.MetaNode()
+		// HPL nodes are allocation slots [dedicatedMeta, dedicatedMeta+n).
+		for i := 0; i < n; i++ {
+			name := allNodes[dedicatedMeta+i]
+			loads[i] = interfere.NodeLoad{
+				DaemonsResident: true,
+				ActiveFiles:     files[name],
+				MetaServer:      name == meta,
+			}
+		}
+	}
+	return loads
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+
+	"ofmf/internal/sim/beeond"
+	"ofmf/internal/sim/cluster"
+	"ofmf/internal/sim/des"
+	"ofmf/internal/sim/interfere"
+	"ofmf/internal/sim/lustre"
+	"ofmf/internal/sim/slurm"
+	"ofmf/internal/sim/workload"
+)
+
+// SlurmFig3Point is one measurement taken through the full workload-
+// manager path: the experiment runs as an actual Slurm job whose prolog
+// assembles the BeeOND filesystem over the allocation, whose compute
+// phase runs the HPL interference model against the filesystem state the
+// prolog actually built, and whose epilog tears everything down.
+type SlurmFig3Point struct {
+	Class   Class
+	Nodes   int
+	Runtime Summary
+	Prolog  Summary
+	Epilog  Summary
+}
+
+// RunFig3Slurm reproduces a Figure 3 cell end-to-end through the Slurm
+// simulator. It exists to cross-validate RunFig3: both paths must agree,
+// since RunFig3 derives node loads analytically while this derives them
+// from the live filesystem instance the prolog builds.
+func RunFig3Slurm(cfg Fig3Config, class Class, n int) (SlurmFig3Point, error) {
+	if cfg.Reps == 0 {
+		cfg = DefaultFig3()
+	}
+	root := des.NewRNG(cfg.Seed)
+	ior := workload.DefaultIOR()
+
+	var runtimes, prologs, epilogs []float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := root.Split(uint64(class)<<40 ^ uint64(n)<<16 ^ uint64(rep))
+
+		iorNodes := 0
+		dedicatedMeta := 0
+		useBeeond := true
+		switch class {
+		case HPLOnly:
+		case MatchingLustre:
+			iorNodes = n
+			useBeeond = false
+		case SingleBeeOND:
+			iorNodes = 1
+		case MatchingBeeOND:
+			iorNodes = n
+		case MatchingBeeONDNoMeta:
+			iorNodes = n
+			dedicatedMeta = 1
+		}
+		total := dedicatedMeta + n + iorNodes
+
+		sim := &des.Sim{}
+		cl := cluster.NewDefault(total)
+		m := slurm.NewManager(sim, cl, rng.Split(1))
+
+		var fs *beeond.FS
+		if useBeeond {
+			m.Prolog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
+				if !ctx.HasConstraint("beeond") {
+					return 0, nil
+				}
+				if fs == nil {
+					fs = beeond.New(beeond.DefaultConfig(), ctx.Nodes)
+				}
+				return fs.StartNode(node, hr)
+			}
+			m.Epilog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
+				if !ctx.HasConstraint("beeond") {
+					return 0, nil
+				}
+				return fs.StopNode(node, hr)
+			}
+		}
+
+		var constraints []string
+		if useBeeond {
+			constraints = []string{"beeond"}
+		}
+		runModel := func(ctx slurm.JobContext, jr *des.RNG) float64 {
+			loads := slurmNodeLoads(cfg, class, n, dedicatedMeta, iorNodes, ior, ctx, fs)
+			model := workload.HPLModel{Nodes: n}
+			return model.Run(jr, func(node, phase int, r *des.RNG) float64 {
+				return interfere.Sample(cfg.Interference, loads[node], r)
+			})
+		}
+		id, err := m.Submit(slurm.JobSpec{Nodes: total, Constraints: constraints, Run: runModel})
+		if err != nil {
+			return SlurmFig3Point{}, err
+		}
+		sim.Run()
+		rec, err := m.Record(id)
+		if err != nil {
+			return SlurmFig3Point{}, err
+		}
+		if rec.State != slurm.StateCompleted {
+			return SlurmFig3Point{}, fmt.Errorf("exp: job %d %s: %s", id, rec.State, rec.FailureReason)
+		}
+		runtimes = append(runtimes, rec.RunSeconds())
+		prologs = append(prologs, rec.PrologSeconds)
+		epilogs = append(epilogs, rec.EpilogSeconds)
+	}
+	return SlurmFig3Point{
+		Class:   class,
+		Nodes:   n,
+		Runtime: Summarize(runtimes),
+		Prolog:  Summarize(prologs),
+		Epilog:  Summarize(epilogs),
+	}, nil
+}
+
+// slurmNodeLoads derives per-HPL-node loads from the live allocation: the
+// filesystem the prolog assembled stripes the IOR files, and the HPL
+// slots follow the paper's layout (dedicated metadata node first when
+// requested, then HPL, then IOR nodes).
+func slurmNodeLoads(cfg Fig3Config, class Class, n, dedicatedMeta, iorNodes int, ior workload.IORConfig, ctx slurm.JobContext, fs *beeond.FS) []interfere.NodeLoad {
+	loads := make([]interfere.NodeLoad, n)
+	switch class {
+	case HPLOnly:
+		for i := range loads {
+			loads[i] = interfere.NodeLoad{DaemonsResident: true, MetaServer: ctx.Nodes[i] == fs.MetaNode()}
+		}
+	case MatchingLustre:
+		lc := cfg.Lustre
+		if lc.ComputeImpact == 0 && lc.ComputeImpactSD == 0 {
+			lc = lustre.DefaultConfig()
+		}
+		for i := range loads {
+			loads[i] = interfere.NodeLoad{ExternalResidual: lc.ComputeImpact, ExternalResidualSD: lc.ComputeImpactSD}
+		}
+	default:
+		files := fs.Stripe(ior.Files(iorNodes))
+		meta := fs.MetaNode()
+		for i := 0; i < n; i++ {
+			name := ctx.Nodes[dedicatedMeta+i]
+			loads[i] = interfere.NodeLoad{
+				DaemonsResident: true,
+				ActiveFiles:     files[name],
+				MetaServer:      name == meta,
+			}
+		}
+	}
+	return loads
+}

@@ -1,0 +1,54 @@
+package exp
+
+// Fig4Point is one node-count row of Figure 4: the detailed comparison of
+// HPL-only runs (with idle BeeOND daemons resident) against HPL running
+// alongside IOR targeting Lustre (no BeeOND daemons).
+type Fig4Point struct {
+	Nodes       int
+	WithDaemons Summary // HPL-Only arm (idle BeeOND daemons loaded)
+	LustreIOR   Summary // Matching Lustre arm (no daemons, IOR external)
+	// OverheadFrac is the relative slowdown idle daemons impose:
+	// (WithDaemons - LustreIOR) / LustreIOR.
+	OverheadFrac float64
+	// OverheadLow/High bound the overhead using each arm's CI.
+	OverheadLow, OverheadHigh float64
+}
+
+// RunFig4 reproduces Figure 4, reusing the Figure 3 simulation with both
+// arms at full repetition count.
+func RunFig4(cfg Fig3Config) []Fig4Point {
+	if len(cfg.NodeCounts) == 0 {
+		cfg = DefaultFig3()
+		cfg.NodeCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	cfg.LustreReps = cfg.Reps // full repetitions for the variance study
+	points := RunFig3(cfg)
+
+	byNode := make(map[int]*Fig4Point)
+	var order []int
+	for _, p := range points {
+		fp, ok := byNode[p.Nodes]
+		if !ok {
+			fp = &Fig4Point{Nodes: p.Nodes}
+			byNode[p.Nodes] = fp
+			order = append(order, p.Nodes)
+		}
+		switch p.Class {
+		case HPLOnly:
+			fp.WithDaemons = p.Runtime
+		case MatchingLustre:
+			fp.LustreIOR = p.Runtime
+		}
+	}
+	var out []Fig4Point
+	for _, n := range order {
+		fp := byNode[n]
+		if fp.LustreIOR.Mean > 0 {
+			fp.OverheadFrac = RelDiff(fp.WithDaemons.Mean, fp.LustreIOR.Mean)
+			fp.OverheadLow = RelDiff(fp.WithDaemons.Mean-fp.WithDaemons.CI95, fp.LustreIOR.Mean+fp.LustreIOR.CI95)
+			fp.OverheadHigh = RelDiff(fp.WithDaemons.Mean+fp.WithDaemons.CI95, fp.LustreIOR.Mean-fp.LustreIOR.CI95)
+		}
+		out = append(out, *fp)
+	}
+	return out
+}

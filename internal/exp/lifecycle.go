@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+
+	"ofmf/internal/sim/beeond"
+	"ofmf/internal/sim/cluster"
+	"ofmf/internal/sim/des"
+	"ofmf/internal/sim/slurm"
+)
+
+// LifecycleConfig parameterizes the BeeOND assembly/teardown experiment
+// validating the paper's claim: "complete stable private BeeOND
+// filesystems in under 3 seconds and disassembled and erased in under 6
+// seconds, regardless of the scale of the compute node allocation".
+type LifecycleConfig struct {
+	NodeCounts []int
+	Reps       int
+	Seed       uint64
+	FS         beeond.Config
+}
+
+// DefaultLifecycle sweeps allocations from 2 to 512 nodes.
+func DefaultLifecycle() LifecycleConfig {
+	return LifecycleConfig{
+		NodeCounts: []int{2, 4, 8, 16, 32, 64, 128, 256, 512},
+		Reps:       10,
+		Seed:       42,
+		FS:         beeond.DefaultConfig(),
+	}
+}
+
+// LifecyclePoint is one node-count row.
+type LifecyclePoint struct {
+	Nodes    int
+	Assemble Summary
+	Teardown Summary
+}
+
+// RunLifecycle measures assembly and teardown wall time across scales.
+func RunLifecycle(cfg LifecycleConfig) ([]LifecyclePoint, error) {
+	if len(cfg.NodeCounts) == 0 {
+		cfg = DefaultLifecycle()
+	}
+	root := des.NewRNG(cfg.Seed)
+	var out []LifecyclePoint
+	for _, n := range cfg.NodeCounts {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = cluster.NodeName(i)
+		}
+		var up, down []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := root.Split(uint64(n)<<16 ^ uint64(rep))
+			fs := beeond.New(cfg.FS, nodes)
+			a, err := fs.Assemble(rng)
+			if err != nil {
+				return nil, fmt.Errorf("exp: assemble %d nodes: %w", n, err)
+			}
+			d, err := fs.Disassemble(rng)
+			if err != nil {
+				return nil, fmt.Errorf("exp: disassemble %d nodes: %w", n, err)
+			}
+			up = append(up, a)
+			down = append(down, d)
+		}
+		out = append(out, LifecyclePoint{Nodes: n, Assemble: Summarize(up), Teardown: Summarize(down)})
+	}
+	return out, nil
+}
+
+// SlurmLifecycleResult captures a full job lifecycle through the Slurm
+// simulator with BeeOND prolog/epilog integration: the end-to-end path of
+// the paper's §Integration with Slurm.
+type SlurmLifecycleResult struct {
+	Record      slurm.JobRecord
+	MetaNode    string
+	RolesByNode map[string]string
+	// DrainedNodes lists nodes Slurm drained after hook failures.
+	DrainedNodes []string
+}
+
+// RunSlurmLifecycle submits one n-node job with the "beeond" constraint
+// through the Slurm simulator; the prolog assembles the filesystem, the
+// epilog disassembles and reformats.
+func RunSlurmLifecycle(n int, runSeconds float64, seed uint64) (SlurmLifecycleResult, error) {
+	return RunSlurmLifecycleFS(n, runSeconds, seed, beeond.DefaultConfig())
+}
+
+// RunSlurmLifecycleFS is RunSlurmLifecycle with an explicit filesystem
+// timing/failure model — used for failure-injection experiments: a
+// hardware-related prolog failure must fail the job and drain the node,
+// exactly as the paper's error handling describes.
+func RunSlurmLifecycleFS(n int, runSeconds float64, seed uint64, fsCfg beeond.Config) (SlurmLifecycleResult, error) {
+	sim := &des.Sim{}
+	cl := cluster.NewDefault(n)
+	m := slurm.NewManager(sim, cl, des.NewRNG(seed))
+
+	fsByJob := make(map[int]*beeond.FS)
+	fsFor := func(ctx slurm.JobContext) *beeond.FS {
+		fs, ok := fsByJob[ctx.JobID]
+		if !ok {
+			fs = beeond.New(fsCfg, ctx.Nodes)
+			fsByJob[ctx.JobID] = fs
+		}
+		return fs
+	}
+	m.Prolog = func(ctx slurm.JobContext, node string, rng *des.RNG) (float64, error) {
+		if !ctx.HasConstraint("beeond") {
+			return 0, nil
+		}
+		return fsFor(ctx).StartNode(node, rng)
+	}
+	m.Epilog = func(ctx slurm.JobContext, node string, rng *des.RNG) (float64, error) {
+		if !ctx.HasConstraint("beeond") {
+			return 0, nil
+		}
+		return fsFor(ctx).StopNode(node, rng)
+	}
+
+	id, err := m.Submit(slurm.JobSpec{
+		Nodes:       n,
+		Constraints: []string{"beeond"},
+		Run:         func(slurm.JobContext, *des.RNG) float64 { return runSeconds },
+	})
+	if err != nil {
+		return SlurmLifecycleResult{}, err
+	}
+	sim.Run()
+	rec, err := m.Record(id)
+	if err != nil {
+		return SlurmLifecycleResult{}, err
+	}
+	fs := fsByJob[id]
+	roles := make(map[string]string, len(rec.Nodes))
+	meta := ""
+	if fs != nil {
+		meta = fs.MetaNode()
+		for _, node := range rec.Nodes {
+			role, err := fs.RoleOf(node)
+			if err != nil {
+				return SlurmLifecycleResult{}, err
+			}
+			roles[node] = role.String()
+		}
+	}
+	return SlurmLifecycleResult{
+		Record:       rec,
+		MetaNode:     meta,
+		RolesByNode:  roles,
+		DrainedNodes: cl.Drained(),
+	}, nil
+}

@@ -1,0 +1,109 @@
+// Package exp is the evaluation harness: it regenerates every table and
+// figure of the paper from the simulation substrates and the real OFMF
+// stack, with repetition counts and confidence intervals matching the
+// paper's methodology (7–10 repetitions, 95 % confidence intervals).
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the statistics of one measurement cell.
+type Summary struct {
+	N    int
+	Mean float64
+	SD   float64
+	CI95 float64 // half-width of the 95 % confidence interval
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes mean, standard deviation, and the t-based 95 %
+// confidence half-width of the samples.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	mn, mx := samples[0], samples[0]
+	for _, v := range samples {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	s := Summary{N: n, Mean: mean, Min: mn, Max: mx}
+	if n > 1 {
+		s.SD = math.Sqrt(ss / float64(n-1))
+		s.CI95 = tQuantile(n-1) * s.SD / math.Sqrt(float64(n))
+	}
+	return s
+}
+
+// tQuantile returns the two-sided 95 % Student-t quantile for the given
+// degrees of freedom.
+func tQuantile(df int) float64 {
+	table := []float64{
+		0: 0,
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+		16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+		21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+		26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Percentile returns the p-th percentile (0–100) of the samples using
+// nearest-rank.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// RelDiff returns (a-b)/b.
+func RelDiff(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b
+}
+
+// FmtSeconds renders a duration cell as seconds with CI.
+func (s Summary) FmtSeconds() string {
+	return fmt.Sprintf("%.1f ± %.1f s", s.Mean, s.CI95)
+}
+
+// FmtPercent renders a fraction cell as a percentage with CI scaled the
+// same way.
+func FmtPercent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

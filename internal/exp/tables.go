@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ofmf/internal/sim/workload"
+)
+
+// Table renders an aligned plain-text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 CSV for plotting pipelines.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Table1 regenerates Table I: profiles, benchmarks and the isolation
+// classification measured from the contention model.
+func Table1() Table {
+	t := Table{
+		Title:  "Table I: performance profiles and measured isolation",
+		Header: []string{"Profile", "Description", "Benchmark", "Co-sched slowdown", "Isolation"},
+	}
+	for _, p := range workload.Profiles() {
+		t.Rows = append(t.Rows, []string{
+			p.Name, p.Description, p.Benchmark,
+			FmtPercent(p.CoScheduledSlowdown()), p.Isolation(),
+		})
+	}
+	return t
+}
+
+// Table2 regenerates Table II: HPL parameters by node count, from the
+// extrapolation rule, alongside the paper's published values.
+func Table2() Table {
+	t := Table{
+		Title:  "Table II: HPL parameters by node count",
+		Header: []string{"Node Count", "Row Count (N)", "Grid P", "Grid Q", "Generated N", "Base runtime"},
+	}
+	for _, row := range workload.HPLTable() {
+		gen := workload.HPLParams(row.Nodes)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%d", row.P),
+			fmt.Sprintf("%d", row.Q),
+			fmt.Sprintf("%d", gen.N),
+			fmt.Sprintf("%.0f s", workload.BaseRuntime(row.Nodes)),
+		})
+	}
+	return t
+}
+
+// Table3 regenerates Table III: the IOR parameters.
+func Table3() Table {
+	t := Table{
+		Title:  "Table III: IOR parameters",
+		Header: []string{"Parameter", "Description", "Value"},
+	}
+	for _, row := range workload.DefaultIOR().Rows() {
+		t.Rows = append(t.Rows, []string{row.Parameter, row.Description, row.Value})
+	}
+	return t
+}
+
+// Fig3Table renders Figure 3's data as a table: one row per (class, node
+// count) with runtime, CI and slowdown vs the HPL-Only arm.
+func Fig3Table(points []Fig3Point) Table {
+	t := Table{
+		Title:  "Figure 3: HPL execution time with and without co-located IOR (mean ± 95% CI)",
+		Header: []string{"Class", "Nodes", "Runtime", "Slowdown vs HPL-Only"},
+	}
+	for _, p := range points {
+		slow := "-"
+		if p.Class != HPLOnly && p.BaselineMean > 0 {
+			slow = FmtPercent(p.Slowdown())
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Class.String(),
+			fmt.Sprintf("%d", p.Nodes),
+			p.Runtime.FmtSeconds(),
+			slow,
+		})
+	}
+	return t
+}
+
+// Fig4Table renders Figure 4's data: idle-daemon overhead per node count.
+func Fig4Table(points []Fig4Point) Table {
+	t := Table{
+		Title:  "Figure 4: HPL-only (idle BeeOND daemons) vs Lustre+IOR (no daemons)",
+		Header: []string{"Nodes", "HPL-only (daemons)", "Lustre+IOR", "Idle-daemon overhead", "Range"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes),
+			p.WithDaemons.FmtSeconds(),
+			p.LustreIOR.FmtSeconds(),
+			FmtPercent(p.OverheadFrac),
+			fmt.Sprintf("[%s, %s]", FmtPercent(p.OverheadLow), FmtPercent(p.OverheadHigh)),
+		})
+	}
+	return t
+}
+
+// LifecycleTable renders the BeeOND assembly/teardown sweep.
+func LifecycleTable(points []LifecyclePoint) Table {
+	t := Table{
+		Title:  "BeeOND lifecycle: assembly < 3 s, teardown < 6 s at every scale",
+		Header: []string{"Nodes", "Assemble", "Teardown"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.2f ± %.2f s (max %.2f)", p.Assemble.Mean, p.Assemble.CI95, p.Assemble.Max),
+			fmt.Sprintf("%.2f ± %.2f s (max %.2f)", p.Teardown.Mean, p.Teardown.CI95, p.Teardown.Max),
+		})
+	}
+	return t
+}

@@ -1,0 +1,28 @@
+package odata_test
+
+import (
+	"fmt"
+
+	"ofmf/internal/odata"
+)
+
+func ExampleID_Append() {
+	fabrics := odata.ID("/redfish/v1/Fabrics")
+	cxl := fabrics.Append("CXL", "Endpoints", "node001")
+	fmt.Println(cxl)
+	fmt.Println(cxl.Leaf())
+	fmt.Println(cxl.Parent())
+	// Output:
+	// /redfish/v1/Fabrics/CXL/Endpoints/node001
+	// node001
+	// /redfish/v1/Fabrics/CXL/Endpoints
+}
+
+func ExampleID_Under() {
+	ep := odata.ID("/redfish/v1/Fabrics/CXL/Endpoints/node001")
+	fmt.Println(ep.Under("/redfish/v1/Fabrics/CXL"))
+	fmt.Println(ep.Under("/redfish/v1/Systems"))
+	// Output:
+	// true
+	// false
+}

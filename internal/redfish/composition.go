@@ -1,0 +1,68 @@
+package redfish
+
+import "ofmf/internal/odata"
+
+// CompositionState enumerates ResourceBlock.CompositionStatus states.
+const (
+	CompositionUnused               = "Unused"
+	CompositionComposed             = "Composed"
+	CompositionComposedAndAvailable = "ComposedAndAvailable"
+	CompositionFailed               = "Failed"
+	CompositionUnavailable          = "Unavailable"
+)
+
+// ResourceBlockType enumerates the kinds of resource a block contributes.
+const (
+	BlockCompute        = "Compute"
+	BlockProcessor      = "Processor"
+	BlockMemory         = "Memory"
+	BlockStorage        = "Storage"
+	BlockNetwork        = "Network"
+	BlockComputerSystem = "ComputerSystem"
+	BlockExpansion      = "Expansion"
+)
+
+// CompositionService is the root of the composition surface: the free pool
+// of resource blocks and the resource zones describing what can be
+// composed together.
+type CompositionService struct {
+	odata.Resource
+	ServiceEnabled        bool         `json:"ServiceEnabled"`
+	AllowOverprovisioning bool         `json:"AllowOverprovisioning,omitempty"`
+	Status                odata.Status `json:"Status"`
+	ResourceBlocks        *odata.Ref   `json:"ResourceBlocks,omitempty"`
+	ResourceZones         *odata.Ref   `json:"ResourceZones,omitempty"`
+}
+
+// ResourceBlock is the unit of composition: a bundle of processors, memory
+// devices, drives or network endpoints that can be bound into a composed
+// system.
+type ResourceBlock struct {
+	odata.Resource
+	ResourceBlockType []string          `json:"ResourceBlockType"`
+	CompositionStatus CompositionStatus `json:"CompositionStatus"`
+	Status            odata.Status      `json:"Status"`
+
+	Processors []odata.Ref `json:"Processors,omitempty"`
+	Memory     []odata.Ref `json:"Memory,omitempty"`
+	Storage    []odata.Ref `json:"Storage,omitempty"`
+	Drives     []odata.Ref `json:"Drives,omitempty"`
+
+	Links ResourceBlockLinks `json:"Links"`
+}
+
+// CompositionStatus reports whether a block is free or bound.
+type CompositionStatus struct {
+	CompositionState string `json:"CompositionState"`
+	Reserved         bool   `json:"Reserved,omitempty"`
+	SharingCapable   bool   `json:"SharingCapable,omitempty"`
+	MaxCompositions  int    `json:"MaxCompositions,omitempty"`
+}
+
+// ResourceBlockLinks connects a block to the systems composed from it, the
+// zones it belongs to, and the chassis that houses it.
+type ResourceBlockLinks struct {
+	ComputerSystems []odata.Ref `json:"ComputerSystems,omitempty"`
+	Chassis         []odata.Ref `json:"Chassis,omitempty"`
+	Zones           []odata.Ref `json:"Zones,omitempty"`
+}

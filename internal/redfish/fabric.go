@@ -1,0 +1,149 @@
+package redfish
+
+import "ofmf/internal/odata"
+
+// FabricType enumerates Protocol values for fabrics, ports and endpoints.
+const (
+	ProtocolCXL        = "CXL"
+	ProtocolNVMeOF     = "NVMeOverFabrics"
+	ProtocolInfiniBand = "InfiniBand"
+	ProtocolEthernet   = "Ethernet"
+	ProtocolGenZ       = "GenZ"
+	ProtocolPCIe       = "PCIe"
+)
+
+// Fabric is the top-level container for one managed interconnect: its
+// switches, endpoints, zones and connections.
+type Fabric struct {
+	odata.Resource
+	FabricType string       `json:"FabricType"`
+	MaxZones   int          `json:"MaxZones,omitempty"`
+	Status     odata.Status `json:"Status"`
+
+	Switches    *odata.Ref `json:"Switches,omitempty"`
+	Endpoints   *odata.Ref `json:"Endpoints,omitempty"`
+	Zones       *odata.Ref `json:"Zones,omitempty"`
+	Connections *odata.Ref `json:"Connections,omitempty"`
+}
+
+// Switch models a fabric switch with its port collection.
+type Switch struct {
+	odata.Resource
+	SwitchType       string       `json:"SwitchType"`
+	Manufacturer     string       `json:"Manufacturer,omitempty"`
+	Model            string       `json:"Model,omitempty"`
+	TotalSwitchWidth int          `json:"TotalSwitchWidth,omitempty"`
+	Status           odata.Status `json:"Status"`
+	Ports            *odata.Ref   `json:"Ports,omitempty"`
+	Links            SwitchLinks  `json:"Links"`
+}
+
+// SwitchLinks connects a switch to its chassis.
+type SwitchLinks struct {
+	Chassis *odata.Ref `json:"Chassis,omitempty"`
+}
+
+// Port models one switch or device port.
+type Port struct {
+	odata.Resource
+	PortID           string       `json:"PortId,omitempty"`
+	PortProtocol     string       `json:"PortProtocol,omitempty"`
+	PortType         string       `json:"PortType,omitempty"` // UpstreamPort, DownstreamPort, InterswitchPort
+	CurrentSpeedGbps float64      `json:"CurrentSpeedGbps,omitempty"`
+	MaxSpeedGbps     float64      `json:"MaxSpeedGbps,omitempty"`
+	Width            int          `json:"Width,omitempty"`
+	LinkState        string       `json:"LinkState,omitempty"`  // Enabled, Disabled
+	LinkStatus       string       `json:"LinkStatus,omitempty"` // LinkUp, LinkDown, NoLink
+	Status           odata.Status `json:"Status"`
+	Links            PortLinks    `json:"Links"`
+}
+
+// PortLinks connects a port to its peers and endpoints.
+type PortLinks struct {
+	AssociatedEndpoints []odata.Ref `json:"AssociatedEndpoints,omitempty"`
+	ConnectedPorts      []odata.Ref `json:"ConnectedPorts,omitempty"`
+	ConnectedSwitches   []odata.Ref `json:"ConnectedSwitches,omitempty"`
+}
+
+// Endpoint models a fabric endpoint: the attachment point of a host,
+// memory device, drive, or processor to the fabric.
+type Endpoint struct {
+	odata.Resource
+	EndpointProtocol  string            `json:"EndpointProtocol"`
+	ConnectedEntities []ConnectedEntity `json:"ConnectedEntities,omitempty"`
+	Identifiers       []Identifier      `json:"Identifiers,omitempty"`
+	Status            odata.Status      `json:"Status"`
+	Links             EndpointLinks     `json:"Links"`
+}
+
+// ConnectedEntity names the resource behind an endpoint.
+type ConnectedEntity struct {
+	EntityType string     `json:"EntityType"` // Processor, Volume, Memory, Drive, ComputerSystem
+	EntityRole string     `json:"EntityRole"` // Initiator, Target, Both
+	EntityLink *odata.Ref `json:"EntityLink,omitempty"`
+}
+
+// Identifier is a durable name (NQN, GUID, UUID) for an endpoint.
+type Identifier struct {
+	DurableName       string `json:"DurableName"`
+	DurableNameFormat string `json:"DurableNameFormat"` // NQN, UUID, EUI, iQN
+}
+
+// EndpointLinks connects an endpoint to ports and zones.
+type EndpointLinks struct {
+	Ports          []odata.Ref `json:"Ports,omitempty"`
+	ConnectedPorts []odata.Ref `json:"ConnectedPorts,omitempty"`
+	Zones          []odata.Ref `json:"Zones,omitempty"`
+}
+
+// ZoneType enumerates Zone.ZoneType values.
+const (
+	ZoneTypeDefault              = "Default"
+	ZoneTypeZoneOfEndpoints      = "ZoneOfEndpoints"
+	ZoneTypeZoneOfZones          = "ZoneOfZones"
+	ZoneTypeZoneOfResourceBlocks = "ZoneOfResourceBlocks"
+)
+
+// Zone groups endpoints that are permitted to communicate.
+type Zone struct {
+	odata.Resource
+	ZoneType string       `json:"ZoneType"`
+	Status   odata.Status `json:"Status"`
+	Links    ZoneLinks    `json:"Links"`
+}
+
+// ZoneLinks lists a zone's member endpoints and resource blocks.
+type ZoneLinks struct {
+	Endpoints        []odata.Ref `json:"Endpoints,omitempty"`
+	ResourceBlocks   []odata.Ref `json:"ResourceBlocks,omitempty"`
+	ContainedByZones []odata.Ref `json:"ContainedByZones,omitempty"`
+}
+
+// Connection grants initiator endpoints access to target resources; it is
+// the resource the OFMF manipulates to attach memory or volumes to hosts.
+type Connection struct {
+	odata.Resource
+	ConnectionType  string            `json:"ConnectionType"` // Storage, Memory
+	Status          odata.Status      `json:"Status"`
+	MemoryChunkInfo []MemoryChunkInfo `json:"MemoryChunkInfo,omitempty"`
+	VolumeInfo      []VolumeInfo      `json:"VolumeInfo,omitempty"`
+	Links           ConnectionLinks   `json:"Links"`
+}
+
+// MemoryChunkInfo grants access to a memory chunk.
+type MemoryChunkInfo struct {
+	AccessCapabilities []string   `json:"AccessCapabilities,omitempty"` // Read, Write
+	MemoryChunk        *odata.Ref `json:"MemoryChunk,omitempty"`
+}
+
+// VolumeInfo grants access to a storage volume.
+type VolumeInfo struct {
+	AccessCapabilities []string   `json:"AccessCapabilities,omitempty"`
+	Volume             *odata.Ref `json:"Volume,omitempty"`
+}
+
+// ConnectionLinks lists the initiator and target endpoints of a connection.
+type ConnectionLinks struct {
+	InitiatorEndpoints []odata.Ref `json:"InitiatorEndpoints,omitempty"`
+	TargetEndpoints    []odata.Ref `json:"TargetEndpoints,omitempty"`
+}

@@ -1,0 +1,108 @@
+// Package redfish defines the DMTF Redfish and SNIA Swordfish schema types
+// served by the OFMF. The subset implemented here covers the resources the
+// OpenFabrics Management Framework exposes: the service root, computer
+// systems, chassis, fabrics (switches, ports, endpoints, zones,
+// connections), storage (pools, volumes, drives), memory (devices, chunks,
+// domains), processors, the event/task/session/telemetry services, the
+// aggregation service used for agent registration, and the composition
+// service (resource blocks and zones).
+//
+// Each type embeds odata.Resource so serialized payloads carry the
+// mandatory @odata annotations. Version strings follow the schema bundles
+// current at the time the paper's OFMF prototype was built.
+package redfish
+
+import "ofmf/internal/odata"
+
+// Schema @odata.type strings for the resources the OFMF serves.
+const (
+	TypeServiceRoot       = "#ServiceRoot.v1_15_0.ServiceRoot"
+	TypeComputerSystem    = "#ComputerSystem.v1_20_0.ComputerSystem"
+	TypeChassis           = "#Chassis.v1_22_0.Chassis"
+	TypeFabric            = "#Fabric.v1_3_0.Fabric"
+	TypeSwitch            = "#Switch.v1_9_0.Switch"
+	TypePort              = "#Port.v1_9_0.Port"
+	TypeEndpoint          = "#Endpoint.v1_8_0.Endpoint"
+	TypeZone              = "#Zone.v1_6_1.Zone"
+	TypeConnection        = "#Connection.v1_2_0.Connection"
+	TypeStorage           = "#Storage.v1_15_0.Storage"
+	TypeStoragePool       = "#StoragePool.v1_9_0.StoragePool"
+	TypeVolume            = "#Volume.v1_9_0.Volume"
+	TypeDrive             = "#Drive.v1_16_0.Drive"
+	TypeMemory            = "#Memory.v1_17_0.Memory"
+	TypeMemoryChunks      = "#MemoryChunks.v1_5_0.MemoryChunks"
+	TypeMemoryDomain      = "#MemoryDomain.v1_5_0.MemoryDomain"
+	TypeProcessor         = "#Processor.v1_18_0.Processor"
+	TypeEventService      = "#EventService.v1_10_0.EventService"
+	TypeEventDestination  = "#EventDestination.v1_13_0.EventDestination"
+	TypeEvent             = "#Event.v1_8_0.Event"
+	TypeTaskService       = "#TaskService.v1_2_0.TaskService"
+	TypeTask              = "#Task.v1_7_0.Task"
+	TypeSessionService    = "#SessionService.v1_1_8.SessionService"
+	TypeSession           = "#Session.v1_5_0.Session"
+	TypeTelemetryService  = "#TelemetryService.v1_3_1.TelemetryService"
+	TypeMetricDefinition  = "#MetricDefinition.v1_3_1.MetricDefinition"
+	TypeMetricReport      = "#MetricReport.v1_5_0.MetricReport"
+	TypeMetricReportDef   = "#MetricReportDefinition.v1_4_2.MetricReportDefinition"
+	TypeAggregationSvc    = "#AggregationService.v1_0_2.AggregationService"
+	TypeAggregationSource = "#AggregationSource.v1_3_1.AggregationSource"
+	TypeCompositionSvc    = "#CompositionService.v1_2_2.CompositionService"
+	TypeResourceBlock     = "#ResourceBlock.v1_4_2.ResourceBlock"
+	TypeResourceZone      = "#Zone.v1_6_1.Zone"
+
+	TypeComputerSystemCollection  = "#ComputerSystemCollection.ComputerSystemCollection"
+	TypeChassisCollection         = "#ChassisCollection.ChassisCollection"
+	TypeFabricCollection          = "#FabricCollection.FabricCollection"
+	TypeSwitchCollection          = "#SwitchCollection.SwitchCollection"
+	TypePortCollection            = "#PortCollection.PortCollection"
+	TypeEndpointCollection        = "#EndpointCollection.EndpointCollection"
+	TypeZoneCollection            = "#ZoneCollection.ZoneCollection"
+	TypeConnectionCollection      = "#ConnectionCollection.ConnectionCollection"
+	TypeStorageCollection         = "#StorageCollection.StorageCollection"
+	TypeStoragePoolCollection     = "#StoragePoolCollection.StoragePoolCollection"
+	TypeVolumeCollection          = "#VolumeCollection.VolumeCollection"
+	TypeDriveCollection           = "#DriveCollection.DriveCollection"
+	TypeMemoryCollection          = "#MemoryCollection.MemoryCollection"
+	TypeMemoryChunksCollection    = "#MemoryChunksCollection.MemoryChunksCollection"
+	TypeMemoryDomainCollection    = "#MemoryDomainCollection.MemoryDomainCollection"
+	TypeProcessorCollection       = "#ProcessorCollection.ProcessorCollection"
+	TypeEventDestCollection       = "#EventDestinationCollection.EventDestinationCollection"
+	TypeTaskCollection            = "#TaskCollection.TaskCollection"
+	TypeSessionCollection         = "#SessionCollection.SessionCollection"
+	TypeMetricReportCollection    = "#MetricReportCollection.MetricReportCollection"
+	TypeMetricReportDefCollection = "#MetricReportDefinitionCollection.MetricReportDefinitionCollection"
+	TypeMetricDefCollection       = "#MetricDefinitionCollection.MetricDefinitionCollection"
+	TypeAggregationSrcCollection  = "#AggregationSourceCollection.AggregationSourceCollection"
+	TypeResourceBlockCollection   = "#ResourceBlockCollection.ResourceBlockCollection"
+	TypeResourceZoneCollection    = "#ZoneCollection.ZoneCollection"
+)
+
+// Root is the versioned service entry point at /redfish/v1.
+type Root struct {
+	odata.Resource
+	RedfishVersion     string     `json:"RedfishVersion"`
+	UUID               string     `json:"UUID,omitempty"`
+	Systems            *odata.Ref `json:"Systems,omitempty"`
+	Chassis            *odata.Ref `json:"Chassis,omitempty"`
+	Fabrics            *odata.Ref `json:"Fabrics,omitempty"`
+	Storage            *odata.Ref `json:"Storage,omitempty"`
+	EventService       *odata.Ref `json:"EventService,omitempty"`
+	TaskService        *odata.Ref `json:"Tasks,omitempty"`
+	SessionService     *odata.Ref `json:"SessionService,omitempty"`
+	TelemetryService   *odata.Ref `json:"TelemetryService,omitempty"`
+	AggregationService *odata.Ref `json:"AggregationService,omitempty"`
+	CompositionService *odata.Ref `json:"CompositionService,omitempty"`
+	Links              RootLinks  `json:"Links"`
+}
+
+// RootLinks holds the service root's link section.
+type RootLinks struct {
+	Sessions odata.Ref `json:"Sessions"`
+}
+
+// Ref returns a pointer to a reference for the given id, for optional link
+// members.
+func Ref(id odata.ID) *odata.Ref {
+	r := odata.NewRef(id)
+	return &r
+}

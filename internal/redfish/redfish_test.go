@@ -1,0 +1,180 @@
+package redfish
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+)
+
+func TestRootMarshalShape(t *testing.T) {
+	root := Root{
+		Resource:       odata.NewResource("/redfish/v1", TypeServiceRoot, "OFMF Service Root"),
+		RedfishVersion: "1.15.0",
+		Systems:        Ref("/redfish/v1/Systems"),
+		Fabrics:        Ref("/redfish/v1/Fabrics"),
+		Links:          RootLinks{Sessions: odata.NewRef("/redfish/v1/SessionService/Sessions")},
+	}
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["RedfishVersion"] != "1.15.0" {
+		t.Errorf("RedfishVersion = %v", m["RedfishVersion"])
+	}
+	sys, ok := m["Systems"].(map[string]any)
+	if !ok || sys["@odata.id"] != "/redfish/v1/Systems" {
+		t.Errorf("Systems link wrong: %v", m["Systems"])
+	}
+	links, ok := m["Links"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing Links")
+	}
+	if _, ok := links["Sessions"]; !ok {
+		t.Error("missing Links.Sessions")
+	}
+}
+
+func TestOptionalLinksOmitted(t *testing.T) {
+	sys := ComputerSystem{
+		Resource:   odata.NewResource("/redfish/v1/Systems/S1", TypeComputerSystem, "S1"),
+		SystemType: SystemTypePhysical,
+		Status:     odata.StatusOK(),
+	}
+	b, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"Processors", "MemorySummary", "HostName"} {
+		if strings.Contains(string(b), `"`+absent+`"`) {
+			t.Errorf("empty optional member %s serialized: %s", absent, b)
+		}
+	}
+}
+
+func TestEndpointRoundTrip(t *testing.T) {
+	ep := Endpoint{
+		Resource:         odata.NewResource("/redfish/v1/Fabrics/CXL/Endpoints/E1", TypeEndpoint, "E1"),
+		EndpointProtocol: ProtocolCXL,
+		ConnectedEntities: []ConnectedEntity{{
+			EntityType: "Memory",
+			EntityRole: "Target",
+			EntityLink: Ref("/redfish/v1/Chassis/MemApp/Memory/M0"),
+		}},
+		Identifiers: []Identifier{{DurableName: "urn:uuid:abc", DurableNameFormat: "UUID"}},
+		Status:      odata.StatusOK(),
+	}
+	b, err := json.Marshal(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Endpoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.EndpointProtocol != ProtocolCXL {
+		t.Errorf("protocol = %q", back.EndpointProtocol)
+	}
+	if len(back.ConnectedEntities) != 1 || back.ConnectedEntities[0].EntityType != "Memory" {
+		t.Errorf("connected entities = %+v", back.ConnectedEntities)
+	}
+	if back.ConnectedEntities[0].EntityLink.ODataID != "/redfish/v1/Chassis/MemApp/Memory/M0" {
+		t.Errorf("entity link = %v", back.ConnectedEntities[0].EntityLink)
+	}
+}
+
+func TestConnectionMemoryChunkInfo(t *testing.T) {
+	conn := Connection{
+		Resource:       odata.NewResource("/redfish/v1/Fabrics/CXL/Connections/C1", TypeConnection, "C1"),
+		ConnectionType: "Memory",
+		Status:         odata.StatusOK(),
+		MemoryChunkInfo: []MemoryChunkInfo{{
+			AccessCapabilities: []string{"Read", "Write"},
+			MemoryChunk:        Ref("/redfish/v1/Chassis/MemApp/MemoryDomains/D0/MemoryChunks/K1"),
+		}},
+		Links: ConnectionLinks{
+			InitiatorEndpoints: []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/CXL/Endpoints/Host1")},
+			TargetEndpoints:    []odata.Ref{odata.NewRef("/redfish/v1/Fabrics/CXL/Endpoints/Mem1")},
+		},
+	}
+	b, err := json.Marshal(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Connection
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Links.InitiatorEndpoints) != 1 || len(back.Links.TargetEndpoints) != 1 {
+		t.Errorf("links = %+v", back.Links)
+	}
+	if back.MemoryChunkInfo[0].MemoryChunk == nil {
+		t.Error("memory chunk ref lost")
+	}
+}
+
+func TestResourceBlockStates(t *testing.T) {
+	rb := ResourceBlock{
+		Resource:          odata.NewResource("/redfish/v1/CompositionService/ResourceBlocks/B1", TypeResourceBlock, "B1"),
+		ResourceBlockType: []string{BlockMemory},
+		CompositionStatus: CompositionStatus{CompositionState: CompositionUnused, SharingCapable: true},
+		Status:            odata.StatusOK(),
+	}
+	b, err := json.Marshal(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"CompositionState":"Unused"`) {
+		t.Errorf("composition state missing: %s", b)
+	}
+}
+
+func TestEventRecordTimestamp(t *testing.T) {
+	ts := Timestamp(time.Date(2023, 5, 15, 12, 0, 0, 0, time.UTC))
+	if ts != "2023-05-15T12:00:00Z" {
+		t.Errorf("Timestamp = %q", ts)
+	}
+}
+
+func TestTaskStates(t *testing.T) {
+	task := Task{
+		Resource:  odata.NewResource("/redfish/v1/TaskService/Tasks/T1", TypeTask, "T1"),
+		TaskState: TaskRunning,
+	}
+	b, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Task
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TaskState != TaskRunning {
+		t.Errorf("TaskState = %q", back.TaskState)
+	}
+	if back.PercentComplete != 0 {
+		t.Errorf("PercentComplete = %d", back.PercentComplete)
+	}
+}
+
+func TestAggregationSourceDescriptor(t *testing.T) {
+	src := AggregationSource{
+		Resource: odata.NewResource("/redfish/v1/AggregationService/AggregationSources/A1", TypeAggregationSource, "CXL Agent"),
+		HostName: "http://127.0.0.1:9001",
+		Status:   odata.StatusOK(),
+		Oem:      AggSourceOem{OFMF: &AgentDescriptor{Technology: ProtocolCXL, Version: "0.1"}},
+	}
+	b, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"Technology":"CXL"`) {
+		t.Errorf("agent descriptor missing: %s", b)
+	}
+}

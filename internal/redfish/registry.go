@@ -1,0 +1,97 @@
+package redfish
+
+import "ofmf/internal/odata"
+
+// MessageRegistry is a Redfish message registry: the catalogue of
+// structured messages a service emits, keyed by message id.
+type MessageRegistry struct {
+	odata.Resource
+	Language        string                     `json:"Language"`
+	RegistryPrefix  string                     `json:"RegistryPrefix"`
+	RegistryVersion string                     `json:"RegistryVersion"`
+	OwningEntity    string                     `json:"OwningEntity"`
+	Messages        map[string]RegistryMessage `json:"Messages"`
+}
+
+// RegistryMessage documents one message.
+type RegistryMessage struct {
+	Description  string   `json:"Description"`
+	Message      string   `json:"Message"`
+	Severity     string   `json:"Severity"`
+	NumberOfArgs int      `json:"NumberOfArgs"`
+	ParamTypes   []string `json:"ParamTypes,omitempty"`
+	Resolution   string   `json:"Resolution"`
+}
+
+// TypeMessageRegistry is the registry's @odata.type.
+const TypeMessageRegistry = "#MessageRegistry.v1_6_0.MessageRegistry"
+
+// OFMFRegistry returns the OFMF.1.0 message registry: every structured
+// message this implementation emits through the event service.
+func OFMFRegistry(uri odata.ID) MessageRegistry {
+	return MessageRegistry{
+		Resource:        odata.NewResource(uri, TypeMessageRegistry, "OFMF Message Registry"),
+		Language:        "en",
+		RegistryPrefix:  "OFMF",
+		RegistryVersion: "1.0",
+		OwningEntity:    "OpenFabrics Alliance",
+		Messages: map[string]RegistryMessage{
+			"SystemComposed": {
+				Description:  "A composed system was assembled from pooled resources.",
+				Message:      "Composed system %1 on node %2.",
+				Severity:     "OK",
+				NumberOfArgs: 2,
+				ParamTypes:   []string{"string", "string"},
+				Resolution:   "None.",
+			},
+			"SystemDecomposed": {
+				Description:  "A composed system was released and its resources returned to the pools.",
+				Message:      "Decomposed system %1.",
+				Severity:     "OK",
+				NumberOfArgs: 1,
+				ParamTypes:   []string{"string"},
+				Resolution:   "None.",
+			},
+			"MemoryHotAdded": {
+				Description:  "Fabric-attached memory was hot-added to a live composition.",
+				Message:      "Hot-added %1 MiB to composition %2.",
+				Severity:     "OK",
+				NumberOfArgs: 2,
+				ParamTypes:   []string{"number", "string"},
+				Resolution:   "None.",
+			},
+			"OutOfMemory": {
+				Description:  "A running composition is approaching memory exhaustion.",
+				Message:      "Composition %1 is approaching memory exhaustion.",
+				Severity:     "Critical",
+				NumberOfArgs: 1,
+				ParamTypes:   []string{"string"},
+				Resolution:   "The Composability Manager hot-adds fabric memory when the mitigation rule is enabled.",
+			},
+			"FabricLinkDown": {
+				Description:  "A fabric link failed; affected flows are re-routed where paths exist.",
+				Message:      "Fabric link %1 is down.",
+				Severity:     "Critical",
+				NumberOfArgs: 1,
+				ParamTypes:   []string{"string"},
+				Resolution:   "Repair the link, then re-enable the port via PATCH LinkState=Enabled.",
+			},
+			"FabricLinkUp": {
+				Description:  "A fabric link returned to service.",
+				Message:      "Fabric link %1 is up.",
+				Severity:     "OK",
+				NumberOfArgs: 1,
+				ParamTypes:   []string{"string"},
+				Resolution:   "None.",
+			},
+			"AgentRegistered": {
+				Description:  "A technology-specific agent registered with the aggregation service.",
+				Message:      "Agent %1 registered for %2.",
+				Severity:     "OK",
+				NumberOfArgs: 2,
+				ParamTypes:   []string{"string", "string"},
+				Resolution:   "None.",
+			},
+		},
+	}
+}

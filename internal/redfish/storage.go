@@ -1,0 +1,66 @@
+package redfish
+
+import "ofmf/internal/odata"
+
+// Storage models a storage subsystem (Swordfish): an NVMe-oF target's
+// storage service with its pools, volumes and drives.
+type Storage struct {
+	odata.Resource
+	Status       odata.Status `json:"Status"`
+	StoragePools *odata.Ref   `json:"StoragePools,omitempty"`
+	Volumes      *odata.Ref   `json:"Volumes,omitempty"`
+	Drives       []odata.Ref  `json:"Drives,omitempty"`
+	Links        StorageLinks `json:"Links"`
+}
+
+// StorageLinks connects storage to the enclosing chassis.
+type StorageLinks struct {
+	Enclosures []odata.Ref `json:"Enclosures,omitempty"`
+}
+
+// StoragePool is a Swordfish capacity pool volumes are carved from.
+type StoragePool struct {
+	odata.Resource
+	Status             odata.Status `json:"Status"`
+	Capacity           Capacity     `json:"Capacity"`
+	SupportedRAIDTypes []string     `json:"SupportedRAIDTypes,omitempty"`
+	AllocatedVolumes   *odata.Ref   `json:"AllocatedVolumes,omitempty"`
+}
+
+// Capacity is the Swordfish capacity block.
+type Capacity struct {
+	Data CapacityInfo `json:"Data"`
+}
+
+// CapacityInfo reports allocated vs consumed bytes.
+type CapacityInfo struct {
+	AllocatedBytes  int64 `json:"AllocatedBytes"`
+	ConsumedBytes   int64 `json:"ConsumedBytes,omitempty"`
+	GuaranteedBytes int64 `json:"GuaranteedBytes,omitempty"`
+}
+
+// Volume is a provisioned logical volume (an NVMe namespace when exported
+// over NVMe-oF).
+type Volume struct {
+	odata.Resource
+	Status        odata.Status `json:"Status"`
+	CapacityBytes int64        `json:"CapacityBytes"`
+	RAIDType      string       `json:"RAIDType,omitempty"`
+	Identifiers   []Identifier `json:"Identifiers,omitempty"`
+	Links         VolumeLinks  `json:"Links"`
+}
+
+// VolumeLinks connects a volume to drives and client endpoints.
+type VolumeLinks struct {
+	Drives          []odata.Ref `json:"Drives,omitempty"`
+	ClientEndpoints []odata.Ref `json:"ClientEndpoints,omitempty"`
+}
+
+// Drive is a physical drive backing pools.
+type Drive struct {
+	odata.Resource
+	Status        odata.Status `json:"Status"`
+	CapacityBytes int64        `json:"CapacityBytes"`
+	MediaType     string       `json:"MediaType,omitempty"` // SSD, HDD
+	Protocol      string       `json:"Protocol,omitempty"`
+}

@@ -1,0 +1,139 @@
+package redfish
+
+import "ofmf/internal/odata"
+
+// SystemType enumerates ComputerSystem.SystemType values used by the OFMF.
+const (
+	SystemTypePhysical = "Physical"
+	SystemTypeComposed = "Composed"
+	SystemTypeVirtual  = "Virtual"
+)
+
+// ComputerSystem models a compute node or a composed system assembled by
+// the composition service.
+type ComputerSystem struct {
+	odata.Resource
+	SystemType   string       `json:"SystemType"`
+	Status       odata.Status `json:"Status"`
+	PowerState   string       `json:"PowerState,omitempty"`
+	Manufacturer string       `json:"Manufacturer,omitempty"`
+	Model        string       `json:"Model,omitempty"`
+	SerialNumber string       `json:"SerialNumber,omitempty"`
+	HostName     string       `json:"HostName,omitempty"`
+
+	ProcessorSummary *ProcessorSummary `json:"ProcessorSummary,omitempty"`
+	MemorySummary    *MemorySummary    `json:"MemorySummary,omitempty"`
+
+	Processors *odata.Ref `json:"Processors,omitempty"`
+	Memory     *odata.Ref `json:"Memory,omitempty"`
+	Storage    *odata.Ref `json:"Storage,omitempty"`
+
+	Links SystemLinks `json:"Links"`
+}
+
+// ProcessorSummary aggregates the system's processor inventory.
+type ProcessorSummary struct {
+	Count      int    `json:"Count"`
+	CoreCount  int    `json:"CoreCount,omitempty"`
+	Model      string `json:"Model,omitempty"`
+	TotalCores int    `json:"TotalCores,omitempty"`
+}
+
+// MemorySummary aggregates the system's memory inventory.
+type MemorySummary struct {
+	TotalSystemMemoryGiB float64 `json:"TotalSystemMemoryGiB"`
+}
+
+// SystemLinks connects a system to its chassis, endpoints and the resource
+// blocks it was composed from.
+type SystemLinks struct {
+	Chassis        []odata.Ref `json:"Chassis,omitempty"`
+	Endpoints      []odata.Ref `json:"Endpoints,omitempty"`
+	ResourceBlocks []odata.Ref `json:"ResourceBlocks,omitempty"`
+}
+
+// Processor models a CPU, GPU or accelerator device.
+type Processor struct {
+	odata.Resource
+	ProcessorType string       `json:"ProcessorType"` // CPU, GPU, Accelerator, DSP
+	Status        odata.Status `json:"Status"`
+	Manufacturer  string       `json:"Manufacturer,omitempty"`
+	Model         string       `json:"Model,omitempty"`
+	TotalCores    int          `json:"TotalCores,omitempty"`
+	TotalThreads  int          `json:"TotalThreads,omitempty"`
+	MaxSpeedMHz   int          `json:"MaxSpeedMHz,omitempty"`
+	Links         ProcLinks    `json:"Links"`
+}
+
+// ProcLinks connects a processor to fabric endpoints.
+type ProcLinks struct {
+	Endpoints []odata.Ref `json:"Endpoints,omitempty"`
+}
+
+// Memory models a memory device: local DIMMs or fabric-attached memory
+// presented by a CXL appliance.
+type Memory struct {
+	odata.Resource
+	MemoryType       string       `json:"MemoryType,omitempty"`       // DRAM, NVDIMM_P, ...
+	MemoryDeviceType string       `json:"MemoryDeviceType,omitempty"` // DDR4, HBM2, CXL
+	CapacityMiB      int64        `json:"CapacityMiB"`
+	AllocatedMiB     int64        `json:"AllocatedMiB,omitempty"`
+	Status           odata.Status `json:"Status"`
+	Links            MemLinks     `json:"Links"`
+}
+
+// MemLinks connects a memory device to fabric endpoints and chunks.
+type MemLinks struct {
+	Endpoints    []odata.Ref `json:"Endpoints,omitempty"`
+	MemoryChunks []odata.Ref `json:"MemoryChunks,omitempty"`
+}
+
+// MemoryDomain groups memory devices that can be interleaved or chunked
+// together.
+type MemoryDomain struct {
+	odata.Resource
+	AllowsMemoryChunkCreation bool         `json:"AllowsMemoryChunkCreation"`
+	MemoryChunks              *odata.Ref   `json:"MemoryChunks,omitempty"`
+	InterleavableMemorySets   []MemorySet  `json:"InterleavableMemorySets,omitempty"`
+	Status                    odata.Status `json:"Status"`
+}
+
+// MemorySet lists memory devices that may be interleaved together.
+type MemorySet struct {
+	MemorySet []odata.Ref `json:"MemorySet"`
+}
+
+// MemoryChunks is a carved region of a memory domain handed to a composed
+// system.
+type MemoryChunks struct {
+	odata.Resource
+	MemoryChunkSizeMiB int64        `json:"MemoryChunkSizeMiB"`
+	AddressRangeType   string       `json:"AddressRangeType,omitempty"` // Volatile, PMEM
+	IsMirrorEnabled    bool         `json:"IsMirrorEnabled,omitempty"`
+	Status             odata.Status `json:"Status"`
+	Links              ChunkLinks   `json:"Links"`
+}
+
+// ChunkLinks connects a memory chunk to its endpoints and source devices.
+type ChunkLinks struct {
+	Endpoints    []odata.Ref `json:"Endpoints,omitempty"`
+	MemoryRegion []odata.Ref `json:"MemoryRegions,omitempty"`
+}
+
+// Chassis models an enclosure: a compute sled, a memory appliance shelf, a
+// JBOF, or a switch enclosure.
+type Chassis struct {
+	odata.Resource
+	ChassisType  string       `json:"ChassisType"` // Enclosure, Sled, Shelf, RackMount
+	Manufacturer string       `json:"Manufacturer,omitempty"`
+	Model        string       `json:"Model,omitempty"`
+	Status       odata.Status `json:"Status"`
+	Links        ChassisLinks `json:"Links"`
+}
+
+// ChassisLinks connects a chassis to the systems and switches it contains.
+type ChassisLinks struct {
+	ComputerSystems []odata.Ref `json:"ComputerSystems,omitempty"`
+	Switches        []odata.Ref `json:"Switches,omitempty"`
+	Drives          []odata.Ref `json:"Drives,omitempty"`
+}

@@ -1,0 +1,634 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ofmf/internal/events"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/sessions"
+	"ofmf/internal/store"
+)
+
+// maxBodyBytes bounds request payload size.
+const maxBodyBytes = 4 << 20
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/redfish", s.handleVersions)
+	mux.HandleFunc("/redfish/", s.dispatch)
+	return mux
+}
+
+func (s *Service) handleVersions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "only GET is supported")
+		return
+	}
+	s.json(w, http.StatusOK, map[string]string{"v1": "/redfish/v1/"})
+}
+
+func (s *Service) dispatch(w http.ResponseWriter, r *http.Request) {
+	id := odata.ID(strings.TrimSuffix(r.URL.Path, "/"))
+	if id == "/redfish" {
+		s.handleVersions(w, r)
+		return
+	}
+	if id == RootURI+"/$metadata" || id == RootURI+"/odata" {
+		s.json(w, http.StatusOK, map[string]string{"@odata.context": string(RootURI) + "/$metadata"})
+		return
+	}
+	if !s.authorize(w, r, id) {
+		return
+	}
+	switch id {
+	case SubtreeOemURI:
+		s.handleSubtreePush(w, r)
+		return
+	case EventsOemURI:
+		s.handleEventPush(w, r)
+		return
+	case CollectionsOemURI:
+		s.handleCollectionsPush(w, r)
+		return
+	case SSEURI:
+		s.handleSSE(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.handleGet(w, r, id)
+	case http.MethodPost:
+		s.handlePost(w, r, id)
+	case http.MethodPatch:
+		s.handlePatch(w, r, id)
+	case http.MethodDelete:
+		s.handleDelete(w, r, id)
+	default:
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", r.Method+" not supported")
+	}
+}
+
+// authorize enforces token auth when credentials are configured. The
+// service root and session creation remain reachable without a token, as
+// the Redfish protocol requires.
+func (s *Service) authorize(w http.ResponseWriter, r *http.Request, id odata.ID) bool {
+	if s.cfg.Credentials == nil {
+		return true
+	}
+	if id == RootURI {
+		return true
+	}
+	if r.Method == http.MethodPost && id == SessionsURI {
+		return true
+	}
+	token := r.Header.Get("X-Auth-Token")
+	if token == "" {
+		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "X-Auth-Token required")
+		return false
+	}
+	if _, err := s.sessions.Validate(token); err != nil {
+		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid or expired token")
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	if s.store.IsCollection(id) {
+		coll, err := s.store.Collection(id)
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		query := r.URL.Query()
+		// $skip / $top paging per the Redfish query spec. Members@odata.count
+		// keeps the total size; nextLink carries the continuation.
+		skip, top := parsePaging(query.Get("$skip")), parsePaging(query.Get("$top"))
+		nextLink := ""
+		if skip > 0 || top > 0 {
+			total := len(coll.Members)
+			if skip > total {
+				skip = total
+			}
+			end := total
+			if top > 0 && skip+top < total {
+				end = skip + top
+				nextLink = fmt.Sprintf("%s?$skip=%d&$top=%d", id, end, top)
+			}
+			coll.Members = coll.Members[skip:end]
+		}
+		// $expand inlines member payloads (the ?$expand=. / ?$expand=*
+		// subset of the Redfish query spec).
+		if v := query.Get("$expand"); v == "." || v == "*" || v == "Members" {
+			s.expandedCollection(w, coll)
+			return
+		}
+		if nextLink != "" {
+			s.json(w, http.StatusOK, pagedCollection{Collection: coll, NextLink: nextLink})
+			return
+		}
+		s.json(w, http.StatusOK, coll)
+		return
+	}
+	raw, etag, err := s.store.Get(id)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(raw)
+	}
+}
+
+// pagedCollection decorates a collection with the continuation link.
+type pagedCollection struct {
+	odata.Collection
+	NextLink string `json:"Members@odata.nextLink,omitempty"`
+}
+
+// parsePaging parses a non-negative integer query value; malformed or
+// missing values yield zero (no paging).
+func parsePaging(v string) int {
+	if v == "" {
+		return 0
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return n
+}
+
+// expandedCollection renders a collection with member resources inlined.
+func (s *Service) expandedCollection(w http.ResponseWriter, coll odata.Collection) {
+	type expanded struct {
+		ODataID   odata.ID          `json:"@odata.id"`
+		ODataType string            `json:"@odata.type"`
+		Name      string            `json:"Name"`
+		Count     int               `json:"Members@odata.count"`
+		Members   []json.RawMessage `json:"Members"`
+	}
+	out := expanded{
+		ODataID:   coll.ODataID,
+		ODataType: coll.ODataType,
+		Name:      coll.Name,
+		Count:     coll.Count,
+		Members:   make([]json.RawMessage, 0, len(coll.Members)),
+	}
+	for _, ref := range coll.Members {
+		raw, _, err := s.store.Get(ref.ODataID)
+		if err != nil {
+			continue // member raced a delete; omit it
+		}
+		out.Members = append(out.Members, raw)
+	}
+	out.Count = len(out.Members)
+	s.json(w, http.StatusOK, out)
+}
+
+func (s *Service) handlePost(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	switch {
+	case id == SystemsURI && s.systemComposer() != nil:
+		s.postComposeSystem(w, r)
+	case id == SessionsURI:
+		s.postSession(w, r)
+	case id == SubscriptionsURI:
+		s.postSubscription(w, r)
+	case id == AggregationSourcesURI:
+		s.postAggregationSource(w, r)
+	case s.isFabricCollection(id, "Zones"):
+		s.postZone(w, r, id)
+	case s.isFabricCollection(id, "Connections"):
+		s.postConnection(w, r, id)
+	case s.store.IsCollection(id) && s.ownedByProvisioner(id):
+		s.postProvision(w, r, id)
+	case s.store.IsCollection(id) && s.cfg.DirectWrites:
+		s.postGeneric(w, r, id)
+	case s.store.IsCollection(id):
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collection does not accept POST")
+	default:
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource does not accept POST")
+	}
+}
+
+// ownedByProvisioner reports whether id lies in a subtree whose agent can
+// provision resources.
+func (s *Service) ownedByProvisioner(id odata.ID) bool {
+	h, ok := s.handlerFor(id)
+	if !ok {
+		return false
+	}
+	_, ok = h.(ResourceProvisioner)
+	return ok
+}
+
+func (s *Service) postProvision(w http.ResponseWriter, r *http.Request, coll odata.ID) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		return
+	}
+	uri, err := s.ProvisionResource(coll, body)
+	if err != nil {
+		if IsAgentError(err) {
+			s.agentError(w, err)
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	raw, _, err := s.store.Get(uri)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(uri))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write(raw)
+}
+
+// isFabricCollection reports whether id is /redfish/v1/Fabrics/{f}/{leaf}.
+func (s *Service) isFabricCollection(id odata.ID, leaf string) bool {
+	if id.Leaf() != leaf {
+		return false
+	}
+	fab := id.Parent()
+	return fab.Parent() == FabricsURI
+}
+
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, out any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		return false
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+		return false
+	}
+	return true
+}
+
+// postComposeSystem realizes the DMTF specific-composition pattern: the
+// POSTed payload describes the wanted system; the Composability Manager
+// assembles it and the created system is returned.
+func (s *Service) postComposeSystem(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		return
+	}
+	sysURI, err := s.systemComposer().ComposeSystem(body)
+	if err != nil {
+		s.error(w, http.StatusConflict, "OFMF.1.0.CompositionFailed", err.Error())
+		return
+	}
+	raw, _, err := s.store.Get(sysURI)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(sysURI))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write(raw)
+}
+
+func (s *Service) postSession(w http.ResponseWriter, r *http.Request) {
+	var creds struct {
+		UserName string `json:"UserName"`
+		Password string `json:"Password"`
+	}
+	if !s.decode(w, r, &creds) {
+		return
+	}
+	sess, err := s.sessions.Login(creds.UserName, creds.Password)
+	if err != nil {
+		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid credentials")
+		return
+	}
+	uri := SessionsURI.Append(sess.ID)
+	res := redfish.Session{
+		Resource:    odata.NewResource(uri, redfish.TypeSession, "Session "+sess.ID),
+		UserName:    sess.User,
+		CreatedTime: redfish.Timestamp(sess.Created),
+	}
+	if err := s.store.Put(uri, res); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("X-Auth-Token", sess.Token)
+	w.Header().Set("Location", string(uri))
+	s.json(w, http.StatusCreated, res)
+}
+
+func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
+	var dest redfish.EventDestination
+	if !s.decode(w, r, &dest) {
+		return
+	}
+	if dest.Destination == "" {
+		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyMissing", "Destination is required")
+		return
+	}
+	filter := events.Filter{
+		EventTypes:  dest.EventTypes,
+		Origins:     odata.IDsOf(dest.OriginResources),
+		Subordinate: dest.SubordinateResources,
+	}
+	sub, err := s.bus.Subscribe(&events.HTTPSink{URL: dest.Destination}, filter, dest.Context)
+	if err != nil {
+		s.error(w, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
+		return
+	}
+	uri := SubscriptionsURI.Append(sub.ID)
+	dest.Resource = odata.NewResource(uri, redfish.TypeEventDestination, "Subscription "+sub.ID)
+	dest.Protocol = "Redfish"
+	dest.Status = odata.StatusOK()
+	if err := s.store.Put(uri, dest); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(uri))
+	s.json(w, http.StatusCreated, dest)
+}
+
+// createInCollection atomically allocates the next id in coll, invokes
+// build with the resulting URI (build may forward to an agent and mutate
+// the payload), and stores the built resource. Allocation is serialized so
+// concurrent POSTs never collide.
+func (s *Service) createInCollection(coll odata.ID, build func(uri odata.ID) (any, error)) (odata.ID, error) {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	id := s.store.NextID(coll)
+	uri := coll.Append(id)
+	v, err := build(uri)
+	if err != nil {
+		return "", err
+	}
+	// Put rather than Create: a provisioning agent may have already
+	// republished its subtree (including the new resource) before build
+	// returned; allocation collisions are excluded by allocMu.
+	if err := s.store.Put(uri, v); err != nil {
+		return "", err
+	}
+	return uri, nil
+}
+
+func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) {
+	var src redfish.AggregationSource
+	if !s.decode(w, r, &src) {
+		return
+	}
+	uri, err := s.createInCollection(AggregationSourcesURI, func(uri odata.ID) (any, error) {
+		name := src.Name
+		if name == "" {
+			name = "Agent " + uri.Leaf()
+		}
+		src.Resource = odata.NewResource(uri, redfish.TypeAggregationSource, name)
+		src.Status = odata.StatusOK()
+		return src, nil
+	})
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	// A remote agent advertising a callback URL gets fabric mutations for
+	// its claimed subtrees forwarded over HTTP.
+	if src.HostName != "" {
+		for _, res := range src.Links.ResourcesAccessed {
+			s.RegisterFabricHandler(NewRemoteFabricHandler(res.ODataID, src.HostName))
+		}
+	}
+	w.Header().Set("Location", string(uri))
+	s.json(w, http.StatusCreated, src)
+}
+
+func (s *Service) postZone(w http.ResponseWriter, r *http.Request, coll odata.ID) {
+	var zone redfish.Zone
+	if !s.decode(w, r, &zone) {
+		return
+	}
+	zone, err := s.CreateZone(coll, zone)
+	if err != nil {
+		if IsAgentError(err) {
+			s.agentError(w, err)
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(zone.ODataID))
+	s.json(w, http.StatusCreated, zone)
+}
+
+func (s *Service) postConnection(w http.ResponseWriter, r *http.Request, coll odata.ID) {
+	var conn redfish.Connection
+	if !s.decode(w, r, &conn) {
+		return
+	}
+	conn, err := s.CreateConnection(coll, conn)
+	if err != nil {
+		if IsAgentError(err) {
+			s.agentError(w, err)
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(conn.ODataID))
+	s.json(w, http.StatusCreated, conn)
+}
+
+func (s *Service) postGeneric(w http.ResponseWriter, r *http.Request, coll odata.ID) {
+	var payload map[string]any
+	if !s.decode(w, r, &payload) {
+		return
+	}
+	uri, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+		payload["@odata.id"] = string(uri)
+		if _, ok := payload["Id"]; !ok {
+			payload["Id"] = uri.Leaf()
+		}
+		return payload, nil
+	})
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Location", string(uri))
+	s.json(w, http.StatusCreated, payload)
+}
+
+func (s *Service) handlePatch(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	if s.store.IsCollection(id) {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be patched")
+		return
+	}
+	var patch map[string]any
+	if !s.decode(w, r, &patch) {
+		return
+	}
+	if _, owned := s.handlerFor(id); !owned && !s.cfg.DirectWrites && !s.patchableAlways(id) {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
+		return
+	}
+	if err := s.PatchResource(id, patch, r.Header.Get("If-Match")); err != nil {
+		if IsAgentError(err) {
+			s.agentError(w, err)
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	s.handleGet(w, r, id)
+}
+
+// patchableAlways lists resources clients may patch even without
+// DirectWrites: their own subscriptions, and aggregation sources (agents
+// refresh their heartbeat there).
+func (s *Service) patchableAlways(id odata.ID) bool {
+	return id.Parent() == SubscriptionsURI || id.Parent() == AggregationSourcesURI
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	if s.store.IsCollection(id) {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be deleted")
+		return
+	}
+	parent := id.Parent()
+	switch {
+	case parent == SessionsURI:
+		if err := s.sessions.Logout(id.Leaf()); err != nil && !errors.Is(err, sessions.ErrNotFound) {
+			s.error(w, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+			return
+		}
+	case parent == SubscriptionsURI:
+		if err := s.bus.Unsubscribe(id.Leaf()); err != nil {
+			s.error(w, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
+			return
+		}
+	case parent == AggregationSourcesURI:
+		// Deleting an aggregation source also drops its aggregated subtree.
+		var src redfish.AggregationSource
+		if err := s.store.GetAs(id, &src); err == nil {
+			for _, res := range src.Links.ResourcesAccessed {
+				s.store.DeleteSubtree(res.ODataID)
+				s.UnregisterFabricHandler(res.ODataID)
+			}
+		}
+	default:
+		// DELETE of a composed system routes through the Composability
+		// Manager, releasing its resources.
+		if parent == SystemsURI && s.systemComposer() != nil && s.isComposedSystem(id) {
+			if err := s.systemComposer().DecomposeSystem(id); err != nil {
+				s.error(w, http.StatusConflict, "OFMF.1.0.DecompositionFailed", err.Error())
+				return
+			}
+			// The composer removed the resource itself.
+			if err := s.store.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+				s.storeError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		if h, ok := s.handlerFor(id); ok {
+			var err error
+			switch {
+			case parent.Leaf() == "Connections":
+				err = s.DeleteConnection(id)
+			case parent.Leaf() == "Zones":
+				err = s.DeleteZone(id)
+			default:
+				if _, ok := h.(ResourceProvisioner); ok {
+					err = s.DeprovisionResource(id)
+				} else {
+					s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "agent-owned resource cannot be deleted")
+					return
+				}
+			}
+			if err != nil {
+				if IsAgentError(err) {
+					s.agentError(w, err)
+					return
+				}
+				s.storeError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+			return
+		} else if !s.cfg.DirectWrites {
+			s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
+			return
+		}
+	}
+	if err := s.store.Delete(id); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// isComposedSystem reports whether id is a ComputerSystem with
+// SystemType "Composed".
+func (s *Service) isComposedSystem(id odata.ID) bool {
+	var sys struct {
+		SystemType string `json:"SystemType"`
+	}
+	if err := s.store.GetAs(id, &sys); err != nil {
+		return false
+	}
+	return sys.SystemType == redfish.SystemTypeComposed
+}
+
+func (s *Service) json(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Service) error(w http.ResponseWriter, status int, code, message string) {
+	s.json(w, status, odata.NewError(code, message))
+}
+
+func (s *Service) storeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrNotCollection):
+		s.error(w, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
+	case errors.Is(err, store.ErrEtagMismatch):
+		s.error(w, http.StatusPreconditionFailed, "Base.1.0.PreconditionFailed", err.Error())
+	case errors.Is(err, store.ErrExists):
+		s.error(w, http.StatusConflict, "Base.1.0.ResourceAlreadyExists", err.Error())
+	case errors.Is(err, store.ErrBadPayload):
+		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+	default:
+		s.error(w, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+	}
+}
+
+func (s *Service) agentError(w http.ResponseWriter, err error) {
+	s.error(w, http.StatusBadRequest, "OFMF.1.0.AgentRejectedRequest", fmt.Sprintf("fabric agent rejected request: %v", err))
+}

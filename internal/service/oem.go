@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+// OEM extension URIs used by out-of-process Agents. The reference OFMF
+// exposes equivalent internal interfaces for its agents; they are not part
+// of the standard Redfish surface.
+const (
+	SubtreeOemURI     = RootURI + "/Oem/OFMF/Subtree"
+	EventsOemURI      = RootURI + "/Oem/OFMF/Events"
+	CollectionsOemURI = RootURI + "/Oem/OFMF/Collections"
+)
+
+// CollectionsPayload declares the collections an agent's subtree
+// contains, so the OFMF serves them as browsable (and POSTable)
+// collection resources. Each value is [@odata.type, display name].
+type CollectionsPayload map[odata.ID][2]string
+
+// SubtreePayload is the wire format of an agent subtree push. Keep lists
+// sub-prefixes whose existing resources must survive the refresh (the
+// OFMF-stored Zones and Connections under the agent's fabric).
+type SubtreePayload struct {
+	Prefix    odata.ID                     `json:"Prefix"`
+	Keep      []odata.ID                   `json:"Keep,omitempty"`
+	Resources map[odata.ID]json.RawMessage `json:"Resources"`
+}
+
+// OpRequest is the wire format of a fabric operation forwarded to a
+// remote agent's ops server.
+type OpRequest struct {
+	Op       string          `json:"Op"` // CreateZone, DeleteZone, CreateConnection, DeleteConnection, Patch, CreateResource, DeleteResource
+	Target   odata.ID        `json:"Target"`
+	URI      odata.ID        `json:"URI,omitempty"` // allocated resource URI for CreateResource
+	Resource json.RawMessage `json:"Resource,omitempty"`
+	Patch    map[string]any  `json:"Patch,omitempty"`
+}
+
+// OpResponse carries the (possibly mutated) resource back from the agent.
+type OpResponse struct {
+	Resource json.RawMessage `json:"Resource,omitempty"`
+}
+
+func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		return
+	}
+	var payload SubtreePayload
+	if !s.decode(w, r, &payload) {
+		return
+	}
+	if payload.Prefix.IsZero() || !payload.Prefix.Under(RootURI) {
+		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", "Prefix must lie under the service root")
+		return
+	}
+	resources := make(map[odata.ID]any, len(payload.Resources))
+	for id, raw := range payload.Resources {
+		resources[id] = raw
+	}
+	if err := s.store.PutSubtree(payload.Prefix, resources, payload.Keep...); err != nil {
+		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleCollectionsPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		return
+	}
+	var payload CollectionsPayload
+	if !s.decode(w, r, &payload) {
+		return
+	}
+	for uri, meta := range payload {
+		if !uri.Under(RootURI) {
+			s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", "collection outside service root: "+string(uri))
+			return
+		}
+		s.store.RegisterCollection(uri, meta[0], meta[1])
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleEventPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		return
+	}
+	var rec redfish.EventRecord
+	if !s.decode(w, r, &rec) {
+		return
+	}
+	s.bus.Publish(rec)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// remoteHandler forwards fabric operations to a remote agent's ops server.
+type remoteHandler struct {
+	fabric odata.ID
+	url    string // agent callback base URL
+	client *http.Client
+}
+
+// NewRemoteFabricHandler builds a FabricHandler that forwards operations
+// to the agent ops server at callbackURL.
+func NewRemoteFabricHandler(fabricID odata.ID, callbackURL string) FabricHandler {
+	return &remoteHandler{fabric: fabricID, url: callbackURL}
+}
+
+func (h *remoteHandler) FabricID() odata.ID { return h.fabric }
+
+func (h *remoteHandler) post(op OpRequest, out any) error {
+	body, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	client := h.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(h.url+"/agent/ops", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("agent at %s: %s: %s", h.url, resp.Status, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		var opResp OpResponse
+		if err := json.Unmarshal(data, &opResp); err != nil {
+			return err
+		}
+		if len(opResp.Resource) > 0 {
+			return json.Unmarshal(opResp.Resource, out)
+		}
+	}
+	return nil
+}
+
+func (h *remoteHandler) CreateZone(zone *redfish.Zone) error {
+	raw, err := json.Marshal(zone)
+	if err != nil {
+		return err
+	}
+	return h.post(OpRequest{Op: "CreateZone", Target: zone.ODataID, Resource: raw}, zone)
+}
+
+func (h *remoteHandler) DeleteZone(id odata.ID) error {
+	return h.post(OpRequest{Op: "DeleteZone", Target: id}, nil)
+}
+
+func (h *remoteHandler) CreateConnection(conn *redfish.Connection) error {
+	raw, err := json.Marshal(conn)
+	if err != nil {
+		return err
+	}
+	return h.post(OpRequest{Op: "CreateConnection", Target: conn.ODataID, Resource: raw}, conn)
+}
+
+func (h *remoteHandler) DeleteConnection(id odata.ID) error {
+	return h.post(OpRequest{Op: "DeleteConnection", Target: id}, nil)
+}
+
+func (h *remoteHandler) Patch(id odata.ID, patch map[string]any) error {
+	return h.post(OpRequest{Op: "Patch", Target: id, Patch: patch}, nil)
+}
+
+// CreateResource forwards a provisioning request; the remote agent carves
+// capacity and returns the resource to store.
+func (h *remoteHandler) CreateResource(coll, uri odata.ID, payload json.RawMessage) (any, error) {
+	var out json.RawMessage
+	err := h.post(OpRequest{Op: "CreateResource", Target: coll, URI: uri, Resource: payload}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteResource forwards a deprovisioning request.
+func (h *remoteHandler) DeleteResource(id odata.ID) error {
+	return h.post(OpRequest{Op: "DeleteResource", Target: id}, nil)
+}

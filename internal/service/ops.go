@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/store"
+)
+
+// AgentError wraps a rejection from a fabric agent so callers can
+// distinguish hardware-level refusals from store errors.
+type AgentError struct{ Err error }
+
+// Error returns the wrapped message.
+func (e *AgentError) Error() string { return fmt.Sprintf("agent rejected request: %v", e.Err) }
+
+// Unwrap exposes the underlying agent error.
+func (e *AgentError) Unwrap() error { return e.Err }
+
+// IsAgentError reports whether err originated from a fabric agent.
+func IsAgentError(err error) bool {
+	var ae *AgentError
+	return errors.As(err, &ae)
+}
+
+// ResourceProvisioner is an optional extension of FabricHandler: agents
+// whose hardware can provision resources (memory chunks, volumes, GPU
+// partitions) implement it so POSTs to their collections carve real
+// capacity. The returned value is stored at the allocated URI.
+type ResourceProvisioner interface {
+	CreateResource(coll odata.ID, uri odata.ID, payload json.RawMessage) (any, error)
+	DeleteResource(id odata.ID) error
+}
+
+// CreateZone creates a zone in the given zone collection, forwarding to
+// the owning agent when one is registered.
+func (s *Service) CreateZone(coll odata.ID, zone redfish.Zone) (redfish.Zone, error) {
+	var agentErr error
+	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+		name := zone.Name
+		if name == "" {
+			name = "Zone " + uri.Leaf()
+		}
+		zone.Resource = odata.NewResource(uri, redfish.TypeZone, name)
+		if zone.ZoneType == "" {
+			zone.ZoneType = redfish.ZoneTypeZoneOfEndpoints
+		}
+		zone.Status = odata.StatusOK()
+		if h, ok := s.handlerFor(uri); ok {
+			if err := h.CreateZone(&zone); err != nil {
+				agentErr = err
+				return nil, err
+			}
+		}
+		return zone, nil
+	})
+	if agentErr != nil {
+		return zone, &AgentError{Err: agentErr}
+	}
+	return zone, err
+}
+
+// DeleteZone removes a zone, forwarding to the owning agent. Deletion is
+// serialized with id allocation so a freed URI cannot be reused until the
+// old resource is fully gone.
+func (s *Service) DeleteZone(id odata.ID) error {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if h, ok := s.handlerFor(id); ok {
+		if err := h.DeleteZone(id); err != nil {
+			return &AgentError{Err: err}
+		}
+	}
+	return s.store.Delete(id)
+}
+
+// CreateConnection creates a connection in the given collection,
+// forwarding to the owning agent so the hardware attachment is made
+// before the resource becomes visible.
+func (s *Service) CreateConnection(coll odata.ID, conn redfish.Connection) (redfish.Connection, error) {
+	var agentErr error
+	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+		name := conn.Name
+		if name == "" {
+			name = "Connection " + uri.Leaf()
+		}
+		conn.Resource = odata.NewResource(uri, redfish.TypeConnection, name)
+		conn.Status = odata.StatusOK()
+		if h, ok := s.handlerFor(uri); ok {
+			if err := h.CreateConnection(&conn); err != nil {
+				agentErr = err
+				return nil, err
+			}
+		}
+		return conn, nil
+	})
+	if agentErr != nil {
+		return conn, &AgentError{Err: agentErr}
+	}
+	return conn, err
+}
+
+// DeleteConnection tears down a connection, forwarding to the owning
+// agent so the hardware detachment happens first. Serialized with id
+// allocation (see DeleteZone).
+func (s *Service) DeleteConnection(id odata.ID) error {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if h, ok := s.handlerFor(id); ok {
+		if err := h.DeleteConnection(id); err != nil {
+			return &AgentError{Err: err}
+		}
+	}
+	return s.store.Delete(id)
+}
+
+// PatchResource applies a patch, forwarding to the owning agent for
+// agent-owned resources. For store-resident resources the patch is applied
+// directly with optional If-Match semantics.
+func (s *Service) PatchResource(id odata.ID, patch map[string]any, ifMatch string) error {
+	if h, ok := s.handlerFor(id); ok {
+		if err := h.Patch(id, patch); err != nil {
+			return &AgentError{Err: err}
+		}
+		return nil
+	}
+	return s.store.Patch(id, patch, ifMatch)
+}
+
+// ProvisionResource creates a resource in an agent-owned collection by
+// forwarding to the agent's provisioner; the agent carves real capacity
+// and returns the resource to store. It fails when the owning agent does
+// not support provisioning.
+func (s *Service) ProvisionResource(coll odata.ID, payload json.RawMessage) (odata.ID, error) {
+	h, ok := s.handlerFor(coll)
+	if !ok {
+		return "", fmt.Errorf("service: no agent owns %s", coll)
+	}
+	prov, ok := h.(ResourceProvisioner)
+	if !ok {
+		return "", fmt.Errorf("service: agent for %s cannot provision resources", coll)
+	}
+	var agentErr error
+	uri, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+		res, err := prov.CreateResource(coll, uri, payload)
+		if err != nil {
+			agentErr = err
+			return nil, err
+		}
+		return res, nil
+	})
+	if agentErr != nil {
+		return "", &AgentError{Err: agentErr}
+	}
+	return uri, err
+}
+
+// DeprovisionResource deletes an agent-provisioned resource, releasing
+// the hardware capacity first. Serialized with id allocation so the
+// trailing store delete can never clobber a reused URI's new resource.
+func (s *Service) DeprovisionResource(id odata.ID) error {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	h, ok := s.handlerFor(id)
+	if !ok {
+		return fmt.Errorf("service: no agent owns %s", id)
+	}
+	prov, ok := h.(ResourceProvisioner)
+	if !ok {
+		return fmt.Errorf("service: agent for %s cannot provision resources", id)
+	}
+	if err := prov.DeleteResource(id); err != nil {
+		return &AgentError{Err: err}
+	}
+	// The agent's republish may already have dropped the resource.
+	if err := s.store.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+// Package service implements the OFMF itself: the centralized Redfish/
+// Swordfish management service. It assembles the resource store into a
+// service root, serves the Redfish REST protocol over net/http, hosts the
+// event, task, session, telemetry, aggregation and composition services,
+// and forwards fabric mutations (zones, connections, port state) to the
+// technology-specific Agents that registered the affected fabric.
+//
+// The design follows the paper's architecture: clients talk to one Redfish
+// tree ("an HPC disaggregated infrastructure is represented under a single
+// Redfish tree that includes all the fabrics and resources available");
+// requests touching agent-owned resources "are forwarded to the
+// appropriate fabric manager via dedicated light-weight technology-
+// specific Agents".
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/sessions"
+	"ofmf/internal/store"
+	"ofmf/internal/tasks"
+)
+
+// Well-known URIs of the service tree.
+const (
+	RootURI               = odata.ID("/redfish/v1")
+	SystemsURI            = RootURI + "/Systems"
+	ChassisURI            = RootURI + "/Chassis"
+	FabricsURI            = RootURI + "/Fabrics"
+	StorageURI            = RootURI + "/Storage"
+	EventServiceURI       = RootURI + "/EventService"
+	SubscriptionsURI      = EventServiceURI + "/Subscriptions"
+	TaskServiceURI        = RootURI + "/TaskService"
+	TasksURI              = TaskServiceURI + "/Tasks"
+	SessionServiceURI     = RootURI + "/SessionService"
+	SessionsURI           = SessionServiceURI + "/Sessions"
+	TelemetryServiceURI   = RootURI + "/TelemetryService"
+	MetricDefinitionsURI  = TelemetryServiceURI + "/MetricDefinitions"
+	MetricReportDefsURI   = TelemetryServiceURI + "/MetricReportDefinitions"
+	MetricReportsURI      = TelemetryServiceURI + "/MetricReports"
+	AggregationServiceURI = RootURI + "/AggregationService"
+	AggregationSourcesURI = AggregationServiceURI + "/AggregationSources"
+	CompositionServiceURI = RootURI + "/CompositionService"
+	ResourceBlocksURI     = CompositionServiceURI + "/ResourceBlocks"
+	ResourceZonesURI      = CompositionServiceURI + "/ResourceZones"
+	RegistriesURI         = RootURI + "/Registries"
+)
+
+// SystemComposer handles Redfish-native composition: a POST to the
+// Systems collection becomes a composition request, and a DELETE of a
+// composed system becomes decomposition. The Composability Manager
+// implements it; the service stays policy-free.
+type SystemComposer interface {
+	// ComposeSystem realizes the request payload and returns the composed
+	// system's URI.
+	ComposeSystem(payload []byte) (odata.ID, error)
+	// DecomposeSystem releases the composed system at the URI.
+	DecomposeSystem(systemURI odata.ID) error
+}
+
+// FabricHandler is implemented by Agents. The service forwards mutations of
+// agent-owned fabric resources to the owning handler; the handler applies
+// the change to its hardware (emulated or real) and republishes its
+// subtree before returning, so the store reflects hardware truth.
+type FabricHandler interface {
+	// FabricID is the fabric subtree root this handler owns, e.g.
+	// /redfish/v1/Fabrics/CXL.
+	FabricID() odata.ID
+	// CreateConnection establishes the requested connection in hardware.
+	// The handler may mutate conn (fill identifiers, status) before it is
+	// stored.
+	CreateConnection(conn *redfish.Connection) error
+	// DeleteConnection tears the connection down in hardware.
+	DeleteConnection(id odata.ID) error
+	// CreateZone establishes the zone in hardware.
+	CreateZone(zone *redfish.Zone) error
+	// DeleteZone removes the zone from hardware.
+	DeleteZone(id odata.ID) error
+	// Patch applies an arbitrary property patch to an agent-owned resource
+	// (e.g. disabling a Port).
+	Patch(id odata.ID, patch map[string]any) error
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Name is the service root display name.
+	Name string
+	// UUID identifies the service instance.
+	UUID string
+	// Credentials enables authentication when non-nil: every request
+	// except the service root, $metadata and session creation must carry a
+	// valid X-Auth-Token.
+	Credentials sessions.Credentials
+	// SessionTimeout bounds session lifetime (default 30 minutes).
+	SessionTimeout time.Duration
+	// Events tunes the event bus.
+	Events events.Config
+	// DirectWrites permits generic POST/PATCH/DELETE on resources that are
+	// not handled by a dedicated endpoint or fabric agent. The in-process
+	// testbed and the composer use this; it mirrors the reference OFMF
+	// emulator's permissive mode.
+	DirectWrites bool
+	// ChangeEvents publishes ResourceAdded/Updated/Removed on every store
+	// mutation (default on).
+	ChangeEvents *bool
+}
+
+// Service is the OFMF instance.
+type Service struct {
+	cfg Config
+
+	store    *store.Store
+	bus      *events.Bus
+	tasks    *tasks.Service
+	sessions *sessions.Service
+
+	mu       sync.RWMutex
+	handlers map[odata.ID]FabricHandler
+	composer SystemComposer
+	eventSeq int64
+
+	// allocMu serializes id allocation for POSTed resources so concurrent
+	// creations in one collection cannot collide.
+	allocMu sync.Mutex
+}
+
+// SetSystemComposer wires Redfish-native composition: subsequent POSTs to
+// /redfish/v1/Systems and DELETEs of composed systems route through c.
+func (s *Service) SetSystemComposer(c SystemComposer) {
+	s.mu.Lock()
+	s.composer = c
+	s.mu.Unlock()
+}
+
+func (s *Service) systemComposer() SystemComposer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.composer
+}
+
+// New assembles an OFMF service and bootstraps its resource tree.
+func New(cfg Config) *Service {
+	if cfg.Name == "" {
+		cfg.Name = "OpenFabrics Management Framework"
+	}
+	if cfg.UUID == "" {
+		cfg.UUID = "00000000-0000-0000-0000-000000000001"
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 30 * time.Minute
+	}
+	s := &Service{
+		cfg:      cfg,
+		store:    store.New(),
+		handlers: make(map[odata.ID]FabricHandler),
+	}
+	// Degrade a subscription's advertised health as deliveries fail, so
+	// monitoring clients can see dead destinations in the tree.
+	evCfg := cfg.Events
+	if evCfg.OnDeliveryFailure == nil {
+		evCfg.OnDeliveryFailure = func(subID string, consecutive int) {
+			health := odata.HealthWarning
+			if consecutive >= 3 {
+				health = odata.HealthCritical
+			}
+			// SSE subscriptions have no stored resource; ignore misses.
+			_ = s.store.Patch(SubscriptionsURI.Append(subID),
+				map[string]any{"Status": map[string]any{"Health": health}}, "")
+		}
+	}
+	s.bus = events.NewBus(evCfg)
+	s.tasks = tasks.NewService(TasksURI,
+		tasks.WithMirror(func(id odata.ID, task redfish.Task) { _ = s.store.Put(id, task) }),
+		tasks.WithNotifier(func(rec redfish.EventRecord) { s.bus.Publish(rec) }),
+	)
+	check := cfg.Credentials
+	if check == nil {
+		check = func(string, string) bool { return true }
+	}
+	s.sessions = sessions.NewService(check, cfg.SessionTimeout)
+	s.bootstrap()
+	if cfg.ChangeEvents == nil || *cfg.ChangeEvents {
+		s.store.Watch(s.publishChange)
+	}
+	return s
+}
+
+// Store exposes the resource repository for in-process components (the
+// composer, in-process agents, tests).
+func (s *Service) Store() *store.Store { return s.store }
+
+// Bus exposes the event bus for in-process subscribers.
+func (s *Service) Bus() *events.Bus { return s.bus }
+
+// Tasks exposes the task service.
+func (s *Service) Tasks() *tasks.Service { return s.tasks }
+
+// Sessions exposes the session service.
+func (s *Service) Sessions() *sessions.Service { return s.sessions }
+
+// Close releases the service's background resources.
+func (s *Service) Close() { s.bus.Close() }
+
+func (s *Service) bootstrap() {
+	st := s.store
+	// Collections.
+	st.RegisterCollection(SystemsURI, redfish.TypeComputerSystemCollection, "Computer System Collection")
+	st.RegisterCollection(ChassisURI, redfish.TypeChassisCollection, "Chassis Collection")
+	st.RegisterCollection(FabricsURI, redfish.TypeFabricCollection, "Fabric Collection")
+	st.RegisterCollection(StorageURI, redfish.TypeStorageCollection, "Storage Collection")
+	st.RegisterCollection(SubscriptionsURI, redfish.TypeEventDestCollection, "Event Subscriptions")
+	st.RegisterCollection(TasksURI, redfish.TypeTaskCollection, "Task Collection")
+	st.RegisterCollection(SessionsURI, redfish.TypeSessionCollection, "Session Collection")
+	st.RegisterCollection(MetricDefinitionsURI, redfish.TypeMetricDefCollection, "Metric Definitions")
+	st.RegisterCollection(MetricReportDefsURI, redfish.TypeMetricReportDefCollection, "Metric Report Definitions")
+	st.RegisterCollection(MetricReportsURI, redfish.TypeMetricReportCollection, "Metric Reports")
+	st.RegisterCollection(AggregationSourcesURI, redfish.TypeAggregationSrcCollection, "Aggregation Sources")
+	st.RegisterCollection(ResourceBlocksURI, redfish.TypeResourceBlockCollection, "Resource Blocks")
+	st.RegisterCollection(ResourceZonesURI, redfish.TypeResourceZoneCollection, "Resource Zones")
+
+	// Service root and the fixed service resources.
+	root := redfish.Root{
+		Resource:           odata.NewResource(RootURI, redfish.TypeServiceRoot, s.cfg.Name),
+		RedfishVersion:     "1.15.0",
+		UUID:               s.cfg.UUID,
+		Systems:            redfish.Ref(SystemsURI),
+		Chassis:            redfish.Ref(ChassisURI),
+		Fabrics:            redfish.Ref(FabricsURI),
+		Storage:            redfish.Ref(StorageURI),
+		EventService:       redfish.Ref(EventServiceURI),
+		TaskService:        redfish.Ref(TaskServiceURI),
+		SessionService:     redfish.Ref(SessionServiceURI),
+		TelemetryService:   redfish.Ref(TelemetryServiceURI),
+		AggregationService: redfish.Ref(AggregationServiceURI),
+		CompositionService: redfish.Ref(CompositionServiceURI),
+		Links:              redfish.RootLinks{Sessions: odata.NewRef(SessionsURI)},
+	}
+	must(st.Put(RootURI, root))
+
+	must(st.Put(EventServiceURI, redfish.EventService{
+		Resource:                     odata.NewResource(EventServiceURI, redfish.TypeEventService, "Event Service"),
+		ServiceEnabled:               true,
+		DeliveryRetryAttempts:        events.DefaultConfig().RetryAttempts,
+		DeliveryRetryIntervalSeconds: int(events.DefaultConfig().RetryInterval / time.Second),
+		EventTypesForSubscription: []string{
+			redfish.EventResourceAdded, redfish.EventResourceRemoved,
+			redfish.EventResourceUpdated, redfish.EventStatusChange,
+			redfish.EventAlert, redfish.EventMetricReport,
+		},
+		ServerSentEventURI: string(SSEURI),
+		Status:             odata.StatusOK(),
+		Subscriptions:      redfish.Ref(SubscriptionsURI),
+	}))
+
+	must(st.Put(TaskServiceURI, redfish.TaskService{
+		Resource:                        odata.NewResource(TaskServiceURI, redfish.TypeTaskService, "Task Service"),
+		ServiceEnabled:                  true,
+		CompletedTaskOverWritePolicy:    "Oldest",
+		LifeCycleEventOnTaskStateChange: true,
+		Status:                          odata.StatusOK(),
+		Tasks:                           redfish.Ref(TasksURI),
+	}))
+
+	must(st.Put(SessionServiceURI, redfish.SessionService{
+		Resource:       odata.NewResource(SessionServiceURI, redfish.TypeSessionService, "Session Service"),
+		ServiceEnabled: true,
+		SessionTimeout: int(s.cfg.SessionTimeout / time.Second),
+		Status:         odata.StatusOK(),
+		Sessions:       redfish.Ref(SessionsURI),
+	}))
+
+	must(st.Put(TelemetryServiceURI, redfish.TelemetryService{
+		Resource:                odata.NewResource(TelemetryServiceURI, redfish.TypeTelemetryService, "Telemetry Service"),
+		Status:                  odata.StatusOK(),
+		MinCollectionInterval:   "PT1S",
+		MetricDefinitions:       redfish.Ref(MetricDefinitionsURI),
+		MetricReportDefinitions: redfish.Ref(MetricReportDefsURI),
+		MetricReports:           redfish.Ref(MetricReportsURI),
+	}))
+
+	must(st.Put(AggregationServiceURI, redfish.AggregationService{
+		Resource:           odata.NewResource(AggregationServiceURI, redfish.TypeAggregationSvc, "Aggregation Service"),
+		ServiceEnabled:     true,
+		Status:             odata.StatusOK(),
+		AggregationSources: redfish.Ref(AggregationSourcesURI),
+	}))
+
+	st.RegisterCollection(RegistriesURI, "#MessageRegistryCollection.MessageRegistryCollection", "Registries")
+	must(st.Put(RegistriesURI.Append("OFMF.1.0"), redfish.OFMFRegistry(RegistriesURI.Append("OFMF.1.0"))))
+
+	must(st.Put(CompositionServiceURI, redfish.CompositionService{
+		Resource:       odata.NewResource(CompositionServiceURI, redfish.TypeCompositionSvc, "Composition Service"),
+		ServiceEnabled: true,
+		Status:         odata.StatusOK(),
+		ResourceBlocks: redfish.Ref(ResourceBlocksURI),
+		ResourceZones:  redfish.Ref(ResourceZonesURI),
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("service: bootstrap: %v", err))
+	}
+}
+
+func (s *Service) publishChange(c store.Change) {
+	// Task resources already produce dedicated task events; subscription
+	// and session churn is excluded to avoid event-about-event feedback.
+	if c.ID.Under(TasksURI) || c.ID.Under(SubscriptionsURI) || c.ID.Under(SessionsURI) {
+		return
+	}
+	s.mu.Lock()
+	s.eventSeq++
+	id := s.eventSeq
+	s.mu.Unlock()
+	s.bus.Publish(events.Record(c.Kind.String(), fmt.Sprintf("%d", id), fmt.Sprintf("%s: %s", c.Kind, c.ID), c.ID))
+}
+
+// RegisterFabricHandler attaches an Agent's handler for its fabric
+// subtree. Subsequent zone/connection/patch requests under that fabric are
+// forwarded to it.
+func (s *Service) RegisterFabricHandler(h FabricHandler) {
+	s.mu.Lock()
+	s.handlers[h.FabricID()] = h
+	s.mu.Unlock()
+}
+
+// UnregisterFabricHandler detaches the handler for the given fabric.
+func (s *Service) UnregisterFabricHandler(fabricID odata.ID) {
+	s.mu.Lock()
+	delete(s.handlers, fabricID)
+	s.mu.Unlock()
+}
+
+// handlerFor returns the fabric handler owning id, if any.
+func (s *Service) handlerFor(id odata.ID) (FabricHandler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for fid, h := range s.handlers {
+		if id.Under(fid) {
+			return h, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+// SSEURI is the EventService's server-sent-event stream: clients GET it
+// and receive every matching event as an SSE "data:" frame, the push
+// alternative to webhook subscriptions for monitoring dashboards.
+const SSEURI = EventServiceURI + "/SSE"
+
+func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.error(w, http.StatusNotImplemented, "Base.1.0.NotImplemented", "streaming unsupported by transport")
+		return
+	}
+
+	// Optional ?EventType=Alert filter, mirroring subscription filters.
+	var filter events.Filter
+	if et := r.URL.Query().Get("EventType"); et != "" {
+		filter.EventTypes = []string{et}
+	}
+
+	ch := make(chan redfish.Event, 64)
+	sub, err := s.bus.Subscribe(events.SinkFunc(func(_ context.Context, ev redfish.Event) error {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than stall the bus worker
+		}
+		return nil
+	}), filter, "sse")
+	if err != nil {
+		s.error(w, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
+		return
+	}
+	defer func() { _ = s.bus.Unsubscribe(sub.ID) }()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %s\ndata: %s\n\n", ev.ID, data)
+			flusher.Flush()
+		}
+	}
+}

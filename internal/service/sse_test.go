@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+func TestSSEStreamDeliversEvents(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+
+	resp, err := http.Get(srv.URL + string(SSEURI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %s", ct)
+	}
+
+	// Give the subscription a moment to register, then publish.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.Bus().Subscriptions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscription never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Bus().Publish(events.Record(redfish.EventAlert, "sse-1", "link degraded", "/redfish/v1/Fabrics/X"))
+
+	reader := bufio.NewReader(resp.Body)
+	var dataLine string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(line, "data: ") {
+				dataLine = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("no SSE frame received")
+	}
+	var ev redfish.Event
+	if err := json.Unmarshal([]byte(dataLine), &ev); err != nil {
+		t.Fatalf("bad frame %q: %v", dataLine, err)
+	}
+	if len(ev.Events) != 1 || ev.Events[0].EventID != "sse-1" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestSSEAdvertisedInEventService(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, body := doJSON(t, http.MethodGet, srv.URL+string(EventServiceURI), nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var es redfish.EventService
+	if err := json.Unmarshal(body, &es); err != nil {
+		t.Fatal(err)
+	}
+	if es.ServerSentEventURI != string(SSEURI) {
+		t.Errorf("ServerSentEventUri = %q", es.ServerSentEventURI)
+	}
+}
+
+func TestSSERejectsPost(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, _ := doJSON(t, http.MethodPost, srv.URL+string(SSEURI), map[string]any{}, nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSSEUnsubscribesOnDisconnect(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	resp, err := http.Get(srv.URL + string(SSEURI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.Bus().Subscriptions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp.Body.Close() // client disconnects
+	deadline = time.Now().Add(2 * time.Second)
+	for len(svc.Bus().Subscriptions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription leaked after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,170 @@
+// Package sessions implements the Redfish SessionService: token-based
+// authentication for OFMF clients. A session is created by POSTing
+// credentials to the session collection; the returned X-Auth-Token
+// authenticates subsequent requests until the session expires or is
+// deleted.
+package sessions
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	ErrInvalidCredentials = errors.New("sessions: invalid credentials")
+	ErrInvalidToken       = errors.New("sessions: invalid or expired token")
+	ErrNotFound           = errors.New("sessions: session not found")
+)
+
+// Credentials validates a username/password pair. The OFMF testbed uses a
+// static table; production deployments would wire LDAP or similar.
+type Credentials func(user, password string) bool
+
+// StaticCredentials builds a Credentials check from a fixed table.
+func StaticCredentials(table map[string]string) Credentials {
+	return func(user, password string) bool {
+		want, ok := table[user]
+		return ok && want == password
+	}
+}
+
+// Session is one live authenticated session.
+type Session struct {
+	ID      string
+	User    string
+	Token   string
+	Created time.Time
+	Expires time.Time
+}
+
+// Service manages sessions.
+type Service struct {
+	check   Credentials
+	timeout time.Duration
+	now     func() time.Time
+
+	mu      sync.Mutex
+	nextID  int
+	byID    map[string]*Session
+	byToken map[string]*Session
+}
+
+// Option configures the service.
+type Option func(*Service)
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) Option { return func(s *Service) { s.now = now } }
+
+// NewService creates a session service. timeout bounds session lifetime.
+func NewService(check Credentials, timeout time.Duration, opts ...Option) *Service {
+	s := &Service{
+		check:   check,
+		timeout: timeout,
+		now:     time.Now,
+		byID:    make(map[string]*Session),
+		byToken: make(map[string]*Session),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Timeout returns the configured session lifetime.
+func (s *Service) Timeout() time.Duration { return s.timeout }
+
+// Login validates credentials and creates a session.
+func (s *Service) Login(user, password string) (*Session, error) {
+	if !s.check(user, password) {
+		return nil, ErrInvalidCredentials
+	}
+	tok := make([]byte, 16)
+	if _, err := rand.Read(tok); err != nil {
+		return nil, fmt.Errorf("sessions: token generation: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	now := s.now()
+	sess := &Session{
+		ID:      fmt.Sprintf("%d", s.nextID),
+		User:    user,
+		Token:   hex.EncodeToString(tok),
+		Created: now,
+		Expires: now.Add(s.timeout),
+	}
+	s.byID[sess.ID] = sess
+	s.byToken[sess.Token] = sess
+	return copySession(sess), nil
+}
+
+// Validate checks a token and returns the owning session. Expired sessions
+// are reaped lazily.
+func (s *Service) Validate(token string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.byToken[token]
+	if !ok {
+		return nil, ErrInvalidToken
+	}
+	if s.now().After(sess.Expires) {
+		delete(s.byID, sess.ID)
+		delete(s.byToken, sess.Token)
+		return nil, ErrInvalidToken
+	}
+	return copySession(sess), nil
+}
+
+// Logout deletes the session with the given id.
+func (s *Service) Logout(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.byID, id)
+	delete(s.byToken, sess.Token)
+	return nil
+}
+
+// Get returns the session with the given id if it is still valid.
+func (s *Service) Get(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if s.now().After(sess.Expires) {
+		delete(s.byID, sess.ID)
+		delete(s.byToken, sess.Token)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return copySession(sess), nil
+}
+
+// List returns the ids of live sessions.
+func (s *Service) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	ids := make([]string, 0, len(s.byID))
+	for id, sess := range s.byID {
+		if now.After(sess.Expires) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func copySession(s *Session) *Session {
+	c := *s
+	return &c
+}

@@ -1,0 +1,158 @@
+package sessions
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestService(now *time.Time) *Service {
+	check := StaticCredentials(map[string]string{"admin": "secret"})
+	return NewService(check, time.Hour, WithClock(func() time.Time { return *now }))
+}
+
+func TestLoginValidate(t *testing.T) {
+	now := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	svc := newTestService(&now)
+	sess, err := svc.Login("admin", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Token == "" || sess.ID == "" {
+		t.Fatalf("session = %+v", sess)
+	}
+	got, err := svc.Validate(sess.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != "admin" {
+		t.Errorf("user = %q", got.User)
+	}
+}
+
+func TestLoginRejectsBadCredentials(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	if _, err := svc.Login("admin", "wrong"); !errors.Is(err, ErrInvalidCredentials) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := svc.Login("ghost", "secret"); !errors.Is(err, ErrInvalidCredentials) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownToken(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	if _, err := svc.Validate("bogus"); !errors.Is(err, ErrInvalidToken) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	svc := newTestService(&now)
+	sess, err := svc.Login("admin", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, err := svc.Validate(sess.Token); !errors.Is(err, ErrInvalidToken) {
+		t.Errorf("expired token accepted: %v", err)
+	}
+	if _, err := svc.Get(sess.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired session retrievable: %v", err)
+	}
+}
+
+func TestLogout(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	sess, err := svc.Login("admin", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Logout(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Validate(sess.Token); !errors.Is(err, ErrInvalidToken) {
+		t.Errorf("token valid after logout: %v", err)
+	}
+	if err := svc.Logout(sess.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double logout err = %v", err)
+	}
+}
+
+func TestListExcludesExpired(t *testing.T) {
+	now := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	svc := newTestService(&now)
+	if _, err := svc.Login("admin", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Minute)
+	if _, err := svc.Login("admin", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Minute) // first has expired, second has not
+	if got := len(svc.List()); got != 1 {
+		t.Errorf("List = %d sessions, want 1", got)
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		sess, err := svc.Login("admin", "secret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sess.Token] {
+			t.Fatal("duplicate token issued")
+		}
+		seen[sess.Token] = true
+	}
+}
+
+func TestReturnedSessionIsCopy(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	sess, err := svc.Login("admin", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := sess.Token
+	sess.Token = "mutated"
+	if _, err := svc.Validate(tok); err != nil {
+		t.Error("mutating returned session affected service state")
+	}
+}
+
+func TestConcurrentLoginValidate(t *testing.T) {
+	now := time.Now()
+	svc := newTestService(&now)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := svc.Login("admin", "secret")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := svc.Validate(sess.Token); err != nil {
+				t.Error(err)
+			}
+			if err := svc.Logout(sess.ID); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(svc.List()); got != 0 {
+		t.Errorf("sessions remaining = %d", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package beeond simulates the node-local BeeOND parallel filesystem the
+// paper builds on Slurm: per-node management (Mgmtd), metadata (Meta),
+// object storage (Storage/OST) and client helper (Helperd) services,
+// assembled in the paper's prescribed serialized order during parallel
+// prolog scripts, and torn down (kill, poll, XFS reformat, remount) in the
+// epilog. Role assignment follows the paper exactly: the lowest node in
+// the allocation becomes the Mgmtd server, the metadata server, an OST and
+// a client; every other node becomes an OST server and a client.
+package beeond
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ofmf/internal/sim/des"
+)
+
+// ErrStartFailure marks a hardware-related service start failure (the
+// paper's prolog reports these to Slurm, which drains the node).
+var ErrStartFailure = errors.New("beeond: service failed to start")
+
+// Role describes the services a node runs.
+type Role struct {
+	Mgmtd   bool
+	Meta    bool
+	Storage bool
+	Client  bool
+}
+
+// String renders the role like "mgmtd+meta+storage+client".
+func (r Role) String() string {
+	var parts []string
+	if r.Mgmtd {
+		parts = append(parts, "mgmtd")
+	}
+	if r.Meta {
+		parts = append(parts, "meta")
+	}
+	if r.Storage {
+		parts = append(parts, "storage")
+	}
+	if r.Client {
+		parts = append(parts, "client")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "+" + p
+	}
+	return out
+}
+
+// Plan assigns roles per the paper's layout: lowest node gets everything,
+// the rest are storage+client.
+func Plan(nodes []string) map[string]Role {
+	roles := make(map[string]Role, len(nodes))
+	if len(nodes) == 0 {
+		return roles
+	}
+	lowest := nodes[0]
+	for _, n := range nodes[1:] {
+		if n < lowest {
+			lowest = n
+		}
+	}
+	for _, n := range nodes {
+		if n == lowest {
+			roles[n] = Role{Mgmtd: true, Meta: true, Storage: true, Client: true}
+		} else {
+			roles[n] = Role{Storage: true, Client: true}
+		}
+	}
+	return roles
+}
+
+// Config gives the per-service timing model. Durations are seconds; each
+// sample is PosNorm(mean, jitter). Defaults are calibrated so a full
+// assembly completes in under 3 s and teardown in under 6 s regardless of
+// allocation size, matching the paper's measurements.
+type Config struct {
+	MgmtdStart   float64 // management daemon start
+	MetaStart    float64 // metadata daemon start
+	StorageStart float64 // OSS/OST daemon start
+	HelperdStart float64 // client helper start
+	MountTime    float64 // beeond_mount
+	Jitter       float64 // per-sample standard deviation
+
+	KillTime    float64 // fuser kill signal delivery
+	PollTime    float64 // polling until processes exit
+	MkfsTime    float64 // XFS reformat of the SSD partition
+	RemountTime float64 // remount of /dev/beeond_store
+
+	// StartFailProb is the per-node probability of a hardware-related
+	// start failure (UDEV rule, kernel module mismatch, dead SSD).
+	StartFailProb float64
+}
+
+// DefaultConfig returns the calibrated timing model.
+func DefaultConfig() Config {
+	return Config{
+		MgmtdStart:   0.25,
+		MetaStart:    0.30,
+		StorageStart: 0.40,
+		HelperdStart: 0.20,
+		MountTime:    0.45,
+		Jitter:       0.05,
+		KillTime:     0.30,
+		PollTime:     0.60,
+		MkfsTime:     2.60,
+		RemountTime:  0.40,
+	}
+}
+
+// FS is one private BeeOND filesystem instance over an allocation.
+type FS struct {
+	cfg   Config
+	nodes []string
+	roles map[string]Role
+}
+
+// New plans a filesystem over the allocation.
+func New(cfg Config, nodes []string) *FS {
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	return &FS{cfg: cfg, nodes: sorted, roles: Plan(sorted)}
+}
+
+// Nodes returns the allocation, sorted.
+func (f *FS) Nodes() []string { return append([]string(nil), f.nodes...) }
+
+// RoleOf returns the role of the named node.
+func (f *FS) RoleOf(node string) (Role, error) {
+	r, ok := f.roles[node]
+	if !ok {
+		return Role{}, fmt.Errorf("beeond: node %s not in allocation", node)
+	}
+	return r, nil
+}
+
+// OSTs returns the storage-server nodes (every node, in this layout).
+func (f *FS) OSTs() []string {
+	var out []string
+	for _, n := range f.nodes {
+		if f.roles[n].Storage {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MetaNode returns the node hosting the metadata (and management) server.
+func (f *FS) MetaNode() string {
+	for _, n := range f.nodes {
+		if f.roles[n].Meta {
+			return n
+		}
+	}
+	return ""
+}
+
+// StartNode simulates the per-node portion of the prolog: the serialized
+// start of the node's services followed by the client mount. The caller
+// (the Slurm prolog) runs these in parallel across nodes; the assembly
+// time is the maximum of the returned durations.
+func (f *FS) StartNode(node string, rng *des.RNG) (float64, error) {
+	role, ok := f.roles[node]
+	if !ok {
+		return 0, fmt.Errorf("beeond: node %s not in allocation", node)
+	}
+	if f.cfg.StartFailProb > 0 && rng.Float64() < f.cfg.StartFailProb {
+		return rng.PosNorm(f.cfg.StorageStart, f.cfg.Jitter),
+			fmt.Errorf("%w on %s", ErrStartFailure, node)
+	}
+	total := 0.0
+	sample := func(mean float64) { total += rng.PosNorm(mean, f.cfg.Jitter) }
+	if role.Mgmtd {
+		sample(f.cfg.MgmtdStart)
+	}
+	if role.Meta {
+		sample(f.cfg.MetaStart)
+	}
+	if role.Storage {
+		sample(f.cfg.StorageStart)
+	}
+	if role.Client {
+		sample(f.cfg.HelperdStart)
+		sample(f.cfg.MountTime)
+	}
+	return total, nil
+}
+
+// StopNode simulates the per-node portion of the epilog: the kill signal,
+// the poll loop waiting for processes to exit, the XFS reformat and the
+// remount readying the SSD for the next allocation.
+func (f *FS) StopNode(node string, rng *des.RNG) (float64, error) {
+	if _, ok := f.roles[node]; !ok {
+		return 0, fmt.Errorf("beeond: node %s not in allocation", node)
+	}
+	total := rng.PosNorm(f.cfg.KillTime, f.cfg.Jitter)
+	total += rng.PosNorm(f.cfg.PollTime, f.cfg.Jitter)
+	total += rng.PosNorm(f.cfg.MkfsTime, 4*f.cfg.Jitter)
+	total += rng.PosNorm(f.cfg.RemountTime, f.cfg.Jitter)
+	return total, nil
+}
+
+// Assemble simulates the whole parallel prolog and returns the wall-clock
+// assembly time (max across nodes).
+func (f *FS) Assemble(rng *des.RNG) (float64, error) {
+	var wall float64
+	for i, n := range f.nodes {
+		d, err := f.StartNode(n, rng.Split(uint64(i)))
+		if err != nil {
+			return 0, err
+		}
+		if d > wall {
+			wall = d
+		}
+	}
+	return wall, nil
+}
+
+// Disassemble simulates the whole parallel epilog and returns the
+// wall-clock teardown time.
+func (f *FS) Disassemble(rng *des.RNG) (float64, error) {
+	var wall float64
+	for i, n := range f.nodes {
+		d, err := f.StopNode(n, rng.Split(uint64(i)^0xbee))
+		if err != nil {
+			return 0, err
+		}
+		if d > wall {
+			wall = d
+		}
+	}
+	return wall, nil
+}
+
+// Stripe places count files over the filesystem's OSTs round-robin (the
+// file-per-process, stripe-count-1 layout the paper's IOR configuration
+// produces) and returns files per node.
+func (f *FS) Stripe(count int) map[string]int {
+	out := make(map[string]int)
+	osts := f.OSTs()
+	if len(osts) == 0 {
+		return out
+	}
+	for i := 0; i < count; i++ {
+		out[osts[i%len(osts)]]++
+	}
+	return out
+}

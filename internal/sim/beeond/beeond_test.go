@@ -1,0 +1,201 @@
+package beeond
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ofmf/internal/sim/des"
+)
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%03d", i+1)
+	}
+	return names
+}
+
+func TestPlanRoles(t *testing.T) {
+	roles := Plan([]string{"node003", "node001", "node002"})
+	low := roles["node001"]
+	if !low.Mgmtd || !low.Meta || !low.Storage || !low.Client {
+		t.Errorf("lowest role = %+v", low)
+	}
+	for _, n := range []string{"node002", "node003"} {
+		r := roles[n]
+		if r.Mgmtd || r.Meta {
+			t.Errorf("%s unexpectedly hosts management: %+v", n, r)
+		}
+		if !r.Storage || !r.Client {
+			t.Errorf("%s missing storage/client: %+v", n, r)
+		}
+	}
+	if len(Plan(nil)) != 0 {
+		t.Error("empty plan not empty")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if got := (Role{Mgmtd: true, Meta: true, Storage: true, Client: true}).String(); got != "mgmtd+meta+storage+client" {
+		t.Errorf("role = %q", got)
+	}
+	if got := (Role{}).String(); got != "none" {
+		t.Errorf("empty role = %q", got)
+	}
+}
+
+func TestFSAccessors(t *testing.T) {
+	fs := New(DefaultConfig(), []string{"node002", "node001"})
+	if got := fs.MetaNode(); got != "node001" {
+		t.Errorf("meta = %q", got)
+	}
+	if got := fs.OSTs(); len(got) != 2 {
+		t.Errorf("osts = %v", got)
+	}
+	if _, err := fs.RoleOf("ghost"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	role, err := fs.RoleOf("node001")
+	if err != nil || !role.Mgmtd {
+		t.Errorf("role = %+v, %v", role, err)
+	}
+}
+
+func TestAssembleUnderThreeSeconds(t *testing.T) {
+	rng := des.NewRNG(1)
+	for _, n := range []int{2, 16, 128, 512} {
+		fs := New(DefaultConfig(), nodeNames(n))
+		for rep := 0; rep < 20; rep++ {
+			d, err := fs.Assemble(rng.Split(uint64(n*100 + rep)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d >= 3 {
+				t.Errorf("assemble %d nodes took %.2f s", n, d)
+			}
+			if d <= 0 {
+				t.Errorf("assemble %d nodes took %.2f s (non-positive)", n, d)
+			}
+		}
+	}
+}
+
+func TestDisassembleUnderSixSeconds(t *testing.T) {
+	rng := des.NewRNG(2)
+	for _, n := range []int{2, 128, 512} {
+		fs := New(DefaultConfig(), nodeNames(n))
+		for rep := 0; rep < 20; rep++ {
+			d, err := fs.Disassemble(rng.Split(uint64(n*100 + rep)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d >= 6 {
+				t.Errorf("disassemble %d nodes took %.2f s", n, d)
+			}
+		}
+	}
+}
+
+func TestScaleIndependence(t *testing.T) {
+	// Assembly time must not grow with allocation size (parallel prolog).
+	rng := des.NewRNG(3)
+	mean := func(n int) float64 {
+		fs := New(DefaultConfig(), nodeNames(n))
+		var sum float64
+		const reps = 30
+		for rep := 0; rep < reps; rep++ {
+			d, err := fs.Assemble(rng.Split(uint64(n)<<16 ^ uint64(rep)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += d
+		}
+		return sum / reps
+	}
+	small, large := mean(2), mean(512)
+	if large > small*1.3 {
+		t.Errorf("assembly grew with scale: %.2f s @2 vs %.2f s @512", small, large)
+	}
+}
+
+func TestLowestNodeDominatesAssembly(t *testing.T) {
+	// The lowest node starts mgmtd+meta+storage+helperd+mount; others only
+	// storage+helperd+mount, so the lowest node's duration is the maximum
+	// (up to jitter).
+	cfg := DefaultConfig()
+	cfg.Jitter = 0
+	fs := New(cfg, nodeNames(4))
+	rng := des.NewRNG(4)
+	low, err := fs.StartNode("node001", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := fs.StartNode("node002", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low <= other {
+		t.Errorf("lowest %.2f s not above other %.2f s", low, other)
+	}
+	wantLow := cfg.MgmtdStart + cfg.MetaStart + cfg.StorageStart + cfg.HelperdStart + cfg.MountTime
+	if low != wantLow {
+		t.Errorf("lowest = %.2f, want %.2f", low, wantLow)
+	}
+}
+
+func TestStartFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StartFailProb = 1
+	fs := New(cfg, nodeNames(2))
+	if _, err := fs.StartNode("node001", des.NewRNG(5)); !errors.Is(err, ErrStartFailure) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.Assemble(des.NewRNG(5)); !errors.Is(err, ErrStartFailure) {
+		t.Errorf("assemble err = %v", err)
+	}
+}
+
+func TestUnknownNodeErrors(t *testing.T) {
+	fs := New(DefaultConfig(), nodeNames(2))
+	if _, err := fs.StartNode("ghost", des.NewRNG(1)); err == nil {
+		t.Error("start on unknown node accepted")
+	}
+	if _, err := fs.StopNode("ghost", des.NewRNG(1)); err == nil {
+		t.Error("stop on unknown node accepted")
+	}
+}
+
+func TestStripeRoundRobin(t *testing.T) {
+	fs := New(DefaultConfig(), nodeNames(4))
+	files := fs.Stripe(10)
+	// 10 files over 4 OSTs: 3,3,2,2.
+	if files["node001"] != 3 || files["node002"] != 3 || files["node003"] != 2 || files["node004"] != 2 {
+		t.Errorf("stripe = %v", files)
+	}
+}
+
+func TestStripeProperty(t *testing.T) {
+	// All files placed; per-node counts differ by at most one.
+	f := func(count uint16, width uint8) bool {
+		n := int(width)%63 + 2
+		fs := New(DefaultConfig(), nodeNames(n))
+		files := fs.Stripe(int(count) % 5000)
+		total, mn, mx := 0, 1<<30, 0
+		for _, node := range fs.OSTs() {
+			c := files[node]
+			total += c
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		return total == int(count)%5000 && mx-mn <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cluster models the simulated HPC machine the evaluation runs
+// on: named compute nodes with cores, memory and node-local SSDs, plus
+// drain bookkeeping, mirroring the paper's production platform (dual-
+// socket 56-core ThunderX2 nodes with 894 GiB XFS-formatted SSD
+// partitions behind /dev/beeond_store).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	ErrTooFew      = errors.New("cluster: not enough free nodes")
+)
+
+// Node is one compute node.
+type Node struct {
+	Name      string
+	Cores     int
+	MemoryMiB int64
+	SSDBytes  int64
+
+	Drained     bool
+	DrainReason string
+	Allocated   bool
+}
+
+// Cluster is a set of nodes.
+type Cluster struct {
+	mu     sync.Mutex
+	nodes  []*Node
+	byName map[string]*Node
+}
+
+// NodeName formats the canonical node name for index i (0-based).
+func NodeName(i int) string { return fmt.Sprintf("node%03d", i+1) }
+
+// New builds a homogeneous cluster of n nodes.
+func New(n, cores int, memoryMiB, ssdBytes int64) *Cluster {
+	c := &Cluster{byName: make(map[string]*Node, n)}
+	for i := 0; i < n; i++ {
+		node := &Node{Name: NodeName(i), Cores: cores, MemoryMiB: memoryMiB, SSDBytes: ssdBytes}
+		c.nodes = append(c.nodes, node)
+		c.byName[node.Name] = node
+	}
+	return c
+}
+
+// Paper-platform defaults: 56 cores (2×28 ThunderX2), 128 GiB, 894 GiB SSD.
+const (
+	DefaultCores     = 56
+	DefaultMemoryMiB = 128 * 1024
+	DefaultSSDBytes  = 894 << 30
+)
+
+// NewDefault builds a cluster of n paper-platform nodes.
+func NewDefault(n int) *Cluster {
+	return New(n, DefaultCores, DefaultMemoryMiB, DefaultSSDBytes)
+}
+
+// Size returns the total node count.
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// Node returns a snapshot of the named node.
+func (c *Cluster) Node(name string) (Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.byName[name]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	return *n, nil
+}
+
+// Names returns all node names in order.
+func (c *Cluster) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// FreeNodes returns the names of nodes that are neither allocated nor
+// drained, in name order.
+func (c *Cluster) FreeNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, n := range c.nodes {
+		if !n.Allocated && !n.Drained {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// Allocate reserves count free nodes, preferring a contiguous run (Slurm's
+// affinity for contiguous allocations) and falling back to the lowest free
+// names. It returns the allocated names in order.
+func (c *Cluster) Allocate(count int) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := make([]int, 0, len(c.nodes))
+	for i, n := range c.nodes {
+		if !n.Allocated && !n.Drained {
+			free = append(free, i)
+		}
+	}
+	if len(free) < count {
+		return nil, fmt.Errorf("%w: %d free, need %d", ErrTooFew, len(free), count)
+	}
+	// Look for a contiguous run of length count.
+	start := -1
+	run := 0
+	for i := 1; i <= len(free); i++ {
+		if i < len(free) && free[i] == free[i-1]+1 {
+			run++
+			continue
+		}
+		if run+1 >= count {
+			start = free[i-1-run]
+			break
+		}
+		run = 0
+	}
+	var chosen []int
+	if start >= 0 {
+		for i := start; len(chosen) < count; i++ {
+			chosen = append(chosen, i)
+		}
+	} else {
+		chosen = free[:count]
+	}
+	names := make([]string, count)
+	for i, idx := range chosen {
+		c.nodes[idx].Allocated = true
+		names[i] = c.nodes[idx].Name
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Release frees the named nodes.
+func (c *Cluster) Release(names []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		n, ok := c.byName[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+		}
+		n.Allocated = false
+	}
+	return nil
+}
+
+// Drain marks a node unavailable with a reason (the paper drains nodes on
+// filesystem start-up failure for inspection).
+func (c *Cluster) Drain(name, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	n.Drained = true
+	n.DrainReason = reason
+	return nil
+}
+
+// Undrain returns a drained node to service.
+func (c *Cluster) Undrain(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	n.Drained = false
+	n.DrainReason = ""
+	return nil
+}
+
+// Drained returns the names of drained nodes.
+func (c *Cluster) Drained() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, n := range c.nodes {
+		if n.Drained {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefault(t *testing.T) {
+	c := NewDefault(4)
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	n, err := c.Node("node001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cores != DefaultCores || n.MemoryMiB != DefaultMemoryMiB || n.SSDBytes != DefaultSSDBytes {
+		t.Errorf("node = %+v", n)
+	}
+	if _, err := c.Node("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAllocateReleaseCycle(t *testing.T) {
+	c := NewDefault(4)
+	nodes, err := c.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0] != "node001" || nodes[1] != "node002" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if free := c.FreeNodes(); len(free) != 2 {
+		t.Errorf("free = %v", free)
+	}
+	if _, err := c.Allocate(3); !errors.Is(err, ErrTooFew) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Release(nodes); err != nil {
+		t.Fatal(err)
+	}
+	if free := c.FreeNodes(); len(free) != 4 {
+		t.Errorf("free = %v", free)
+	}
+}
+
+func TestAllocateContiguityPreference(t *testing.T) {
+	c := NewDefault(8)
+	// Fragment: occupy 1,2 then 5.
+	first, _ := c.Allocate(2) // 001,002
+	mid, _ := c.Allocate(1)   // 003
+	_ = mid
+	if err := c.Release(first); err != nil {
+		t.Fatal(err)
+	}
+	// Free: 001,002,004..008. A request for 3 should prefer 004-006 (contiguous)
+	// over 001,002,004.
+	got, err := c.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "node004" || got[2] != "node006" {
+		t.Errorf("allocation = %v", got)
+	}
+}
+
+func TestAllocateFallsBackToFragmented(t *testing.T) {
+	c := NewDefault(4)
+	if _, err := c.Allocate(1); err != nil { // 001
+		t.Fatal(err)
+	}
+	a2, _ := c.Allocate(1)                   // 002
+	if _, err := c.Allocate(1); err != nil { // 003
+		t.Fatal(err)
+	}
+	if err := c.Release(a2); err != nil { // free: 002, 004 — not contiguous
+		t.Fatal(err)
+	}
+	got, err := c.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "node002" || got[1] != "node004" {
+		t.Errorf("allocation = %v", got)
+	}
+}
+
+func TestDrainExcludesFromAllocation(t *testing.T) {
+	c := NewDefault(3)
+	if err := c.Drain("node002", "bad ssd"); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := c.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n == "node002" {
+			t.Error("drained node allocated")
+		}
+	}
+	d := c.Drained()
+	if len(d) != 1 || d[0] != "node002" {
+		t.Errorf("drained = %v", d)
+	}
+	if err := c.Undrain("node002"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Drained()) != 0 {
+		t.Error("undrain failed")
+	}
+	n, _ := c.Node("node002")
+	if n.DrainReason != "" {
+		t.Errorf("reason = %q", n.DrainReason)
+	}
+}
+
+func TestPropertyAllocationConservation(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		c := NewDefault(64)
+		var held [][]string
+		total := 0
+		for _, s := range sizes {
+			n := int(s)%8 + 1
+			if total+n > 64 {
+				break
+			}
+			nodes, err := c.Allocate(n)
+			if err != nil {
+				return false
+			}
+			held = append(held, nodes)
+			total += n
+		}
+		if len(c.FreeNodes()) != 64-total {
+			return false
+		}
+		for _, h := range held {
+			if err := c.Release(h); err != nil {
+				return false
+			}
+		}
+		return len(c.FreeNodes()) == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

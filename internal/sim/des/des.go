@@ -1,0 +1,190 @@
+// Package des provides a small discrete-event simulation kernel: a
+// time-ordered event queue with deterministic tie-breaking, and seeded
+// random-number streams (splitmix64-based) with the distributions the
+// cluster and filesystem simulators draw from. Every experiment in the
+// evaluation harness runs on this kernel so results are reproducible from
+// a seed.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step executes the next event; it reports whether one was executed.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (s *Sim) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (s *Sim) RunUntil(t float64) {
+	for s.queue.Len() > 0 && s.queue[0].time <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// RNG is a small, fast, seedable generator (splitmix64) with the
+// distributions the simulators need. Distinct streams come from distinct
+// seeds; Split derives independent child streams.
+type RNG struct {
+	state uint64
+	// cached spare normal variate for Box-Muller
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG creates a generator from a seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent child stream keyed by id.
+func (r *RNG) Split(id uint64) *RNG {
+	return NewRNG(r.next() ^ (id * 0x9e3779b97f4a7c15))
+}
+
+func (r *RNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly random 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.next() }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Norm returns a normal variate with the given mean and standard
+// deviation (Box-Muller).
+func (r *RNG) Norm(mean, sd float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + sd*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + sd*u*m
+}
+
+// PosNorm returns a normal variate truncated at zero.
+func (r *RNG) PosNorm(mean, sd float64) float64 {
+	v := r.Norm(mean, sd)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// LogNorm returns a log-normal variate parameterized by the mean and
+// standard deviation of the underlying normal.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Errorf("end time = %f", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	var s Sim
+	fired := -1.0
+	s.At(5, func() {
+		s.At(1, func() { fired = s.Now() }) // in the past → runs now
+	})
+	s.Run()
+	if fired != 5 {
+		t.Errorf("fired at %f", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if s.Now() != 5.5 {
+		t.Errorf("now = %f", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	c1 := r.Split(1)
+	c2 := r.Split(2)
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("child streams overlap: %d equal draws", equal)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %f", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("sd = %f", sd)
+	}
+}
+
+func TestPosNormNonNegative(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.PosNorm(0.001, 0.01); v < 0 {
+			t.Fatal("negative value")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %f", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("coverage = %d/7", len(seen))
+	}
+	if r.Intn(0) != 0 {
+		t.Error("Intn(0) != 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package interfere
+
+import (
+	"testing"
+
+	"ofmf/internal/sim/des"
+)
+
+func meanSteal(t *testing.T, load NodeLoad, reps int) float64 {
+	t.Helper()
+	rng := des.NewRNG(11)
+	cfg := DefaultConfig()
+	var sum float64
+	for i := 0; i < reps; i++ {
+		sum += Sample(cfg, load, rng)
+	}
+	return sum / float64(reps)
+}
+
+func TestNoLoadNoSteal(t *testing.T) {
+	if got := meanSteal(t, NodeLoad{}, 1000); got != 0 {
+		t.Errorf("steal = %f", got)
+	}
+}
+
+func TestIdleDaemonStealSmall(t *testing.T) {
+	got := meanSteal(t, NodeLoad{DaemonsResident: true}, 5000)
+	if got < 0.002 || got > 0.01 {
+		t.Errorf("idle steal = %.4f, want fraction of a percent", got)
+	}
+}
+
+func TestSingleFileSteal(t *testing.T) {
+	got := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 1}, 5000)
+	if got < 0.05 || got > 0.12 {
+		t.Errorf("single-file steal = %.4f, want ≈6–10%%", got)
+	}
+}
+
+func TestHeavyLoadSaturatesAtCap(t *testing.T) {
+	cfg := DefaultConfig()
+	heavy := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 56}, 5000)
+	heavier := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 500}, 5000)
+	if heavy < cfg.IOStealCap*0.9 {
+		t.Errorf("heavy steal = %.3f, should approach cap %.3f", heavy, cfg.IOStealCap)
+	}
+	if heavier-heavy > 0.02 {
+		t.Errorf("cap not enforced: 56 files %.3f vs 500 files %.3f", heavy, heavier)
+	}
+}
+
+func TestMonotoneInFiles(t *testing.T) {
+	one := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 1}, 5000)
+	two := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 2}, 5000)
+	if two <= one {
+		t.Errorf("steal not monotone: %f vs %f", one, two)
+	}
+}
+
+func TestMetaServerAddsUnderLoad(t *testing.T) {
+	plain := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 1}, 8000)
+	meta := meanSteal(t, NodeLoad{DaemonsResident: true, ActiveFiles: 1, MetaServer: true}, 8000)
+	if meta <= plain {
+		t.Errorf("meta demand missing: %f vs %f", plain, meta)
+	}
+	if meta-plain > 0.03 {
+		t.Errorf("meta demand too large for 'no definitive difference': %f", meta-plain)
+	}
+}
+
+func TestExternalResidualOnly(t *testing.T) {
+	got := meanSteal(t, NodeLoad{ExternalResidual: 0.0005, ExternalResidualSD: 0.0005}, 5000)
+	if got <= 0 || got > 0.002 {
+		t.Errorf("residual steal = %f", got)
+	}
+}
+
+func TestStealNeverExceedsClamp(t *testing.T) {
+	rng := des.NewRNG(3)
+	cfg := DefaultConfig()
+	for i := 0; i < 10000; i++ {
+		s := Sample(cfg, NodeLoad{DaemonsResident: true, ActiveFiles: 10000, MetaServer: true, ExternalResidual: 0.5, ExternalResidualSD: 0.5}, rng)
+		if s < 0 || s > 0.95 {
+			t.Fatalf("steal out of range: %f", s)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package lustre models the shared central parallel filesystem the paper
+// uses as its baseline ("Matching Lustre"): external OSS/MDS servers
+// reached over the fabric, so compute nodes run no filesystem daemons and
+// IOR traffic imposes only marginal network-level interference on jobs
+// running on other nodes.
+package lustre
+
+import "ofmf/internal/sim/des"
+
+// Config sizes the central filesystem.
+type Config struct {
+	// OSSCount is the number of external object storage servers.
+	OSSCount int
+	// MDSCount is the number of external metadata servers.
+	MDSCount int
+	// PerOSSOpsPerSec caps each server's small-sync-write service rate.
+	PerOSSOpsPerSec float64
+	// ComputeImpact is the residual per-node slowdown fraction imposed on
+	// unrelated compute nodes by filesystem traffic crossing the shared
+	// fabric (mean of a small positive distribution).
+	ComputeImpact float64
+	// ComputeImpactSD is the jitter of that residual impact.
+	ComputeImpactSD float64
+}
+
+// DefaultConfig matches a mid-size production Lustre: 16 OSS, 2 MDS.
+func DefaultConfig() Config {
+	return Config{
+		OSSCount:        16,
+		MDSCount:        2,
+		PerOSSOpsPerSec: 40000,
+		ComputeImpact:   0.0005,
+		ComputeImpactSD: 0.0005,
+	}
+}
+
+// FS is the central filesystem.
+type FS struct {
+	cfg Config
+}
+
+// New creates a central filesystem.
+func New(cfg Config) *FS {
+	if cfg.OSSCount <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &FS{cfg: cfg}
+}
+
+// Servers returns the external server counts.
+func (f *FS) Servers() (oss, mds int) { return f.cfg.OSSCount, f.cfg.MDSCount }
+
+// SaturatedShare reports the fraction of offered small-sync-write load
+// the servers can absorb; clients self-throttle to this share (sync
+// writes block), so offered load beyond capacity stretches IOR, not the
+// servers.
+func (f *FS) SaturatedShare(offeredOpsPerSec float64) float64 {
+	capacity := float64(f.cfg.OSSCount) * f.cfg.PerOSSOpsPerSec
+	if offeredOpsPerSec <= capacity || offeredOpsPerSec == 0 {
+		return 1
+	}
+	return capacity / offeredOpsPerSec
+}
+
+// ComputeSteal samples the residual slowdown fraction filesystem traffic
+// imposes on a compute node that is not running any filesystem daemons —
+// the "Matching Lustre" control arm of the experiment.
+func (f *FS) ComputeSteal(rng *des.RNG) float64 {
+	return rng.PosNorm(f.cfg.ComputeImpact, f.cfg.ComputeImpactSD)
+}

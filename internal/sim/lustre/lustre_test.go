@@ -1,0 +1,47 @@
+package lustre
+
+import (
+	"testing"
+
+	"ofmf/internal/sim/des"
+)
+
+func TestDefaults(t *testing.T) {
+	fs := New(Config{})
+	oss, mds := fs.Servers()
+	if oss != 16 || mds != 2 {
+		t.Errorf("servers = %d/%d", oss, mds)
+	}
+}
+
+func TestSaturatedShare(t *testing.T) {
+	fs := New(DefaultConfig())
+	if got := fs.SaturatedShare(0); got != 1 {
+		t.Errorf("share(0) = %f", got)
+	}
+	capacity := 16.0 * 40000
+	if got := fs.SaturatedShare(capacity / 2); got != 1 {
+		t.Errorf("under capacity share = %f", got)
+	}
+	if got := fs.SaturatedShare(capacity * 2); got != 0.5 {
+		t.Errorf("over capacity share = %f", got)
+	}
+}
+
+func TestComputeStealTiny(t *testing.T) {
+	fs := New(DefaultConfig())
+	rng := des.NewRNG(1)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := fs.ComputeSteal(rng)
+		if s < 0 {
+			t.Fatalf("negative steal %f", s)
+		}
+		sum += s
+	}
+	mean := sum / n
+	if mean > 0.002 {
+		t.Errorf("mean residual steal = %f, should be well under idle-daemon cost", mean)
+	}
+}

@@ -1,0 +1,34 @@
+package slurm_test
+
+import (
+	"fmt"
+
+	"ofmf/internal/sim/slurm"
+)
+
+func ExampleCompress() {
+	hosts := []string{"node001", "node002", "node003", "node007", "login"}
+	fmt.Println(slurm.Compress(hosts))
+	// Output: node[001-003,007],login
+}
+
+func ExampleExpand() {
+	hosts, err := slurm.Expand("node[001-002,005]")
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hosts {
+		fmt.Println(h)
+	}
+	// Output:
+	// node001
+	// node002
+	// node005
+}
+
+func ExampleLowest() {
+	// The paper assigns the Mgmtd/metadata role to the lowest node of the
+	// allocation.
+	fmt.Println(slurm.Lowest([]string{"node009", "node002", "node005"}))
+	// Output: node002
+}

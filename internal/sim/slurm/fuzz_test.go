@@ -1,0 +1,61 @@
+package slurm
+
+import (
+	"testing"
+)
+
+// FuzzExpand exercises the hostlist parser: it must never panic, and any
+// successfully expanded list must compress and re-expand to the same
+// hosts.
+func FuzzExpand(f *testing.F) {
+	for _, seed := range []string{
+		"node[001-003]",
+		"node[001-002,005,007-008]",
+		"node001,node002",
+		"login,node[01-04]",
+		"node[1-1]",
+		"a[001-100],b[001-100]",
+		"",
+		"node[",
+		"node]0[",
+		"node[9-1]",
+		"node[0a]",
+		"n[0-2],m[3-4],plainhost",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, list string) {
+		hosts, err := Expand(list)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(hosts) > 100000 {
+			return // pathological ranges; skip round-trip cost
+		}
+		// Round-trip through Compress only for unique host sets.
+		seen := make(map[string]bool, len(hosts))
+		unique := true
+		for _, h := range hosts {
+			if h == "" || seen[h] {
+				unique = false
+				break
+			}
+			seen[h] = true
+		}
+		if !unique {
+			return
+		}
+		back, err := Expand(Compress(hosts))
+		if err != nil {
+			t.Fatalf("re-expand failed for %q: %v", Compress(hosts), err)
+		}
+		if len(back) != len(hosts) {
+			t.Fatalf("round trip %q: %d hosts -> %d", list, len(hosts), len(back))
+		}
+		for _, h := range back {
+			if !seen[h] {
+				t.Fatalf("round trip %q invented host %q", list, h)
+			}
+		}
+	})
+}

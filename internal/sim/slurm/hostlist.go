@@ -1,0 +1,167 @@
+package slurm
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Hostlist utilities implement the SLURM_NODELIST notation the paper's
+// prolog scripts parse with the hostlist tool: "node[001-003,007]"
+// expands to node001 node002 node003 node007.
+
+var hostPattern = regexp.MustCompile(`^(\D*)(\d+)$`)
+
+// maxHostlistExpansion bounds Expand so a malformed range cannot allocate
+// unbounded memory; it comfortably exceeds any real machine's node count.
+const maxHostlistExpansion = 1 << 20
+
+// Compress renders a list of hostnames in hostlist notation. Hosts that
+// do not end in digits pass through verbatim, comma-separated.
+func Compress(hosts []string) string {
+	type numbered struct {
+		prefix string
+		num    int
+		width  int
+	}
+	byPrefix := make(map[string][]numbered)
+	var plain []string
+	var prefixOrder []string
+	for _, h := range hosts {
+		m := hostPattern.FindStringSubmatch(h)
+		if m == nil {
+			plain = append(plain, h)
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			// Numeric suffix too large to treat as a range index; keep
+			// the host verbatim.
+			plain = append(plain, h)
+			continue
+		}
+		key := m[1] + "/" + strconv.Itoa(len(m[2]))
+		if _, ok := byPrefix[key]; !ok {
+			prefixOrder = append(prefixOrder, key)
+		}
+		byPrefix[key] = append(byPrefix[key], numbered{prefix: m[1], num: n, width: len(m[2])})
+	}
+	var parts []string
+	sort.Strings(prefixOrder)
+	for _, key := range prefixOrder {
+		group := byPrefix[key]
+		sort.Slice(group, func(i, j int) bool { return group[i].num < group[j].num })
+		var ranges []string
+		for i := 0; i < len(group); {
+			j := i
+			for j+1 < len(group) && group[j+1].num == group[j].num+1 {
+				j++
+			}
+			lo := fmt.Sprintf("%0*d", group[i].width, group[i].num)
+			if j == i {
+				ranges = append(ranges, lo)
+			} else {
+				hi := fmt.Sprintf("%0*d", group[j].width, group[j].num)
+				ranges = append(ranges, lo+"-"+hi)
+			}
+			i = j + 1
+		}
+		prefix := group[0].prefix
+		if len(ranges) == 1 && !strings.Contains(ranges[0], "-") {
+			parts = append(parts, prefix+ranges[0])
+		} else {
+			parts = append(parts, prefix+"["+strings.Join(ranges, ",")+"]")
+		}
+	}
+	parts = append(parts, plain...)
+	return strings.Join(parts, ",")
+}
+
+// Expand parses hostlist notation back into individual hostnames.
+func Expand(list string) ([]string, error) {
+	var out []string
+	rest := list
+	for rest != "" {
+		var token string
+		if i := strings.Index(rest, "["); i >= 0 && (strings.Index(rest, ",") == -1 || strings.Index(rest, ",") > i) {
+			// Token with a bracketed range set.
+			j := strings.Index(rest, "]")
+			if j < i {
+				return nil, fmt.Errorf("slurm: unbalanced brackets in %q", list)
+			}
+			token = rest[:j+1]
+			rest = strings.TrimPrefix(rest[j+1:], ",")
+		} else if i := strings.Index(rest, ","); i >= 0 {
+			token = rest[:i]
+			rest = rest[i+1:]
+		} else {
+			token = rest
+			rest = ""
+		}
+		hosts, err := expandToken(token)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hosts...)
+	}
+	return out, nil
+}
+
+func expandToken(token string) ([]string, error) {
+	open := strings.Index(token, "[")
+	if open < 0 {
+		if token == "" {
+			return nil, nil
+		}
+		return []string{token}, nil
+	}
+	closeIdx := strings.LastIndex(token, "]")
+	if closeIdx < open {
+		return nil, fmt.Errorf("slurm: unbalanced brackets in %q", token)
+	}
+	prefix := token[:open]
+	spec := token[open+1 : closeIdx]
+	var out []string
+	for _, r := range strings.Split(spec, ",") {
+		bounds := strings.SplitN(r, "-", 2)
+		lo, err := strconv.Atoi(bounds[0])
+		if err != nil {
+			return nil, fmt.Errorf("slurm: bad range %q in %q", r, token)
+		}
+		hi := lo
+		width := len(bounds[0])
+		if len(bounds) == 2 {
+			hi, err = strconv.Atoi(bounds[1])
+			if err != nil {
+				return nil, fmt.Errorf("slurm: bad range %q in %q", r, token)
+			}
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("slurm: inverted range %q in %q", r, token)
+		}
+		if hi-lo+1 > maxHostlistExpansion-len(out) {
+			return nil, fmt.Errorf("slurm: hostlist %q expands beyond %d hosts", token, maxHostlistExpansion)
+		}
+		for n := lo; n <= hi; n++ {
+			out = append(out, fmt.Sprintf("%s%0*d", prefix, width, n))
+		}
+	}
+	return out, nil
+}
+
+// Lowest returns the lexically lowest host in the list — the node the
+// paper's scripts pick as the combined Mgmtd/metadata server.
+func Lowest(hosts []string) string {
+	if len(hosts) == 0 {
+		return ""
+	}
+	low := hosts[0]
+	for _, h := range hosts[1:] {
+		if h < low {
+			low = h
+		}
+	}
+	return low
+}

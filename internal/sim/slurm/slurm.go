@@ -1,0 +1,271 @@
+// Package slurm simulates the workload-manager behaviours the paper's
+// BeeOND integration relies on: FIFO allocation with contiguous-node
+// affinity, constraint gating (the "beeond" constraint toggling the
+// private filesystem), parallel per-node prolog and epilog hooks, error
+// handling that drains failing nodes, and SLURM_NODELIST hostlist
+// notation. Jobs run on the des kernel so experiments are deterministic.
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ofmf/internal/sim/cluster"
+	"ofmf/internal/sim/des"
+)
+
+// Sentinel errors.
+var (
+	ErrTooLarge = errors.New("slurm: job larger than the partition")
+)
+
+// JobState tracks a job through its lifecycle.
+type JobState int
+
+// Job states.
+const (
+	StatePending JobState = iota
+	StateConfiguring
+	StateRunning
+	StateCompleting
+	StateCompleted
+	StateFailed
+)
+
+// String names the state like sinfo does.
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateConfiguring:
+		return "CONFIGURING"
+	case StateRunning:
+		return "RUNNING"
+	case StateCompleting:
+		return "COMPLETING"
+	case StateCompleted:
+		return "COMPLETED"
+	case StateFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// JobContext is what prolog/epilog hooks and the run function see — the
+// analogue of the Slurm environment (SLURM_JOB_ID, SLURM_NODELIST,
+// SLURM_JOB_CONSTRAINTS).
+type JobContext struct {
+	JobID       int
+	NodeList    string // compressed hostlist
+	Nodes       []string
+	Constraints []string
+}
+
+// HasConstraint reports whether the job requested the named constraint
+// (the paper checks SLURM_JOB_CONSTRAINTS for "beeond").
+func (c JobContext) HasConstraint(name string) bool {
+	for _, con := range c.Constraints {
+		if con == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeHook runs on one node during prolog or epilog; it returns the
+// simulated duration and an error. Hooks run in parallel across the
+// allocation, as Slurm prolog/epilog scripts do.
+type NodeHook func(ctx JobContext, node string, rng *des.RNG) (seconds float64, err error)
+
+// RunFunc computes the job's running time once the allocation is
+// configured.
+type RunFunc func(ctx JobContext, rng *des.RNG) (seconds float64)
+
+// JobSpec describes a submission.
+type JobSpec struct {
+	Nodes       int
+	Constraints []string
+	Run         RunFunc
+}
+
+// JobRecord is the accounting record of one job.
+type JobRecord struct {
+	ID          int
+	State       JobState
+	Nodes       []string
+	NodeList    string
+	Constraints []string
+
+	SubmitTime    float64
+	StartTime     float64 // after prolog
+	EndTime       float64 // end of compute
+	ReleaseTime   float64 // after epilog
+	PrologSeconds float64
+	EpilogSeconds float64
+	FailureReason string
+}
+
+// RunSeconds is the job's measured compute duration.
+func (r JobRecord) RunSeconds() float64 { return r.EndTime - r.StartTime }
+
+// Manager is the simulated workload manager.
+type Manager struct {
+	sim     *des.Sim
+	cluster *cluster.Cluster
+	rng     *des.RNG
+
+	// Prolog and Epilog run on every allocated node in parallel; nil
+	// hooks take zero time.
+	Prolog NodeHook
+	Epilog NodeHook
+
+	nextID  int
+	queue   []*queued
+	records map[int]*JobRecord
+}
+
+type queued struct {
+	id   int
+	spec JobSpec
+}
+
+// NewManager creates a manager over the cluster, driven by sim, seeded by
+// rng.
+func NewManager(sim *des.Sim, cl *cluster.Cluster, rng *des.RNG) *Manager {
+	return &Manager{sim: sim, cluster: cl, rng: rng, records: make(map[int]*JobRecord)}
+}
+
+// Submit queues a job and returns its id. The job starts as soon as
+// enough nodes are free (FIFO order).
+func (m *Manager) Submit(spec JobSpec) (int, error) {
+	if spec.Nodes > m.cluster.Size() {
+		return 0, fmt.Errorf("%w: %d nodes requested, partition has %d", ErrTooLarge, spec.Nodes, m.cluster.Size())
+	}
+	m.nextID++
+	id := m.nextID
+	m.records[id] = &JobRecord{
+		ID:          id,
+		State:       StatePending,
+		Constraints: spec.Constraints,
+		SubmitTime:  m.sim.Now(),
+	}
+	m.queue = append(m.queue, &queued{id: id, spec: spec})
+	m.sim.After(0, m.schedule)
+	return id, nil
+}
+
+// Record returns the accounting record for a job.
+func (m *Manager) Record(id int) (JobRecord, error) {
+	r, ok := m.records[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("slurm: unknown job %d", id)
+	}
+	return *r, nil
+}
+
+// Records returns all job records sorted by id.
+func (m *Manager) Records() []JobRecord {
+	ids := make([]int, 0, len(m.records))
+	for id := range m.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]JobRecord, len(ids))
+	for i, id := range ids {
+		out[i] = *m.records[id]
+	}
+	return out
+}
+
+// schedule starts queued jobs FIFO while nodes are available.
+func (m *Manager) schedule() {
+	for len(m.queue) > 0 {
+		head := m.queue[0]
+		nodes, err := m.cluster.Allocate(head.spec.Nodes)
+		if err != nil {
+			return // head blocked; strict FIFO
+		}
+		m.queue = m.queue[1:]
+		m.launch(head.id, head.spec, nodes)
+	}
+}
+
+func (m *Manager) launch(id int, spec JobSpec, nodes []string) {
+	rec := m.records[id]
+	rec.State = StateConfiguring
+	rec.Nodes = nodes
+	rec.NodeList = Compress(nodes)
+	ctx := JobContext{JobID: id, NodeList: rec.NodeList, Nodes: nodes, Constraints: spec.Constraints}
+
+	// Prolog: parallel across nodes; duration is the max; any failure
+	// fails the job and drains the offending node.
+	prologDur, failedNode, err := m.runHook(m.Prolog, ctx)
+	rec.PrologSeconds = prologDur
+	if err != nil {
+		m.sim.After(prologDur, func() {
+			rec.State = StateFailed
+			rec.FailureReason = fmt.Sprintf("prolog on %s: %v", failedNode, err)
+			_ = m.cluster.Drain(failedNode, rec.FailureReason)
+			_ = m.cluster.Release(nodes)
+			rec.ReleaseTime = m.sim.Now()
+			m.schedule()
+		})
+		return
+	}
+
+	m.sim.After(prologDur, func() {
+		rec.State = StateRunning
+		rec.StartTime = m.sim.Now()
+		runSeconds := 0.0
+		if spec.Run != nil {
+			runSeconds = spec.Run(ctx, m.rng.Split(uint64(id)))
+		}
+		m.sim.After(runSeconds, func() {
+			rec.State = StateCompleting
+			rec.EndTime = m.sim.Now()
+			epilogDur, failedNode, err := m.runHook(m.Epilog, ctx)
+			rec.EpilogSeconds = epilogDur
+			m.sim.After(epilogDur, func() {
+				if err != nil {
+					rec.State = StateFailed
+					rec.FailureReason = fmt.Sprintf("epilog on %s: %v", failedNode, err)
+					_ = m.cluster.Drain(failedNode, rec.FailureReason)
+				} else {
+					rec.State = StateCompleted
+				}
+				_ = m.cluster.Release(nodes)
+				rec.ReleaseTime = m.sim.Now()
+				m.schedule()
+			})
+		})
+	})
+}
+
+// runHook executes the hook on every node in parallel, returning the
+// maximum duration and the first failure.
+func (m *Manager) runHook(hook NodeHook, ctx JobContext) (maxDur float64, failedNode string, err error) {
+	if hook == nil {
+		return 0, "", nil
+	}
+	for _, node := range ctx.Nodes {
+		dur, herr := hook(ctx, node, m.rng.Split(hash(node)^uint64(ctx.JobID)))
+		if dur > maxDur {
+			maxDur = dur
+		}
+		if herr != nil && err == nil {
+			failedNode, err = node, herr
+		}
+	}
+	return maxDur, failedNode, err
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,249 @@
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ofmf/internal/sim/cluster"
+	"ofmf/internal/sim/des"
+)
+
+func TestHostlistCompress(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"node001", "node002", "node003"}, "node[001-003]"},
+		{[]string{"node001", "node003"}, "node[001,003]"},
+		{[]string{"node001"}, "node001"},
+		{[]string{"node001", "node002", "node005", "node007", "node008"}, "node[001-002,005,007-008]"},
+		{[]string{"login"}, "login"},
+	}
+	for _, c := range cases {
+		if got := Compress(c.in); got != c.want {
+			t.Errorf("Compress(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHostlistExpand(t *testing.T) {
+	got, err := Expand("node[001-003,007]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"node001", "node002", "node003", "node007"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q", i, got[i])
+		}
+	}
+}
+
+func TestHostlistExpandErrors(t *testing.T) {
+	for _, bad := range []string{"node[001", "node[0a-3]", "node[005-002]"} {
+		if _, err := Expand(bad); err == nil {
+			t.Errorf("Expand(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestHostlistRoundTrip(t *testing.T) {
+	f := func(picks []uint8) bool {
+		seen := make(map[string]bool)
+		var hosts []string
+		for _, p := range picks {
+			h := fmt.Sprintf("node%03d", int(p)%200+1)
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			return true
+		}
+		expanded, err := Expand(Compress(hosts))
+		if err != nil {
+			return false
+		}
+		if len(expanded) != len(hosts) {
+			return false
+		}
+		back := make(map[string]bool)
+		for _, h := range expanded {
+			back[h] = true
+		}
+		for _, h := range hosts {
+			if !back[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowest(t *testing.T) {
+	if got := Lowest([]string{"node005", "node002", "node009"}); got != "node002" {
+		t.Errorf("Lowest = %q", got)
+	}
+	if got := Lowest(nil); got != "" {
+		t.Errorf("Lowest(nil) = %q", got)
+	}
+}
+
+func newManager(nodes int) (*des.Sim, *cluster.Cluster, *Manager) {
+	sim := &des.Sim{}
+	cl := cluster.NewDefault(nodes)
+	return sim, cl, NewManager(sim, cl, des.NewRNG(1))
+}
+
+func TestJobLifecycle(t *testing.T) {
+	sim, _, m := newManager(4)
+	m.Prolog = func(ctx JobContext, node string, rng *des.RNG) (float64, error) { return 2, nil }
+	m.Epilog = func(ctx JobContext, node string, rng *des.RNG) (float64, error) { return 3, nil }
+	id, err := m.Submit(JobSpec{
+		Nodes:       2,
+		Constraints: []string{"beeond"},
+		Run:         func(ctx JobContext, rng *des.RNG) float64 { return 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	rec, err := m.Record(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", rec.State, rec.FailureReason)
+	}
+	if rec.StartTime != 2 || rec.EndTime != 102 || rec.ReleaseTime != 105 {
+		t.Errorf("times = %f/%f/%f", rec.StartTime, rec.EndTime, rec.ReleaseTime)
+	}
+	if rec.RunSeconds() != 100 {
+		t.Errorf("run = %f", rec.RunSeconds())
+	}
+	if rec.NodeList != "node[001-002]" {
+		t.Errorf("nodelist = %q", rec.NodeList)
+	}
+}
+
+func TestConstraintVisibleToHooks(t *testing.T) {
+	sim, _, m := newManager(2)
+	sawConstraint := false
+	m.Prolog = func(ctx JobContext, node string, rng *des.RNG) (float64, error) {
+		if ctx.HasConstraint("beeond") {
+			sawConstraint = true
+		}
+		return 0, nil
+	}
+	if _, err := m.Submit(JobSpec{Nodes: 1, Constraints: []string{"beeond"}}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if !sawConstraint {
+		t.Error("constraint not visible in prolog")
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	sim, _, m := newManager(2)
+	run := func(d float64) RunFunc { return func(JobContext, *des.RNG) float64 { return d } }
+	j1, _ := m.Submit(JobSpec{Nodes: 2, Run: run(10)})
+	j2, _ := m.Submit(JobSpec{Nodes: 2, Run: run(10)})
+	sim.Run()
+	r1, _ := m.Record(j1)
+	r2, _ := m.Record(j2)
+	if r1.State != StateCompleted || r2.State != StateCompleted {
+		t.Fatalf("states = %s, %s", r1.State, r2.State)
+	}
+	if r2.StartTime < r1.ReleaseTime {
+		t.Errorf("j2 started at %f before j1 released at %f", r2.StartTime, r1.ReleaseTime)
+	}
+}
+
+func TestContiguousAllocationPreferred(t *testing.T) {
+	sim := &des.Sim{}
+	cl := cluster.NewDefault(8)
+	m := NewManager(sim, cl, des.NewRNG(1))
+	// Occupy node001-node002 via an allocation we hold.
+	if _, err := cl.Allocate(2); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m.Submit(JobSpec{Nodes: 3, Run: func(JobContext, *des.RNG) float64 { return 1 }})
+	sim.Run()
+	rec, _ := m.Record(id)
+	if rec.NodeList != "node[003-005]" {
+		t.Errorf("nodelist = %q", rec.NodeList)
+	}
+}
+
+func TestPrologFailureDrainsNode(t *testing.T) {
+	sim, cl, m := newManager(4)
+	m.Prolog = func(ctx JobContext, node string, rng *des.RNG) (float64, error) {
+		if node == "node002" {
+			return 1, errors.New("udev rule failed: /dev/beeond_store missing")
+		}
+		return 1, nil
+	}
+	id, _ := m.Submit(JobSpec{Nodes: 3, Run: func(JobContext, *des.RNG) float64 { return 100 }})
+	sim.Run()
+	rec, _ := m.Record(id)
+	if rec.State != StateFailed {
+		t.Fatalf("state = %s", rec.State)
+	}
+	drained := cl.Drained()
+	if len(drained) != 1 || drained[0] != "node002" {
+		t.Errorf("drained = %v", drained)
+	}
+	// Remaining nodes were released.
+	if free := len(cl.FreeNodes()); free != 3 {
+		t.Errorf("free = %d", free)
+	}
+}
+
+func TestJobTooLarge(t *testing.T) {
+	_, _, m := newManager(2)
+	if _, err := m.Submit(JobSpec{Nodes: 3}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParallelPrologTakesMax(t *testing.T) {
+	sim, _, m := newManager(4)
+	durs := map[string]float64{"node001": 1, "node002": 5, "node003": 2, "node004": 1}
+	m.Prolog = func(ctx JobContext, node string, rng *des.RNG) (float64, error) {
+		return durs[node], nil
+	}
+	id, _ := m.Submit(JobSpec{Nodes: 4, Run: func(JobContext, *des.RNG) float64 { return 0 }})
+	sim.Run()
+	rec, _ := m.Record(id)
+	if rec.PrologSeconds != 5 {
+		t.Errorf("prolog = %f, want max 5", rec.PrologSeconds)
+	}
+	if rec.StartTime != 5 {
+		t.Errorf("start = %f", rec.StartTime)
+	}
+}
+
+func TestDrainedNodesSkipped(t *testing.T) {
+	sim := &des.Sim{}
+	cl := cluster.NewDefault(3)
+	if err := cl.Drain("node001", "maintenance"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(sim, cl, des.NewRNG(1))
+	id, _ := m.Submit(JobSpec{Nodes: 2, Run: func(JobContext, *des.RNG) float64 { return 1 }})
+	sim.Run()
+	rec, _ := m.Record(id)
+	if rec.NodeList != "node[002-003]" {
+		t.Errorf("nodelist = %q", rec.NodeList)
+	}
+}

@@ -1,0 +1,34 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"ofmf/internal/sim/workload"
+)
+
+func ExampleHPLParams() {
+	// Reproduce Table II's 64-node row from the sizing rule.
+	row := workload.HPLParams(64)
+	fmt.Println(row)
+	// Output: 64 nodes: N=364192 P=56 Q=64
+}
+
+func ExampleIORConfig_Files() {
+	// Table III's file-per-process layout on a 128-node IOR run.
+	cfg := workload.DefaultIOR()
+	fmt.Println(cfg.Files(128), "files")
+	// Output: 7168 files
+}
+
+func ExampleProfile_Isolation() {
+	for _, p := range workload.Profiles() {
+		fmt.Printf("%s: %s\n", p.Name, p.Isolation())
+	}
+	// Output:
+	// CPU-bound: Strong
+	// Memory-bound: Strong
+	// Network-bound: Medium-to-Strong
+	// IOPs-bound: Weak
+	// Bandwidth-bound: Weak
+	// Metadata-bound: Weak
+}

@@ -1,0 +1,134 @@
+// Package workload models the benchmarks the paper's evaluation runs: the
+// HPL compute task with its collective-phase structure and the problem
+// sizes of Table II, the IOR small-sync-write task of Table III, and the
+// six performance profiles of Table I.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ofmf/internal/sim/des"
+)
+
+// HPLRow is one row of Table II.
+type HPLRow struct {
+	Nodes int
+	N     int // row count
+	P     int // grid P
+	Q     int // grid Q
+}
+
+// HPLTable returns Table II verbatim: the problem sizes the paper used,
+// extrapolated from a well-performing single-node run (N₁ = 91048 using
+// most of 128 GiB) by approximately preserving per-node work (N ∝ n^⅓)
+// with a P×Q grid covering the 56·n cores.
+func HPLTable() []HPLRow {
+	return []HPLRow{
+		{1, 91048, 7, 8},
+		{2, 114713, 14, 8},
+		{4, 144529, 14, 16},
+		{8, 182096, 28, 16},
+		{16, 229427, 28, 32},
+		{32, 289059, 56, 32},
+		{64, 364192, 56, 64},
+		{128, 458853, 112, 64},
+	}
+}
+
+// HPLParams extrapolates the paper's sizing rule to an arbitrary node
+// count: N = round(N₁·n^⅓) and a P×Q grid filling 56·n ranks built by
+// doubling P and Q alternately from the single-node 7×8 grid.
+func HPLParams(nodes int) HPLRow {
+	if nodes < 1 {
+		nodes = 1
+	}
+	n := int(math.Round(91048 * math.Cbrt(float64(nodes))))
+	p, q := 7, 8
+	for pq := 1; pq < nodes; pq *= 2 {
+		if p < q { // double the smaller dimension (7×8 → 14×8 → 14×16 → ...)
+			p *= 2
+		} else {
+			q *= 2
+		}
+	}
+	return HPLRow{Nodes: nodes, N: n, P: p, Q: q}
+}
+
+// HPLModel is the phase-structured compute model: the run is a sequence of
+// compute phases separated by collective synchronization points, so each
+// phase completes at the pace of the slowest node. This is the mechanism
+// through which per-node interference (daemon CPU steal, I/O service
+// work, OS noise) amplifies with scale.
+type HPLModel struct {
+	// Nodes is the HPL node count.
+	Nodes int
+	// Phases is the number of collective sync points (panel factorization
+	// steps bucketed; default 60).
+	Phases int
+	// BaseSeconds is the interference-free runtime; default derives from
+	// Table II sizing at ~585 GF/node effective, ≈860 s ("less than 15
+	// minutes") for every row.
+	BaseSeconds float64
+	// BaseJitterFrac is run-to-run variation of the base time (default 0.4%).
+	BaseJitterFrac float64
+}
+
+// effective per-node HPL rate calibrated so Table II sizes run in ≈860 s.
+const hplNodeFlops = 5.85e11
+
+// BaseRuntime computes the interference-free runtime for a Table II-sized
+// run on n nodes.
+func BaseRuntime(nodes int) float64 {
+	row := HPLParams(nodes)
+	n := float64(row.N)
+	return (2.0 / 3.0) * n * n * n / (float64(nodes) * hplNodeFlops)
+}
+
+// StealFunc samples the fraction of a node's compute capacity stolen by
+// co-located services during one phase. node indexes the HPL nodes.
+type StealFunc func(node, phase int, rng *des.RNG) float64
+
+// Run simulates one HPL execution under the given interference and
+// returns the wall-clock seconds. Each phase's wall time is the maximum
+// over nodes of the phase work divided by the node's effective rate.
+func (m HPLModel) Run(rng *des.RNG, steal StealFunc) float64 {
+	phases := m.Phases
+	if phases <= 0 {
+		phases = 60
+	}
+	base := m.BaseSeconds
+	if base <= 0 {
+		base = BaseRuntime(m.Nodes)
+	}
+	jitter := m.BaseJitterFrac
+	if jitter <= 0 {
+		jitter = 0.004
+	}
+	base *= 1 + rng.Norm(0, jitter)
+	tau := base / float64(phases)
+
+	var wall float64
+	for k := 0; k < phases; k++ {
+		worst := 0.0
+		for i := 0; i < m.Nodes; i++ {
+			s := 0.0
+			if steal != nil {
+				s = steal(i, k, rng)
+			}
+			if s > 0.95 {
+				s = 0.95
+			}
+			if s > worst {
+				worst = s
+			}
+		}
+		wall += tau / (1 - worst)
+	}
+	return wall
+}
+
+// String renders a row like the paper's table.
+func (r HPLRow) String() string {
+	return fmt.Sprintf("%d nodes: N=%d P=%d Q=%d", r.Nodes, r.N, r.P, r.Q)
+}

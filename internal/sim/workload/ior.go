@@ -1,0 +1,148 @@
+package workload
+
+// IORConfig reproduces Table III: the parameters the paper chose to make
+// IOR "as disruptive to object storage daemons as possible" — many small
+// synchronous writes from as many processes as possible for the entire
+// compute-task runtime.
+type IORConfig struct {
+	ProcsPerNode     int    // [srun] -n, per node
+	TransferBytes    int    // -t
+	MaxRunMinutes    int    // -T
+	StonewallSeconds int    // -D
+	Repetitions      int    // -i
+	SyncAfterPhase   bool   // -e
+	ReorderTasks     bool   // -C
+	WriteTest        bool   // -w
+	AccessMethod     string // -a
+	Segments         int    // -s
+	FilePerProcess   bool   // -F
+	SyncEveryWrite   bool   // -Y
+}
+
+// DefaultIOR returns the exact Table III configuration.
+func DefaultIOR() IORConfig {
+	return IORConfig{
+		ProcsPerNode:     56,
+		TransferBytes:    512,
+		MaxRunMinutes:    20,
+		StonewallSeconds: 60,
+		Repetitions:      1048576,
+		SyncAfterPhase:   true,
+		ReorderTasks:     true,
+		WriteTest:        true,
+		AccessMethod:     "POSIX",
+		Segments:         1024,
+		FilePerProcess:   true,
+		SyncEveryWrite:   true,
+	}
+}
+
+// IORRow is one row of Table III.
+type IORRow struct {
+	Parameter   string
+	Description string
+	Value       string
+}
+
+// Rows renders the configuration as Table III.
+func (c IORConfig) Rows() []IORRow {
+	enabled := func(b bool) string {
+		if b {
+			return "enabled"
+		}
+		return "disabled"
+	}
+	return []IORRow{
+		{"[srun] -n", "Processes (per node)", itoa(c.ProcsPerNode)},
+		{"-t", "Transfer size (bytes)", itoa(c.TransferBytes)},
+		{"-T", "Maximum run duration (minutes)", itoa(c.MaxRunMinutes)},
+		{"-D", "Stonewalling deadline (seconds)", itoa(c.StonewallSeconds)},
+		{"-i", "Test repetitions", itoa(c.Repetitions)},
+		{"-e", "Sync after each write phase", enabled(c.SyncAfterPhase)},
+		{"-C", "Reorder tasks", enabled(c.ReorderTasks)},
+		{"-w", "Perform write test", enabled(c.WriteTest)},
+		{"-a", "Access method", c.AccessMethod},
+		{"-s", "Number of segments", itoa(c.Segments)},
+		{"-F", "Use file-per-process", enabled(c.FilePerProcess)},
+		{"-Y", "Sync after every write", enabled(c.SyncEveryWrite)},
+	}
+}
+
+// Files returns the number of files an m-node IOR run creates under
+// file-per-process.
+func (c IORConfig) Files(nodes int) int {
+	if !c.FilePerProcess {
+		return 1
+	}
+	return c.ProcsPerNode * nodes
+}
+
+// IORStats summarizes a simulated IOR run.
+type IORStats struct {
+	// OpsPerSec is the aggregate achieved small-write rate.
+	OpsPerSec float64
+	// BytesPerSec is the aggregate achieved bandwidth.
+	BytesPerSec float64
+	// Procs is the total writer count.
+	Procs int
+	// Throttled reports whether the servers saturated: sync writes block,
+	// so clients self-throttle instead of overrunning the filesystem.
+	Throttled bool
+	// RunSeconds is how long the run lasted (stonewall or -T cap).
+	RunSeconds float64
+	// BytesWritten is the total data the run produced.
+	BytesWritten float64
+}
+
+// Throughput models an IOR run from Table III's configuration: each
+// process issues synchronous small writes at perProcOpsPerSec (latency-
+// bound, ≈1/RTT); serverShare is the fraction of offered load the
+// filesystem can absorb (1 = unsaturated; see lustre.SaturatedShare).
+// The run length is the stonewall deadline per repetition, capped by -T.
+func (c IORConfig) Throughput(nodes int, perProcOpsPerSec, serverShare float64) IORStats {
+	if serverShare > 1 {
+		serverShare = 1
+	}
+	if serverShare < 0 {
+		serverShare = 0
+	}
+	procs := c.ProcsPerNode * nodes
+	offered := float64(procs) * perProcOpsPerSec
+	achieved := offered * serverShare
+
+	run := float64(c.StonewallSeconds)
+	capSeconds := float64(c.MaxRunMinutes) * 60
+	if capSeconds > 0 && run > capSeconds {
+		run = capSeconds
+	}
+	return IORStats{
+		OpsPerSec:    achieved,
+		BytesPerSec:  achieved * float64(c.TransferBytes),
+		Procs:        procs,
+		Throttled:    serverShare < 1,
+		RunSeconds:   run,
+		BytesWritten: achieved * float64(c.TransferBytes) * run,
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,89 @@
+package workload
+
+// Profile is one row of Table I: a performance profile with its leading
+// benchmark and the demand it places on each class of resource (0..1
+// shares). Isolation is derived from the contention model below, not
+// hardcoded, so the table's last column is a measured output.
+type Profile struct {
+	Name        string
+	Description string
+	Benchmark   string
+
+	// Demand shares on each resource class when the profile runs.
+	CPU       float64
+	Memory    float64
+	Network   float64
+	IOPS      float64
+	Bandwidth float64
+	Metadata  float64
+}
+
+// Profiles returns the six Table I profiles with demand vectors for the
+// contention model.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "CPU-bound", Description: "Heavy use of CPU and accelerators",
+			Benchmark: "HPL", CPU: 0.95, Memory: 0.30, Network: 0.15,
+		},
+		{
+			Name: "Memory-bound", Description: "Reads and writes to main memory",
+			Benchmark: "STREAM, HPCG", CPU: 0.40, Memory: 0.95, Network: 0.10,
+		},
+		{
+			Name: "Network-bound", Description: "Sending and receiving data among nodes in a task",
+			Benchmark: "Intel MPI Benchmarks", CPU: 0.25, Memory: 0.20, Network: 0.90,
+		},
+		{
+			Name: "IOPs-bound", Description: "Many small reads/writes to a few files",
+			Benchmark: "IOR-hard", CPU: 0.15, Memory: 0.10, IOPS: 0.95,
+		},
+		{
+			Name: "Bandwidth-bound", Description: "Large reads/writes to a few files",
+			Benchmark: "IOR-easy", CPU: 0.10, Memory: 0.15, Bandwidth: 0.95,
+		},
+		{
+			Name: "Metadata-bound", Description: "Many small reads/writes to many files",
+			Benchmark: "mdtest", CPU: 0.15, Memory: 0.10, Metadata: 0.95, IOPS: 0.40,
+		},
+	}
+}
+
+// Contention weights: CPU and memory are node-private under exclusive
+// allocation (strong isolation); the network fabric is shared but
+// path-diverse; filesystem daemons and metadata servers are fully shared.
+const (
+	cpuContention  = 0.00
+	memContention  = 0.02
+	netContention  = 0.25
+	iopsContention = 1.00
+	bwContention   = 0.90
+	metaContention = 1.00
+)
+
+// CoScheduledSlowdown estimates the fractional slowdown this profile
+// suffers when an identical instance runs concurrently elsewhere on the
+// machine: shared-resource demand products weighted by how contended each
+// resource class is.
+func (p Profile) CoScheduledSlowdown() float64 {
+	return cpuContention*p.CPU*p.CPU +
+		memContention*p.Memory*p.Memory +
+		netContention*p.Network*p.Network +
+		iopsContention*p.IOPS*p.IOPS +
+		bwContention*p.Bandwidth*p.Bandwidth +
+		metaContention*p.Metadata*p.Metadata
+}
+
+// Isolation classifies the expected performance isolation the way Table I
+// reports it, from the measured co-scheduled slowdown.
+func (p Profile) Isolation() string {
+	s := p.CoScheduledSlowdown()
+	switch {
+	case s < 0.05:
+		return "Strong"
+	case s < 0.35:
+		return "Medium-to-Strong"
+	default:
+		return "Weak"
+	}
+}

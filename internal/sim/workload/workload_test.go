@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ofmf/internal/sim/des"
+)
+
+func TestHPLTableShape(t *testing.T) {
+	rows := HPLTable()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.P*r.Q != 56*r.Nodes {
+			t.Errorf("n=%d: %dx%d != %d ranks", r.Nodes, r.P, r.Q, 56*r.Nodes)
+		}
+	}
+	if rows[0].N != 91048 || rows[7].N != 458853 {
+		t.Errorf("endpoint sizes wrong: %d, %d", rows[0].N, rows[7].N)
+	}
+}
+
+func TestHPLParamsExtrapolation(t *testing.T) {
+	for _, r := range HPLTable() {
+		gen := HPLParams(r.Nodes)
+		if gen.P != r.P || gen.Q != r.Q {
+			t.Errorf("n=%d: grid %dx%d, want %dx%d", r.Nodes, gen.P, gen.Q, r.P, r.Q)
+		}
+		if d := gen.N - r.N; d < -2 || d > 2 {
+			t.Errorf("n=%d: N=%d, want %d±2", r.Nodes, gen.N, r.N)
+		}
+	}
+	// Extrapolation beyond the table (the paper's commented-out 256 row).
+	gen := HPLParams(256)
+	if gen.P*gen.Q != 56*256 {
+		t.Errorf("256-node grid %dx%d", gen.P, gen.Q)
+	}
+	if math.Abs(float64(gen.N)-578119) > 20 {
+		t.Errorf("256-node N = %d, paper draft had 578119", gen.N)
+	}
+	if got := HPLParams(0); got.Nodes != 1 {
+		t.Errorf("clamp failed: %+v", got)
+	}
+}
+
+func TestHPLRowString(t *testing.T) {
+	s := HPLRow{Nodes: 2, N: 114713, P: 14, Q: 8}.String()
+	if s != "2 nodes: N=114713 P=14 Q=8" {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestBaseRuntimeConstantAcrossScale(t *testing.T) {
+	base := BaseRuntime(1)
+	if base < 600 || base > 900 {
+		t.Errorf("single-node base = %.0f s, want <15 min and realistic", base)
+	}
+	for _, r := range HPLTable() {
+		rt := BaseRuntime(r.Nodes)
+		if math.Abs(rt-base)/base > 0.02 {
+			t.Errorf("n=%d: base %.0f s deviates from %.0f s", r.Nodes, rt, base)
+		}
+	}
+}
+
+func TestHPLModelNoInterference(t *testing.T) {
+	m := HPLModel{Nodes: 4, BaseSeconds: 100, BaseJitterFrac: 1e-9}
+	got := m.Run(des.NewRNG(1), nil)
+	if math.Abs(got-100) > 0.1 {
+		t.Errorf("runtime = %f", got)
+	}
+}
+
+func TestHPLModelUniformSteal(t *testing.T) {
+	m := HPLModel{Nodes: 4, BaseSeconds: 100, BaseJitterFrac: 1e-9}
+	got := m.Run(des.NewRNG(1), func(int, int, *des.RNG) float64 { return 0.5 })
+	if math.Abs(got-200) > 0.5 {
+		t.Errorf("runtime = %f, want 200", got)
+	}
+}
+
+func TestHPLModelMaxAmplification(t *testing.T) {
+	// One slow node out of many dictates the pace.
+	m := HPLModel{Nodes: 64, BaseSeconds: 100, BaseJitterFrac: 1e-9}
+	got := m.Run(des.NewRNG(1), func(node, _ int, _ *des.RNG) float64 {
+		if node == 13 {
+			return 0.25
+		}
+		return 0
+	})
+	want := 100 / (1 - 0.25)
+	if math.Abs(got-want) > 0.5 {
+		t.Errorf("runtime = %f, want %f", got, want)
+	}
+}
+
+func TestHPLModelScaleAmplifiesNoise(t *testing.T) {
+	// Same per-node noise distribution slows larger jobs more.
+	mean := func(nodes int) float64 {
+		m := HPLModel{Nodes: nodes, BaseSeconds: 100, BaseJitterFrac: 1e-9}
+		rng := des.NewRNG(7)
+		var sum float64
+		const reps = 20
+		for i := 0; i < reps; i++ {
+			sum += m.Run(rng.Split(uint64(i)), func(_, _ int, r *des.RNG) float64 {
+				return r.PosNorm(0.004, 0.004)
+			})
+		}
+		return sum / reps
+	}
+	small, large := mean(2), mean(128)
+	if large <= small {
+		t.Errorf("noise not amplified: %.2f s @2 vs %.2f s @128", small, large)
+	}
+}
+
+func TestHPLModelStealClamped(t *testing.T) {
+	m := HPLModel{Nodes: 1, BaseSeconds: 10, BaseJitterFrac: 1e-9}
+	got := m.Run(des.NewRNG(1), func(int, int, *des.RNG) float64 { return 5.0 })
+	want := 10 / (1 - 0.95)
+	if math.Abs(got-want) > 1 {
+		t.Errorf("runtime = %f, want clamp at %f", got, want)
+	}
+}
+
+func TestIORFiles(t *testing.T) {
+	cfg := DefaultIOR()
+	if cfg.Files(2) != 112 {
+		t.Errorf("files = %d", cfg.Files(2))
+	}
+	cfg.FilePerProcess = false
+	if cfg.Files(2) != 1 {
+		t.Errorf("shared-file files = %d", cfg.Files(2))
+	}
+}
+
+func TestIORRowsComplete(t *testing.T) {
+	rows := DefaultIOR().Rows()
+	params := map[string]bool{}
+	for _, r := range rows {
+		if r.Parameter == "" || r.Description == "" || r.Value == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+		params[r.Parameter] = true
+	}
+	for _, want := range []string{"[srun] -n", "-t", "-T", "-D", "-i", "-e", "-C", "-w", "-a", "-s", "-F", "-Y"} {
+		if !params[want] {
+			t.Errorf("missing parameter %s", want)
+		}
+	}
+}
+
+func TestIORThroughputUnsaturated(t *testing.T) {
+	cfg := DefaultIOR()
+	stats := cfg.Throughput(2, 2000, 1)
+	if stats.Procs != 112 {
+		t.Errorf("procs = %d", stats.Procs)
+	}
+	if stats.OpsPerSec != 112*2000 {
+		t.Errorf("ops = %f", stats.OpsPerSec)
+	}
+	if stats.BytesPerSec != 112*2000*512 {
+		t.Errorf("bw = %f", stats.BytesPerSec)
+	}
+	if stats.Throttled {
+		t.Error("unsaturated run marked throttled")
+	}
+	if stats.RunSeconds != 60 { // stonewall under the 20-minute cap
+		t.Errorf("run = %f", stats.RunSeconds)
+	}
+}
+
+func TestIORThroughputSaturated(t *testing.T) {
+	cfg := DefaultIOR()
+	stats := cfg.Throughput(128, 2000, 0.5)
+	if !stats.Throttled {
+		t.Error("saturated run not marked throttled")
+	}
+	if stats.OpsPerSec != 128*56*2000*0.5 {
+		t.Errorf("ops = %f", stats.OpsPerSec)
+	}
+	// Degenerate shares clamp.
+	if s := cfg.Throughput(1, 2000, 2); s.Throttled || s.OpsPerSec != 56*2000 {
+		t.Errorf("over-share = %+v", s)
+	}
+	if s := cfg.Throughput(1, 2000, -1); s.OpsPerSec != 0 {
+		t.Errorf("negative share = %+v", s)
+	}
+}
+
+func TestProfilesCount(t *testing.T) {
+	if got := len(Profiles()); got != 6 {
+		t.Errorf("profiles = %d", got)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// Compute-dominant profiles must isolate better than IO-dominant ones.
+	byName := make(map[string]Profile)
+	for _, p := range Profiles() {
+		byName[p.Name] = p
+	}
+	if byName["CPU-bound"].CoScheduledSlowdown() >= byName["Network-bound"].CoScheduledSlowdown() {
+		t.Error("CPU-bound should isolate better than network-bound")
+	}
+	if byName["Network-bound"].CoScheduledSlowdown() >= byName["IOPs-bound"].CoScheduledSlowdown() {
+		t.Error("network-bound should isolate better than IOPs-bound")
+	}
+}
+
+func TestPropertyHPLGridCoversRanks(t *testing.T) {
+	f := func(exp uint8) bool {
+		nodes := 1 << (exp % 10)
+		row := HPLParams(nodes)
+		return row.P*row.Q == 56*nodes && row.N > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHPLMonotoneN(t *testing.T) {
+	f := func(a, b uint8) bool {
+		na, nb := int(a)+1, int(b)+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		return HPLParams(na).N <= HPLParams(nb).N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

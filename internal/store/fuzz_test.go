@@ -1,0 +1,54 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ofmf/internal/odata"
+)
+
+// FuzzPatch exercises the deep-merge PATCH path with arbitrary JSON
+// documents and patches: no panics, and the result must remain a valid
+// JSON object that still satisfies the merge laws (idempotence).
+func FuzzPatch(f *testing.F) {
+	f.Add(`{"A":1,"B":{"C":"x"}}`, `{"B":{"C":"y"},"D":[1,2]}`)
+	f.Add(`{"Status":{"State":"Enabled"}}`, `{"Status":{"Health":"OK"}}`)
+	f.Add(`{"A":1}`, `{"A":null}`)
+	f.Add(`{}`, `{"deep":{"deeper":{"deepest":true}}}`)
+	f.Add(`{"x":[{"y":1}]}`, `{"x":[{"y":2},{"z":3}]}`)
+	f.Fuzz(func(t *testing.T, docJSON, patchJSON string) {
+		var doc, patch map[string]any
+		if err := json.Unmarshal([]byte(docJSON), &doc); err != nil || doc == nil {
+			return
+		}
+		if err := json.Unmarshal([]byte(patchJSON), &patch); err != nil || patch == nil {
+			return
+		}
+		s := New()
+		id := odata.ID("/fuzz/doc")
+		if err := s.Put(id, doc); err != nil {
+			return // non-object top levels rejected by design
+		}
+		if err := s.Patch(id, patch, ""); err != nil {
+			t.Fatalf("patch failed: %v", err)
+		}
+		etag1, _ := s.Etag(id)
+		// Idempotence: applying the same patch again changes nothing.
+		if err := s.Patch(id, patch, ""); err != nil {
+			t.Fatalf("re-patch failed: %v", err)
+		}
+		etag2, _ := s.Etag(id)
+		if etag1 != etag2 {
+			t.Fatalf("patch not idempotent: %s vs %s", etag1, etag2)
+		}
+		// The stored document is still valid JSON.
+		raw, _, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("corrupt document: %v", err)
+		}
+	})
+}

@@ -1,0 +1,525 @@
+// Package store implements the OFMF's central resource repository: a
+// concurrent, URI-keyed tree of Redfish resources with collections, entity
+// tags, deep-merge PATCH semantics, subtree aggregation for Agents, change
+// notification hooks, and JSON import/export.
+//
+// Resources are stored as canonical JSON so the repository is agnostic to
+// the Go schema types; handlers and agents exchange typed structs which
+// are marshaled at the boundary.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ofmf/internal/odata"
+)
+
+// Sentinel errors returned by store operations.
+var (
+	ErrNotFound      = errors.New("store: resource not found")
+	ErrExists        = errors.New("store: resource already exists")
+	ErrNotCollection = errors.New("store: not a collection")
+	ErrEtagMismatch  = errors.New("store: etag mismatch")
+	ErrBadPayload    = errors.New("store: payload not a JSON object")
+)
+
+// ChangeKind identifies the kind of mutation a change event describes.
+type ChangeKind int
+
+// Change kinds.
+const (
+	Added ChangeKind = iota
+	Updated
+	Removed
+)
+
+// String returns the change kind's Redfish event type name.
+func (k ChangeKind) String() string {
+	switch k {
+	case Added:
+		return "ResourceAdded"
+	case Updated:
+		return "ResourceUpdated"
+	case Removed:
+		return "ResourceRemoved"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Change describes one mutation of the tree.
+type Change struct {
+	Kind ChangeKind
+	ID   odata.ID
+}
+
+// Watcher receives change notifications. Watchers are invoked synchronously
+// after the store's lock is released; implementations that do slow work
+// must enqueue internally.
+type Watcher func(Change)
+
+type entry struct {
+	raw  json.RawMessage
+	etag string
+}
+
+type collectionMeta struct {
+	odataType string
+	name      string
+}
+
+// Store is a concurrent Redfish resource tree.
+type Store struct {
+	mu          sync.RWMutex
+	entries     map[odata.ID]*entry
+	collections map[odata.ID]collectionMeta
+	children    map[odata.ID]map[odata.ID]struct{}
+
+	watchMu  sync.RWMutex
+	watchers []Watcher
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		entries:     make(map[odata.ID]*entry),
+		collections: make(map[odata.ID]collectionMeta),
+		children:    make(map[odata.ID]map[odata.ID]struct{}),
+	}
+}
+
+// Watch registers a change watcher. All subsequent mutations are reported.
+func (s *Store) Watch(w Watcher) {
+	s.watchMu.Lock()
+	s.watchers = append(s.watchers, w)
+	s.watchMu.Unlock()
+}
+
+func (s *Store) notify(changes ...Change) {
+	s.watchMu.RLock()
+	ws := s.watchers
+	s.watchMu.RUnlock()
+	for _, c := range changes {
+		for _, w := range ws {
+			w(c)
+		}
+	}
+}
+
+func canonicalize(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal: %w", err)
+	}
+	if len(b) == 0 || b[0] != '{' {
+		return nil, ErrBadPayload
+	}
+	return b, nil
+}
+
+func newEntry(v any) (*entry, error) {
+	raw, err := canonicalize(v)
+	if err != nil {
+		return nil, err
+	}
+	etag, err := odata.Etag(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{raw: raw, etag: etag}, nil
+}
+
+// Put creates or replaces the resource at id with the JSON serialization of
+// v, which must marshal to a JSON object. Rewriting identical content does
+// not notify watchers.
+func (s *Store) Put(id odata.ID, v any) error {
+	e, err := newEntry(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	old, existed := s.entries[id]
+	unchanged := existed && bytes.Equal(old.raw, e.raw)
+	s.entries[id] = e
+	s.link(id)
+	s.mu.Unlock()
+
+	if unchanged {
+		return nil
+	}
+	kind := Added
+	if existed {
+		kind = Updated
+	}
+	s.notify(Change{Kind: kind, ID: id})
+	return nil
+}
+
+// Create stores v at id and fails with ErrExists if the id is taken.
+func (s *Store) Create(id odata.ID, v any) error {
+	e, err := newEntry(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.entries[id]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	s.entries[id] = e
+	s.link(id)
+	s.mu.Unlock()
+
+	s.notify(Change{Kind: Added, ID: id})
+	return nil
+}
+
+func (s *Store) link(id odata.ID) {
+	parent := id.Parent()
+	kids, ok := s.children[parent]
+	if !ok {
+		kids = make(map[odata.ID]struct{})
+		s.children[parent] = kids
+	}
+	kids[id] = struct{}{}
+}
+
+func (s *Store) unlink(id odata.ID) {
+	parent := id.Parent()
+	if kids, ok := s.children[parent]; ok {
+		delete(kids, id)
+		if len(kids) == 0 {
+			delete(s.children, parent)
+		}
+	}
+}
+
+// Get returns a copy of the raw JSON and the entity tag of the resource at
+// id. The returned slice is never aliased to store internals.
+func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
+	s.mu.RLock()
+	e, ok := s.entries[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	out := make(json.RawMessage, len(e.raw))
+	copy(out, e.raw)
+	return out, e.etag, nil
+}
+
+// View invokes fn with the raw JSON of the resource at id without
+// copying. fn runs under the store's read lock and must not retain or
+// mutate the slice. It is the zero-copy alternative to Get for hot read
+// paths (see BenchmarkAblationStoreRead).
+func (s *Store) View(id odata.ID, fn func(raw json.RawMessage, etag string)) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	fn(e.raw, e.etag)
+	return nil
+}
+
+// GetAs decodes the resource at id into out.
+func (s *Store) GetAs(id odata.ID, out any) error {
+	raw, _, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Etag returns the entity tag of the resource at id.
+func (s *Store) Etag(id odata.ID) (string, error) {
+	s.mu.RLock()
+	e, ok := s.entries[id]
+	s.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return e.etag, nil
+}
+
+// Exists reports whether a resource (not a collection) is stored at id.
+func (s *Store) Exists(id odata.ID) bool {
+	s.mu.RLock()
+	_, ok := s.entries[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Patch deep-merges patch into the resource at id. Nested objects are
+// merged recursively; arrays and scalars are replaced; explicit JSON nulls
+// delete the member, per Redfish PATCH semantics. If ifMatch is non-empty
+// it must equal the current entity tag.
+func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if ifMatch != "" && ifMatch != e.etag {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrEtagMismatch, id)
+	}
+	var current map[string]any
+	if err := json.Unmarshal(e.raw, &current); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: corrupt entry %s: %w", id, err)
+	}
+	merge(current, patch)
+	ne, err := newEntry(current)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	unchanged := bytes.Equal(ne.raw, e.raw)
+	s.entries[id] = ne
+	s.mu.Unlock()
+
+	if !unchanged {
+		s.notify(Change{Kind: Updated, ID: id})
+	}
+	return nil
+}
+
+// merge applies Redfish PATCH semantics: objects merge recursively, null
+// deletes, everything else replaces.
+func merge(dst, patch map[string]any) {
+	for k, v := range patch {
+		if v == nil {
+			delete(dst, k)
+			continue
+		}
+		pv, pok := v.(map[string]any)
+		dv, dok := dst[k].(map[string]any)
+		if pok && dok {
+			merge(dv, pv)
+			continue
+		}
+		dst[k] = v
+	}
+}
+
+// Delete removes the resource at id.
+func (s *Store) Delete(id odata.ID) error {
+	s.mu.Lock()
+	if _, ok := s.entries[id]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.entries, id)
+	s.unlink(id)
+	s.mu.Unlock()
+
+	s.notify(Change{Kind: Removed, ID: id})
+	return nil
+}
+
+// RegisterCollection declares a collection at id with the given
+// @odata.type and display name. Collection payloads are synthesized from
+// the direct children present in the store.
+func (s *Store) RegisterCollection(id odata.ID, odataType, name string) {
+	s.mu.Lock()
+	s.collections[id] = collectionMeta{odataType: odataType, name: name}
+	s.mu.Unlock()
+}
+
+// IsCollection reports whether id names a registered collection.
+func (s *Store) IsCollection(id odata.ID) bool {
+	s.mu.RLock()
+	_, ok := s.collections[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Collection synthesizes the collection payload at id from its current
+// members.
+func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
+	s.mu.RLock()
+	meta, ok := s.collections[id]
+	if !ok {
+		s.mu.RUnlock()
+		return odata.Collection{}, fmt.Errorf("%w: %s", ErrNotCollection, id)
+	}
+	members := s.membersLocked(id)
+	s.mu.RUnlock()
+	return odata.NewCollection(id, meta.odataType, meta.name, members), nil
+}
+
+func (s *Store) membersLocked(id odata.ID) []odata.ID {
+	kids := s.children[id]
+	members := make([]odata.ID, 0, len(kids))
+	for k := range kids {
+		if _, ok := s.entries[k]; ok {
+			members = append(members, k)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// Members returns the sorted direct members of the collection at id.
+func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.collections[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotCollection, id)
+	}
+	return s.membersLocked(id), nil
+}
+
+// NextID returns the smallest positive integer name not yet used as a
+// direct child of the collection, as a string. It is used to allocate ids
+// for POSTed resources.
+func (s *Store) NextID(collection odata.ID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	used := make(map[string]struct{})
+	for k := range s.children[collection] {
+		used[k.Leaf()] = struct{}{}
+	}
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%d", i)
+		if _, ok := used[name]; !ok {
+			return name
+		}
+	}
+}
+
+// IDs returns every stored resource identifier, sorted.
+func (s *Store) IDs() []odata.ID {
+	s.mu.RLock()
+	ids := make([]odata.ID, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the number of stored resources.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// PutSubtree atomically installs a set of resources, all of which must lie
+// under prefix. It is the aggregation primitive used when an Agent
+// publishes or refreshes its resource subtree: existing resources under
+// prefix that are absent from resources are removed, except those under a
+// keep prefix — these are owned by another writer (the OFMF stores the
+// Zone and Connection resources it creates on the agent's behalf) and
+// survive refreshes untouched.
+func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
+	prepared := make(map[odata.ID]*entry, len(resources))
+	for id, v := range resources {
+		if !id.Under(prefix) {
+			return fmt.Errorf("store: %s outside subtree %s", id, prefix)
+		}
+		e, err := newEntry(v)
+		if err != nil {
+			return fmt.Errorf("store: subtree %s: %w", id, err)
+		}
+		prepared[id] = e
+	}
+
+	kept := func(id odata.ID) bool {
+		for _, k := range keep {
+			if id.Under(k) {
+				return true
+			}
+		}
+		return false
+	}
+	var changes []Change
+	s.mu.Lock()
+	for id := range s.entries {
+		if !id.Under(prefix) || kept(id) {
+			continue
+		}
+		if _, present := prepared[id]; !present {
+			delete(s.entries, id)
+			s.unlink(id)
+			changes = append(changes, Change{Kind: Removed, ID: id})
+		}
+	}
+	for id, e := range prepared {
+		old, existed := s.entries[id]
+		if existed && bytes.Equal(old.raw, e.raw) {
+			continue
+		}
+		s.entries[id] = e
+		s.link(id)
+		kind := Added
+		if existed {
+			kind = Updated
+		}
+		changes = append(changes, Change{Kind: kind, ID: id})
+	}
+	s.mu.Unlock()
+
+	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
+	s.notify(changes...)
+	return nil
+}
+
+// DeleteSubtree removes every resource under prefix (inclusive) and
+// returns how many were removed.
+func (s *Store) DeleteSubtree(prefix odata.ID) int {
+	var changes []Change
+	s.mu.Lock()
+	for id := range s.entries {
+		if id.Under(prefix) {
+			delete(s.entries, id)
+			s.unlink(id)
+			changes = append(changes, Change{Kind: Removed, ID: id})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
+	s.notify(changes...)
+	return len(changes)
+}
+
+// Export serializes the whole tree (resources only; collections are
+// declared by the service) to indented JSON keyed by URI.
+func (s *Store) Export() ([]byte, error) {
+	s.mu.RLock()
+	snapshot := make(map[string]json.RawMessage, len(s.entries))
+	for id, e := range s.entries {
+		snapshot[string(id)] = e.raw
+	}
+	s.mu.RUnlock()
+	return json.MarshalIndent(snapshot, "", "  ")
+}
+
+// Import loads resources previously produced by Export, replacing any
+// entries at the same ids.
+func (s *Store) Import(data []byte) error {
+	var snapshot map[string]json.RawMessage
+	if err := json.Unmarshal(data, &snapshot); err != nil {
+		return fmt.Errorf("store: import: %w", err)
+	}
+	for uri, raw := range snapshot {
+		if !strings.HasPrefix(uri, "/") {
+			return fmt.Errorf("store: import: non-absolute uri %q", uri)
+		}
+		if err := s.Put(odata.ID(uri), raw); err != nil {
+			return fmt.Errorf("store: import %s: %w", uri, err)
+		}
+	}
+	return nil
+}

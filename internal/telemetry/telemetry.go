@@ -1,0 +1,245 @@
+// Package telemetry implements the OFMF TelemetryService: metric
+// definitions, report definitions, and periodic or on-request metric
+// report generation from pluggable collectors. The paper positions the
+// OFMF as "a subscription-based central repository for telemetry
+// information"; this package produces the MetricReport resources and the
+// MetricReport events subscribers receive.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownReportDef = errors.New("telemetry: unknown report definition")
+	ErrDuplicate        = errors.New("telemetry: duplicate id")
+)
+
+// Collector produces current metric values for one source.
+type Collector interface {
+	// Collect returns the source's metric samples; MetricID and
+	// MetricValue must be set, Timestamp is filled by the service.
+	Collect() []redfish.MetricValue
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []redfish.MetricValue
+
+// Collect calls f.
+func (f CollectorFunc) Collect() []redfish.MetricValue { return f() }
+
+// Mirror persists telemetry resources into the OFMF tree.
+type Mirror func(id odata.ID, resource any)
+
+// Notifier publishes MetricReport events.
+type Notifier func(rec redfish.EventRecord)
+
+// Service manages metric and report definitions and generates reports.
+type Service struct {
+	base   odata.ID // the TelemetryService URI
+	mirror Mirror
+	notify Notifier
+	now    func() time.Time
+
+	mu         sync.Mutex
+	defs       map[string]redfish.MetricDefinition
+	reportDefs map[string]*reportDef
+	nextReport int
+	eventSeq   int
+}
+
+type reportDef struct {
+	id         string
+	kind       string // Periodic, OnRequest
+	interval   time.Duration
+	collectors []Collector
+	stop       chan struct{}
+}
+
+// Option configures the service.
+type Option func(*Service)
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) Option { return func(s *Service) { s.now = now } }
+
+// NewService creates a telemetry service rooted at base (the
+// TelemetryService URI). mirror and notify may be nil.
+func NewService(base odata.ID, mirror Mirror, notify Notifier, opts ...Option) *Service {
+	s := &Service{
+		base:       base,
+		mirror:     mirror,
+		notify:     notify,
+		now:        time.Now,
+		defs:       make(map[string]redfish.MetricDefinition),
+		reportDefs: make(map[string]*reportDef),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// DefineMetric registers a metric definition and mirrors it.
+func (s *Service) DefineMetric(id, metricType, units string) error {
+	s.mu.Lock()
+	if _, ok := s.defs[id]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: metric %s", ErrDuplicate, id)
+	}
+	uri := s.base.Append("MetricDefinitions", id)
+	def := redfish.MetricDefinition{
+		Resource:       odata.NewResource(uri, redfish.TypeMetricDefinition, id),
+		MetricType:     metricType,
+		MetricDataType: "Decimal",
+		Units:          units,
+	}
+	s.defs[id] = def
+	s.mu.Unlock()
+	if s.mirror != nil {
+		s.mirror(uri, def)
+	}
+	return nil
+}
+
+// Metrics returns the registered metric definition ids, sorted.
+func (s *Service) Metrics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.defs))
+	for id := range s.defs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DefineReport registers a report definition fed by the given collectors.
+// interval > 0 makes it periodic (Run starts the ticker); interval == 0
+// makes it on-request (use Generate).
+func (s *Service) DefineReport(id string, interval time.Duration, collectors ...Collector) error {
+	s.mu.Lock()
+	if _, ok := s.reportDefs[id]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: report %s", ErrDuplicate, id)
+	}
+	kind := "OnRequest"
+	if interval > 0 {
+		kind = "Periodic"
+	}
+	rd := &reportDef{id: id, kind: kind, interval: interval, collectors: collectors}
+	s.reportDefs[id] = rd
+	s.mu.Unlock()
+
+	uri := s.base.Append("MetricReportDefinitions", id)
+	res := redfish.MetricReportDefinition{
+		Resource:                   odata.NewResource(uri, redfish.TypeMetricReportDef, id),
+		MetricReportDefinitionType: kind,
+		ReportActions:              []string{"RedfishEvent", "LogToMetricReportsCollection"},
+		ReportUpdates:              "Overwrite",
+		Status:                     odata.StatusOK(),
+	}
+	if interval > 0 {
+		res.Schedule = &redfish.Schedule{RecurrenceInterval: fmt.Sprintf("PT%dS", int(interval/time.Second))}
+	}
+	if s.mirror != nil {
+		s.mirror(uri, res)
+	}
+	return nil
+}
+
+// Generate collects and mirrors one report for the definition, returning
+// the report resource.
+func (s *Service) Generate(defID string) (redfish.MetricReport, error) {
+	s.mu.Lock()
+	rd, ok := s.reportDefs[defID]
+	if !ok {
+		s.mu.Unlock()
+		return redfish.MetricReport{}, fmt.Errorf("%w: %s", ErrUnknownReportDef, defID)
+	}
+	collectors := rd.collectors
+	s.eventSeq++
+	seq := s.eventSeq
+	s.mu.Unlock()
+
+	ts := redfish.Timestamp(s.now())
+	var values []redfish.MetricValue
+	for _, c := range collectors {
+		for _, v := range c.Collect() {
+			if v.Timestamp == "" {
+				v.Timestamp = ts
+			}
+			values = append(values, v)
+		}
+	}
+	uri := s.base.Append("MetricReports", defID)
+	report := redfish.MetricReport{
+		Resource:               odata.NewResource(uri, redfish.TypeMetricReport, defID),
+		MetricReportDefinition: redfish.Ref(s.base.Append("MetricReportDefinitions", defID)),
+		Timestamp:              ts,
+		MetricValues:           values,
+	}
+	if s.mirror != nil {
+		s.mirror(uri, report)
+	}
+	if s.notify != nil {
+		ref := odata.NewRef(uri)
+		s.notify(redfish.EventRecord{
+			EventType:         redfish.EventMetricReport,
+			EventID:           fmt.Sprintf("telemetry-%d", seq),
+			EventTimestamp:    ts,
+			Message:           fmt.Sprintf("metric report %s: %d values", defID, len(values)),
+			MessageID:         "TelemetryService.1.0.MetricReportGenerated",
+			OriginOfCondition: &ref,
+		})
+	}
+	return report, nil
+}
+
+// Run starts the periodic tickers for all periodic report definitions and
+// blocks until stop is closed.
+func (s *Service) Run(stop <-chan struct{}) {
+	s.mu.Lock()
+	var periodic []*reportDef
+	for _, rd := range s.reportDefs {
+		if rd.interval > 0 {
+			periodic = append(periodic, rd)
+		}
+	}
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, rd := range periodic {
+		wg.Add(1)
+		go func(rd *reportDef) {
+			defer wg.Done()
+			tick := time.NewTicker(rd.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_, _ = s.Generate(rd.id)
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+}
+
+// Gauge builds a metric value for a float sample.
+func Gauge(metricID, property string, value float64) redfish.MetricValue {
+	return redfish.MetricValue{
+		MetricID:       metricID,
+		MetricValue:    fmt.Sprintf("%g", value),
+		MetricProperty: property,
+	}
+}

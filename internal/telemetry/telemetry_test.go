@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+const base = odata.ID("/redfish/v1/TelemetryService")
+
+type sink struct {
+	mu      sync.Mutex
+	mirrors map[odata.ID]any
+	events  []redfish.EventRecord
+}
+
+func newSink() *sink { return &sink{mirrors: make(map[odata.ID]any)} }
+
+func (s *sink) mirror(id odata.ID, res any) {
+	s.mu.Lock()
+	s.mirrors[id] = res
+	s.mu.Unlock()
+}
+
+func (s *sink) notify(rec redfish.EventRecord) {
+	s.mu.Lock()
+	s.events = append(s.events, rec)
+	s.mu.Unlock()
+}
+
+func TestDefineMetric(t *testing.T) {
+	sk := newSink()
+	svc := NewService(base, sk.mirror, sk.notify)
+	if err := svc.DefineMetric("FreeMemoryMiB", "Gauge", "MiB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DefineMetric("FreeMemoryMiB", "Gauge", "MiB"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("dup err = %v", err)
+	}
+	if got := svc.Metrics(); len(got) != 1 || got[0] != "FreeMemoryMiB" {
+		t.Errorf("metrics = %v", got)
+	}
+	if _, ok := sk.mirrors[base.Append("MetricDefinitions", "FreeMemoryMiB")]; !ok {
+		t.Error("definition not mirrored")
+	}
+}
+
+func TestGenerateOnRequest(t *testing.T) {
+	sk := newSink()
+	fixed := time.Date(2023, 5, 15, 0, 0, 0, 0, time.UTC)
+	svc := NewService(base, sk.mirror, sk.notify, WithClock(func() time.Time { return fixed }))
+
+	value := 42.5
+	coll := CollectorFunc(func() []redfish.MetricValue {
+		return []redfish.MetricValue{Gauge("FreeMemoryMiB", "/redfish/v1/Chassis/App/Memory", value)}
+	})
+	if err := svc.DefineReport("memory", 0, coll); err != nil {
+		t.Fatal(err)
+	}
+	report, err := svc.Generate("memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.MetricValues) != 1 {
+		t.Fatalf("values = %v", report.MetricValues)
+	}
+	mv := report.MetricValues[0]
+	if mv.MetricValue != "42.5" || mv.Timestamp != "2023-05-15T00:00:00Z" {
+		t.Errorf("value = %+v", mv)
+	}
+
+	// Second generation reflects new source state (Overwrite semantics).
+	value = 10
+	report, err = svc.Generate("memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MetricValues[0].MetricValue != "10" {
+		t.Errorf("value = %+v", report.MetricValues[0])
+	}
+
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if len(sk.events) != 2 {
+		t.Errorf("events = %d", len(sk.events))
+	}
+	if sk.events[0].EventType != redfish.EventMetricReport {
+		t.Errorf("event type = %s", sk.events[0].EventType)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	svc := NewService(base, nil, nil)
+	if _, err := svc.Generate("ghost"); !errors.Is(err, ErrUnknownReportDef) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateReport(t *testing.T) {
+	svc := NewService(base, nil, nil)
+	if err := svc.DefineReport("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DefineReport("r", 0); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPeriodicRun(t *testing.T) {
+	sk := newSink()
+	svc := NewService(base, sk.mirror, sk.notify)
+	var count int64
+	var mu sync.Mutex
+	coll := CollectorFunc(func() []redfish.MetricValue {
+		mu.Lock()
+		count++
+		c := count
+		mu.Unlock()
+		return []redfish.MetricValue{Gauge("Ticks", "", float64(c))}
+	})
+	if err := svc.DefineReport("ticks", 5*time.Millisecond, coll); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		svc.Run(stop)
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic collection never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	// The mirrored report carries the latest value.
+	sk.mu.Lock()
+	res, ok := sk.mirrors[base.Append("MetricReports", "ticks")]
+	sk.mu.Unlock()
+	if !ok {
+		t.Fatal("report not mirrored")
+	}
+	report := res.(redfish.MetricReport)
+	if _, err := strconv.ParseFloat(report.MetricValues[0].MetricValue, 64); err != nil {
+		t.Errorf("value not numeric: %v", report.MetricValues[0])
+	}
+}
+
+func TestMultipleCollectorsMerged(t *testing.T) {
+	svc := NewService(base, nil, nil)
+	c1 := CollectorFunc(func() []redfish.MetricValue { return []redfish.MetricValue{Gauge("A", "", 1)} })
+	c2 := CollectorFunc(func() []redfish.MetricValue { return []redfish.MetricValue{Gauge("B", "", 2), Gauge("C", "", 3)} })
+	if err := svc.DefineReport("multi", 0, c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	report, err := svc.Generate("multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.MetricValues) != 3 {
+		t.Errorf("values = %v", report.MetricValues)
+	}
+}

@@ -1,0 +1,205 @@
+// Package wmbridge connects a workload manager to the Composability
+// Layer, realizing the paper's client role for batch systems: jobs
+// request disaggregated resources through constraints
+// ("composable:mem=32768,gpu=2,storage=1073741824"), the prolog composes
+// a system for the job's nodes before it starts, and the epilog
+// decomposes it when the job ends — so every allocation gets exactly the
+// hardware it asked for, for exactly the job's lifetime.
+package wmbridge
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ofmf/internal/composer"
+	"ofmf/internal/sim/des"
+	"ofmf/internal/sim/slurm"
+)
+
+// ConstraintPrefix marks composable-resource constraints.
+const ConstraintPrefix = "composable:"
+
+// Demand is the per-node disaggregated resource request parsed from a
+// job constraint.
+type Demand struct {
+	MemMiB       int64
+	GPUSlices    int
+	StorageBytes int64
+}
+
+// IsZero reports whether the demand requests nothing.
+func (d Demand) IsZero() bool {
+	return d.MemMiB == 0 && d.GPUSlices == 0 && d.StorageBytes == 0
+}
+
+// ParseConstraint extracts the composable demand from a job's constraint
+// list. The format is "composable:key=value[,key=value...]" with keys
+// mem (MiB), gpu (slices) and storage (bytes).
+func ParseConstraint(constraints []string) (Demand, error) {
+	var d Demand
+	for _, c := range constraints {
+		if !strings.HasPrefix(c, ConstraintPrefix) {
+			continue
+		}
+		for _, kv := range strings.Split(strings.TrimPrefix(c, ConstraintPrefix), ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Demand{}, fmt.Errorf("wmbridge: malformed constraint %q", kv)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return Demand{}, fmt.Errorf("wmbridge: bad value in %q", kv)
+			}
+			switch key {
+			case "mem":
+				d.MemMiB = n
+			case "gpu":
+				d.GPUSlices = int(n)
+			case "storage":
+				d.StorageBytes = n
+			default:
+				return Demand{}, fmt.Errorf("wmbridge: unknown key %q", key)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Composer is the subset of the Composability Manager the bridge drives;
+// *composer.Composer satisfies it.
+type Composer interface {
+	Compose(req composer.Request) (composer.Composition, error)
+	Decompose(id string) error
+}
+
+var _ Composer = (*composer.Composer)(nil)
+
+// Bridge wires a Slurm manager's prolog/epilog to a composer.
+type Bridge struct {
+	composer Composer
+	// ComposeSeconds and DecomposeSeconds model the wall-clock cost of the
+	// management-plane round trips charged to the prolog/epilog.
+	ComposeSeconds   float64
+	DecomposeSeconds float64
+
+	mu     sync.Mutex
+	byJob  map[int][]string // job id -> composition ids
+	counts struct {
+		composed, decomposed, failed int
+	}
+}
+
+// New creates a bridge over the composer.
+func New(c Composer) *Bridge {
+	return &Bridge{
+		composer:         c,
+		ComposeSeconds:   0.05,
+		DecomposeSeconds: 0.05,
+		byJob:            make(map[int][]string),
+	}
+}
+
+// Install attaches the bridge to the manager's prolog and epilog,
+// chaining any hooks already present (the BeeOND hooks, typically).
+func (b *Bridge) Install(m *slurm.Manager) {
+	prevProlog, prevEpilog := m.Prolog, m.Epilog
+	m.Prolog = func(ctx slurm.JobContext, node string, rng *des.RNG) (float64, error) {
+		dur := 0.0
+		if prevProlog != nil {
+			d, err := prevProlog(ctx, node, rng)
+			if err != nil {
+				return d, err
+			}
+			dur = d
+		}
+		d, err := b.prologNode(ctx, node)
+		return dur + d, err
+	}
+	m.Epilog = func(ctx slurm.JobContext, node string, rng *des.RNG) (float64, error) {
+		dur := 0.0
+		if prevEpilog != nil {
+			d, err := prevEpilog(ctx, node, rng)
+			if err != nil {
+				return d, err
+			}
+			dur = d
+		}
+		d, err := b.epilogNode(ctx, node)
+		return dur + d, err
+	}
+}
+
+// prologNode composes this node's resources when the job asked for any.
+func (b *Bridge) prologNode(ctx slurm.JobContext, node string) (float64, error) {
+	demand, err := ParseConstraint(ctx.Constraints)
+	if err != nil {
+		return 0, err
+	}
+	if demand.IsZero() {
+		return 0, nil
+	}
+	comp, err := b.composer.Compose(composer.Request{
+		Name:            fmt.Sprintf("job%d-%s", ctx.JobID, node),
+		Cores:           1, // the workload manager owns core scheduling
+		FabricMemoryMiB: demand.MemMiB,
+		GPUSlices:       demand.GPUSlices,
+		StorageBytes:    demand.StorageBytes,
+		Node:            node,
+	})
+	if err != nil {
+		b.mu.Lock()
+		b.counts.failed++
+		b.mu.Unlock()
+		return b.ComposeSeconds, fmt.Errorf("wmbridge: compose for %s: %w", node, err)
+	}
+	b.mu.Lock()
+	b.byJob[ctx.JobID] = append(b.byJob[ctx.JobID], comp.ID)
+	b.counts.composed++
+	b.mu.Unlock()
+	return b.ComposeSeconds, nil
+}
+
+// epilogNode decomposes one of the job's compositions per node call; the
+// final node call drains the list.
+func (b *Bridge) epilogNode(ctx slurm.JobContext, node string) (float64, error) {
+	b.mu.Lock()
+	ids := b.byJob[ctx.JobID]
+	var id string
+	if len(ids) > 0 {
+		id, b.byJob[ctx.JobID] = ids[len(ids)-1], ids[:len(ids)-1]
+		if len(b.byJob[ctx.JobID]) == 0 {
+			delete(b.byJob, ctx.JobID)
+		}
+	}
+	b.mu.Unlock()
+	if id == "" {
+		return 0, nil
+	}
+	if err := b.composer.Decompose(id); err != nil {
+		return b.DecomposeSeconds, fmt.Errorf("wmbridge: decompose %s: %w", id, err)
+	}
+	b.mu.Lock()
+	b.counts.decomposed++
+	b.mu.Unlock()
+	return b.DecomposeSeconds, nil
+}
+
+// Stats reports how many compositions the bridge has made and released.
+func (b *Bridge) Stats() (composed, decomposed, failed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts.composed, b.counts.decomposed, b.counts.failed
+}
+
+// Outstanding reports compositions not yet decomposed (live jobs).
+func (b *Bridge) Outstanding() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, ids := range b.byJob {
+		n += len(ids)
+	}
+	return n
+}
