@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reproduce examples clean
+.PHONY: all build vet test race bench cover reproduce examples clean
 
 all: build vet test
 
@@ -20,6 +20,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Regenerate every table and figure of the paper's evaluation.
 reproduce:

@@ -14,20 +14,35 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
+
+	"ofmf/internal/exp"
+	"ofmf/internal/obsv"
 )
-import "ofmf/internal/exp"
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment id (table1|table2|table3|fig1|fig3|fig4|startup|ofmfscale|all)")
-		reps  = flag.Int("reps", 0, "override repetition count")
-		seed  = flag.Uint64("seed", 0, "override random seed")
-		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		nodes = flag.String("nodes", "", "override fig3/fig4 node counts, comma-separated (e.g. 1,4,16,64,256)")
+		which    = flag.String("exp", "all", "experiment id (table1|table2|table3|fig1|fig3|fig4|startup|ofmfscale|all)")
+		reps     = flag.Int("reps", 0, "override repetition count")
+		seed     = flag.Uint64("seed", 0, "override random seed")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		nodes    = flag.String("nodes", "", "override fig3/fig4 node counts, comma-separated (e.g. 1,4,16,64,256)")
+		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obsv.ParseLevel(*logLevel)
+	if err != nil {
+		slog.Error("expbench: bad -log-level", "err", err)
+		os.Exit(1)
+	}
+	logger := obsv.NewLogger(os.Stderr, level)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	render := func(t exp.Table) {
 		if *asCSV {
@@ -59,7 +74,7 @@ func main() {
 		}
 		res, err := exp.RunFig1(cfg)
 		if err != nil {
-			log.Fatalf("expbench: fig1: %v", err)
+			fatal("expbench: fig1 failed", err)
 		}
 		render(exp.Fig1Table(res))
 	}
@@ -103,7 +118,7 @@ func main() {
 		}
 		points, err := exp.RunLifecycle(cfg)
 		if err != nil {
-			log.Fatalf("expbench: startup: %v", err)
+			fatal("expbench: startup failed", err)
 		}
 		render(exp.LifecycleTable(points))
 	}
@@ -111,13 +126,14 @@ func main() {
 		ran = true
 		points, err := exp.RunScale(exp.DefaultScale())
 		if err != nil {
-			log.Fatalf("expbench: ofmfscale: %v", err)
+			fatal("expbench: ofmfscale failed", err)
 		}
 		render(exp.ScaleTable(points))
 	}
 	if !ran {
-		log.Fatalf("expbench: unknown experiment %q (want %s)", *which,
-			strings.Join([]string{"table1", "table2", "table3", "fig1", "fig3", "fig4", "startup", "ofmfscale", "all"}, "|"))
+		logger.Error("expbench: unknown experiment", "exp", *which,
+			"want", strings.Join([]string{"table1", "table2", "table3", "fig1", "fig3", "fig4", "startup", "ofmfscale", "all"}, "|"))
+		os.Exit(1)
 	}
 }
 

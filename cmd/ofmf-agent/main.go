@@ -4,6 +4,10 @@
 // to, and pushes hardware events upward — the right-hand column of the
 // paper's architecture, as its own process.
 //
+// The ops server is instrumented like the OFMF itself: structured slog
+// logging (-log-level), /metrics exposition (-metrics), /debug/pprof
+// profiling (-pprof), and per-request X-Request-Id tracing.
+//
 // Usage:
 //
 //	ofmf-agent -ofmf http://localhost:8080 -kind cxl   -listen :9001
@@ -15,9 +19,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
 	"ofmf/internal/agent"
@@ -29,25 +35,45 @@ import (
 	"ofmf/internal/emul/fabsim"
 	"ofmf/internal/emul/gpusim"
 	"ofmf/internal/emul/nvmesim"
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 )
 
 func main() {
 	var (
-		ofmfURL  = flag.String("ofmf", "http://localhost:8080", "OFMF base URL")
-		kind     = flag.String("kind", "cxl", "agent kind: cxl, nvme, fabric, gpu")
-		listen   = flag.String("listen", ":9001", "ops server listen address")
-		name     = flag.String("name", "", "fabric name (defaults per kind)")
-		nodes    = flag.Int("nodes", 8, "emulated host attach points")
-		capacity = flag.Int64("capacity", 0, "emulated capacity (MiB for cxl, bytes for nvme)")
-		token    = flag.String("token", "", "X-Auth-Token for an authenticated OFMF")
+		ofmfURL     = flag.String("ofmf", "http://localhost:8080", "OFMF base URL")
+		kind        = flag.String("kind", "cxl", "agent kind: cxl, nvme, fabric, gpu")
+		listen      = flag.String("listen", ":9001", "ops server listen address")
+		name        = flag.String("name", "", "fabric name (defaults per kind)")
+		nodes       = flag.Int("nodes", 8, "emulated host attach points")
+		capacity    = flag.Int64("capacity", 0, "emulated capacity (MiB for cxl, bytes for nvme)")
+		token       = flag.String("token", "", "X-Auth-Token for an authenticated OFMF")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
+		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
 	)
 	flag.Parse()
 
+	level, err := obsv.ParseLevel(*logLevel)
+	if err != nil {
+		slog.Error("ofmf-agent: bad -log-level", "err", err)
+		os.Exit(1)
+	}
+	logger := obsv.NewLogger(os.Stderr, level)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+	must := func(err error) {
+		if err != nil {
+			fatal("ofmf-agent: setup failed", err)
+		}
+	}
+
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("ofmf-agent: listen: %v", err)
+		fatal("ofmf-agent: listen failed", err)
 	}
 	callback := "http://" + lis.Addr().String()
 	remote := &agent.Remote{BaseURL: *ofmfURL, CallbackURL: callback, Token: *token}
@@ -88,7 +114,7 @@ func main() {
 	case "fabric":
 		fabric := fabsim.New()
 		if _, err := fabsim.BuildFatTree(fabric, "port-", 2, 2, (*nodes+1)/2, 100, 400); err != nil {
-			log.Fatalf("ofmf-agent: topology: %v", err)
+			fatal("ofmf-agent: topology build failed", err)
 		}
 		fab := pick(*name, "HPC")
 		ag := fabagent.New(remote, fabric, fab, redfish.ProtocolInfiniBand)
@@ -104,23 +130,42 @@ func main() {
 		start = ag.Start
 		sourceURI = ag.SourceURI
 	default:
-		log.Fatalf("ofmf-agent: unknown kind %q", *kind)
+		fatal("ofmf-agent: unknown -kind "+*kind, nil)
+	}
+
+	// Instrument the ops server with the same middleware stack as the
+	// OFMF, so forwarded fabric mutations are traced end to end: the
+	// request id minted by the OFMF's middleware propagates here through
+	// the X-Request-Id header.
+	metrics := obsv.NewMetrics(obsv.NewRegistry())
+	mux := http.NewServeMux()
+	mux.Handle("/agent/ops", obsv.Middleware(remote.Handler(), metrics, logger,
+		func(string) string { return "AgentOps" }))
+	if *withMetrics {
+		mux.Handle("/metrics", metrics.Registry().Handler())
+	}
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	// Serve the ops endpoint before registering so forwarded operations
 	// never race the registration.
-	srv := &http.Server{Handler: remote.Handler()}
+	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(lis); err != http.ErrServerClosed {
-			log.Fatalf("ofmf-agent: serve: %v", err)
+			fatal("ofmf-agent: ops server failed", err)
 		}
 	}()
 	if err := start(); err != nil {
-		log.Fatalf("ofmf-agent: start: %v", err)
+		fatal("ofmf-agent: agent start failed", err)
 	}
 	stopHeartbeat := agent.StartHeartbeat(remote, sourceURI(), 10*time.Second)
 	defer stopHeartbeat()
-	fmt.Printf("ofmf-agent: %s agent registered with %s, ops server on %s\n", *kind, *ofmfURL, callback)
+	logger.Info("ofmf-agent: registered", "kind", *kind, "ofmf", *ofmfURL, "ops", callback)
 	select {}
 }
 
@@ -129,10 +174,4 @@ func pick(override, def string) string {
 		return override
 	}
 	return def
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatalf("ofmf-agent: %v", err)
-	}
 }

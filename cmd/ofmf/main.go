@@ -4,80 +4,137 @@
 // -testbed) a fully emulated composable testbed with the Composability
 // Layer mounted at /composer/v1.
 //
+// Observability: every request is traced with an X-Request-Id and logged
+// through a structured slog logger (-log-level), Prometheus-format
+// metrics are exposed at /metrics (-metrics), and Go profiling at
+// /debug/pprof when enabled (-pprof).
+//
 // Usage:
 //
 //	ofmf -addr :8080                      # bare service, wait for agents
 //	ofmf -addr :8080 -testbed -nodes 16   # emulated hardware + composer
 //	ofmf -addr :8080 -auth admin:secret   # require session tokens
+//	ofmf -addr :8080 -log-level debug -pprof
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"ofmf/internal/core"
+	"ofmf/internal/obsv"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
 	"ofmf/internal/service"
 	"ofmf/internal/sessions"
 	"ofmf/internal/store"
+	"ofmf/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		auth     = flag.String("auth", "", "require authentication with user:password")
-		testbed  = flag.Bool("testbed", false, "assemble the emulated composable testbed")
-		nodes    = flag.Int("nodes", 8, "testbed compute node count")
-		oomMiB   = flag.Int64("oom-hot-add", 0, "enable the OOM mitigation rule with this hot-add step (MiB)")
-		snapshot = flag.String("snapshot", "", "tree snapshot file: loaded at startup when present, written on SIGINT/SIGTERM")
+		addr        = flag.String("addr", ":8080", "listen address")
+		auth        = flag.String("auth", "", "require authentication with user:password")
+		testbed     = flag.Bool("testbed", false, "assemble the emulated composable testbed")
+		nodes       = flag.Int("nodes", 8, "testbed compute node count")
+		oomMiB      = flag.Int64("oom-hot-add", 0, "enable the OOM mitigation rule with this hot-add step (MiB)")
+		snapshot    = flag.String("snapshot", "", "tree snapshot file: loaded at startup when present, written on SIGINT/SIGTERM")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
+		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
 	)
 	flag.Parse()
+
+	level, err := obsv.ParseLevel(*logLevel)
+	if err != nil {
+		slog.Error("ofmf: bad -log-level", "err", err)
+		os.Exit(1)
+	}
+	logger := obsv.NewLogger(os.Stderr, level)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	var creds sessions.Credentials
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")
 		if !ok {
-			log.Fatalf("ofmf: -auth must be user:password")
+			fatal("ofmf: -auth must be user:password", nil)
 		}
 		creds = sessions.StaticCredentials(map[string]string{user: pass})
 	}
 
-	var handler http.Handler
+	metrics := obsv.NewMetrics(obsv.NewRegistry())
+	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics}
+
+	mux := http.NewServeMux()
 	var tree *store.Store
 	if *testbed {
 		f, err := core.New(core.Config{
 			Nodes:        *nodes,
-			Service:      service.Config{Credentials: creds},
+			Service:      svcCfg,
 			OOMHotAddMiB: *oomMiB,
 		})
 		if err != nil {
-			log.Fatalf("ofmf: testbed: %v", err)
+			fatal("ofmf: testbed assembly failed", err)
 		}
 		defer f.Close()
-		handler = f.Handler()
+		mux.Handle("/", f.Handler())
 		tree = f.Service.Store()
-		fmt.Printf("ofmf: testbed with %d nodes, CXL pool %d MiB, GPU pool %d slices\n",
-			*nodes, f.CXL.FreeMiB(), f.GPUs.FreeSlices())
+		logger.Info("ofmf: testbed assembled",
+			"nodes", *nodes, "cxl_free_mib", f.CXL.FreeMiB(), "gpu_free_slices", f.GPUs.FreeSlices())
 	} else {
-		svc := service.New(service.Config{Credentials: creds})
+		svc := service.New(svcCfg)
 		defer svc.Close()
-		handler = svc.Handler()
+		mux.Handle("/", svc.Handler())
 		tree = svc.Store()
+
+		// The bare service has no testbed telemetry wiring, so close the
+		// self-telemetry loop here: the management plane's own metrics
+		// become a periodic MetricReport under the Redfish tree.
+		telem := telemetry.NewService(service.TelemetryServiceURI,
+			func(id odata.ID, res any) { _ = svc.Store().Put(id, res) },
+			func(rec redfish.EventRecord) { svc.Bus().Publish(rec) },
+		)
+		if err := telem.DefineReport("ManagementPlane", 10*time.Second,
+			obsv.SelfCollector{Registry: metrics.Registry()}); err != nil {
+			fatal("ofmf: self-telemetry", err)
+		}
+		if _, err := telem.Generate("ManagementPlane"); err != nil {
+			fatal("ofmf: self-telemetry", err)
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go telem.Run(stop)
+	}
+
+	if *withMetrics {
+		mux.Handle("/metrics", metrics.Registry().Handler())
+	}
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	if *snapshot != "" {
 		if data, err := os.ReadFile(*snapshot); err == nil {
 			if err := tree.Import(data); err != nil {
-				log.Fatalf("ofmf: snapshot import: %v", err)
+				fatal("ofmf: snapshot import", err)
 			}
-			fmt.Printf("ofmf: restored %d resources from %s\n", tree.Len(), *snapshot)
+			logger.Info("ofmf: snapshot restored", "resources", tree.Len(), "file", *snapshot)
 		} else if !os.IsNotExist(err) {
-			log.Fatalf("ofmf: snapshot read: %v", err)
+			fatal("ofmf: snapshot read", err)
 		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -88,16 +145,17 @@ func main() {
 				err = os.WriteFile(*snapshot, data, 0o644)
 			}
 			if err != nil {
-				log.Printf("ofmf: snapshot write: %v", err)
+				logger.Error("ofmf: snapshot write failed", "err", err)
 				os.Exit(1)
 			}
-			fmt.Printf("ofmf: snapshot written to %s\n", *snapshot)
+			logger.Info("ofmf: snapshot written", "file", *snapshot)
 			os.Exit(0)
 		}()
 	}
 
-	fmt.Printf("ofmf: serving Redfish tree on %s (service root /redfish/v1)\n", *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		log.Fatalf("ofmf: %v", err)
+	logger.Info("ofmf: serving", "addr", *addr, "root", "/redfish/v1",
+		"metrics", *withMetrics, "pprof", *withPprof)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal("ofmf: server failed", err)
 	}
 }

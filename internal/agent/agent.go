@@ -12,6 +12,7 @@ package agent
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,9 +91,11 @@ func (l *Local) DetachHandler(fabricID odata.ID) {
 	l.Service.UnregisterFabricHandler(fabricID)
 }
 
-// TouchSource patches the aggregation source's heartbeat in the store.
+// TouchSource patches the aggregation source's heartbeat through the
+// service so liveness metrics see local heartbeats exactly like remote
+// HTTP ones.
 func (l *Local) TouchSource(sourceURI odata.ID, timestamp string) error {
-	return l.Service.Store().Patch(sourceURI, heartbeatPatch(timestamp), "")
+	return l.Service.PatchResource(context.Background(), sourceURI, heartbeatPatch(timestamp), "")
 }
 
 func heartbeatPatch(timestamp string) map[string]any {
@@ -229,12 +232,12 @@ func (r *Remote) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/agent/ops", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			opsError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 			return
 		}
 		var op service.OpRequest
 		if err := json.NewDecoder(req.Body).Decode(&op); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			opsError(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
 			return
 		}
 		r.mu.Lock()
@@ -247,18 +250,26 @@ func (r *Remote) Handler() http.Handler {
 		}
 		r.mu.Unlock()
 		if h == nil {
-			http.Error(w, "no handler for "+string(op.Target), http.StatusNotFound)
+			opsError(w, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", "no handler for "+string(op.Target))
 			return
 		}
 		resp, err := dispatchOp(h, op)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			opsError(w, http.StatusBadRequest, "OFMF.1.0.AgentOperationFailed", err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
 	})
 	return mux
+}
+
+// opsError writes the same Redfish extended-error envelope the OFMF
+// itself emits, so clients see one error shape on both sides of the wire.
+func opsError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(service.RedfishError(status, code, message))
 }
 
 func dispatchOp(h service.FabricHandler, op service.OpRequest) (service.OpResponse, error) {

@@ -1,6 +1,7 @@
 package cxlagent
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strconv"
@@ -39,7 +40,7 @@ func newAgent(t *testing.T) (*service.Service, *cxlsim.Appliance, *Agent) {
 func carve(t *testing.T, svc *service.Service, ag *Agent, sizeMiB int) odata.ID {
 	t.Helper()
 	payload := json.RawMessage([]byte(`{"MemoryChunkSizeMiB": ` + strconv.Itoa(sizeMiB) + `}`))
-	uri, err := svc.ProvisionResource(ag.ChassisID().Append("MemoryDomains", "Domain0", "MemoryChunks"), payload)
+	uri, err := svc.ProvisionResource(context.Background(), ag.ChassisID().Append("MemoryDomains", "Domain0", "MemoryChunks"), payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestExplicitDeviceSelection(t *testing.T) {
 		t.Fatal(err)
 	}
 	chunks := ag.ChassisID().Append("MemoryDomains", "Domain0", "MemoryChunks")
-	uri, err := svc.ProvisionResource(chunks, []byte(`{"MemoryChunkSizeMiB":512,"Oem":{"OFMF":{"Device":"dev0"}}}`))
+	uri, err := svc.ProvisionResource(context.Background(), chunks, []byte(`{"MemoryChunkSizeMiB":512,"Oem":{"OFMF":{"Device":"dev0"}}}`))
 	if err != nil {
 		t.Fatal(err)
 	}

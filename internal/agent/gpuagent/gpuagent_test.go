@@ -1,6 +1,7 @@
 package gpuagent
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestPublishContents(t *testing.T) {
 func TestPartitionLifecycle(t *testing.T) {
 	svc, pool, ag := newAgent(t)
 	procs := ag.ChassisID().Append("Processors")
-	uri, err := svc.ProvisionResource(procs, []byte(`{"Oem":{"OFMF":{"Slices":3}}}`))
+	uri, err := svc.ProvisionResource(context.Background(), procs, []byte(`{"Oem":{"OFMF":{"Slices":3}}}`))
 	if err != nil {
 		t.Fatal(err)
 	}

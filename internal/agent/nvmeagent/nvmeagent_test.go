@@ -1,6 +1,7 @@
 package nvmeagent
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -32,7 +33,7 @@ func newAgent(t *testing.T) (*service.Service, *nvmesim.Target, *Agent) {
 
 func provision(t *testing.T, svc *service.Service, ag *Agent, bytes int64) odata.ID {
 	t.Helper()
-	uri, err := svc.ProvisionResource(ag.StorageID().Append("Volumes"),
+	uri, err := svc.ProvisionResource(context.Background(), ag.StorageID().Append("Volumes"),
 		[]byte(`{"CapacityBytes": 1048576}`))
 	if err != nil {
 		t.Fatal(err)

@@ -8,12 +8,16 @@
 package composer
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/service"
@@ -229,11 +233,47 @@ func (c *Composer) Get(id string) (Composition, error) {
 	return snapshot(comp), nil
 }
 
-// Compose realizes the request: it selects a node under the placement
+// observeCompose times one composer operation, feeding the
+// ofmf_compose_* metrics and emitting a log line correlated with the
+// request id carried in ctx.
+func (c *Composer) observeCompose(ctx context.Context, op string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	outcome := obsv.Outcome(err)
+	m := c.svc.Metrics()
+	m.ComposeOps.With(op, outcome).Inc()
+	m.ComposeDuration.With(op, outcome).Observe(elapsed.Seconds())
+	c.svc.Logger().LogAttrs(ctx, slog.LevelInfo, "compose op",
+		slog.String("op", op),
+		slog.String("outcome", outcome),
+		slog.Duration("duration", elapsed),
+	)
+	return err
+}
+
+// Compose realizes the request with a background context; see ComposeCtx.
+func (c *Composer) Compose(req Request) (Composition, error) {
+	return c.ComposeCtx(context.Background(), req)
+}
+
+// ComposeCtx realizes the request: it selects a node under the placement
 // policy, provisions fabric memory, storage and GPU capacity through the
 // OFMF, establishes the connections, and publishes the composed system.
-// Any failure rolls back every prior step.
-func (c *Composer) Compose(req Request) (Composition, error) {
+// Any failure rolls back every prior step. The context carries the
+// request id for log correlation and is threaded through every OFMF
+// operation performed on behalf of the composition.
+func (c *Composer) ComposeCtx(ctx context.Context, req Request) (Composition, error) {
+	var comp Composition
+	err := c.observeCompose(ctx, "compose", func() error {
+		var err error
+		comp, err = c.compose(ctx, req)
+		return err
+	})
+	return comp, err
+}
+
+func (c *Composer) compose(ctx context.Context, req Request) (Composition, error) {
 	if req.Cores <= 0 {
 		return Composition{}, fmt.Errorf("%w: Cores must be positive", ErrInvalidRequest)
 	}
@@ -260,26 +300,26 @@ func (c *Composer) Compose(req Request) (Composition, error) {
 	comp := &Composition{ID: compID, Node: nodeName, Request: req}
 
 	rollback := func() {
-		c.teardown(comp)
+		c.teardown(ctx, comp)
 		c.mu.Lock()
 		c.nodes[nodeName].UsedCores -= req.Cores
 		c.mu.Unlock()
 	}
 
 	if req.FabricMemoryMiB > 0 {
-		if err := c.attachMemory(comp, nodeName, req.FabricMemoryMiB, req.MemoryHeads); err != nil {
+		if err := c.attachMemory(ctx, comp, nodeName, req.FabricMemoryMiB, req.MemoryHeads); err != nil {
 			rollback()
 			return Composition{}, err
 		}
 	}
 	if req.StorageBytes > 0 {
-		if err := c.attachStorage(comp, nodeName, req.StorageBytes); err != nil {
+		if err := c.attachStorage(ctx, comp, nodeName, req.StorageBytes); err != nil {
 			rollback()
 			return Composition{}, err
 		}
 	}
 	if req.GPUSlices > 0 {
-		if err := c.attachGPU(comp, nodeName, req.GPUSlices); err != nil {
+		if err := c.attachGPU(ctx, comp, nodeName, req.GPUSlices); err != nil {
 			rollback()
 			return Composition{}, err
 		}
@@ -395,7 +435,7 @@ func (c *Composer) selectNodeLocked(req Request) (string, error) {
 
 // attachMemory carves a chunk from the first pool with capacity, zones
 // the initiator endpoint, and connects the chunk to the node.
-func (c *Composer) attachMemory(comp *Composition, node string, sizeMiB int64, heads int) error {
+func (c *Composer) attachMemory(ctx context.Context, comp *Composition, node string, sizeMiB int64, heads int) error {
 	c.mu.Lock()
 	pools := append([]*MemoryPool(nil), c.memPools...)
 	c.mu.Unlock()
@@ -405,14 +445,14 @@ func (c *Composer) attachMemory(comp *Composition, node string, sizeMiB int64, h
 		}
 		mark := len(comp.steps)
 		payload := fmt.Sprintf(`{"MemoryChunkSizeMiB": %d, "Oem": {"OFMF": {"MaxHeads": %d}}}`, sizeMiB, heads)
-		chunkURI, err := c.svc.ProvisionResource(p.Chunks, []byte(payload))
+		chunkURI, err := c.svc.ProvisionResource(ctx, p.Chunks, []byte(payload))
 		if err != nil {
 			continue
 		}
 		comp.steps = append(comp.steps, step{kind: "resource", id: chunkURI})
 		// Zone the composition's initiator on this fabric (zone-of-
 		// endpoints granting the node access to the pooled device).
-		zone, err := c.svc.CreateZone(p.Connections.Parent().Append("Zones"), redfish.Zone{
+		zone, err := c.svc.CreateZone(ctx, p.Connections.Parent().Append("Zones"), redfish.Zone{
 			Resource: odata.Resource{Name: "Zone for " + comp.ID},
 			ZoneType: redfish.ZoneTypeZoneOfEndpoints,
 			Links:    redfish.ZoneLinks{Endpoints: []odata.Ref{odata.NewRef(p.Endpoint(node))}},
@@ -430,9 +470,9 @@ func (c *Composer) attachMemory(comp *Composition, node string, sizeMiB int64, h
 				InitiatorEndpoints: []odata.Ref{odata.NewRef(p.Endpoint(node))},
 			},
 		}
-		created, err := c.svc.CreateConnection(p.Connections, conn)
+		created, err := c.svc.CreateConnection(ctx, p.Connections, conn)
 		if err != nil {
-			c.undoSteps(comp, len(comp.steps)-mark)
+			c.undoSteps(ctx, comp, len(comp.steps)-mark)
 			return fmt.Errorf("composer: memory connection: %w", err)
 		}
 		comp.steps = append(comp.steps, step{kind: "connection", id: created.ODataID})
@@ -444,17 +484,17 @@ func (c *Composer) attachMemory(comp *Composition, node string, sizeMiB int64, h
 }
 
 // undoSteps reverses up to n of the composition's most recent steps.
-func (c *Composer) undoSteps(comp *Composition, n int) {
+func (c *Composer) undoSteps(ctx context.Context, comp *Composition, n int) {
 	for i := 0; i < n && len(comp.steps) > 0; i++ {
 		st := comp.steps[len(comp.steps)-1]
 		comp.steps = comp.steps[:len(comp.steps)-1]
 		switch st.kind {
 		case "connection":
-			_ = c.svc.DeleteConnection(st.id)
+			_ = c.svc.DeleteConnection(ctx, st.id)
 		case "zone":
-			_ = c.svc.DeleteZone(st.id)
+			_ = c.svc.DeleteZone(ctx, st.id)
 		case "resource":
-			_ = c.svc.DeprovisionResource(st.id)
+			_ = c.svc.DeprovisionResource(ctx, st.id)
 		case "system":
 			_ = c.svc.Store().Delete(st.id)
 		}
@@ -462,7 +502,7 @@ func (c *Composer) undoSteps(comp *Composition, n int) {
 }
 
 // attachStorage provisions a volume and connects it to the node.
-func (c *Composer) attachStorage(comp *Composition, node string, bytes int64) error {
+func (c *Composer) attachStorage(ctx context.Context, comp *Composition, node string, bytes int64) error {
 	c.mu.Lock()
 	pools := append([]*StoragePool(nil), c.stoPools...)
 	c.mu.Unlock()
@@ -471,7 +511,7 @@ func (c *Composer) attachStorage(comp *Composition, node string, bytes int64) er
 			continue
 		}
 		payload := fmt.Sprintf(`{"CapacityBytes": %d}`, bytes)
-		volURI, err := c.svc.ProvisionResource(p.Volumes, []byte(payload))
+		volURI, err := c.svc.ProvisionResource(ctx, p.Volumes, []byte(payload))
 		if err != nil {
 			continue
 		}
@@ -483,9 +523,9 @@ func (c *Composer) attachStorage(comp *Composition, node string, bytes int64) er
 				InitiatorEndpoints: []odata.Ref{odata.NewRef(p.Endpoint(node))},
 			},
 		}
-		created, err := c.svc.CreateConnection(p.Connections, conn)
+		created, err := c.svc.CreateConnection(ctx, p.Connections, conn)
 		if err != nil {
-			_ = c.svc.DeprovisionResource(volURI)
+			_ = c.svc.DeprovisionResource(ctx, volURI)
 			comp.steps = comp.steps[:len(comp.steps)-1]
 			return fmt.Errorf("composer: storage connection: %w", err)
 		}
@@ -498,7 +538,7 @@ func (c *Composer) attachStorage(comp *Composition, node string, bytes int64) er
 }
 
 // attachGPU carves a partition and connects it to the node.
-func (c *Composer) attachGPU(comp *Composition, node string, slices int) error {
+func (c *Composer) attachGPU(ctx context.Context, comp *Composition, node string, slices int) error {
 	c.mu.Lock()
 	pools := append([]*GPUPool(nil), c.gpuPools...)
 	c.mu.Unlock()
@@ -507,7 +547,7 @@ func (c *Composer) attachGPU(comp *Composition, node string, slices int) error {
 			continue
 		}
 		payload := fmt.Sprintf(`{"Oem": {"OFMF": {"Slices": %d}}}`, slices)
-		partURI, err := c.svc.ProvisionResource(p.Partitions, []byte(payload))
+		partURI, err := c.svc.ProvisionResource(ctx, p.Partitions, []byte(payload))
 		if err != nil {
 			continue
 		}
@@ -518,9 +558,9 @@ func (c *Composer) attachGPU(comp *Composition, node string, slices int) error {
 				TargetEndpoints:    []odata.Ref{odata.NewRef(p.TargetEndpoint(partURI.Leaf()))},
 			},
 		}
-		created, err := c.svc.CreateConnection(p.Connections, conn)
+		created, err := c.svc.CreateConnection(ctx, p.Connections, conn)
 		if err != nil {
-			_ = c.svc.DeprovisionResource(partURI)
+			_ = c.svc.DeprovisionResource(ctx, partURI)
 			comp.steps = comp.steps[:len(comp.steps)-1]
 			return fmt.Errorf("composer: gpu connection: %w", err)
 		}
@@ -533,13 +573,25 @@ func (c *Composer) attachGPU(comp *Composition, node string, slices int) error {
 }
 
 // teardown reverses a composition's steps in LIFO order.
-func (c *Composer) teardown(comp *Composition) {
-	c.undoSteps(comp, len(comp.steps))
+func (c *Composer) teardown(ctx context.Context, comp *Composition) {
+	c.undoSteps(ctx, comp, len(comp.steps))
 }
 
-// Decompose tears down a composition, returning its resources to the free
-// pool.
+// Decompose tears down a composition with a background context; see
+// DecomposeCtx.
 func (c *Composer) Decompose(id string) error {
+	return c.DecomposeCtx(context.Background(), id)
+}
+
+// DecomposeCtx tears down a composition, returning its resources to the
+// free pool.
+func (c *Composer) DecomposeCtx(ctx context.Context, id string) error {
+	return c.observeCompose(ctx, "decompose", func() error {
+		return c.decompose(ctx, id)
+	})
+}
+
+func (c *Composer) decompose(ctx context.Context, id string) error {
 	c.mu.Lock()
 	comp, ok := c.comps[id]
 	if ok {
@@ -549,7 +601,7 @@ func (c *Composer) Decompose(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownComp, id)
 	}
-	c.teardown(comp)
+	c.teardown(ctx, comp)
 	c.mu.Lock()
 	if n, ok := c.nodes[comp.Node]; ok {
 		n.UsedCores -= comp.Request.Cores
@@ -573,13 +625,24 @@ func (c *Composer) Decompose(id string) error {
 // HotAddMemory carves and connects an additional memory chunk to a live
 // composition — the paper's out-of-memory mitigation path.
 func (c *Composer) HotAddMemory(compID string, sizeMiB int64) error {
+	return c.HotAddMemoryCtx(context.Background(), compID, sizeMiB)
+}
+
+// HotAddMemoryCtx is HotAddMemory with log/metric correlation via ctx.
+func (c *Composer) HotAddMemoryCtx(ctx context.Context, compID string, sizeMiB int64) error {
+	return c.observeCompose(ctx, "hot_add_memory", func() error {
+		return c.hotAddMemory(ctx, compID, sizeMiB)
+	})
+}
+
+func (c *Composer) hotAddMemory(ctx context.Context, compID string, sizeMiB int64) error {
 	c.mu.Lock()
 	comp, ok := c.comps[compID]
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownComp, compID)
 	}
-	if err := c.attachMemory(comp, comp.Node, sizeMiB, 1); err != nil {
+	if err := c.attachMemory(ctx, comp, comp.Node, sizeMiB, 1); err != nil {
 		return err
 	}
 	// Refresh the composed system's resource links and the block view.
@@ -640,7 +703,7 @@ func (c *Composer) ComposeAsync(req Request) *tasks.Task {
 // ComposeSystem implements service.SystemComposer: the payload is either
 // a bare Request or a ComputerSystem-shaped document carrying the request
 // under Oem.OFMF, per the DMTF specific-composition pattern.
-func (c *Composer) ComposeSystem(payload []byte) (odata.ID, error) {
+func (c *Composer) ComposeSystem(ctx context.Context, payload []byte) (odata.ID, error) {
 	var envelope struct {
 		Name string `json:"Name"`
 		Oem  struct {
@@ -674,7 +737,7 @@ func (c *Composer) ComposeSystem(payload []byte) (odata.ID, error) {
 			Node:            envelope.Node,
 		}
 	}
-	comp, err := c.Compose(req)
+	comp, err := c.ComposeCtx(ctx, req)
 	if err != nil {
 		return "", err
 	}
@@ -683,7 +746,7 @@ func (c *Composer) ComposeSystem(payload []byte) (odata.ID, error) {
 
 // DecomposeSystem implements service.SystemComposer: it finds the
 // composition owning the system URI and tears it down.
-func (c *Composer) DecomposeSystem(systemURI odata.ID) error {
+func (c *Composer) DecomposeSystem(ctx context.Context, systemURI odata.ID) error {
 	c.mu.Lock()
 	id := ""
 	for cid, comp := range c.comps {
@@ -696,7 +759,7 @@ func (c *Composer) DecomposeSystem(systemURI odata.ID) error {
 	if id == "" {
 		return fmt.Errorf("%w: system %s", ErrUnknownComp, systemURI)
 	}
-	return c.Decompose(id)
+	return c.DecomposeCtx(ctx, id)
 }
 
 // Stats summarizes pool utilization for stranding analysis.

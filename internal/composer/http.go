@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+
+	"ofmf/internal/service"
 )
 
 // Handler returns the Composability Layer's REST facade — the interface
@@ -33,30 +35,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// httpError emits the same Redfish extended-error envelope the OFMF's
+// Redfish surface uses, so composer clients parse one error shape.
+func httpError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, service.RedfishError(status, code, message))
+}
+
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := "Base.1.0.InternalError"
 	switch {
 	case errors.Is(err, ErrUnknownComp), errors.Is(err, ErrUnknownNode):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "Base.1.0.ResourceMissingAtURI"
 	case errors.Is(err, ErrNoCapacity), errors.Is(err, ErrNoPool):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, "OFMF.1.0.InsufficientCapacity"
 	case errors.Is(err, ErrInvalidRequest):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "Base.1.0.PropertyValueError"
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	httpError(w, status, code, err.Error())
 }
 
 func (c *Composer) handleCompose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		httpError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 		return
 	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		httpError(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
 		return
 	}
-	comp, err := c.Compose(req)
+	comp, err := c.ComposeCtx(r.Context(), req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -70,12 +79,12 @@ func (c *Composer) handleCompose(w http.ResponseWriter, r *http.Request) {
 // pattern.
 func (c *Composer) handleComposeAsync(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		httpError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 		return
 	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		httpError(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
 		return
 	}
 	task := c.ComposeAsync(req)
@@ -85,7 +94,7 @@ func (c *Composer) handleComposeAsync(w http.ResponseWriter, r *http.Request) {
 
 func (c *Composer) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		httpError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Compositions())
@@ -104,7 +113,7 @@ func (c *Composer) handleComposition(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, comp)
 	case len(parts) == 1 && r.Method == http.MethodDelete:
-		if err := c.Decompose(id); err != nil {
+		if err := c.DecomposeCtx(r.Context(), id); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -114,22 +123,22 @@ func (c *Composer) handleComposition(w http.ResponseWriter, r *http.Request) {
 			SizeMiB int64 `json:"SizeMiB"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SizeMiB <= 0 {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "SizeMiB must be positive"})
+			httpError(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", "SizeMiB must be positive")
 			return
 		}
-		if err := c.HotAddMemory(id, body.SizeMiB); err != nil {
+		if err := c.HotAddMemoryCtx(r.Context(), id, body.SizeMiB); err != nil {
 			writeErr(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		http.Error(w, "unsupported", http.StatusMethodNotAllowed)
+		httpError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "unsupported")
 	}
 }
 
 func (c *Composer) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		httpError(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Stats())

@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	"ofmf/internal/agent"
 	"ofmf/internal/agent/cxlagent"
@@ -21,6 +23,7 @@ import (
 	"ofmf/internal/emul/fabsim"
 	"ofmf/internal/emul/gpusim"
 	"ofmf/internal/emul/nvmesim"
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/service"
@@ -100,6 +103,9 @@ type Framework struct {
 
 	// NodeNames lists the compute node names ("node001", ...).
 	NodeNames []string
+
+	telemStop chan struct{}
+	closeOnce sync.Once
 }
 
 // NodeName formats the canonical name of node i (0-based).
@@ -249,6 +255,17 @@ func New(cfg Config) (*Framework, error) {
 			telemetry.Gauge("UsedCores", string(service.SystemsURI), float64(stats.UsedCores)),
 		}
 	})))
+
+	// Self-telemetry: the management plane's own metrics registry feeds a
+	// periodic MetricReport, so the OFMF's health is observable through the
+	// same Redfish telemetry machinery as the hardware it manages.
+	mustTelem(f.Telem.DefineReport("ManagementPlane", 10*time.Second,
+		obsv.SelfCollector{Registry: f.Service.Metrics().Registry()}))
+	if _, err := f.Telem.Generate("ManagementPlane"); err != nil {
+		return nil, err
+	}
+	f.telemStop = make(chan struct{})
+	go f.Telem.Run(f.telemStop)
 	return f, nil
 }
 
@@ -259,20 +276,26 @@ func mustTelem(err error) {
 }
 
 // Handler serves the Redfish tree and the Composability Layer facade from
-// one mux.
+// one mux. The composer facade shares the service's observability
+// middleware so its requests are traced and counted too.
 func (f *Framework) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/redfish", f.Service.Handler())
 	mux.Handle("/redfish/", f.Service.Handler())
-	mux.Handle("/composer/", f.Composer.Handler())
+	mux.Handle("/composer/", obsv.Middleware(f.Composer.Handler(),
+		f.Service.Metrics(), f.Service.Logger(), service.RouteClass))
 	return mux
 }
 
-// Close stops the agents and releases service resources.
+// Close stops the agents, the telemetry loop, and releases service
+// resources. Safe to call more than once.
 func (f *Framework) Close() {
-	f.CXLAgent.Stop()
-	f.NVMeAgent.Stop()
-	f.FabAgent.Stop()
-	f.GPUAgent.Stop()
-	f.Service.Close()
+	f.closeOnce.Do(func() {
+		close(f.telemStop)
+		f.CXLAgent.Stop()
+		f.NVMeAgent.Stop()
+		f.FabAgent.Stop()
+		f.GPUAgent.Stop()
+		f.Service.Close()
+	})
 }

@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version served by
+// the registry's handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}
+
+// Expose renders the registry in Prometheus text exposition format.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Samples {
+			switch fam.Type {
+			case TypeHistogram:
+				for _, bk := range s.Buckets {
+					writeSeries(&b, fam.Name+"_bucket", fam.LabelNames, s.LabelValues,
+						"le", formatBound(bk.UpperBound), float64(bk.Count))
+				}
+				writeSeries(&b, fam.Name+"_sum", fam.LabelNames, s.LabelValues, "", "", s.Sum)
+				writeSeries(&b, fam.Name+"_count", fam.LabelNames, s.LabelValues, "", "", float64(s.Count))
+			default:
+				writeSeries(&b, fam.Name, fam.LabelNames, s.LabelValues, "", "", s.Value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// writeSeries renders one sample line, appending the optional extra
+// label (the histogram "le" bound) after the family's own labels.
+func writeSeries(b *strings.Builder, name string, labelNames, labelValues []string, extraName, extraValue string, value float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelValues[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(value))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExposeGolden pins the exposition output byte for byte: HELP/TYPE
+// lines, family and sample ordering, label escaping, histogram bucket
+// cumulation and the +Inf bucket.
+func TestExposeGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.CounterVec("app_requests_total", "Requests served.", "method", "path")
+	c.With("GET", `/x"y\z`).Add(3)
+	c.With("POST", "line\nbreak").Inc()
+
+	r.Gauge("app_in_flight", "In-flight requests.").Set(2.5)
+
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := strings.Join([]string{
+		`# HELP app_in_flight In-flight requests.`,
+		`# TYPE app_in_flight gauge`,
+		`app_in_flight 2.5`,
+		`# HELP app_latency_seconds Request latency.`,
+		`# TYPE app_latency_seconds histogram`,
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		`app_latency_seconds_sum 5.55`,
+		`app_latency_seconds_count 3`,
+		`# HELP app_requests_total Requests served.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total{method="GET",path="/x\"y\\z"} 3`,
+		`app_requests_total{method="POST",path="line\nbreak"} 1`,
+		``,
+	}, "\n")
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "one").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, ContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "one_total 1") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+}
+
+// TestConcurrentScrape exercises scrapes racing increments; run with
+// -race this proves the registry's synchronization.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("ops_total", "ops", "worker")
+	hist := r.HistogramVec("op_seconds", "latency", nil, "worker")
+
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			label := string(rune('a' + id))
+			for i := 0; i < perWorker; i++ {
+				vec.With(label).Inc()
+				hist.With(label).Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Expose()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	var total float64
+	for _, s := range r.Gather()[1].Samples { // ops_total sorts after op_seconds
+		total += s.Value
+	}
+	if total != workers*perWorker {
+		t.Errorf("total = %v, want %d", total, workers*perWorker)
+	}
+}

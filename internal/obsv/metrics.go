@@ -1,0 +1,105 @@
+package obsv
+
+// Metric naming scheme: every series the OFMF emits about itself is
+// prefixed ofmf_ and grouped by subsystem — ofmf_http_* for the REST
+// surface, ofmf_compose_* for the Composability Manager, ofmf_agent_*
+// for forwarded fabric operations and agent liveness, ofmf_store_* for
+// the resource repository, ofmf_events_* / ofmf_sse_* for the event
+// subsystem. Durations are histograms in seconds.
+
+// Metrics bundles the OFMF's own instruments, pre-registered on one
+// registry so every component shares the same exposition endpoint.
+type Metrics struct {
+	reg *Registry
+
+	// HTTPRequests counts finished requests by method, route class and
+	// status code: ofmf_http_requests_total.
+	HTTPRequests *CounterVec
+	// HTTPDuration is the request latency histogram by method and route
+	// class: ofmf_http_request_duration_seconds.
+	HTTPDuration *HistogramVec
+	// HTTPInFlight gauges currently executing requests:
+	// ofmf_http_requests_in_flight.
+	HTTPInFlight *Gauge
+
+	// ComposeOps counts compose/decompose operations by outcome:
+	// ofmf_compose_ops_total.
+	ComposeOps *CounterVec
+	// ComposeDuration times compose/decompose operations:
+	// ofmf_compose_duration_seconds.
+	ComposeDuration *HistogramVec
+
+	// AgentOps counts fabric operations forwarded to agents by fabric,
+	// operation and outcome: ofmf_agent_ops_total.
+	AgentOps *CounterVec
+	// AgentOpDuration times forwarded fabric operations:
+	// ofmf_agent_op_duration_seconds.
+	AgentOpDuration *HistogramVec
+	// AgentHeartbeats counts heartbeat refreshes per aggregation source:
+	// ofmf_agent_heartbeats_total.
+	AgentHeartbeats *CounterVec
+	// AgentLastHeartbeat gauges the unix time of each source's last
+	// heartbeat, the liveness signal monitoring alerts on:
+	// ofmf_agent_last_heartbeat_seconds.
+	AgentLastHeartbeat *GaugeVec
+
+	// StoreOps counts resource-store operations by kind:
+	// ofmf_store_ops_total.
+	StoreOps *CounterVec
+
+	// SSESubscribers gauges open server-sent-event streams:
+	// ofmf_sse_subscribers.
+	SSESubscribers *Gauge
+	// SSEDropped counts events dropped on slow SSE consumers:
+	// ofmf_sse_dropped_events_total.
+	SSEDropped *Counter
+}
+
+// NewMetrics registers the OFMF instrument set on reg. Registration is
+// idempotent: wiring two services onto one registry shares the series.
+func NewMetrics(reg *Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		HTTPRequests: reg.CounterVec("ofmf_http_requests_total",
+			"HTTP requests served, by method, route class and status code.",
+			"method", "class", "code"),
+		HTTPDuration: reg.HistogramVec("ofmf_http_request_duration_seconds",
+			"HTTP request latency in seconds, by method and route class.",
+			nil, "method", "class"),
+		HTTPInFlight: reg.Gauge("ofmf_http_requests_in_flight",
+			"HTTP requests currently being served."),
+		ComposeOps: reg.CounterVec("ofmf_compose_ops_total",
+			"Compose/decompose operations, by operation and outcome.",
+			"op", "outcome"),
+		ComposeDuration: reg.HistogramVec("ofmf_compose_duration_seconds",
+			"Compose/decompose latency in seconds, by operation and outcome.",
+			nil, "op", "outcome"),
+		AgentOps: reg.CounterVec("ofmf_agent_ops_total",
+			"Fabric operations forwarded to agents, by fabric, operation and outcome.",
+			"fabric", "op", "outcome"),
+		AgentOpDuration: reg.HistogramVec("ofmf_agent_op_duration_seconds",
+			"Forwarded fabric operation latency in seconds, by fabric and operation.",
+			nil, "fabric", "op"),
+		AgentHeartbeats: reg.CounterVec("ofmf_agent_heartbeats_total",
+			"Agent heartbeat refreshes, by aggregation source.", "source"),
+		AgentLastHeartbeat: reg.GaugeVec("ofmf_agent_last_heartbeat_seconds",
+			"Unix time of each aggregation source's last heartbeat.", "source"),
+		StoreOps: reg.CounterVec("ofmf_store_ops_total",
+			"Resource store operations, by kind.", "op"),
+		SSESubscribers: reg.Gauge("ofmf_sse_subscribers",
+			"Open server-sent-event streams."),
+		SSEDropped: reg.Counter("ofmf_sse_dropped_events_total",
+			"Events dropped on slow SSE consumers."),
+	}
+}
+
+// Registry returns the registry the instruments are registered on.
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Outcome maps an operation error to the bounded outcome label.
+func Outcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

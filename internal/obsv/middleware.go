@@ -1,0 +1,84 @@
+package obsv
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status code while passing Flush
+// through, so SSE streaming keeps working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware instruments an HTTP handler: it assigns (or adopts) the
+// request id, returns it in the X-Request-Id header, carries it through
+// the request context so every downstream log line is correlated, and
+// records the request in the metrics bundle under classify's bounded
+// route class. A nil metrics, logger or classify falls back to no-ops.
+func Middleware(next http.Handler, m *Metrics, log *slog.Logger, classify func(path string) string) http.Handler {
+	if log == nil {
+		log = NopLogger()
+	}
+	if classify == nil {
+		classify = func(string) string { return "all" }
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		ctx := ContextWithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set(RequestIDHeader, id)
+
+		if m != nil {
+			m.HTTPInFlight.Inc()
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := classify(r.URL.Path)
+		if m != nil {
+			m.HTTPInFlight.Dec()
+			m.HTTPRequests.With(r.Method, class, strconv.Itoa(status)).Inc()
+			m.HTTPDuration.With(r.Method, class).Observe(elapsed.Seconds())
+		}
+		log.LogAttrs(ctx, slog.LevelInfo, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("class", class),
+			slog.Int("status", status),
+			slog.Duration("duration", elapsed),
+		)
+	})
+}

@@ -1,0 +1,17 @@
+// Package obsv is the OFMF's internal observability layer: a
+// dependency-free metrics registry with Prometheus text exposition,
+// leveled structured logging on log/slog with request-id correlation,
+// and lightweight per-request tracing carried through context.Context.
+//
+// The paper positions the OFMF as "a subscription-based central
+// repository for telemetry information" for a composable HPC facility;
+// this package turns the management plane's own behaviour — request
+// latencies, compose/decompose timings, agent forwarding, event
+// delivery — into first-class telemetry. The SelfCollector closes the
+// loop by feeding the registry's series back through the OFMF's own
+// Redfish TelemetryService as a ManagementPlane metric report.
+//
+// Everything here is standard library only: the module has zero
+// external dependencies and the registry keeps it that way by
+// implementing the Prometheus text format (version 0.0.4) directly.
+package obsv

@@ -1,0 +1,74 @@
+package obsv
+
+import (
+	"strconv"
+	"strings"
+
+	"ofmf/internal/redfish"
+)
+
+// SelfCollector adapts a Registry to the TelemetryService's Collector
+// interface, closing the paper's telemetry loop: the OFMF's own metrics
+// become a MetricReport under its Redfish tree, so the same
+// subscription machinery that distributes hardware telemetry also
+// distributes management-plane telemetry.
+//
+// Counters and gauges map to one MetricValue per series; histograms are
+// summarized as <name>_count and <name>_sum so reports stay compact.
+// MetricID carries the family name and MetricProperty the full series
+// identity in exposition syntax.
+type SelfCollector struct {
+	Registry *Registry
+}
+
+// Collect renders the registry's current state as metric values.
+func (c SelfCollector) Collect() []redfish.MetricValue {
+	if c.Registry == nil {
+		return nil
+	}
+	var out []redfish.MetricValue
+	for _, fam := range c.Registry.Gather() {
+		for _, s := range fam.Samples {
+			switch fam.Type {
+			case TypeHistogram:
+				out = append(out,
+					metricValue(fam.Name+"_count", fam.LabelNames, s.LabelValues, float64(s.Count)),
+					metricValue(fam.Name+"_sum", fam.LabelNames, s.LabelValues, s.Sum),
+				)
+			default:
+				out = append(out, metricValue(fam.Name, fam.LabelNames, s.LabelValues, s.Value))
+			}
+		}
+	}
+	return out
+}
+
+func metricValue(name string, labelNames, labelValues []string, v float64) redfish.MetricValue {
+	return redfish.MetricValue{
+		MetricID:       name,
+		MetricValue:    strconv.FormatFloat(v, 'g', -1, 64),
+		MetricProperty: seriesProperty(name, labelNames, labelValues),
+	}
+}
+
+// seriesProperty renders the series identity in exposition syntax, e.g.
+// ofmf_http_requests_total{class="Systems",code="200",method="GET"}.
+func seriesProperty(name string, labelNames, labelValues []string) string {
+	if len(labelNames) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, ln := range labelNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ln)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labelValues[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

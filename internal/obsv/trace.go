@@ -1,0 +1,43 @@
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying the request id. An id sent
+// by the client (or an upstream OFMF forwarding to an agent) is adopted,
+// so one compose request keeps one id across process boundaries; the
+// response always echoes the id back.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey struct{}
+
+// reqSeq backs the fallback id source when crypto/rand fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ContextWithRequestID attaches a request id to the context.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the request id carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 
 	"ofmf/internal/events"
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/sessions"
@@ -18,17 +20,61 @@ import (
 // maxBodyBytes bounds request payload size.
 const maxBodyBytes = 4 << 20
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every request passes
+// through the observability middleware: it is assigned (or keeps) an
+// X-Request-Id, is logged with that id, and lands in the ofmf_http_*
+// metrics under its bounded route class.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/redfish", s.handleVersions)
 	mux.HandleFunc("/redfish/", s.dispatch)
-	return mux
+	return obsv.Middleware(mux, s.metrics, s.log, RouteClass)
+}
+
+// RouteClass maps a request path to a bounded route class used as the
+// "class" metric label, collapsing per-resource ids so cardinality stays
+// fixed: /redfish/v1/Systems/node001 -> Systems,
+// /redfish/v1/Fabrics/CXL/Connections/7 -> Fabrics.Connections.
+func RouteClass(path string) string {
+	path = strings.TrimSuffix(path, "/")
+	switch path {
+	case "", "/":
+		return "Root"
+	case "/redfish":
+		return "Versions"
+	}
+	if strings.HasPrefix(path, "/composer") {
+		return "Composer"
+	}
+	rel := strings.TrimPrefix(path, string(RootURI))
+	if rel == path {
+		return "Other"
+	}
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "" {
+		return "ServiceRoot"
+	}
+	seg := strings.SplitN(rel, "/", 4)
+	switch seg[0] {
+	case "$metadata", "odata":
+		return "Metadata"
+	case "Oem":
+		return "Oem"
+	case "Fabrics":
+		// Fabric sub-collections (Zones, Connections, Endpoints,
+		// Switches, Ports, ...) are the forwarding hot paths; keep them
+		// distinguishable per collection, not per fabric.
+		if len(seg) >= 3 {
+			return "Fabrics." + seg[2]
+		}
+		return "Fabrics"
+	}
+	return seg[0]
 }
 
 func (s *Service) handleVersions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "only GET is supported")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "only GET is supported")
 		return
 	}
 	s.json(w, http.StatusOK, map[string]string{"v1": "/redfish/v1/"})
@@ -71,7 +117,7 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.handleDelete(w, r, id)
 	default:
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", r.Method+" not supported")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", r.Method+" not supported")
 	}
 }
 
@@ -90,11 +136,11 @@ func (s *Service) authorize(w http.ResponseWriter, r *http.Request, id odata.ID)
 	}
 	token := r.Header.Get("X-Auth-Token")
 	if token == "" {
-		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "X-Auth-Token required")
+		s.error(w, r, http.StatusUnauthorized, "Base.1.0.NoValidSession", "X-Auth-Token required")
 		return false
 	}
 	if _, err := s.sessions.Validate(token); err != nil {
-		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid or expired token")
+		s.error(w, r, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid or expired token")
 		return false
 	}
 	return true
@@ -104,7 +150,7 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID)
 	if s.store.IsCollection(id) {
 		coll, err := s.store.Collection(id)
 		if err != nil {
-			s.storeError(w, err)
+			s.storeError(w, r, err)
 			return
 		}
 		query := r.URL.Query()
@@ -139,7 +185,7 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID)
 	}
 	raw, etag, err := s.store.Get(id)
 	if err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
@@ -225,9 +271,9 @@ func (s *Service) handlePost(w http.ResponseWriter, r *http.Request, id odata.ID
 	case s.store.IsCollection(id) && s.cfg.DirectWrites:
 		s.postGeneric(w, r, id)
 	case s.store.IsCollection(id):
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collection does not accept POST")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collection does not accept POST")
 	default:
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource does not accept POST")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource does not accept POST")
 	}
 }
 
@@ -245,21 +291,21 @@ func (s *Service) ownedByProvisioner(id odata.ID) bool {
 func (s *Service) postProvision(w http.ResponseWriter, r *http.Request, coll odata.ID) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
 		return
 	}
-	uri, err := s.ProvisionResource(coll, body)
+	uri, err := s.ProvisionResource(r.Context(), coll, body)
 	if err != nil {
 		if IsAgentError(err) {
-			s.agentError(w, err)
+			s.agentError(w, r, err)
 			return
 		}
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	raw, _, err := s.store.Get(uri)
 	if err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(uri))
@@ -280,11 +326,11 @@ func (s *Service) isFabricCollection(id odata.ID, leaf string) bool {
 func (s *Service) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
 		return false
 	}
 	if err := json.Unmarshal(body, out); err != nil {
-		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
 		return false
 	}
 	return true
@@ -296,17 +342,17 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 func (s *Service) postComposeSystem(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", "unreadable body")
 		return
 	}
-	sysURI, err := s.systemComposer().ComposeSystem(body)
+	sysURI, err := s.systemComposer().ComposeSystem(r.Context(), body)
 	if err != nil {
-		s.error(w, http.StatusConflict, "OFMF.1.0.CompositionFailed", err.Error())
+		s.error(w, r, http.StatusConflict, "OFMF.1.0.CompositionFailed", err.Error())
 		return
 	}
 	raw, _, err := s.store.Get(sysURI)
 	if err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(sysURI))
@@ -325,7 +371,7 @@ func (s *Service) postSession(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.sessions.Login(creds.UserName, creds.Password)
 	if err != nil {
-		s.error(w, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid credentials")
+		s.error(w, r, http.StatusUnauthorized, "Base.1.0.NoValidSession", "invalid credentials")
 		return
 	}
 	uri := SessionsURI.Append(sess.ID)
@@ -335,7 +381,7 @@ func (s *Service) postSession(w http.ResponseWriter, r *http.Request) {
 		CreatedTime: redfish.Timestamp(sess.Created),
 	}
 	if err := s.store.Put(uri, res); err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("X-Auth-Token", sess.Token)
@@ -349,7 +395,7 @@ func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if dest.Destination == "" {
-		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyMissing", "Destination is required")
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyMissing", "Destination is required")
 		return
 	}
 	filter := events.Filter{
@@ -359,7 +405,7 @@ func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.bus.Subscribe(&events.HTTPSink{URL: dest.Destination}, filter, dest.Context)
 	if err != nil {
-		s.error(w, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
+		s.error(w, r, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
 		return
 	}
 	uri := SubscriptionsURI.Append(sub.ID)
@@ -367,7 +413,7 @@ func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
 	dest.Protocol = "Redfish"
 	dest.Status = odata.StatusOK()
 	if err := s.store.Put(uri, dest); err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(uri))
@@ -411,7 +457,7 @@ func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) 
 		return src, nil
 	})
 	if err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	// A remote agent advertising a callback URL gets fabric mutations for
@@ -430,13 +476,13 @@ func (s *Service) postZone(w http.ResponseWriter, r *http.Request, coll odata.ID
 	if !s.decode(w, r, &zone) {
 		return
 	}
-	zone, err := s.CreateZone(coll, zone)
+	zone, err := s.CreateZone(r.Context(), coll, zone)
 	if err != nil {
 		if IsAgentError(err) {
-			s.agentError(w, err)
+			s.agentError(w, r, err)
 			return
 		}
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(zone.ODataID))
@@ -448,13 +494,13 @@ func (s *Service) postConnection(w http.ResponseWriter, r *http.Request, coll od
 	if !s.decode(w, r, &conn) {
 		return
 	}
-	conn, err := s.CreateConnection(coll, conn)
+	conn, err := s.CreateConnection(r.Context(), coll, conn)
 	if err != nil {
 		if IsAgentError(err) {
-			s.agentError(w, err)
+			s.agentError(w, r, err)
 			return
 		}
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(conn.ODataID))
@@ -474,7 +520,7 @@ func (s *Service) postGeneric(w http.ResponseWriter, r *http.Request, coll odata
 		return payload, nil
 	})
 	if err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", string(uri))
@@ -483,7 +529,7 @@ func (s *Service) postGeneric(w http.ResponseWriter, r *http.Request, coll odata
 
 func (s *Service) handlePatch(w http.ResponseWriter, r *http.Request, id odata.ID) {
 	if s.store.IsCollection(id) {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be patched")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be patched")
 		return
 	}
 	var patch map[string]any
@@ -491,15 +537,15 @@ func (s *Service) handlePatch(w http.ResponseWriter, r *http.Request, id odata.I
 		return
 	}
 	if _, owned := s.handlerFor(id); !owned && !s.cfg.DirectWrites && !s.patchableAlways(id) {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
 		return
 	}
-	if err := s.PatchResource(id, patch, r.Header.Get("If-Match")); err != nil {
+	if err := s.PatchResource(r.Context(), id, patch, r.Header.Get("If-Match")); err != nil {
 		if IsAgentError(err) {
-			s.agentError(w, err)
+			s.agentError(w, r, err)
 			return
 		}
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	s.handleGet(w, r, id)
@@ -514,19 +560,19 @@ func (s *Service) patchableAlways(id odata.ID) bool {
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.ID) {
 	if s.store.IsCollection(id) {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be deleted")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "collections cannot be deleted")
 		return
 	}
 	parent := id.Parent()
 	switch {
 	case parent == SessionsURI:
 		if err := s.sessions.Logout(id.Leaf()); err != nil && !errors.Is(err, sessions.ErrNotFound) {
-			s.error(w, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+			s.error(w, r, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
 			return
 		}
 	case parent == SubscriptionsURI:
 		if err := s.bus.Unsubscribe(id.Leaf()); err != nil {
-			s.error(w, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
+			s.error(w, r, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
 			return
 		}
 	case parent == AggregationSourcesURI:
@@ -542,13 +588,13 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 		// DELETE of a composed system routes through the Composability
 		// Manager, releasing its resources.
 		if parent == SystemsURI && s.systemComposer() != nil && s.isComposedSystem(id) {
-			if err := s.systemComposer().DecomposeSystem(id); err != nil {
-				s.error(w, http.StatusConflict, "OFMF.1.0.DecompositionFailed", err.Error())
+			if err := s.systemComposer().DecomposeSystem(r.Context(), id); err != nil {
+				s.error(w, r, http.StatusConflict, "OFMF.1.0.DecompositionFailed", err.Error())
 				return
 			}
 			// The composer removed the resource itself.
 			if err := s.store.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-				s.storeError(w, err)
+				s.storeError(w, r, err)
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
@@ -558,34 +604,34 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 			var err error
 			switch {
 			case parent.Leaf() == "Connections":
-				err = s.DeleteConnection(id)
+				err = s.DeleteConnection(r.Context(), id)
 			case parent.Leaf() == "Zones":
-				err = s.DeleteZone(id)
+				err = s.DeleteZone(r.Context(), id)
 			default:
 				if _, ok := h.(ResourceProvisioner); ok {
-					err = s.DeprovisionResource(id)
+					err = s.DeprovisionResource(r.Context(), id)
 				} else {
-					s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "agent-owned resource cannot be deleted")
+					s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "agent-owned resource cannot be deleted")
 					return
 				}
 			}
 			if err != nil {
 				if IsAgentError(err) {
-					s.agentError(w, err)
+					s.agentError(w, r, err)
 					return
 				}
-				s.storeError(w, err)
+				s.storeError(w, r, err)
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
 			return
 		} else if !s.cfg.DirectWrites {
-			s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
+			s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "resource is read-only")
 			return
 		}
 	}
 	if err := s.store.Delete(id); err != nil {
-		s.storeError(w, err)
+		s.storeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -610,25 +656,60 @@ func (s *Service) json(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Service) error(w http.ResponseWriter, status int, code, message string) {
-	s.json(w, status, odata.NewError(code, message))
-}
-
-func (s *Service) storeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrNotCollection):
-		s.error(w, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
-	case errors.Is(err, store.ErrEtagMismatch):
-		s.error(w, http.StatusPreconditionFailed, "Base.1.0.PreconditionFailed", err.Error())
-	case errors.Is(err, store.ErrExists):
-		s.error(w, http.StatusConflict, "Base.1.0.ResourceAlreadyExists", err.Error())
-	case errors.Is(err, store.ErrBadPayload):
-		s.error(w, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
-	default:
-		s.error(w, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+// error emits the Redfish extended-error envelope. Every error body
+// carries a @Message.ExtendedInfo entry whose MessageId repeats the
+// message registry code, so clients get one consistent shape regardless
+// of which handler failed; the failure is also logged with the request id.
+func (s *Service) error(w http.ResponseWriter, r *http.Request, status int, code, message string) {
+	s.json(w, status, RedfishError(status, code, message))
+	if r != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelDebug, "request error",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.String("code", code),
+			slog.String("message", message),
+		)
 	}
 }
 
-func (s *Service) agentError(w http.ResponseWriter, err error) {
-	s.error(w, http.StatusBadRequest, "OFMF.1.0.AgentRejectedRequest", fmt.Sprintf("fabric agent rejected request: %v", err))
+// RedfishError builds the extended-error envelope used for every failed
+// request, including the consistent @Message.ExtendedInfo entry.
+func RedfishError(status int, code, message string) odata.ErrorEnvelope {
+	return odata.NewError(code, message, odata.Message{
+		MessageID:  code,
+		Message:    message,
+		Severity:   severityFor(status),
+		Resolution: "None",
+	})
+}
+
+// severityFor maps an HTTP status to the Redfish message severity.
+func severityFor(status int) string {
+	switch {
+	case status >= 500:
+		return "Critical"
+	case status >= 400:
+		return "Warning"
+	}
+	return "OK"
+}
+
+func (s *Service) storeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrNotCollection):
+		s.error(w, r, http.StatusNotFound, "Base.1.0.ResourceMissingAtURI", err.Error())
+	case errors.Is(err, store.ErrEtagMismatch):
+		s.error(w, r, http.StatusPreconditionFailed, "Base.1.0.PreconditionFailed", err.Error())
+	case errors.Is(err, store.ErrExists):
+		s.error(w, r, http.StatusConflict, "Base.1.0.ResourceAlreadyExists", err.Error())
+	case errors.Is(err, store.ErrBadPayload):
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+	default:
+		s.error(w, r, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+	}
+}
+
+func (s *Service) agentError(w http.ResponseWriter, r *http.Request, err error) {
+	s.error(w, r, http.StatusBadRequest, "OFMF.1.0.AgentRejectedRequest", fmt.Sprintf("fabric agent rejected request: %v", err))
 }

@@ -51,7 +51,7 @@ type OpResponse struct {
 
 func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 		return
 	}
 	var payload SubtreePayload
@@ -59,7 +59,7 @@ func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if payload.Prefix.IsZero() || !payload.Prefix.Under(RootURI) {
-		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", "Prefix must lie under the service root")
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", "Prefix must lie under the service root")
 		return
 	}
 	resources := make(map[odata.ID]any, len(payload.Resources))
@@ -67,7 +67,7 @@ func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
 		resources[id] = raw
 	}
 	if err := s.store.PutSubtree(payload.Prefix, resources, payload.Keep...); err != nil {
-		s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
+		s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -75,7 +75,7 @@ func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCollectionsPush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 		return
 	}
 	var payload CollectionsPayload
@@ -84,7 +84,7 @@ func (s *Service) handleCollectionsPush(w http.ResponseWriter, r *http.Request) 
 	}
 	for uri, meta := range payload {
 		if !uri.Under(RootURI) {
-			s.error(w, http.StatusBadRequest, "Base.1.0.PropertyValueError", "collection outside service root: "+string(uri))
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", "collection outside service root: "+string(uri))
 			return
 		}
 		s.store.RegisterCollection(uri, meta[0], meta[1])
@@ -94,7 +94,7 @@ func (s *Service) handleCollectionsPush(w http.ResponseWriter, r *http.Request) 
 
 func (s *Service) handleEventPush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "POST only")
 		return
 	}
 	var rec redfish.EventRecord

@@ -1,10 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"time"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/store"
@@ -26,6 +30,49 @@ func IsAgentError(err error) bool {
 	return errors.As(err, &ae)
 }
 
+// observeAgentOp times one forwarded agent operation, feeding the
+// ofmf_agent_* metrics and emitting a debug log line correlated with the
+// request id in ctx.
+func (s *Service) observeAgentOp(ctx context.Context, fabric odata.ID, op string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	outcome := obsv.Outcome(err)
+	s.metrics.AgentOps.With(fabric.Leaf(), op, outcome).Inc()
+	s.metrics.AgentOpDuration.With(fabric.Leaf(), op).Observe(elapsed.Seconds())
+	s.log.LogAttrs(ctx, slog.LevelDebug, "agent op",
+		slog.String("fabric", string(fabric)),
+		slog.String("op", op),
+		slog.String("outcome", outcome),
+		slog.Duration("duration", elapsed),
+	)
+	return err
+}
+
+// recordHeartbeat updates agent liveness metrics when a patch carries the
+// Oem.OFMF.LastHeartbeat shape used by agent heartbeats. Both local
+// (in-process) and remote (HTTP PATCH) heartbeats flow through
+// PatchResource, so this single detection point covers every deployment.
+func (s *Service) recordHeartbeat(id odata.ID, patch map[string]any) {
+	if !id.Under(AggregationSourcesURI) {
+		return
+	}
+	oem, ok := patch["Oem"].(map[string]any)
+	if !ok {
+		return
+	}
+	ofmf, ok := oem["OFMF"].(map[string]any)
+	if !ok {
+		return
+	}
+	if _, ok := ofmf["LastHeartbeat"]; !ok {
+		return
+	}
+	source := id.Leaf()
+	s.metrics.AgentHeartbeats.With(source).Inc()
+	s.metrics.AgentLastHeartbeat.With(source).Set(float64(time.Now().UnixNano()) / 1e9)
+}
+
 // ResourceProvisioner is an optional extension of FabricHandler: agents
 // whose hardware can provision resources (memory chunks, volumes, GPU
 // partitions) implement it so POSTs to their collections carve real
@@ -37,7 +84,7 @@ type ResourceProvisioner interface {
 
 // CreateZone creates a zone in the given zone collection, forwarding to
 // the owning agent when one is registered.
-func (s *Service) CreateZone(coll odata.ID, zone redfish.Zone) (redfish.Zone, error) {
+func (s *Service) CreateZone(ctx context.Context, coll odata.ID, zone redfish.Zone) (redfish.Zone, error) {
 	var agentErr error
 	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
 		name := zone.Name
@@ -50,7 +97,9 @@ func (s *Service) CreateZone(coll odata.ID, zone redfish.Zone) (redfish.Zone, er
 		}
 		zone.Status = odata.StatusOK()
 		if h, ok := s.handlerFor(uri); ok {
-			if err := h.CreateZone(&zone); err != nil {
+			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateZone", func() error {
+				return h.CreateZone(&zone)
+			}); err != nil {
 				agentErr = err
 				return nil, err
 			}
@@ -66,11 +115,13 @@ func (s *Service) CreateZone(coll odata.ID, zone redfish.Zone) (redfish.Zone, er
 // DeleteZone removes a zone, forwarding to the owning agent. Deletion is
 // serialized with id allocation so a freed URI cannot be reused until the
 // old resource is fully gone.
-func (s *Service) DeleteZone(id odata.ID) error {
+func (s *Service) DeleteZone(ctx context.Context, id odata.ID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	if h, ok := s.handlerFor(id); ok {
-		if err := h.DeleteZone(id); err != nil {
+		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteZone", func() error {
+			return h.DeleteZone(id)
+		}); err != nil {
 			return &AgentError{Err: err}
 		}
 	}
@@ -80,7 +131,7 @@ func (s *Service) DeleteZone(id odata.ID) error {
 // CreateConnection creates a connection in the given collection,
 // forwarding to the owning agent so the hardware attachment is made
 // before the resource becomes visible.
-func (s *Service) CreateConnection(coll odata.ID, conn redfish.Connection) (redfish.Connection, error) {
+func (s *Service) CreateConnection(ctx context.Context, coll odata.ID, conn redfish.Connection) (redfish.Connection, error) {
 	var agentErr error
 	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
 		name := conn.Name
@@ -90,7 +141,9 @@ func (s *Service) CreateConnection(coll odata.ID, conn redfish.Connection) (redf
 		conn.Resource = odata.NewResource(uri, redfish.TypeConnection, name)
 		conn.Status = odata.StatusOK()
 		if h, ok := s.handlerFor(uri); ok {
-			if err := h.CreateConnection(&conn); err != nil {
+			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateConnection", func() error {
+				return h.CreateConnection(&conn)
+			}); err != nil {
 				agentErr = err
 				return nil, err
 			}
@@ -106,11 +159,13 @@ func (s *Service) CreateConnection(coll odata.ID, conn redfish.Connection) (redf
 // DeleteConnection tears down a connection, forwarding to the owning
 // agent so the hardware detachment happens first. Serialized with id
 // allocation (see DeleteZone).
-func (s *Service) DeleteConnection(id odata.ID) error {
+func (s *Service) DeleteConnection(ctx context.Context, id odata.ID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	if h, ok := s.handlerFor(id); ok {
-		if err := h.DeleteConnection(id); err != nil {
+		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteConnection", func() error {
+			return h.DeleteConnection(id)
+		}); err != nil {
 			return &AgentError{Err: err}
 		}
 	}
@@ -120,9 +175,12 @@ func (s *Service) DeleteConnection(id odata.ID) error {
 // PatchResource applies a patch, forwarding to the owning agent for
 // agent-owned resources. For store-resident resources the patch is applied
 // directly with optional If-Match semantics.
-func (s *Service) PatchResource(id odata.ID, patch map[string]any, ifMatch string) error {
+func (s *Service) PatchResource(ctx context.Context, id odata.ID, patch map[string]any, ifMatch string) error {
+	s.recordHeartbeat(id, patch)
 	if h, ok := s.handlerFor(id); ok {
-		if err := h.Patch(id, patch); err != nil {
+		if err := s.observeAgentOp(ctx, h.FabricID(), "Patch", func() error {
+			return h.Patch(id, patch)
+		}); err != nil {
 			return &AgentError{Err: err}
 		}
 		return nil
@@ -134,7 +192,7 @@ func (s *Service) PatchResource(id odata.ID, patch map[string]any, ifMatch strin
 // forwarding to the agent's provisioner; the agent carves real capacity
 // and returns the resource to store. It fails when the owning agent does
 // not support provisioning.
-func (s *Service) ProvisionResource(coll odata.ID, payload json.RawMessage) (odata.ID, error) {
+func (s *Service) ProvisionResource(ctx context.Context, coll odata.ID, payload json.RawMessage) (odata.ID, error) {
 	h, ok := s.handlerFor(coll)
 	if !ok {
 		return "", fmt.Errorf("service: no agent owns %s", coll)
@@ -145,7 +203,12 @@ func (s *Service) ProvisionResource(coll odata.ID, payload json.RawMessage) (oda
 	}
 	var agentErr error
 	uri, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
-		res, err := prov.CreateResource(coll, uri, payload)
+		var res any
+		err := s.observeAgentOp(ctx, h.FabricID(), "CreateResource", func() error {
+			var err error
+			res, err = prov.CreateResource(coll, uri, payload)
+			return err
+		})
 		if err != nil {
 			agentErr = err
 			return nil, err
@@ -161,7 +224,7 @@ func (s *Service) ProvisionResource(coll odata.ID, payload json.RawMessage) (oda
 // DeprovisionResource deletes an agent-provisioned resource, releasing
 // the hardware capacity first. Serialized with id allocation so the
 // trailing store delete can never clobber a reused URI's new resource.
-func (s *Service) DeprovisionResource(id odata.ID) error {
+func (s *Service) DeprovisionResource(ctx context.Context, id odata.ID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	h, ok := s.handlerFor(id)
@@ -172,7 +235,9 @@ func (s *Service) DeprovisionResource(id odata.ID) error {
 	if !ok {
 		return fmt.Errorf("service: agent for %s cannot provision resources", id)
 	}
-	if err := prov.DeleteResource(id); err != nil {
+	if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteResource", func() error {
+		return prov.DeleteResource(id)
+	}); err != nil {
 		return &AgentError{Err: err}
 	}
 	// The agent's republish may already have dropped the resource.

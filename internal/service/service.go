@@ -14,11 +14,14 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"ofmf/internal/events"
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/sessions"
@@ -57,10 +60,10 @@ const (
 // implements it; the service stays policy-free.
 type SystemComposer interface {
 	// ComposeSystem realizes the request payload and returns the composed
-	// system's URI.
-	ComposeSystem(payload []byte) (odata.ID, error)
+	// system's URI. ctx carries the request id for trace correlation.
+	ComposeSystem(ctx context.Context, payload []byte) (odata.ID, error)
 	// DecomposeSystem releases the composed system at the URI.
-	DecomposeSystem(systemURI odata.ID) error
+	DecomposeSystem(ctx context.Context, systemURI odata.ID) error
 }
 
 // FabricHandler is implemented by Agents. The service forwards mutations of
@@ -108,6 +111,13 @@ type Config struct {
 	// ChangeEvents publishes ResourceAdded/Updated/Removed on every store
 	// mutation (default on).
 	ChangeEvents *bool
+	// Logger receives the service's structured log output (default: drop
+	// everything). Request-scoped lines carry the request_id attribute.
+	Logger *slog.Logger
+	// Metrics is the instrument bundle the service records into; when nil
+	// a private registry is created. Expose it at /metrics via
+	// Metrics.Registry().Handler().
+	Metrics *obsv.Metrics
 }
 
 // Service is the OFMF instance.
@@ -118,6 +128,8 @@ type Service struct {
 	bus      *events.Bus
 	tasks    *tasks.Service
 	sessions *sessions.Service
+	log      *slog.Logger
+	metrics  *obsv.Metrics
 
 	mu       sync.RWMutex
 	handlers map[odata.ID]FabricHandler
@@ -154,11 +166,20 @@ func New(cfg Config) *Service {
 	if cfg.SessionTimeout <= 0 {
 		cfg.SessionTimeout = 30 * time.Minute
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obsv.NopLogger()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewMetrics(obsv.NewRegistry())
+	}
 	s := &Service{
 		cfg:      cfg,
 		store:    store.New(),
+		log:      cfg.Logger,
+		metrics:  cfg.Metrics,
 		handlers: make(map[odata.ID]FabricHandler),
 	}
+	s.store.SetOpHook(func(op string) { s.metrics.StoreOps.With(op).Inc() })
 	// Degrade a subscription's advertised health as deliveries fail, so
 	// monitoring clients can see dead destinations in the tree.
 	evCfg := cfg.Events
@@ -174,6 +195,24 @@ func New(cfg Config) *Service {
 		}
 	}
 	s.bus = events.NewBus(evCfg)
+	// Event-bus statistics surface as function metrics read at scrape
+	// time, so the bus keeps sole ownership of its counters.
+	reg := s.metrics.Registry()
+	reg.CounterFunc("ofmf_events_published_total",
+		"Events published on the bus.",
+		func() float64 { return float64(s.bus.Stats().Published) })
+	reg.CounterFunc("ofmf_events_delivered_total",
+		"Successful event deliveries across subscriptions.",
+		func() float64 { return float64(s.bus.Stats().Delivered) })
+	reg.CounterFunc("ofmf_events_failed_total",
+		"Event deliveries abandoned after exhausting retries.",
+		func() float64 { return float64(s.bus.Stats().Failed) })
+	reg.CounterFunc("ofmf_events_dropped_total",
+		"Events dropped on full subscription queues.",
+		func() float64 { return float64(s.bus.Stats().Dropped) })
+	reg.GaugeFunc("ofmf_event_subscribers",
+		"Registered event subscriptions.",
+		func() float64 { return float64(len(s.bus.Subscriptions())) })
 	s.tasks = tasks.NewService(TasksURI,
 		tasks.WithMirror(func(id odata.ID, task redfish.Task) { _ = s.store.Put(id, task) }),
 		tasks.WithNotifier(func(rec redfish.EventRecord) { s.bus.Publish(rec) }),
@@ -202,6 +241,13 @@ func (s *Service) Tasks() *tasks.Service { return s.tasks }
 
 // Sessions exposes the session service.
 func (s *Service) Sessions() *sessions.Service { return s.sessions }
+
+// Logger exposes the service's structured logger so in-process
+// components (composer, agents) log into the same correlated stream.
+func (s *Service) Logger() *slog.Logger { return s.log }
+
+// Metrics exposes the service's instrument bundle.
+func (s *Service) Metrics() *obsv.Metrics { return s.metrics }
 
 // Close releases the service's background resources.
 func (s *Service) Close() { s.bus.Close() }

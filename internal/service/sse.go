@@ -17,12 +17,12 @@ const SSEURI = EventServiceURI + "/SSE"
 
 func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.error(w, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		s.error(w, http.StatusNotImplemented, "Base.1.0.NotImplemented", "streaming unsupported by transport")
+		s.error(w, r, http.StatusNotImplemented, "Base.1.0.NotImplemented", "streaming unsupported by transport")
 		return
 	}
 
@@ -37,13 +37,16 @@ func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ch <- ev:
 		default: // slow consumer: drop rather than stall the bus worker
+			s.metrics.SSEDropped.Inc()
 		}
 		return nil
 	}), filter, "sse")
 	if err != nil {
-		s.error(w, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
+		s.error(w, r, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
 		return
 	}
+	s.metrics.SSESubscribers.Inc()
+	defer s.metrics.SSESubscribers.Dec()
 	defer func() { _ = s.bus.Unsubscribe(sub.ID) }()
 
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ofmf/internal/odata"
 )
@@ -83,6 +84,24 @@ type Store struct {
 
 	watchMu  sync.RWMutex
 	watchers []Watcher
+
+	// opHook holds an OpHook observing operation counts (atomic.Value so
+	// hot read paths never contend on a lock for it).
+	opHook atomic.Value
+}
+
+// OpHook observes one store operation by kind: "get", "put", "create",
+// "patch", "delete" or "collection". Hooks must be fast and must not
+// call back into the store.
+type OpHook func(op string)
+
+// SetOpHook installs the operation observer, replacing any previous one.
+func (s *Store) SetOpHook(h OpHook) { s.opHook.Store(h) }
+
+func (s *Store) countOp(op string) {
+	if h, ok := s.opHook.Load().(OpHook); ok && h != nil {
+		h(op)
+	}
 }
 
 // New creates an empty store.
@@ -139,6 +158,7 @@ func newEntry(v any) (*entry, error) {
 // v, which must marshal to a JSON object. Rewriting identical content does
 // not notify watchers.
 func (s *Store) Put(id odata.ID, v any) error {
+	s.countOp("put")
 	e, err := newEntry(v)
 	if err != nil {
 		return err
@@ -163,6 +183,7 @@ func (s *Store) Put(id odata.ID, v any) error {
 
 // Create stores v at id and fails with ErrExists if the id is taken.
 func (s *Store) Create(id odata.ID, v any) error {
+	s.countOp("create")
 	e, err := newEntry(v)
 	if err != nil {
 		return err
@@ -203,6 +224,7 @@ func (s *Store) unlink(id odata.ID) {
 // Get returns a copy of the raw JSON and the entity tag of the resource at
 // id. The returned slice is never aliased to store internals.
 func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
+	s.countOp("get")
 	s.mu.RLock()
 	e, ok := s.entries[id]
 	s.mu.RUnlock()
@@ -262,6 +284,7 @@ func (s *Store) Exists(id odata.ID) bool {
 // delete the member, per Redfish PATCH semantics. If ifMatch is non-empty
 // it must equal the current entity tag.
 func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
+	s.countOp("patch")
 	s.mu.Lock()
 	e, ok := s.entries[id]
 	if !ok {
@@ -313,6 +336,7 @@ func merge(dst, patch map[string]any) {
 
 // Delete removes the resource at id.
 func (s *Store) Delete(id odata.ID) error {
+	s.countOp("delete")
 	s.mu.Lock()
 	if _, ok := s.entries[id]; !ok {
 		s.mu.Unlock()
@@ -346,6 +370,7 @@ func (s *Store) IsCollection(id odata.ID) bool {
 // Collection synthesizes the collection payload at id from its current
 // members.
 func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
+	s.countOp("collection")
 	s.mu.RLock()
 	meta, ok := s.collections[id]
 	if !ok {
