@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover reproduce examples clean
+.PHONY: all build vet test race bench bench-full cover reproduce examples clean
 
 all: build vet test
 
@@ -18,7 +18,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Smoke-run the store/serving hot-path benches (one iteration each): a
+# fast CI gate that the benchmarked paths still build and execute.
+# Compare numbers against BENCH_store.json with a real -benchtime.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkOFMFScale|BenchmarkStorePutSubtree|BenchmarkAblationStoreRead' -benchtime=1x -benchmem .
+
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

@@ -6,9 +6,13 @@
 //	expbench                 # everything
 //	expbench -exp fig3       # one experiment
 //	expbench -exp fig3 -reps 10 -seed 99
+//	expbench -parallel 1     # force sequential replications
 //
 // Experiments: table1, table2, table3, fig1, fig3, fig4, startup,
 // ofmfscale, all.
+//
+// Replications fan out across all cores by default; results are
+// bit-identical for a fixed seed regardless of -parallel.
 package main
 
 import (
@@ -30,8 +34,10 @@ func main() {
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		nodes    = flag.String("nodes", "", "override fig3/fig4 node counts, comma-separated (e.g. 1,4,16,64,256)")
 		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn, error")
+		parallel = flag.Int("parallel", 0, "max replication workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
+	exp.SetMaxWorkers(*parallel)
 
 	level, err := obsv.ParseLevel(*logLevel)
 	if err != nil {

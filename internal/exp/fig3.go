@@ -91,32 +91,64 @@ func (p Fig3Point) Slowdown() float64 { return RelDiff(p.Runtime.Mean, p.Baselin
 
 // RunFig3 reproduces Figure 3: HPL execution times with and without IOR
 // processes co-located within the partition, across the five classes.
+// Replications run in parallel across cores (see SetMaxWorkers); results
+// are bit-identical to a sequential run because every replication's RNG
+// stream is split off the root generator up front, in the sequential
+// loop's order, before any work is fanned out.
 func RunFig3(cfg Fig3Config) []Fig3Point {
 	if len(cfg.NodeCounts) == 0 {
 		cfg = DefaultFig3()
 	}
 	root := des.NewRNG(cfg.Seed)
-	var points []Fig3Point
-	baselines := make(map[int]float64)
 
+	type rep struct {
+		class Class
+		n     int
+		rng   *des.RNG
+		out   *float64
+	}
+	type cell struct {
+		class   Class
+		n       int
+		samples []float64
+	}
+	var work []rep
+	var cells []cell
 	for _, class := range Classes() {
 		for _, n := range cfg.NodeCounts {
 			reps := cfg.Reps
 			if class == MatchingLustre && cfg.LustreReps > 0 {
 				reps = cfg.LustreReps
 			}
-			samples := make([]float64, 0, reps)
-			for rep := 0; rep < reps; rep++ {
-				rng := root.Split(uint64(class)<<32 ^ uint64(n)<<8 ^ uint64(rep))
-				samples = append(samples, runOnce(cfg, class, n, rng))
+			c := cell{class: class, n: n, samples: make([]float64, reps)}
+			for r := 0; r < reps; r++ {
+				// Split mutates root, so this must stay on the single
+				// planning goroutine, in loop order.
+				work = append(work, rep{
+					class: class,
+					n:     n,
+					rng:   root.Split(uint64(class)<<32 ^ uint64(n)<<8 ^ uint64(r)),
+					out:   &c.samples[r],
+				})
 			}
-			pt := Fig3Point{Class: class, Nodes: n, Runtime: Summarize(samples), Samples: samples}
-			if class == HPLOnly {
-				baselines[n] = pt.Runtime.Mean
-			}
-			pt.BaselineMean = baselines[n]
-			points = append(points, pt)
+			cells = append(cells, c)
 		}
+	}
+
+	parallelFor(len(work), func(i int) {
+		w := work[i]
+		*w.out = runOnce(cfg, w.class, w.n, w.rng)
+	})
+
+	var points []Fig3Point
+	baselines := make(map[int]float64)
+	for _, c := range cells {
+		pt := Fig3Point{Class: c.class, Nodes: c.n, Runtime: Summarize(c.samples), Samples: c.samples}
+		if c.class == HPLOnly {
+			baselines[c.n] = pt.Runtime.Mean
+		}
+		pt.BaselineMean = baselines[c.n]
+		points = append(points, pt)
 	}
 	return points
 }

@@ -34,79 +34,35 @@ func RunFig3Slurm(cfg Fig3Config, class Class, n int) (SlurmFig3Point, error) {
 		cfg = DefaultFig3()
 	}
 	root := des.NewRNG(cfg.Seed)
-	ior := workload.DefaultIOR()
 
-	var runtimes, prologs, epilogs []float64
+	// Split every replication's stream off the root generator before the
+	// fan-out; Split mutates root, so the order here fixes the result for
+	// any worker count.
+	rngs := make([]*des.RNG, cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
-		rng := root.Split(uint64(class)<<40 ^ uint64(n)<<16 ^ uint64(rep))
+		rngs[rep] = root.Split(uint64(class)<<40 ^ uint64(n)<<16 ^ uint64(rep))
+	}
 
-		iorNodes := 0
-		dedicatedMeta := 0
-		useBeeond := true
-		switch class {
-		case HPLOnly:
-		case MatchingLustre:
-			iorNodes = n
-			useBeeond = false
-		case SingleBeeOND:
-			iorNodes = 1
-		case MatchingBeeOND:
-			iorNodes = n
-		case MatchingBeeONDNoMeta:
-			iorNodes = n
-			dedicatedMeta = 1
+	runtimes := make([]float64, cfg.Reps)
+	prologs := make([]float64, cfg.Reps)
+	epilogs := make([]float64, cfg.Reps)
+	errs := make([]error, cfg.Reps)
+	parallelFor(cfg.Reps, func(rep int) {
+		rec, err := runSlurmRep(cfg, class, n, rngs[rep])
+		if err != nil {
+			errs[rep] = err
+			return
 		}
-		total := dedicatedMeta + n + iorNodes
-
-		sim := &des.Sim{}
-		cl := cluster.NewDefault(total)
-		m := slurm.NewManager(sim, cl, rng.Split(1))
-
-		var fs *beeond.FS
-		if useBeeond {
-			m.Prolog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
-				if !ctx.HasConstraint("beeond") {
-					return 0, nil
-				}
-				if fs == nil {
-					fs = beeond.New(beeond.DefaultConfig(), ctx.Nodes)
-				}
-				return fs.StartNode(node, hr)
-			}
-			m.Epilog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
-				if !ctx.HasConstraint("beeond") {
-					return 0, nil
-				}
-				return fs.StopNode(node, hr)
-			}
-		}
-
-		var constraints []string
-		if useBeeond {
-			constraints = []string{"beeond"}
-		}
-		runModel := func(ctx slurm.JobContext, jr *des.RNG) float64 {
-			loads := slurmNodeLoads(cfg, class, n, dedicatedMeta, iorNodes, ior, ctx, fs)
-			model := workload.HPLModel{Nodes: n}
-			return model.Run(jr, func(node, phase int, r *des.RNG) float64 {
-				return interfere.Sample(cfg.Interference, loads[node], r)
-			})
-		}
-		id, err := m.Submit(slurm.JobSpec{Nodes: total, Constraints: constraints, Run: runModel})
+		runtimes[rep] = rec.RunSeconds()
+		prologs[rep] = rec.PrologSeconds
+		epilogs[rep] = rec.EpilogSeconds
+	})
+	// Report the first failure in replication order, matching what the
+	// sequential loop would have surfaced.
+	for _, err := range errs {
 		if err != nil {
 			return SlurmFig3Point{}, err
 		}
-		sim.Run()
-		rec, err := m.Record(id)
-		if err != nil {
-			return SlurmFig3Point{}, err
-		}
-		if rec.State != slurm.StateCompleted {
-			return SlurmFig3Point{}, fmt.Errorf("exp: job %d %s: %s", id, rec.State, rec.FailureReason)
-		}
-		runtimes = append(runtimes, rec.RunSeconds())
-		prologs = append(prologs, rec.PrologSeconds)
-		epilogs = append(epilogs, rec.EpilogSeconds)
 	}
 	return SlurmFig3Point{
 		Class:   class,
@@ -115,6 +71,80 @@ func RunFig3Slurm(cfg Fig3Config, class Class, n int) (SlurmFig3Point, error) {
 		Prolog:  Summarize(prologs),
 		Epilog:  Summarize(epilogs),
 	}, nil
+}
+
+// runSlurmRep executes one replication: it builds a private simulator,
+// cluster and workload manager, submits the job and returns its record.
+// Everything it touches is replication-local, so replications are safe to
+// run concurrently.
+func runSlurmRep(cfg Fig3Config, class Class, n int, rng *des.RNG) (slurm.JobRecord, error) {
+	ior := workload.DefaultIOR()
+
+	iorNodes := 0
+	dedicatedMeta := 0
+	useBeeond := true
+	switch class {
+	case HPLOnly:
+	case MatchingLustre:
+		iorNodes = n
+		useBeeond = false
+	case SingleBeeOND:
+		iorNodes = 1
+	case MatchingBeeOND:
+		iorNodes = n
+	case MatchingBeeONDNoMeta:
+		iorNodes = n
+		dedicatedMeta = 1
+	}
+	total := dedicatedMeta + n + iorNodes
+
+	sim := &des.Sim{}
+	cl := cluster.NewDefault(total)
+	m := slurm.NewManager(sim, cl, rng.Split(1))
+
+	var fs *beeond.FS
+	if useBeeond {
+		m.Prolog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
+			if !ctx.HasConstraint("beeond") {
+				return 0, nil
+			}
+			if fs == nil {
+				fs = beeond.New(beeond.DefaultConfig(), ctx.Nodes)
+			}
+			return fs.StartNode(node, hr)
+		}
+		m.Epilog = func(ctx slurm.JobContext, node string, hr *des.RNG) (float64, error) {
+			if !ctx.HasConstraint("beeond") {
+				return 0, nil
+			}
+			return fs.StopNode(node, hr)
+		}
+	}
+
+	var constraints []string
+	if useBeeond {
+		constraints = []string{"beeond"}
+	}
+	runModel := func(ctx slurm.JobContext, jr *des.RNG) float64 {
+		loads := slurmNodeLoads(cfg, class, n, dedicatedMeta, iorNodes, ior, ctx, fs)
+		model := workload.HPLModel{Nodes: n}
+		return model.Run(jr, func(node, phase int, r *des.RNG) float64 {
+			return interfere.Sample(cfg.Interference, loads[node], r)
+		})
+	}
+	id, err := m.Submit(slurm.JobSpec{Nodes: total, Constraints: constraints, Run: runModel})
+	if err != nil {
+		return slurm.JobRecord{}, err
+	}
+	sim.Run()
+	rec, err := m.Record(id)
+	if err != nil {
+		return slurm.JobRecord{}, err
+	}
+	if rec.State != slurm.StateCompleted {
+		return slurm.JobRecord{}, fmt.Errorf("exp: job %d %s: %s", id, rec.State, rec.FailureReason)
+	}
+	return rec, nil
 }
 
 // slurmNodeLoads derives per-HPL-node loads from the live allocation: the

@@ -38,33 +38,70 @@ type LifecyclePoint struct {
 }
 
 // RunLifecycle measures assembly and teardown wall time across scales.
+// Replications run in parallel (see SetMaxWorkers) with bit-identical
+// results: RNG streams are split off the root sequentially, in the same
+// order the sequential loop used, before any work is fanned out.
 func RunLifecycle(cfg LifecycleConfig) ([]LifecyclePoint, error) {
 	if len(cfg.NodeCounts) == 0 {
 		cfg = DefaultLifecycle()
 	}
 	root := des.NewRNG(cfg.Seed)
-	var out []LifecyclePoint
-	for _, n := range cfg.NodeCounts {
+
+	type item struct {
+		nIdx     int
+		nodes    []string
+		rng      *des.RNG
+		up, down *float64
+	}
+	ups := make([][]float64, len(cfg.NodeCounts))
+	downs := make([][]float64, len(cfg.NodeCounts))
+	var work []item
+	for ni, n := range cfg.NodeCounts {
 		nodes := make([]string, n)
 		for i := range nodes {
 			nodes[i] = cluster.NodeName(i)
 		}
-		var up, down []float64
+		ups[ni] = make([]float64, cfg.Reps)
+		downs[ni] = make([]float64, cfg.Reps)
 		for rep := 0; rep < cfg.Reps; rep++ {
-			rng := root.Split(uint64(n)<<16 ^ uint64(rep))
-			fs := beeond.New(cfg.FS, nodes)
-			a, err := fs.Assemble(rng)
-			if err != nil {
-				return nil, fmt.Errorf("exp: assemble %d nodes: %w", n, err)
-			}
-			d, err := fs.Disassemble(rng)
-			if err != nil {
-				return nil, fmt.Errorf("exp: disassemble %d nodes: %w", n, err)
-			}
-			up = append(up, a)
-			down = append(down, d)
+			work = append(work, item{
+				nIdx:  ni,
+				nodes: nodes,
+				rng:   root.Split(uint64(n)<<16 ^ uint64(rep)),
+				up:    &ups[ni][rep],
+				down:  &downs[ni][rep],
+			})
 		}
-		out = append(out, LifecyclePoint{Nodes: n, Assemble: Summarize(up), Teardown: Summarize(down)})
+	}
+
+	errs := make([]error, len(work))
+	parallelFor(len(work), func(i int) {
+		w := work[i]
+		// beeond.New copies the shared node list, so concurrent
+		// replications at the same scale never alias filesystem state.
+		fs := beeond.New(cfg.FS, w.nodes)
+		a, err := fs.Assemble(w.rng)
+		if err != nil {
+			errs[i] = fmt.Errorf("exp: assemble %d nodes: %w", cfg.NodeCounts[w.nIdx], err)
+			return
+		}
+		d, err := fs.Disassemble(w.rng)
+		if err != nil {
+			errs[i] = fmt.Errorf("exp: disassemble %d nodes: %w", cfg.NodeCounts[w.nIdx], err)
+			return
+		}
+		*w.up = a
+		*w.down = d
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]LifecyclePoint, 0, len(cfg.NodeCounts))
+	for ni, n := range cfg.NodeCounts {
+		out = append(out, LifecyclePoint{Nodes: n, Assemble: Summarize(ups[ni]), Teardown: Summarize(downs[ni])})
 	}
 	return out, nil
 }

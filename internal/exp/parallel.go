@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the goroutines used to fan experiment replications
+// out across cores. 0 means "use GOMAXPROCS".
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers bounds the parallelism of experiment runs. n <= 0
+// restores the default (one worker per GOMAXPROCS core); n == 1 forces
+// fully sequential execution. Results are bit-identical for any setting:
+// every replication draws from an RNG stream split off the root generator
+// before the fan-out, in the same fixed order the sequential loops used.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int32(n))
+}
+
+// workers resolves the current worker count for n items.
+func workers(n int) int {
+	w := int(maxWorkers.Load())
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the configured worker
+// count. Work is handed out through an atomic counter so uneven item
+// costs (e.g. 128-node reps next to 1-node reps) still balance. With one
+// worker it degenerates to a plain loop on the calling goroutine. fn must
+// write its result to a pre-assigned slot; parallelFor imposes no output
+// ordering of its own.
+func parallelFor(n int, fn func(i int)) {
+	w := workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

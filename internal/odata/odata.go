@@ -134,8 +134,16 @@ func Etag(v any) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("odata: etag marshal: %w", err)
 	}
-	sum := sha256.Sum256(b)
-	return `"` + hex.EncodeToString(sum[:8]) + `"`, nil
+	return EtagRaw(b), nil
+}
+
+// EtagRaw computes the entity tag of already-canonical JSON bytes without
+// the marshal round-trip Etag performs. For bytes produced by
+// json.Marshal the result is identical to Etag's; it is the hot-path
+// variant the resource store uses.
+func EtagRaw(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
 }
 
 // Status is the Redfish Status object reported by most resources.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 
 	"ofmf/internal/events"
 	"ofmf/internal/obsv"
@@ -19,6 +21,25 @@ import (
 
 // maxBodyBytes bounds request payload size.
 const maxBodyBytes = 4 << 20
+
+// bufPool recycles response-encoding buffers so the GET hot path does no
+// per-request heap allocation; buffers that grew past maxPooledBuf are
+// dropped instead of pinned.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
 
 // Handler returns the service's HTTP handler. Every request passes
 // through the observability middleware: it is assigned (or keeps) an
@@ -148,6 +169,13 @@ func (s *Service) authorize(w http.ResponseWriter, r *http.Request, id odata.ID)
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID) {
 	if s.store.IsCollection(id) {
+		// The overwhelmingly common collection GET carries no query
+		// options: serve the store's memoized payload bytes directly —
+		// no member re-sort, no encoding, no copy.
+		if r.URL.RawQuery == "" {
+			s.serveCollection(w, r, id)
+			return
+		}
 		coll, err := s.store.Collection(id)
 		if err != nil {
 			s.storeError(w, r, err)
@@ -183,12 +211,57 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID)
 		s.json(w, http.StatusOK, coll)
 		return
 	}
-	raw, etag, err := s.store.Get(id)
+	s.serveResource(w, r, id)
+}
+
+// serveCollection writes the collection's memoized payload straight to
+// the wire. If-None-Match is answered from the cached entity tag alone,
+// without touching the payload.
+func (s *Service) serveCollection(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	match := r.Header.Get("If-None-Match")
+	err := s.store.CollectionView(id, func(payload []byte, etag string) {
+		if match != "" && match == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if r.Method != http.MethodHead {
+			_, _ = w.Write(payload)
+		}
+	})
+	if err != nil {
+		s.storeError(w, r, err)
+	}
+}
+
+// serveResource streams a resource through the store's zero-copy view: a
+// single locked lookup checks If-None-Match against the entity tag before
+// any bytes are materialized, and a hit copies the payload once into a
+// pooled buffer (never to a fresh heap slice). The buffer, not the store's
+// internal slice, is what reaches the (possibly slow) client.
+func (s *Service) serveResource(w http.ResponseWriter, r *http.Request, id odata.ID) {
+	match := r.Header.Get("If-None-Match")
+	buf := getBuf()
+	defer putBuf(buf)
+	etag := ""
+	notModified := false
+	err := s.store.View(id, func(raw json.RawMessage, tag string) {
+		etag = tag
+		if match != "" && match == tag {
+			notModified = true
+			return
+		}
+		if r.Method != http.MethodHead {
+			buf.Write(raw)
+		}
+	})
 	if err != nil {
 		s.storeError(w, r, err)
 		return
 	}
-	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+	if notModified {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -196,7 +269,7 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, id odata.ID)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if r.Method != http.MethodHead {
-		_, _ = w.Write(raw)
+		_, _ = w.Write(buf.Bytes())
 	}
 }
 
@@ -226,6 +299,8 @@ func parsePaging(v string) int {
 }
 
 // expandedCollection renders a collection with member resources inlined.
+// Member payloads are gathered through the store's zero-copy view into a
+// single pooled arena buffer instead of N per-member heap copies.
 func (s *Service) expandedCollection(w http.ResponseWriter, coll odata.Collection) {
 	type expanded struct {
 		ODataID   odata.ID          `json:"@odata.id"`
@@ -241,12 +316,24 @@ func (s *Service) expandedCollection(w http.ResponseWriter, coll odata.Collectio
 		Count:     coll.Count,
 		Members:   make([]json.RawMessage, 0, len(coll.Members)),
 	}
+	arena := getBuf()
+	defer putBuf(arena)
+	var offsets []int
 	for _, ref := range coll.Members {
-		raw, _, err := s.store.Get(ref.ODataID)
+		start := arena.Len()
+		err := s.store.View(ref.ODataID, func(raw json.RawMessage, _ string) {
+			arena.Write(raw)
+		})
 		if err != nil {
 			continue // member raced a delete; omit it
 		}
-		out.Members = append(out.Members, raw)
+		offsets = append(offsets, start, arena.Len())
+	}
+	// Slice the arena only after all writes: growth may have reallocated
+	// the backing array, so offsets are resolved against the final bytes.
+	all := arena.Bytes()
+	for i := 0; i < len(offsets); i += 2 {
+		out.Members = append(out.Members, json.RawMessage(all[offsets[i]:offsets[i+1]]))
 	}
 	out.Count = len(out.Members)
 	s.json(w, http.StatusOK, out)
@@ -649,11 +736,16 @@ func (s *Service) isComposedSystem(id odata.ID) bool {
 	return sys.SystemType == redfish.SystemTypeComposed
 }
 
+// json encodes v into a pooled buffer and writes it in one shot, so slow
+// clients never stall inside the encoder and the hot path avoids
+// per-response encoder allocations.
 func (s *Service) json(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // error emits the Redfish extended-error envelope. Every error body

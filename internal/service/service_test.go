@@ -146,6 +146,51 @@ func TestEtagConditionalGet(t *testing.T) {
 	}
 }
 
+func TestCollectionConditionalGet(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	put := func(name string) {
+		id := SystemsURI.Append(name)
+		if err := svc.Store().Put(id, redfish.ComputerSystem{
+			Resource:   odata.NewResource(id, redfish.TypeComputerSystem, name),
+			SystemType: redfish.SystemTypePhysical,
+			Status:     odata.StatusOK(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("S1")
+
+	resp, _ := doJSON(t, http.MethodGet, srv.URL+string(SystemsURI), nil, nil)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no collection etag")
+	}
+	resp, body := doJSON(t, http.MethodGet, srv.URL+string(SystemsURI), nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("status = %d, want 304", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("304 carried a body: %q", body)
+	}
+
+	// Membership change must rotate the collection ETag.
+	put("S2")
+	resp, body = doJSON(t, http.MethodGet, srv.URL+string(SystemsURI), nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after member add = %d, want 200", resp.StatusCode)
+	}
+	if newTag := resp.Header.Get("ETag"); newTag == "" || newTag == etag {
+		t.Errorf("etag did not rotate: %q", newTag)
+	}
+	var coll odata.Collection
+	if err := json.Unmarshal(body, &coll); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Count != 2 || len(coll.Members) != 2 {
+		t.Errorf("count = %d, members = %d", coll.Count, len(coll.Members))
+	}
+}
+
 func TestSessionLoginFlow(t *testing.T) {
 	creds := sessions.StaticCredentials(map[string]string{"admin": "pw"})
 	_, srv := newTestServer(t, Config{Credentials: creds})

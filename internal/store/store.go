@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,12 +76,35 @@ type collectionMeta struct {
 	name      string
 }
 
+// collCache is the memoized rendering of one registered collection: its
+// sorted member list, the serialized payload bytes, and the payload's
+// entity tag. A cache value is immutable once published — invalidation
+// replaces the map entry, never mutates it — so readers may use a value
+// after the store's lock is released.
+type collCache struct {
+	members []odata.ID
+	payload []byte
+	etag    string
+}
+
 // Store is a concurrent Redfish resource tree.
+//
+// Besides the entry map, the store maintains a parent→children index
+// covering every ancestor path segment of every stored id. The index
+// makes subtree operations (PutSubtree, DeleteSubtree) proportional to
+// the size of the affected subtree rather than the whole store, and
+// backs collection membership synthesis.
 type Store struct {
 	mu          sync.RWMutex
 	entries     map[odata.ID]*entry
 	collections map[odata.ID]collectionMeta
 	children    map[odata.ID]map[odata.ID]struct{}
+	collCache   map[odata.ID]*collCache
+	// hiwater tracks, per parent, the largest numeric child name ever
+	// linked, making NextID O(1) amortized. It never decreases, so ids
+	// are not reused after deletion (which also prevents a deleted
+	// resource's URI from aliasing a new one).
+	hiwater map[odata.ID]int
 
 	watchMu  sync.RWMutex
 	watchers []Watcher
@@ -90,9 +114,11 @@ type Store struct {
 	opHook atomic.Value
 }
 
-// OpHook observes one store operation by kind: "get", "put", "create",
-// "patch", "delete" or "collection". Hooks must be fast and must not
-// call back into the store.
+// OpHook observes one store operation by kind: "get", "view", "etag",
+// "put", "put_subtree", "create", "patch", "delete", "delete_subtree",
+// "members", "collection" (cache miss, payload built) or
+// "collection_cached" (served from the memoized payload). Hooks must be
+// fast and must not call back into the store.
 type OpHook func(op string)
 
 // SetOpHook installs the operation observer, replacing any previous one.
@@ -110,6 +136,8 @@ func New() *Store {
 		entries:     make(map[odata.ID]*entry),
 		collections: make(map[odata.ID]collectionMeta),
 		children:    make(map[odata.ID]map[odata.ID]struct{}),
+		collCache:   make(map[odata.ID]*collCache),
+		hiwater:     make(map[odata.ID]int),
 	}
 }
 
@@ -147,32 +175,31 @@ func newEntry(v any) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	etag, err := odata.Etag(raw)
-	if err != nil {
-		return nil, err
-	}
-	return &entry{raw: raw, etag: etag}, nil
+	return &entry{raw: raw, etag: odata.EtagRaw(raw)}, nil
 }
 
 // Put creates or replaces the resource at id with the JSON serialization of
 // v, which must marshal to a JSON object. Rewriting identical content does
-// not notify watchers.
+// not notify watchers (and skips re-hashing: the existing entry is kept).
 func (s *Store) Put(id odata.ID, v any) error {
 	s.countOp("put")
-	e, err := newEntry(v)
+	raw, err := canonicalize(v)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	old, existed := s.entries[id]
-	unchanged := existed && bytes.Equal(old.raw, e.raw)
-	s.entries[id] = e
-	s.link(id)
-	s.mu.Unlock()
-
-	if unchanged {
+	if existed && bytes.Equal(old.raw, raw) {
+		s.mu.Unlock()
 		return nil
 	}
+	s.entries[id] = &entry{raw: raw, etag: odata.EtagRaw(raw)}
+	s.link(id)
+	if !existed {
+		s.invalidateCollectionLocked(id.Parent())
+	}
+	s.mu.Unlock()
+
 	kind := Added
 	if existed {
 		kind = Updated
@@ -195,30 +222,81 @@ func (s *Store) Create(id odata.ID, v any) error {
 	}
 	s.entries[id] = e
 	s.link(id)
+	s.invalidateCollectionLocked(id.Parent())
 	s.mu.Unlock()
 
 	s.notify(Change{Kind: Added, ID: id})
 	return nil
 }
 
+// link records id under every ancestor so the children index forms a
+// complete path tree: subtree walks reach every stored entry from any
+// prefix. It also advances the parent's numeric high-water mark.
 func (s *Store) link(id odata.ID) {
-	parent := id.Parent()
-	kids, ok := s.children[parent]
-	if !ok {
-		kids = make(map[odata.ID]struct{})
-		s.children[parent] = kids
+	for id != "/" && id != "" {
+		parent := id.Parent()
+		kids, ok := s.children[parent]
+		if !ok {
+			kids = make(map[odata.ID]struct{})
+			s.children[parent] = kids
+		}
+		if _, ok := kids[id]; ok {
+			// Already linked; ancestors must be linked too.
+			return
+		}
+		kids[id] = struct{}{}
+		if leaf := id.Leaf(); leaf != "" && leaf[0] >= '0' && leaf[0] <= '9' {
+			if n, err := strconv.Atoi(leaf); err == nil && n > s.hiwater[parent] {
+				s.hiwater[parent] = n
+			}
+		}
+		id = parent
 	}
-	kids[id] = struct{}{}
 }
 
+// unlink removes id from its parent's child set, then prunes newly empty
+// interior path nodes up the ancestor chain. A node survives while it is
+// itself a stored entry or still has descendants.
 func (s *Store) unlink(id odata.ID) {
-	parent := id.Parent()
-	if kids, ok := s.children[parent]; ok {
+	for id != "/" && id != "" {
+		if _, isEntry := s.entries[id]; isEntry {
+			return
+		}
+		if len(s.children[id]) > 0 {
+			return
+		}
+		parent := id.Parent()
+		kids, ok := s.children[parent]
+		if !ok {
+			return
+		}
 		delete(kids, id)
 		if len(kids) == 0 {
 			delete(s.children, parent)
 		}
+		id = parent
 	}
+}
+
+// invalidateCollectionLocked drops the memoized payload of the collection
+// at id (if any) after a membership change. Callers hold the write lock,
+// so a reader can never observe a cache inconsistent with the entry map.
+func (s *Store) invalidateCollectionLocked(id odata.ID) {
+	if len(s.collCache) != 0 {
+		delete(s.collCache, id)
+	}
+}
+
+// descendantsLocked appends to out every stored entry id equal to or under
+// prefix, walking only the prefix's subtree via the children index.
+func (s *Store) descendantsLocked(prefix odata.ID, out []odata.ID) []odata.ID {
+	if _, ok := s.entries[prefix]; ok {
+		out = append(out, prefix)
+	}
+	for kid := range s.children[prefix] {
+		out = s.descendantsLocked(kid, out)
+	}
+	return out
 }
 
 // Get returns a copy of the raw JSON and the entity tag of the resource at
@@ -241,6 +319,7 @@ func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
 // mutate the slice. It is the zero-copy alternative to Get for hot read
 // paths (see BenchmarkAblationStoreRead).
 func (s *Store) View(id odata.ID, fn func(raw json.RawMessage, etag string)) error {
+	s.countOp("view")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.entries[id]
@@ -262,6 +341,7 @@ func (s *Store) GetAs(id odata.ID, out any) error {
 
 // Etag returns the entity tag of the resource at id.
 func (s *Store) Etag(id odata.ID) (string, error) {
+	s.countOp("etag")
 	s.mu.RLock()
 	e, ok := s.entries[id]
 	s.mu.RUnlock()
@@ -344,6 +424,7 @@ func (s *Store) Delete(id odata.ID) error {
 	}
 	delete(s.entries, id)
 	s.unlink(id)
+	s.invalidateCollectionLocked(id.Parent())
 	s.mu.Unlock()
 
 	s.notify(Change{Kind: Removed, ID: id})
@@ -352,10 +433,12 @@ func (s *Store) Delete(id odata.ID) error {
 
 // RegisterCollection declares a collection at id with the given
 // @odata.type and display name. Collection payloads are synthesized from
-// the direct children present in the store.
+// the direct children present in the store and memoized until the
+// membership changes.
 func (s *Store) RegisterCollection(id odata.ID, odataType, name string) {
 	s.mu.Lock()
 	s.collections[id] = collectionMeta{odataType: odataType, name: name}
+	s.invalidateCollectionLocked(id)
 	s.mu.Unlock()
 }
 
@@ -367,19 +450,82 @@ func (s *Store) IsCollection(id odata.ID) bool {
 	return ok
 }
 
-// Collection synthesizes the collection payload at id from its current
-// members.
-func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
-	s.countOp("collection")
+// collectionFor returns the collection's metadata and memoized rendering,
+// building and publishing the cache on a miss. hit reports whether the
+// rendering was served from the cache. The returned collCache is
+// immutable; callers may use it after the lock is released.
+func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, bool, error) {
 	s.mu.RLock()
 	meta, ok := s.collections[id]
 	if !ok {
 		s.mu.RUnlock()
-		return odata.Collection{}, fmt.Errorf("%w: %s", ErrNotCollection, id)
+		return collectionMeta{}, nil, false, fmt.Errorf("%w: %s", ErrNotCollection, id)
+	}
+	c := s.collCache[id]
+	s.mu.RUnlock()
+	if c != nil {
+		return meta, c, true, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.collCache[id]; c != nil {
+		return meta, c, true, nil
 	}
 	members := s.membersLocked(id)
-	s.mu.RUnlock()
-	return odata.NewCollection(id, meta.odataType, meta.name, members), nil
+	payload, err := json.Marshal(odata.Collection{
+		ODataID:   id,
+		ODataType: meta.odataType,
+		Name:      meta.name,
+		Count:     len(members),
+		Members:   odata.RefSlice(members),
+	})
+	if err != nil {
+		return meta, nil, false, fmt.Errorf("store: collection %s: %w", id, err)
+	}
+	c = &collCache{members: members, payload: payload, etag: odata.EtagRaw(payload)}
+	s.collCache[id] = c
+	return meta, c, false, nil
+}
+
+func (s *Store) countCollection(hit bool) {
+	if hit {
+		s.countOp("collection_cached")
+	} else {
+		s.countOp("collection")
+	}
+}
+
+// Collection synthesizes the collection payload at id from its current
+// members, serving the memoized member list when it is still valid.
+func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
+	meta, c, hit, err := s.collectionFor(id)
+	if err != nil {
+		return odata.Collection{}, err
+	}
+	s.countCollection(hit)
+	return odata.Collection{
+		ODataID:   id,
+		ODataType: meta.odataType,
+		Name:      meta.name,
+		Count:     len(c.members),
+		Members:   odata.RefSlice(c.members),
+	}, nil
+}
+
+// CollectionView invokes fn with the memoized serialized payload and
+// entity tag of the collection at id, building them on first use. The
+// payload is immutable shared state: fn must not modify it, but may
+// retain it (an invalidation publishes a fresh slice rather than
+// mutating). This is the zero-copy fast path collection GETs are served
+// from.
+func (s *Store) CollectionView(id odata.ID, fn func(payload []byte, etag string)) error {
+	_, c, hit, err := s.collectionFor(id)
+	if err != nil {
+		return err
+	}
+	s.countCollection(hit)
+	fn(c.payload, c.etag)
+	return nil
 }
 
 func (s *Store) membersLocked(id odata.ID) []odata.ID {
@@ -396,27 +542,28 @@ func (s *Store) membersLocked(id odata.ID) []odata.ID {
 
 // Members returns the sorted direct members of the collection at id.
 func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, ok := s.collections[id]; !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotCollection, id)
+	s.countOp("members")
+	_, c, _, err := s.collectionFor(id)
+	if err != nil {
+		return nil, err
 	}
-	return s.membersLocked(id), nil
+	out := make([]odata.ID, len(c.members))
+	copy(out, c.members)
+	return out, nil
 }
 
-// NextID returns the smallest positive integer name not yet used as a
-// direct child of the collection, as a string. It is used to allocate ids
-// for POSTed resources.
+// NextID returns the next unused positive integer name for a direct child
+// of the collection, as a string. Allocation is monotonic: a per-
+// collection high-water mark makes it O(1) amortized, and names are not
+// reused after deletion, so a released URI can never alias a later
+// resource.
 func (s *Store) NextID(collection odata.ID) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	used := make(map[string]struct{})
-	for k := range s.children[collection] {
-		used[k.Leaf()] = struct{}{}
-	}
-	for i := 1; ; i++ {
-		name := fmt.Sprintf("%d", i)
-		if _, ok := used[name]; !ok {
+	kids := s.children[collection]
+	for i := s.hiwater[collection] + 1; ; i++ {
+		name := strconv.Itoa(i)
+		if _, ok := kids[collection.Append(name)]; !ok {
 			return name
 		}
 	}
@@ -449,16 +596,21 @@ func (s *Store) Len() int {
 // Zone and Connection resources it creates on the agent's behalf) and
 // survive refreshes untouched.
 func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
-	prepared := make(map[odata.ID]*entry, len(resources))
+	s.countOp("put_subtree")
+	// Serialize outside the lock; entity tags are computed lazily below,
+	// only for payloads that actually changed — an agent heartbeat that
+	// republishes an unchanged snapshot costs one marshal and one byte
+	// compare per resource, nothing more.
+	prepared := make(map[odata.ID]json.RawMessage, len(resources))
 	for id, v := range resources {
 		if !id.Under(prefix) {
 			return fmt.Errorf("store: %s outside subtree %s", id, prefix)
 		}
-		e, err := newEntry(v)
+		raw, err := canonicalize(v)
 		if err != nil {
 			return fmt.Errorf("store: subtree %s: %w", id, err)
 		}
-		prepared[id] = e
+		prepared[id] = raw
 	}
 
 	kept := func(id odata.ID) bool {
@@ -471,26 +623,31 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 	}
 	var changes []Change
 	s.mu.Lock()
-	for id := range s.entries {
-		if !id.Under(prefix) || kept(id) {
+	// Remove stale descendants, walking only the prefix's subtree via the
+	// children index — the rest of the store is never touched.
+	for _, id := range s.descendantsLocked(prefix, nil) {
+		if kept(id) {
 			continue
 		}
 		if _, present := prepared[id]; !present {
 			delete(s.entries, id)
 			s.unlink(id)
+			s.invalidateCollectionLocked(id.Parent())
 			changes = append(changes, Change{Kind: Removed, ID: id})
 		}
 	}
-	for id, e := range prepared {
+	for id, raw := range prepared {
 		old, existed := s.entries[id]
-		if existed && bytes.Equal(old.raw, e.raw) {
+		if existed && bytes.Equal(old.raw, raw) {
 			continue
 		}
-		s.entries[id] = e
+		s.entries[id] = &entry{raw: raw, etag: odata.EtagRaw(raw)}
 		s.link(id)
 		kind := Added
 		if existed {
 			kind = Updated
+		} else {
+			s.invalidateCollectionLocked(id.Parent())
 		}
 		changes = append(changes, Change{Kind: kind, ID: id})
 	}
@@ -502,16 +659,18 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 }
 
 // DeleteSubtree removes every resource under prefix (inclusive) and
-// returns how many were removed.
+// returns how many were removed. Like PutSubtree it walks only the
+// affected subtree via the children index.
 func (s *Store) DeleteSubtree(prefix odata.ID) int {
-	var changes []Change
+	s.countOp("delete_subtree")
 	s.mu.Lock()
-	for id := range s.entries {
-		if id.Under(prefix) {
-			delete(s.entries, id)
-			s.unlink(id)
-			changes = append(changes, Change{Kind: Removed, ID: id})
-		}
+	ids := s.descendantsLocked(prefix, nil)
+	changes := make([]Change, 0, len(ids))
+	for _, id := range ids {
+		delete(s.entries, id)
+		s.unlink(id)
+		s.invalidateCollectionLocked(id.Parent())
+		changes = append(changes, Change{Kind: Removed, ID: id})
 	}
 	s.mu.Unlock()
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })

@@ -264,11 +264,20 @@ func TestNextID(t *testing.T) {
 	if got := s.NextID(coll); got != "3" {
 		t.Errorf("NextID = %q", got)
 	}
+	// Allocation is monotonic: deleting a member does not recycle its id,
+	// so a released URI can never alias a later resource.
 	if err := s.Delete(coll.Append("1")); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.NextID(coll); got != "1" {
-		t.Errorf("NextID after delete = %q", got)
+	if got := s.NextID(coll); got != "3" {
+		t.Errorf("NextID after delete = %q, want monotonic \"3\"", got)
+	}
+	// An externally imported higher id advances the high-water mark.
+	if err := s.Put(coll.Append("7"), testRes{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NextID(coll); got != "8" {
+		t.Errorf("NextID after import = %q", got)
 	}
 }
 
@@ -517,6 +526,143 @@ func TestPropertyPatchIdempotent(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCollectionViewCachedPayload(t *testing.T) {
+	s := New()
+	coll := odata.ID("/redfish/v1/Systems")
+	s.RegisterCollection(coll, "#C.C", "Systems")
+	if err := s.Put(coll.Append("A"), testRes{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	s.SetOpHook(func(op string) { ops = append(ops, op) })
+
+	var p1, p2 []byte
+	var e1, e2 string
+	if err := s.CollectionView(coll, func(p []byte, e string) { p1, e1 = p, e }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CollectionView(coll, func(p []byte, e string) { p2, e2 = p, e }); err != nil {
+		t.Fatal(err)
+	}
+	if e1 == "" || e1 != e2 {
+		t.Errorf("etags %q, %q", e1, e2)
+	}
+	if &p1[0] != &p2[0] {
+		t.Error("second view did not serve the memoized payload")
+	}
+	if len(ops) != 2 || ops[0] != "collection" || ops[1] != "collection_cached" {
+		t.Errorf("ops = %v, want [collection collection_cached]", ops)
+	}
+	var decoded odata.Collection
+	if err := json.Unmarshal(p1, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Count != 1 || decoded.Members[0].ODataID != coll.Append("A") {
+		t.Errorf("payload = %+v", decoded)
+	}
+}
+
+func TestCollectionCacheInvalidation(t *testing.T) {
+	s := New()
+	coll := odata.ID("/redfish/v1/Systems")
+	s.RegisterCollection(coll, "#C.C", "Systems")
+	etagOf := func() string {
+		var e string
+		if err := s.CollectionView(coll, func(_ []byte, etag string) { e = etag }); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e0 := etagOf()
+	if err := s.Put(coll.Append("A"), testRes{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := etagOf()
+	if e1 == e0 {
+		t.Error("etag unchanged after member added")
+	}
+	// Updating a member's content leaves the collection payload alone.
+	if err := s.Put(coll.Append("A"), testRes{Name: "A", Value: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if etagOf() != e1 {
+		t.Error("member content update changed collection etag")
+	}
+	if err := s.Delete(coll.Append("A")); err != nil {
+		t.Fatal(err)
+	}
+	if etagOf() != e0 {
+		t.Error("etag after delete differs from empty-collection etag")
+	}
+	// Subtree refreshes invalidate too.
+	if err := s.PutSubtree(coll, map[odata.ID]any{coll.Append("B"): testRes{Name: "B"}}); err != nil {
+		t.Fatal(err)
+	}
+	members, err := s.Members(coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != coll.Append("B") {
+		t.Errorf("members after refresh = %v", members)
+	}
+}
+
+func TestSubtreeIndexInteriorEntry(t *testing.T) {
+	// Deleting an interior resource must not orphan its descendants in
+	// the children index: subtree walks still reach them.
+	s := New()
+	fab := odata.ID("/redfish/v1/Fabrics/CXL")
+	if err := s.Put(fab, testRes{Name: "fabric"}); err != nil {
+		t.Fatal(err)
+	}
+	sw := fab.Append("Switches/SW1")
+	if err := s.Put(sw, testRes{Name: "SW1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(fab); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists(sw) {
+		t.Fatal("descendant vanished with interior delete")
+	}
+	if n := s.DeleteSubtree(fab); n != 1 {
+		t.Errorf("DeleteSubtree = %d, want 1 (the orphaned switch)", n)
+	}
+	if s.Exists(sw) {
+		t.Error("descendant survived subtree delete")
+	}
+}
+
+func TestPutSubtreeKeepsKeptAndPrunesIndex(t *testing.T) {
+	s := New()
+	prefix := odata.ID("/redfish/v1/Fabrics/CXL")
+	zone := prefix.Append("Zones/Z1")
+	if err := s.Put(zone, testRes{Name: "Z1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSubtree(prefix, map[odata.ID]any{
+		prefix.Append("Endpoints/E1"): testRes{Name: "E1"},
+	}, prefix.Append("Zones")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists(zone) {
+		t.Error("kept subtree removed by refresh")
+	}
+	// Empty the subtree entirely; a follow-up refresh must still work
+	// (index pruning must not strand stale interior nodes).
+	if n := s.DeleteSubtree(prefix); n != 2 {
+		t.Errorf("DeleteSubtree = %d, want 2", n)
+	}
+	if err := s.PutSubtree(prefix, map[odata.ID]any{
+		prefix.Append("Endpoints/E2"): testRes{Name: "E2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists(prefix.Append("Endpoints/E2")) {
+		t.Error("refresh after full delete lost resource")
 	}
 }
 

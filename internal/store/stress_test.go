@@ -1,0 +1,164 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ofmf/internal/odata"
+)
+
+// TestCollectionCacheStress hammers the cached-collection read path with
+// concurrent collection GET equivalents while writers churn membership
+// through every mutating primitive (Put, Delete, PutSubtree refreshes).
+// It verifies, during the storm and at quiesce, that every served payload
+// is internally coherent, and afterwards that the cache matches a fresh
+// uncached synthesis of the membership. Run under -race this doubles as
+// the data-race gate for the memoized read path.
+func TestCollectionCacheStress(t *testing.T) {
+	const (
+		readers = 4
+		writers = 2
+		rounds  = 3
+		iters   = 150
+	)
+	s := New()
+	coll := odata.ID("/redfish/v1/Fabrics/CXL/Endpoints")
+	prefix := odata.ID("/redfish/v1/Fabrics/CXL")
+	s.RegisterCollection(coll, "#EndpointCollection.EndpointCollection", "Endpoints")
+
+	for round := 0; round < rounds; round++ {
+		var readersWG, writersWG sync.WaitGroup
+		stop := make(chan struct{})
+
+		for g := 0; g < readers; g++ {
+			readersWG.Add(1)
+			go func() {
+				defer readersWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := s.CollectionView(coll, func(payload []byte, etag string) {
+						// A served payload must always be self-coherent:
+						// its etag is the tag of exactly these bytes, its
+						// count matches its member list, and members are
+						// sorted. Membership may lag the entry map (the
+						// writer may already have moved on), but the
+						// rendering itself can never tear.
+						if odata.EtagRaw(payload) != etag {
+							t.Error("etag does not match served payload")
+							return
+						}
+						var c odata.Collection
+						if err := json.Unmarshal(payload, &c); err != nil {
+							t.Errorf("payload not valid JSON: %v", err)
+							return
+						}
+						if c.Count != len(c.Members) {
+							t.Errorf("count %d != members %d", c.Count, len(c.Members))
+						}
+						for i := 1; i < len(c.Members); i++ {
+							if c.Members[i-1].ODataID >= c.Members[i].ODataID {
+								t.Error("members not strictly sorted")
+								return
+							}
+						}
+					})
+					if err != nil {
+						t.Errorf("CollectionView: %v", err)
+						return
+					}
+					if _, err := s.Members(coll); err != nil {
+						t.Errorf("Members: %v", err)
+						return
+					}
+				}
+			}()
+		}
+
+		for g := 0; g < writers; g++ {
+			writersWG.Add(1)
+			go func(g int) {
+				defer writersWG.Done()
+				for i := 0; i < iters; i++ {
+					switch i % 4 {
+					case 0, 1:
+						// Agent-style refresh: a rotating window of members.
+						snap := make(map[odata.ID]any, 4)
+						for k := 0; k < 4; k++ {
+							id := coll.Append(fmt.Sprintf("w%d-e%03d", g, (i+k)%17))
+							snap[id] = map[string]any{"@odata.id": string(id), "Name": id.Leaf(), "Gen": i}
+						}
+						if err := s.PutSubtree(prefix, snap); err != nil {
+							t.Errorf("PutSubtree: %v", err)
+							return
+						}
+					case 2:
+						id := coll.Append(fmt.Sprintf("w%d-solo", g))
+						if err := s.Put(id, map[string]any{"@odata.id": string(id), "Name": "solo", "I": i}); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+					case 3:
+						id := coll.Append(fmt.Sprintf("w%d-solo", g))
+						if err := s.Delete(id); err != nil && !errors.Is(err, ErrNotFound) {
+							t.Errorf("Delete: %v", err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+
+		// Let writers drain, stop readers, then assert cache coherence at
+		// quiesce: the memoized members and payload must equal a fresh
+		// synthesis computed from first principles (IDs + parent filter),
+		// bypassing the cache entirely.
+		writersWG.Wait()
+		close(stop)
+		readersWG.Wait()
+
+		var fresh []odata.ID
+		for _, id := range s.IDs() {
+			if id.Parent() == coll {
+				fresh = append(fresh, id)
+			}
+		}
+		cached, err := s.Members(coll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cached) != len(fresh) {
+			t.Fatalf("round %d: cached %d members, fresh synthesis %d", round, len(cached), len(fresh))
+		}
+		for i := range fresh {
+			if cached[i] != fresh[i] {
+				t.Fatalf("round %d: member[%d] = %s, fresh %s", round, i, cached[i], fresh[i])
+			}
+		}
+		var served odata.Collection
+		if err := s.CollectionView(coll, func(p []byte, etag string) {
+			if odata.EtagRaw(p) != etag {
+				t.Error("quiesce: etag mismatch")
+			}
+			if uerr := json.Unmarshal(p, &served); uerr != nil {
+				t.Errorf("quiesce: %v", uerr)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if served.Count != len(fresh) {
+			t.Fatalf("round %d: served count %d, fresh %d", round, served.Count, len(fresh))
+		}
+		for i, ref := range served.Members {
+			if ref.ODataID != fresh[i] {
+				t.Fatalf("round %d: payload member[%d] = %s, fresh %s", round, i, ref.ODataID, fresh[i])
+			}
+		}
+	}
+}
