@@ -138,6 +138,14 @@ func main() {
 	// request id minted by the OFMF's middleware propagates here through
 	// the X-Request-Id header.
 	metrics := obsv.NewMetrics(obsv.NewRegistry())
+	// Self-telemetry for the management-path edge: how many events are
+	// waiting for the OFMF to come back, and how many fell off the spool.
+	metrics.Registry().GaugeFunc("ofmf_agent_event_backlog",
+		"Events spooled awaiting delivery to the OFMF.",
+		func() float64 { return float64(remote.EventBacklog()) })
+	metrics.Registry().CounterFunc("ofmf_agent_events_dropped_total",
+		"Events evicted from the full delivery spool.",
+		func() float64 { return float64(remote.EventsDropped()) })
 	mux := http.NewServeMux()
 	mux.Handle("/agent/ops", obsv.Middleware(remote.Handler(), metrics, logger,
 		func(string) string { return "AgentOps" }))
@@ -163,7 +171,14 @@ func main() {
 	if err := start(); err != nil {
 		fatal("ofmf-agent: agent start failed", err)
 	}
-	stopHeartbeat := agent.StartHeartbeat(remote, sourceURI(), 10*time.Second)
+	stopHeartbeat := agent.StartHeartbeat(remote, sourceURI(), 10*time.Second,
+		agent.WithHeartbeatReport(func(consecutive int, err error) {
+			if err != nil {
+				logger.Warn("ofmf-agent: heartbeat failed", "consecutive", consecutive, "err", err)
+			} else if consecutive == 0 {
+				logger.Debug("ofmf-agent: heartbeat ok", "backlog", remote.EventBacklog())
+			}
+		}))
 	defer stopHeartbeat()
 	logger.Info("ofmf-agent: registered", "kind", *kind, "ofmf", *ofmfURL, "ops", callback)
 	select {}

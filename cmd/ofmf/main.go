@@ -49,6 +49,11 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
 		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
+
+		sweepInterval = flag.Duration("sweep-interval", 10*time.Second,
+			"aggregation-source liveness sweep cadence (0 disables the sweeper)")
+		heartbeatTimeout = flag.Duration("heartbeat-timeout", 30*time.Second,
+			"heartbeat age at which an agent is marked Degraded; 3x marks it Unavailable")
 	)
 	flag.Parse()
 
@@ -77,6 +82,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	var tree *store.Store
+	var ofmfSvc *service.Service
 	if *testbed {
 		f, err := core.New(core.Config{
 			Nodes:        *nodes,
@@ -89,6 +95,7 @@ func main() {
 		defer f.Close()
 		mux.Handle("/", f.Handler())
 		tree = f.Service.Store()
+		ofmfSvc = f.Service
 		logger.Info("ofmf: testbed assembled",
 			"nodes", *nodes, "cxl_free_mib", f.CXL.FreeMiB(), "gpu_free_slices", f.GPUs.FreeSlices())
 	} else {
@@ -96,6 +103,7 @@ func main() {
 		defer svc.Close()
 		mux.Handle("/", svc.Handler())
 		tree = svc.Store()
+		ofmfSvc = svc
 
 		// The bare service has no testbed telemetry wiring, so close the
 		// self-telemetry loop here: the management plane's own metrics
@@ -114,6 +122,20 @@ func main() {
 		stop := make(chan struct{})
 		defer close(stop)
 		go telem.Run(stop)
+	}
+
+	// The liveness sweeper is the OFMF-side half of the heartbeat
+	// contract: agents report in; the sweeper downgrades sources whose
+	// reports stop arriving.
+	if *sweepInterval > 0 {
+		sweeper := ofmfSvc.NewLivenessSweeper(service.LivenessConfig{
+			Interval:   *sweepInterval,
+			StaleAfter: *heartbeatTimeout,
+		})
+		stopSweep := sweeper.Start()
+		defer stopSweep()
+		logger.Info("ofmf: liveness sweeper running",
+			"interval", *sweepInterval, "heartbeat_timeout", *heartbeatTimeout)
 	}
 
 	if *withMetrics {

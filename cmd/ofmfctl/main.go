@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ofmfctl [-url http://localhost:8080] [-login user:pass] <command> [args]
+//	ofmfctl [-url http://localhost:8080] [-login user:pass] [-timeout 10s] <command> [args]
 //
 // Commands:
 //
@@ -29,17 +29,20 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"ofmf/internal/client"
 	"ofmf/internal/composer"
 	"ofmf/internal/odata"
+	"ofmf/internal/resilience"
 	"ofmf/internal/service"
 )
 
 func main() {
 	var (
-		url   = flag.String("url", "http://localhost:8080", "OFMF base URL")
-		login = flag.String("login", "", "authenticate with user:password")
+		url     = flag.String("url", "http://localhost:8080", "OFMF base URL")
+		login   = flag.String("login", "", "authenticate with user:password")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-attempt request timeout")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -47,7 +50,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	policy := resilience.DefaultPolicy()
+	policy.AttemptTimeout = *timeout
 	c := client.New(*url)
+	c.HTTP = resilience.NewHTTPClient(policy)
 	if *login != "" {
 		user, pass, ok := strings.Cut(*login, ":")
 		if !ok {
@@ -114,7 +120,8 @@ func main() {
 		if tok := c.Token(); tok != "" {
 			req.Header.Set("X-Auth-Token", tok)
 		}
-		resp, err := http.DefaultClient.Do(req)
+		// The event stream is long-lived: no attempt timeout, no retries.
+		resp, err := resilience.NewStreamingHTTPClient(policy).Do(req)
 		check(err)
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {

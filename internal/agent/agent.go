@@ -22,6 +22,7 @@ import (
 
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
+	"ofmf/internal/resilience"
 	"ofmf/internal/service"
 )
 
@@ -113,21 +114,54 @@ func (l *Local) RegisterCollections(colls service.CollectionsPayload) error {
 // Remote connects an agent to a standalone OFMF over HTTP. CallbackURL is
 // the base URL of the agent's own ops server (see Serve); the OFMF
 // forwards fabric mutations there.
+//
+// Unless Client overrides it, all calls run through a resilient
+// transport: per-attempt timeouts, capped exponential backoff with
+// jitter, and a circuit breaker that fails fast while the OFMF is down
+// and probes it back. Every control-plane operation is retried — they
+// are idempotent by construction (subtree publication replaces the
+// subtree, heartbeats carry absolute timestamps, collection and agent
+// registration are deduplicated by the OFMF).
 type Remote struct {
 	BaseURL     string // OFMF base, e.g. http://host:8080
 	CallbackURL string
 	Token       string // X-Auth-Token when the OFMF enforces auth
-	Client      *http.Client
+	// Client overrides the default resilient transport entirely.
+	Client *http.Client
+	// Policy tunes the default transport's fault handling; nil means
+	// resilience.DefaultPolicy.
+	Policy *resilience.Policy
+	// SpoolSize bounds the undelivered-event spool (default 1024).
+	SpoolSize int
+
+	clientOnce sync.Once
+	defClient  *http.Client
+
+	spool eventSpool
 
 	mu       sync.Mutex
 	handlers map[odata.ID]service.FabricHandler
 }
 
+// maxResponseBytes caps OFMF response bodies read by the agent, so a
+// misbehaving (or spoofed) server cannot balloon agent memory.
+const maxResponseBytes = 8 << 20
+
 func (r *Remote) client() *http.Client {
 	if r.Client != nil {
 		return r.Client
 	}
-	return http.DefaultClient
+	r.clientOnce.Do(func() {
+		p := resilience.DefaultPolicy()
+		if r.Policy != nil {
+			p = *r.Policy
+		}
+		r.defClient = &http.Client{Transport: &resilience.Transport{
+			Policy:    p,
+			Retryable: resilience.RetryAll,
+		}}
+	})
+	return r.defClient
 }
 
 func (r *Remote) do(method, path string, body, out any) error {
@@ -152,9 +186,12 @@ func (r *Remote) do(method, path string, body, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		return err
+	}
+	if len(data) > maxResponseBytes {
+		return fmt.Errorf("agent: %s %s response exceeds %d bytes", method, path, maxResponseBytes)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return fmt.Errorf("agent: %s %s returned %s: %s", method, path, resp.Status, data)
@@ -192,13 +229,61 @@ func (r *Remote) PublishSubtree(prefix odata.ID, resources map[odata.ID]any, kee
 }
 
 // PublishEvent pushes the record through the OFMF's OEM event endpoint.
+// Records are never silently discarded: every event enters a bounded
+// FIFO spool that is drained in order while the OFMF is reachable and
+// retried on reconnect (the next successful heartbeat or publish).
+// Only spool overflow loses records — oldest first, counted by
+// EventsDropped.
 func (r *Remote) PublishEvent(rec redfish.EventRecord) {
-	_ = r.do(http.MethodPost, string(service.EventsOemURI), rec, nil)
+	r.spool.add(rec, r.SpoolSize)
+	r.drainSpool()
 }
 
-// TouchSource PATCHes the aggregation source's heartbeat over HTTP.
+// drainSpool delivers spooled events head-of-line until the spool is
+// empty or a delivery fails. A single drainer runs at a time, keeping
+// delivery FIFO.
+func (r *Remote) drainSpool() {
+	if !r.spool.beginDrain() {
+		return
+	}
+	defer r.spool.endDrain()
+	for {
+		rec, ok := r.spool.peek()
+		if !ok {
+			return
+		}
+		if err := r.do(http.MethodPost, string(service.EventsOemURI), rec, nil); err != nil {
+			return
+		}
+		r.spool.pop()
+	}
+}
+
+// EventBacklog returns the number of events spooled awaiting delivery.
+func (r *Remote) EventBacklog() int { return r.spool.size() }
+
+// EventsDelivered returns the number of events delivered to the OFMF.
+func (r *Remote) EventsDelivered() int64 {
+	delivered, _ := r.spool.stats()
+	return delivered
+}
+
+// EventsDropped returns the number of events lost to spool overflow —
+// the ofmf_agent_events_dropped_total metric reads it.
+func (r *Remote) EventsDropped() int64 {
+	_, dropped := r.spool.stats()
+	return dropped
+}
+
+// TouchSource PATCHes the aggregation source's heartbeat over HTTP. A
+// successful beat doubles as the reconnect signal: any spooled events
+// are flushed before it returns.
 func (r *Remote) TouchSource(sourceURI odata.ID, timestamp string) error {
-	return r.do(http.MethodPatch, string(sourceURI), heartbeatPatch(timestamp), nil)
+	err := r.do(http.MethodPatch, string(sourceURI), heartbeatPatch(timestamp), nil)
+	if err == nil && r.spool.size() > 0 {
+		r.drainSpool()
+	}
+	return err
 }
 
 // RegisterCollections pushes the collection declarations through the
@@ -322,14 +407,49 @@ func dispatchOp(h service.FabricHandler, op service.OpRequest) (service.OpRespon
 	}
 }
 
+// HeartbeatOption customizes StartHeartbeat.
+type HeartbeatOption func(*heartbeatConfig)
+
+type heartbeatConfig struct {
+	report func(consecutive int, err error)
+}
+
+// WithHeartbeatReport registers a callback invoked after every beat
+// with the consecutive-failure count (0 after a success) and the beat's
+// error, so the agent process can see a dead OFMF instead of the
+// failures vanishing. The callback runs on the heartbeat goroutine.
+func WithHeartbeatReport(fn func(consecutive int, err error)) HeartbeatOption {
+	return func(c *heartbeatConfig) { c.report = fn }
+}
+
 // StartHeartbeat periodically refreshes the aggregation source's
 // LastHeartbeat until the returned stop function is called, letting the
-// OFMF (and monitoring clients) detect dead agents.
-func StartHeartbeat(conn Conn, sourceURI odata.ID, interval time.Duration) (stop func()) {
+// OFMF (and monitoring clients) detect dead agents. The first beat is
+// sent immediately — a just-registered agent must not look dead for a
+// full interval — and per-beat outcomes are surfaced through
+// WithHeartbeatReport.
+func StartHeartbeat(conn Conn, sourceURI odata.ID, interval time.Duration, opts ...HeartbeatOption) (stop func()) {
+	var cfg heartbeatConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
+		consecutive := 0
+		beat := func() {
+			err := conn.TouchSource(sourceURI, redfish.Timestamp(time.Now()))
+			if err != nil {
+				consecutive++
+			} else {
+				consecutive = 0
+			}
+			if cfg.report != nil {
+				cfg.report(consecutive, err)
+			}
+		}
+		beat()
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for {
@@ -337,7 +457,7 @@ func StartHeartbeat(conn Conn, sourceURI odata.ID, interval time.Duration) (stop
 			case <-done:
 				return
 			case <-tick.C:
-				_ = conn.TouchSource(sourceURI, redfish.Timestamp(time.Now()))
+				beat()
 			}
 		}
 	}()

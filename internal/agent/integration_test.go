@@ -61,7 +61,7 @@ func (tb *testbed) do(t *testing.T, method, path string, body any) (*http.Respon
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

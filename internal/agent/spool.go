@@ -1,0 +1,91 @@
+package agent
+
+import (
+	"sync"
+
+	"ofmf/internal/redfish"
+)
+
+// defaultSpoolSize bounds the undelivered-event spool when the Remote
+// does not configure one.
+const defaultSpoolSize = 1024
+
+// eventSpool is a bounded FIFO of event records awaiting delivery to
+// the OFMF. When the management path is down, records accumulate here
+// instead of vanishing; when the spool is full the oldest record is
+// dropped (and counted) so the newest hardware state wins.
+type eventSpool struct {
+	mu        sync.Mutex
+	max       int
+	buf       []redfish.EventRecord
+	dropped   int64
+	delivered int64
+	draining  bool
+}
+
+// add enqueues rec, evicting the oldest record when the spool is full.
+func (s *eventSpool) add(rec redfish.EventRecord, max int) {
+	if max <= 0 {
+		max = defaultSpoolSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.max = max
+	if len(s.buf) >= s.max {
+		s.buf = s.buf[1:]
+		s.dropped++
+	}
+	s.buf = append(s.buf, rec)
+}
+
+// peek returns the head-of-line record without removing it.
+func (s *eventSpool) peek() (redfish.EventRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == 0 {
+		return redfish.EventRecord{}, false
+	}
+	return s.buf[0], true
+}
+
+// pop removes the head-of-line record after a successful delivery.
+func (s *eventSpool) pop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) > 0 {
+		s.buf = s.buf[1:]
+		s.delivered++
+	}
+}
+
+// beginDrain claims the single-drainer slot; endDrain releases it.
+// Only one goroutine walks the spool at a time, so delivery stays FIFO.
+func (s *eventSpool) beginDrain() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.draining = true
+	return true
+}
+
+func (s *eventSpool) endDrain() {
+	s.mu.Lock()
+	s.draining = false
+	s.mu.Unlock()
+}
+
+// size returns the number of records awaiting delivery.
+func (s *eventSpool) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// stats returns the delivered and dropped counters.
+func (s *eventSpool) stats() (delivered, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered, s.dropped
+}

@@ -19,6 +19,7 @@ import (
 	"ofmf/internal/composer"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
+	"ofmf/internal/resilience"
 	"ofmf/internal/service"
 )
 
@@ -39,11 +40,16 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &he) && he.StatusCode == http.StatusNotFound
 }
 
+// maxResponseBytes bounds response bodies read into memory.
+const maxResponseBytes = 8 << 20
+
 // Client talks to one OFMF deployment.
 type Client struct {
 	// BaseURL is the service base, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTP overrides the transport (default http.DefaultClient).
+	// HTTP overrides the transport. By default requests go through a
+	// resilience.Transport: per-attempt timeouts, retries with backoff for
+	// idempotent methods, and a circuit breaker per service host.
 	HTTP *http.Client
 
 	mu    sync.Mutex
@@ -53,11 +59,17 @@ type Client struct {
 // New creates a client for the given base URL.
 func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
 
+// defaultHTTPClient is shared across Clients so breaker state follows the
+// peer, not the Client instance.
+var defaultHTTPClient = sync.OnceValue(func() *http.Client {
+	return resilience.NewHTTPClient(resilience.DefaultPolicy())
+})
+
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient()
 }
 
 // Token returns the session token, if logged in.
@@ -91,9 +103,12 @@ func (c *Client) do(method, path string, body, out any) (*http.Response, error) 
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		return nil, err
+	}
+	if len(data) > maxResponseBytes {
+		return resp, fmt.Errorf("client: response for %s exceeds %d bytes", path, maxResponseBytes)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return resp, &HTTPError{StatusCode: resp.StatusCode, Body: string(bytes.TrimSpace(data))}

@@ -384,7 +384,7 @@ func TestComposerHTTPFacade(t *testing.T) {
 	}
 
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/composer/v1/Compositions/"+comp.ID, nil)
-	resp5, err := http.DefaultClient.Do(req)
+	resp5, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -572,7 +572,7 @@ func TestRedfishNativeComposition(t *testing.T) {
 
 	// DELETE the composed system decomposes it.
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+string(sys.ODataID), nil)
-	resp2, err := http.DefaultClient.Do(req)
+	resp2, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,7 +99,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+sys.ODataID, nil)
-	resp, err = http.DefaultClient.Do(req)
+	resp, err = (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

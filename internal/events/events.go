@@ -19,6 +19,7 @@ import (
 
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
+	"ofmf/internal/resilience"
 )
 
 // Sink receives delivered events. HTTP destinations and in-process
@@ -53,7 +54,7 @@ func (h *HTTPSink) Deliver(ctx context.Context, ev redfish.Event) error {
 	req.Header.Set("Content-Type", "application/json")
 	client := h.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultSinkClient()
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -65,6 +66,16 @@ func (h *HTTPSink) Deliver(ctx context.Context, ev redfish.Event) error {
 	}
 	return nil
 }
+
+// defaultSinkClient lazily builds the shared client used by sinks that
+// do not bring their own: per-attempt timeouts and a per-destination
+// circuit breaker, but no transport-level retries — the bus already
+// retries deliveries, and webhook POSTs are not idempotent.
+var defaultSinkClient = sync.OnceValue(func() *http.Client {
+	p := resilience.DefaultPolicy()
+	p.MaxAttempts = 1
+	return resilience.NewHTTPClient(p)
+})
 
 // Filter selects which events a subscription receives. Zero-value filters
 // match everything.
@@ -115,8 +126,12 @@ func (f Filter) Matches(rec redfish.EventRecord) bool {
 type Config struct {
 	// RetryAttempts is the number of delivery attempts per event (≥1).
 	RetryAttempts int
-	// RetryInterval separates successive attempts.
+	// RetryInterval is the base delay before the first retry. Successive
+	// retries back off exponentially (with jitter) up to RetryMaxInterval.
 	RetryInterval time.Duration
+	// RetryMaxInterval caps the exponential backoff between retries;
+	// defaults to 10×RetryInterval.
+	RetryMaxInterval time.Duration
 	// QueueDepth bounds each subscription's pending-event queue; events
 	// beyond the bound are dropped and counted.
 	QueueDepth int
@@ -159,7 +174,8 @@ type Subscription struct {
 
 // Bus fans events out to subscriptions.
 type Bus struct {
-	cfg Config
+	cfg     Config
+	backoff resilience.Backoff
 
 	mu     sync.RWMutex
 	subs   map[string]*Subscription
@@ -185,7 +201,14 @@ func NewBus(cfg Config) *Bus {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = def.QueueDepth
 	}
-	return &Bus{cfg: cfg, subs: make(map[string]*Subscription)}
+	if cfg.RetryMaxInterval <= 0 {
+		cfg.RetryMaxInterval = 10 * cfg.RetryInterval
+	}
+	return &Bus{
+		cfg:     cfg,
+		backoff: resilience.Backoff{Base: cfg.RetryInterval, Max: cfg.RetryMaxInterval, Jitter: 0.5},
+		subs:    make(map[string]*Subscription),
+	}
 }
 
 // ErrClosed is returned when operating on a closed bus.
@@ -295,10 +318,13 @@ func (b *Bus) attempt(ctx context.Context, sub *Subscription, rec redfish.EventR
 	}
 	for i := 0; i < b.cfg.RetryAttempts; i++ {
 		if i > 0 {
+			// Exponential backoff with jitter: a flapping destination is
+			// given progressively more room to recover, and concurrent
+			// subscription workers don't re-knock in lockstep.
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(b.cfg.RetryInterval):
+			case <-time.After(b.backoff.Delay(i)):
 			}
 		}
 		if err := sub.sink.Deliver(ctx, ev); err == nil {

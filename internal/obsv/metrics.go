@@ -42,6 +42,10 @@ type Metrics struct {
 	// heartbeat, the liveness signal monitoring alerts on:
 	// ofmf_agent_last_heartbeat_seconds.
 	AgentLastHeartbeat *GaugeVec
+	// AgentLiveness gauges the liveness sweeper's verdict per
+	// aggregation source: 1 live, 0.5 degraded, 0 unavailable:
+	// ofmf_agent_liveness.
+	AgentLiveness *GaugeVec
 
 	// StoreOps counts resource-store operations by kind:
 	// ofmf_store_ops_total.
@@ -84,6 +88,9 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Agent heartbeat refreshes, by aggregation source.", "source"),
 		AgentLastHeartbeat: reg.GaugeVec("ofmf_agent_last_heartbeat_seconds",
 			"Unix time of each aggregation source's last heartbeat.", "source"),
+		AgentLiveness: reg.GaugeVec("ofmf_agent_liveness",
+			"Sweeper verdict per aggregation source: 1 live, 0.5 degraded, 0 unavailable.",
+			"source"),
 		StoreOps: reg.CounterVec("ofmf_store_ops_total",
 			"Resource store operations, by kind.", "op"),
 		SSESubscribers: reg.Gauge("ofmf_sse_subscribers",

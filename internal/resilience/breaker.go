@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) when a circuit breaker rejects a call
+// without attempting it.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (default 5). Negative disables the breaker entirely.
+	Threshold int
+	// OpenFor is how long the breaker rejects calls before allowing
+	// half-open probes.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent trial calls in the half-open
+	// state; further calls are rejected until a probe settles.
+	HalfOpenProbes int
+}
+
+// Breaker state values reported by State.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// Breaker is a per-peer circuit breaker. Consecutive failures open it;
+// while open every call fails fast with ErrOpen; after OpenFor it
+// admits a bounded number of probes (half-open), and a probe success
+// closes it again.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    string
+	failures int
+	openedAt time.Time
+	probes   int
+}
+
+// NewBreaker builds a breaker; zero-valued config fields take the
+// DefaultPolicy values.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	def := DefaultPolicy().Breaker
+	if cfg.Threshold == 0 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = def.OpenFor
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = def.HalfOpenProbes
+	}
+	return &Breaker{cfg: cfg, now: time.Now, state: StateClosed}
+}
+
+// SetClock overrides the breaker's time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// State returns the current breaker state, refreshing the open→half-open
+// transition first.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refreshLocked()
+	return b.state
+}
+
+func (b *Breaker) refreshLocked() {
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = StateHalfOpen
+		b.probes = 0
+	}
+}
+
+// Allow reports whether a call may proceed. In the half-open state it
+// reserves one probe slot; the caller must follow up with Record.
+func (b *Breaker) Allow() error {
+	if b.cfg.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refreshLocked()
+	switch b.state {
+	case StateOpen:
+		return fmt.Errorf("%w (retry in %v)", ErrOpen, b.cfg.OpenFor-b.now().Sub(b.openedAt))
+	case StateHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return fmt.Errorf("%w (probe in flight)", ErrOpen)
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Record feeds the outcome of an allowed call back into the breaker.
+func (b *Breaker) Record(success bool) {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		if success {
+			b.state = StateClosed
+			b.failures = 0
+		} else {
+			b.state = StateOpen
+			b.openedAt = b.now()
+		}
+		b.probes = 0
+	default:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = StateOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// BreakerSet keys breakers by peer (host:port), creating them on first
+// use so one flapping agent cannot trip calls to healthy ones.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set using cfg for new breakers.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for peer, creating it if needed.
+func (s *BreakerSet) For(peer string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br, ok := s.breakers[peer]
+	if !ok {
+		br = NewBreaker(s.cfg)
+		s.breakers[peer] = br
+	}
+	return br
+}

@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base error of failures produced by FaultTransport.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// FaultTransport is an http.RoundTripper that injects faults in front
+// of a real transport, so tests can drive the whole control plane —
+// agents, event delivery, the CLI — through flaky and wedged network
+// conditions without touching the code under test.
+//
+// Modes compose: each request first waits Latency, then (while
+// black-holed) blocks until its context is cancelled, then fails with
+// probability ErrorRate, and only then reaches Base.
+type FaultTransport struct {
+	// Base performs the surviving round trips (default
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// ErrorRate in [0,1] is the probability a request fails with
+	// ErrInjected before reaching the wire.
+	ErrorRate float64
+	// Latency is added to every request before any other behaviour.
+	Latency time.Duration
+	// Seed makes the fault sequence deterministic when non-zero.
+	Seed int64
+
+	blackhole atomic.Bool
+	attempts  atomic.Int64
+	injected  atomic.Int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// SetBlackHole toggles black-hole mode: requests hang (consuming their
+// context budget) instead of failing fast, emulating a wedged server.
+func (f *FaultTransport) SetBlackHole(on bool) { f.blackhole.Store(on) }
+
+// Attempts returns the number of round trips seen, including injected
+// failures.
+func (f *FaultTransport) Attempts() int64 { return f.attempts.Load() }
+
+// Injected returns the number of failures injected so far.
+func (f *FaultTransport) Injected() int64 { return f.injected.Load() }
+
+func (f *FaultTransport) roll() float64 {
+	f.once.Do(func() {
+		seed := f.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		f.rng = rand.New(rand.NewSource(seed))
+	})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.attempts.Add(1)
+	if f.Latency > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Latency):
+		}
+	}
+	if f.blackhole.Load() {
+		f.injected.Add(1)
+		// A wedged server never answers: burn the caller's deadline.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: black hole: %v", ErrInjected, req.Context().Err())
+	}
+	if f.ErrorRate > 0 && f.roll() < f.ErrorRate {
+		f.injected.Add(1)
+		return nil, fmt.Errorf("%w: connection reset (rate %.2f)", ErrInjected, f.ErrorRate)
+	}
+	base := f.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,119 @@
+// Package resilience hardens the OFMF↔Agent control plane against an
+// imperfect network. The paper's architecture concentrates all
+// composition state in one centralized manager, which makes the
+// management path itself the availability bottleneck: every HTTP edge
+// (agent registration and subtree publishing, heartbeats, webhook event
+// delivery, forwarded fabric mutations, the operator CLI) must survive
+// slow, flaky and wedged peers without silently losing work.
+//
+// The package provides one Policy type bundling the fault-handling
+// knobs — per-attempt timeout, capped exponential backoff with jitter,
+// a retry budget for idempotent operations, and a per-peer circuit
+// breaker with half-open probing — plus a Transport that applies the
+// policy as an http.RoundTripper, and a fault-injecting transport used
+// by tests to drive the control plane through configurable error rates,
+// added latency and black-hole (wedged server) conditions.
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy bundles the fault-handling knobs for one HTTP edge. The zero
+// value is usable: every field falls back to the DefaultPolicy value.
+type Policy struct {
+	// AttemptTimeout bounds each individual attempt, including reading
+	// the response body. Zero means the default; negative means no
+	// per-attempt deadline (streaming connections such as SSE).
+	AttemptTimeout time.Duration
+	// MaxAttempts is the retry budget: the total number of tries,
+	// including the first (default 4). Only requests the Transport
+	// considers retryable consume more than one attempt.
+	MaxAttempts int
+	// Backoff is the sleep schedule between attempts.
+	Backoff Backoff
+	// Breaker configures the per-peer circuit breaker.
+	Breaker BreakerConfig
+}
+
+// DefaultPolicy is the control-plane default: 5s per attempt, 4 total
+// tries with 50ms..2s jittered exponential backoff, and a breaker that
+// opens after 5 consecutive failures for 2s.
+func DefaultPolicy() Policy {
+	return Policy{
+		AttemptTimeout: 5 * time.Second,
+		MaxAttempts:    4,
+		Backoff:        Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5},
+		Breaker:        BreakerConfig{Threshold: 5, OpenFor: 2 * time.Second, HalfOpenProbes: 1},
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultPolicy.
+func (p Policy) withDefaults() Policy {
+	def := DefaultPolicy()
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = def.AttemptTimeout
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.Backoff.Base <= 0 {
+		p.Backoff.Base = def.Backoff.Base
+	}
+	if p.Backoff.Max <= 0 {
+		p.Backoff.Max = def.Backoff.Max
+	}
+	if p.Backoff.Jitter == 0 {
+		p.Backoff.Jitter = def.Backoff.Jitter
+	}
+	if p.Breaker.Threshold == 0 {
+		p.Breaker.Threshold = def.Breaker.Threshold
+	}
+	if p.Breaker.OpenFor <= 0 {
+		p.Breaker.OpenFor = def.Breaker.OpenFor
+	}
+	if p.Breaker.HalfOpenProbes <= 0 {
+		p.Breaker.HalfOpenProbes = def.Breaker.HalfOpenProbes
+	}
+	return p
+}
+
+// Backoff computes capped exponential backoff with jitter: attempt n
+// (1-based) sleeps min(Max, Base·2^(n-1)), randomized downward by up to
+// the Jitter fraction so synchronized retries from many peers spread
+// out instead of stampeding the recovering server.
+type Backoff struct {
+	// Base is the nominal delay before the first retry.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+	// Jitter in (0,1] randomizes each delay into
+	// [(1-Jitter)·d, d]. Zero or out-of-range values mean 0.5.
+	Jitter float64
+}
+
+// Delay returns the sleep before retry attempt n (1-based). Attempts
+// below 1 return 0.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 || b.Base <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	j := b.Jitter
+	if j <= 0 || j > 1 {
+		j = 0.5
+	}
+	// Full-jitter within the top j fraction: [(1-j)·d, d].
+	return time.Duration((1 - j*rand.Float64()) * float64(d))
+}

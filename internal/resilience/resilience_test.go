@@ -1,0 +1,275 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBoundsAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Jitter: 0.5}
+	if got := b.Delay(0); got != 0 {
+		t.Errorf("Delay(0) = %v", got)
+	}
+	nominal := []time.Duration{100, 200, 400, 400, 400}
+	for i, want := range nominal {
+		want *= time.Millisecond
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(i + 1)
+			if d > want || d < want/2 {
+				t.Fatalf("Delay(%d) = %v, want within [%v, %v]", i+1, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	if d := (Backoff{}).Delay(3); d != 0 {
+		t.Errorf("zero backoff Delay = %v", d)
+	}
+}
+
+func TestBreakerOpensHalfOpensAndRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	br := NewBreaker(BreakerConfig{Threshold: 3, OpenFor: time.Second, HalfOpenProbes: 1})
+	br.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if err := br.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected attempt %d: %v", i, err)
+		}
+		br.Record(false)
+	}
+	if s := br.State(); s != StateOpen {
+		t.Fatalf("state after threshold failures = %s", s)
+	}
+	if err := br.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed a call (err=%v)", err)
+	}
+
+	// After the cool-down one probe is admitted, further calls rejected.
+	now = now.Add(time.Second)
+	if s := br.State(); s != StateHalfOpen {
+		t.Fatalf("state after cool-down = %s", s)
+	}
+	if err := br.Allow(); err != nil {
+		t.Fatalf("half-open breaker rejected the probe: %v", err)
+	}
+	if err := br.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure re-opens; probe success closes.
+	br.Record(false)
+	if s := br.State(); s != StateOpen {
+		t.Fatalf("state after failed probe = %s", s)
+	}
+	now = now.Add(time.Second)
+	if err := br.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	br.Record(true)
+	if s := br.State(); s != StateClosed {
+		t.Fatalf("state after successful probe = %s", s)
+	}
+	if err := br.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	br := NewBreaker(BreakerConfig{Threshold: -1})
+	for i := 0; i < 100; i++ {
+		if err := br.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		br.Record(false)
+	}
+}
+
+func TestTransportRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	client := NewHTTPClient(Policy{
+		MaxAttempts: 5,
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestTransportDoesNotRetryNonIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	client := NewHTTPClient(Policy{MaxAttempts: 4, Backoff: Backoff{Base: time.Millisecond}})
+	resp, err := client.Post(srv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("POST consumed %d attempts, want 1", got)
+	}
+}
+
+func TestTransportRetryAllRewindsBody(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"n":1}` {
+			t.Errorf("attempt %d saw body %q", calls.Load(), body)
+		}
+		if calls.Add(1) < 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &Transport{
+		Policy:    Policy{MaxAttempts: 3, Backoff: Backoff{Base: time.Millisecond}},
+		Retryable: RetryAll,
+	}}
+	resp, err := client.Post(srv.URL, "application/json", strings.NewReader(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls", got)
+	}
+}
+
+func TestTransportAttemptTimeoutUnwedgesBlackHole(t *testing.T) {
+	fault := &FaultTransport{Seed: 1}
+	fault.SetBlackHole(true)
+	client := &http.Client{Transport: &Transport{
+		Base: fault,
+		Policy: Policy{
+			AttemptTimeout: 20 * time.Millisecond,
+			MaxAttempts:    2,
+			Backoff:        Backoff{Base: time.Millisecond},
+		},
+	}}
+	start := time.Now()
+	_, err := client.Get("http://blackhole.invalid/x")
+	if err == nil {
+		t.Fatal("expected error from black-holed transport")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("black-holed request took %v; per-attempt timeout not applied", elapsed)
+	}
+	if fault.Attempts() != 2 {
+		t.Errorf("attempts = %d, want 2", fault.Attempts())
+	}
+}
+
+func TestTransportBreakerFailsFast(t *testing.T) {
+	fault := &FaultTransport{ErrorRate: 1, Seed: 42}
+	tr := &Transport{
+		Base: fault,
+		Policy: Policy{
+			AttemptTimeout: 50 * time.Millisecond,
+			MaxAttempts:    1,
+			Breaker:        BreakerConfig{Threshold: 3, OpenFor: time.Hour},
+		},
+	}
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get("http://peer.invalid/x"); err == nil {
+			t.Fatal("expected injected failure")
+		}
+	}
+	if s := tr.Breaker("peer.invalid").State(); s != StateOpen {
+		t.Fatalf("breaker state = %s", s)
+	}
+	before := fault.Attempts()
+	if _, err := client.Get("http://peer.invalid/x"); err == nil || !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("expected fail-fast circuit error, got %v", err)
+	}
+	if fault.Attempts() != before {
+		t.Error("open breaker still let a request reach the transport")
+	}
+	// The breaker is per peer: a different host is unaffected.
+	if err := tr.Breaker("other.invalid").Allow(); err != nil {
+		t.Errorf("unrelated peer tripped: %v", err)
+	}
+}
+
+func TestFaultTransportErrorRateAndCounters(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	fault := &FaultTransport{ErrorRate: 0.3, Seed: 7}
+	client := &http.Client{Transport: fault}
+	failures := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			failures++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if failures < n/5 || failures > n/2 {
+		t.Errorf("injected failures = %d of %d, want ≈30%%", failures, n)
+	}
+	if fault.Attempts() != n || fault.Injected() != int64(failures) {
+		t.Errorf("counters: attempts=%d injected=%d failures=%d", fault.Attempts(), fault.Injected(), failures)
+	}
+}
+
+func TestFaultTransportLatencyRespectsContext(t *testing.T) {
+	fault := &FaultTransport{Latency: time.Hour, Seed: 1}
+	req, _ := http.NewRequest(http.MethodGet, "http://peer.invalid/", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := fault.RoundTrip(req.WithContext(ctx)); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("latency injection ignored the request context")
+	}
+}

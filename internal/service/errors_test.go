@@ -68,7 +68,7 @@ func TestErrorEnvelopeShape(t *testing.T) {
 			if tc.wantCode == "Base.1.0.PreconditionFailed" {
 				req.Header.Set("If-Match", `"bogus-etag"`)
 			}
-			resp, err := http.DefaultClient.Do(req)
+			resp, err := (&http.Client{}).Do(req)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+// Liveness verdict levels, in order of decreasing health.
+const (
+	liveOK = iota
+	liveDegraded
+	liveUnavailable
+)
+
+// LivenessConfig tunes the aggregation-source liveness sweeper.
+type LivenessConfig struct {
+	// Interval is the sweep cadence (default 10s).
+	Interval time.Duration
+	// StaleAfter is the heartbeat age at which a source is marked
+	// Degraded (default 3×Interval).
+	StaleAfter time.Duration
+	// UnavailableAfter is the heartbeat age at which a Degraded source
+	// is marked Unavailable (default 3×StaleAfter).
+	UnavailableAfter time.Duration
+}
+
+func (c LivenessConfig) withDefaults() LivenessConfig {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * c.Interval
+	}
+	if c.UnavailableAfter <= 0 {
+		c.UnavailableAfter = 3 * c.StaleAfter
+	}
+	return c
+}
+
+// LivenessSweeper watches every AggregationSource's
+// Oem.OFMF.LastHeartbeat and flips the source's Status as heartbeats go
+// stale — Degraded (Health Warning) after StaleAfter, Unavailable
+// (State UnavailableOffline, Health Critical) after UnavailableAfter —
+// and back to OK when they resume. Every transition publishes a
+// StatusChange event and each sweep refreshes the ofmf_agent_liveness
+// gauge, so both subscribers and scrapers see dead agents without
+// polling the tree. This closes the paper's centralization loop: the
+// OFMF owns all composition state, so it must also own the authoritative
+// view of which agents still answer for theirs.
+type LivenessSweeper struct {
+	svc *Service
+	cfg LivenessConfig
+	now func() time.Time
+
+	mu sync.Mutex
+	// firstSeen anchors staleness for sources that have never sent a
+	// heartbeat, so an agent that dies between registration and its
+	// first beat is still detected.
+	firstSeen map[odata.ID]time.Time
+	seq       int64
+}
+
+// NewLivenessSweeper builds a sweeper over the service's aggregation
+// sources. Start it with Start, or drive sweeps manually with Sweep.
+func (s *Service) NewLivenessSweeper(cfg LivenessConfig) *LivenessSweeper {
+	return &LivenessSweeper{
+		svc:       s,
+		cfg:       cfg.withDefaults(),
+		now:       time.Now,
+		firstSeen: make(map[odata.ID]time.Time),
+	}
+}
+
+// SetClock overrides the sweeper's time source (tests).
+func (w *LivenessSweeper) SetClock(now func() time.Time) { w.now = now }
+
+// Start runs the sweeper at its configured interval until the returned
+// stop function is called.
+func (w *LivenessSweeper) Start() (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(w.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				w.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// Sweep performs one liveness pass over all aggregation sources.
+func (w *LivenessSweeper) Sweep() {
+	now := w.now()
+	members, err := w.svc.store.Members(AggregationSourcesURI)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seen := make(map[odata.ID]bool, len(members))
+	for _, uri := range members {
+		seen[uri] = true
+		w.sweepSourceLocked(uri, now)
+	}
+	// Forget deleted sources so their anchors don't accumulate.
+	for uri := range w.firstSeen {
+		if !seen[uri] {
+			delete(w.firstSeen, uri)
+		}
+	}
+}
+
+func (w *LivenessSweeper) sweepSourceLocked(uri odata.ID, now time.Time) {
+	var src redfish.AggregationSource
+	if err := w.svc.store.GetAs(uri, &src); err != nil {
+		return
+	}
+	// In-process agents (no callback URL) share the OFMF's process fate:
+	// there is no management path to lose, so they are live by
+	// construction and never swept.
+	if src.HostName == "" {
+		w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(1)
+		delete(w.firstSeen, uri)
+		return
+	}
+	var last time.Time
+	if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat != "" {
+		t, err := time.Parse(time.RFC3339, src.Oem.OFMF.LastHeartbeat)
+		if err == nil {
+			last = t
+			delete(w.firstSeen, uri)
+		}
+	}
+	if last.IsZero() {
+		// Never beaten: measure staleness from when the sweeper first
+		// saw the source.
+		anchor, ok := w.firstSeen[uri]
+		if !ok {
+			w.firstSeen[uri] = now
+			anchor = now
+		}
+		last = anchor
+	}
+
+	age := now.Sub(last)
+	level := liveOK
+	switch {
+	case age >= w.cfg.UnavailableAfter:
+		level = liveUnavailable
+	case age >= w.cfg.StaleAfter:
+		level = liveDegraded
+	}
+	w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(livenessValue(level))
+	current := levelOf(src.Status)
+	if level == current {
+		return
+	}
+
+	status, word, severity := statusFor(level)
+	if err := w.svc.store.Patch(uri, map[string]any{"Status": map[string]any{
+		"State": status.State, "Health": status.Health,
+	}}, ""); err != nil {
+		return
+	}
+	w.seq++
+	rec := events.Record(redfish.EventStatusChange, fmt.Sprintf("liveness-%d", w.seq),
+		fmt.Sprintf("aggregation source %s is %s (heartbeat age %s)", uri.Leaf(), word, age.Round(time.Second)), uri)
+	rec.Severity = severity
+	w.svc.bus.Publish(rec)
+	w.svc.log.LogAttrs(context.Background(), slog.LevelWarn, "agent liveness transition",
+		slog.String("source", string(uri)),
+		slog.String("to", word),
+		slog.Duration("heartbeat_age", age),
+	)
+}
+
+// levelOf maps a stored Status back to a liveness level.
+func levelOf(st odata.Status) int {
+	switch {
+	case st.State == odata.StateUnavailable || st.Health == odata.HealthCritical:
+		return liveUnavailable
+	case st.Health == odata.HealthWarning:
+		return liveDegraded
+	}
+	return liveOK
+}
+
+// statusFor maps a liveness level to the Redfish status written to the
+// source, the transition word used in events, and the event severity.
+func statusFor(level int) (odata.Status, string, string) {
+	switch level {
+	case liveUnavailable:
+		return odata.Status{State: odata.StateUnavailable, Health: odata.HealthCritical}, "Unavailable", "Critical"
+	case liveDegraded:
+		return odata.Status{State: odata.StateEnabled, Health: odata.HealthWarning}, "Degraded", "Warning"
+	}
+	return odata.StatusOK(), "OK", "OK"
+}
+
+// livenessValue renders a level as the ofmf_agent_liveness gauge value.
+func livenessValue(level int) float64 {
+	switch level {
+	case liveUnavailable:
+		return 0
+	case liveDegraded:
+		return 0.5
+	}
+	return 1
+}

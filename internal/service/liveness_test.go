@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+)
+
+// postSource registers an aggregation source with a heartbeat stamped at
+// the given time and returns its URI.
+func postSource(t *testing.T, srvURL string, host string, beat time.Time) odata.ID {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPost, srvURL+string(AggregationSourcesURI), map[string]any{
+		"HostName": host,
+		"Name":     "Agent " + host,
+		"Oem": map[string]any{"OFMF": map[string]any{
+			"Technology":    "CXL",
+			"LastHeartbeat": redfish.Timestamp(beat),
+		}},
+	}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var src redfish.AggregationSource
+	if err := json.Unmarshal(body, &src); err != nil {
+		t.Fatal(err)
+	}
+	return src.ODataID
+}
+
+func sourceStatus(t *testing.T, svc *Service, uri odata.ID) odata.Status {
+	t.Helper()
+	var src redfish.AggregationSource
+	if err := svc.store.GetAs(uri, &src); err != nil {
+		t.Fatal(err)
+	}
+	return src.Status
+}
+
+// TestLivenessSweeperTransitions walks one source through the full
+// verdict ladder: OK → Degraded → Unavailable → (heartbeat resumes) OK,
+// checking the stored Status and the StatusChange events at each step.
+func TestLivenessSweeperTransitions(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+
+	var mu sync.Mutex
+	var transitions []string
+	if _, err := svc.Bus().Subscribe(events.SinkFunc(func(_ context.Context, ev redfish.Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, rec := range ev.Events {
+			transitions = append(transitions, rec.Message)
+		}
+		return nil
+	}), events.Filter{EventTypes: []string{redfish.EventStatusChange}}, "liveness-test"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Unix(1_700_000_000, 0)
+	uri := postSource(t, srv.URL, "http://agent-a.example", start)
+
+	now := start
+	sweeper := svc.NewLivenessSweeper(LivenessConfig{
+		Interval:         10 * time.Millisecond,
+		StaleAfter:       time.Minute,
+		UnavailableAfter: 3 * time.Minute,
+	})
+	sweeper.SetClock(func() time.Time { return now })
+
+	sweeper.Sweep()
+	if st := sourceStatus(t, svc, uri); st != odata.StatusOK() {
+		t.Fatalf("fresh source status = %+v", st)
+	}
+
+	// Stale past StaleAfter: Degraded, still Enabled.
+	now = start.Add(90 * time.Second)
+	sweeper.Sweep()
+	if st := sourceStatus(t, svc, uri); st.State != odata.StateEnabled || st.Health != odata.HealthWarning {
+		t.Fatalf("stale source status = %+v, want Enabled/Warning", st)
+	}
+
+	// A second sweep at the same level must not re-fire the transition.
+	sweeper.Sweep()
+
+	// Stale past UnavailableAfter: Unavailable/Critical.
+	now = start.Add(5 * time.Minute)
+	sweeper.Sweep()
+	if st := sourceStatus(t, svc, uri); st.State != odata.StateUnavailable || st.Health != odata.HealthCritical {
+		t.Fatalf("dead source status = %+v, want UnavailableOffline/Critical", st)
+	}
+
+	// Heartbeat resumes: next sweep restores OK.
+	if err := svc.store.Patch(uri, map[string]any{
+		"Oem": map[string]any{"OFMF": map[string]any{"LastHeartbeat": redfish.Timestamp(now)}},
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	sweeper.Sweep()
+	if st := sourceStatus(t, svc, uri); st != odata.StatusOK() {
+		t.Fatalf("recovered source status = %+v", st)
+	}
+
+	want := []string{"Degraded", "Unavailable", "OK"}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(transitions)
+		mu.Unlock()
+		if n >= len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saw %d transition events, want %d", n, len(want))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != len(want) {
+		t.Fatalf("transition events = %q, want %d", transitions, len(want))
+	}
+	for i, word := range want {
+		if !strings.Contains(transitions[i], " is "+word+" ") {
+			t.Errorf("transition %d = %q, want %q", i, transitions[i], word)
+		}
+	}
+}
+
+// TestLivenessSweeperDetectsSilentSinceRegistration covers agents that
+// register and then never beat: staleness is anchored at first sight.
+func TestLivenessSweeperDetectsSilentSinceRegistration(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+
+	// Register without any heartbeat field at all.
+	resp, body := doJSON(t, http.MethodPost, srv.URL+string(AggregationSourcesURI), map[string]any{
+		"HostName": "http://mute.example", "Name": "Mute Agent",
+	}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var src redfish.AggregationSource
+	if err := json.Unmarshal(body, &src); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Unix(1_700_000_000, 0)
+	now := start
+	sweeper := svc.NewLivenessSweeper(LivenessConfig{StaleAfter: time.Minute})
+	sweeper.SetClock(func() time.Time { return now })
+
+	sweeper.Sweep() // anchors firstSeen
+	if st := sourceStatus(t, svc, src.ODataID); st != odata.StatusOK() {
+		t.Fatalf("just-seen source status = %+v", st)
+	}
+	now = start.Add(2 * time.Minute)
+	sweeper.Sweep()
+	if st := sourceStatus(t, svc, src.ODataID); st.Health != odata.HealthWarning {
+		t.Fatalf("silent source status = %+v, want Warning", st)
+	}
+}
+
+// TestLivenessSweeperStartStop exercises the ticker path end to end with
+// real (short) intervals.
+func TestLivenessSweeperStartStop(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	uri := postSource(t, srv.URL, "http://agent-b.example", time.Now().Add(-time.Hour))
+
+	sweeper := svc.NewLivenessSweeper(LivenessConfig{
+		Interval:         2 * time.Millisecond,
+		StaleAfter:       10 * time.Millisecond,
+		UnavailableAfter: 20 * time.Millisecond,
+	})
+	stop := sweeper.Start()
+	defer stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := sourceStatus(t, svc, uri); st.State == odata.StateUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never marked the hour-stale source Unavailable")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop() // idempotent
+}

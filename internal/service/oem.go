@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
+	"ofmf/internal/resilience"
 )
 
 // OEM extension URIs used by out-of-process Agents. The reference OFMF
@@ -105,6 +107,20 @@ func (s *Service) handleEventPush(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// maxAgentResponseBytes bounds agent ops responses so a confused agent
+// cannot exhaust OFMF memory.
+const maxAgentResponseBytes = 8 << 20
+
+// defaultAgentClient lazily builds the shared client for forwarded fabric
+// operations: per-attempt timeouts and a per-agent circuit breaker, but
+// no transport retries — fabric mutations (CreateConnection etc.) are not
+// idempotent, so retry decisions stay with the composition layer.
+var defaultAgentClient = sync.OnceValue(func() *http.Client {
+	p := resilience.DefaultPolicy()
+	p.MaxAttempts = 1
+	return resilience.NewHTTPClient(p)
+})
+
 // remoteHandler forwards fabric operations to a remote agent's ops server.
 type remoteHandler struct {
 	fabric odata.ID
@@ -127,16 +143,19 @@ func (h *remoteHandler) post(op OpRequest, out any) error {
 	}
 	client := h.client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultAgentClient()
 	}
 	resp, err := client.Post(h.url+"/agent/ops", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxAgentResponseBytes+1))
 	if err != nil {
 		return err
+	}
+	if len(data) > maxAgentResponseBytes {
+		return fmt.Errorf("agent at %s: response exceeds %d bytes", h.url, maxAgentResponseBytes)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return fmt.Errorf("agent at %s: %s: %s", h.url, resp.Status, bytes.TrimSpace(data))

@@ -103,6 +103,10 @@ type Config struct {
 	SessionTimeout time.Duration
 	// Events tunes the event bus.
 	Events events.Config
+	// SSEKeepalive is the interval between comment frames written to idle
+	// SSE streams so dead clients are detected and reaped instead of
+	// holding a subscription forever (default 15s; negative disables).
+	SSEKeepalive time.Duration
 	// DirectWrites permits generic POST/PATCH/DELETE on resources that are
 	// not handled by a dedicated endpoint or fabric agent. The in-process
 	// testbed and the composer use this; it mirrors the reference OFMF

@@ -46,7 +46,7 @@ func doJSON(t *testing.T, method, url string, body any, headers map[string]strin
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -637,7 +637,7 @@ func TestTaskMirroredIntoTree(t *testing.T) {
 func TestMethodNotAllowed(t *testing.T) {
 	_, srv := newTestServer(t, Config{})
 	req, _ := http.NewRequest("PUT", srv.URL+string(RootURI), bytes.NewReader([]byte("{}")))
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -662,7 +662,7 @@ func TestCollectionMutationRejected(t *testing.T) {
 func TestMalformedJSON(t *testing.T) {
 	_, srv := newTestServer(t, Config{DirectWrites: true})
 	req, _ := http.NewRequest(http.MethodPost, srv.URL+string(SystemsURI), bytes.NewReader([]byte("{not json")))
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := (&http.Client{}).Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

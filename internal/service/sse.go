@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
 	"ofmf/internal/events"
 	"ofmf/internal/redfish"
@@ -54,16 +56,39 @@ func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// Periodic comment frames detect clients that vanished without closing
+	// the connection: the first write to a dead peer fails and ends the
+	// stream, releasing its bus subscription. A write error on an event
+	// frame means nothing further can ever be delivered, so the stream
+	// terminates rather than silently discarding events.
+	keepalive := s.cfg.SSEKeepalive
+	if keepalive == 0 {
+		keepalive = 15 * time.Second
+	}
+	var keepaliveC <-chan time.Time
+	if keepalive > 0 {
+		tick := time.NewTicker(keepalive)
+		defer tick.Stop()
+		keepaliveC = tick.C
+	}
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepaliveC:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev := <-ch:
 			data, err := json.Marshal(ev)
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(w, "id: %s\ndata: %s\n\n", ev.ID, data)
+			if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n", ev.ID, data); err != nil {
+				return
+			}
 			flusher.Flush()
 		}
 	}

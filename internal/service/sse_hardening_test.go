@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+// brokenWriter accepts the SSE preamble, then fails every subsequent
+// write — a client whose socket died without closing the request.
+type brokenWriter struct {
+	hdr http.Header
+
+	mu     sync.Mutex
+	writes int
+	broken bool
+}
+
+func (b *brokenWriter) Header() http.Header { return b.hdr }
+func (b *brokenWriter) WriteHeader(int)     {}
+func (b *brokenWriter) Flush()              {}
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writes++
+	if b.broken {
+		return 0, errors.New("write on dead connection")
+	}
+	return len(p), nil
+}
+
+func (b *brokenWriter) breakPipe() {
+	b.mu.Lock()
+	b.broken = true
+	b.mu.Unlock()
+}
+
+// TestSSETerminatesOnWriteError verifies a stream whose peer is gone is
+// torn down on the first failed write — releasing its bus subscription —
+// instead of pumping events into the void forever.
+func TestSSETerminatesOnWriteError(t *testing.T) {
+	svc := New(Config{})
+	t.Cleanup(svc.Close)
+
+	w := &brokenWriter{hdr: make(http.Header)}
+	r := httptest.NewRequest(http.MethodGet, string(SSEURI), nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		svc.handleSSE(w, r)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.Bus().Subscriptions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscription never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	w.breakPipe()
+	svc.Bus().Publish(events.Record(redfish.EventAlert, "dead-1", "event for a dead client", ""))
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler kept streaming after the write error")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(svc.Bus().Subscriptions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead stream's subscription leaked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSSEKeepaliveFrames verifies idle streams carry periodic comment
+// frames, the probe that surfaces dead clients to the write path.
+func TestSSEKeepaliveFrames(t *testing.T) {
+	_, srv := newTestServer(t, Config{SSEKeepalive: 5 * time.Millisecond})
+
+	resp, err := http.Get(srv.URL + string(SSEURI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		reader := bufio.NewReader(resp.Body)
+		for {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(line, ":") {
+				got <- strings.TrimSpace(line)
+				return
+			}
+		}
+	}()
+	select {
+	case line := <-got:
+		if line != ": keepalive" {
+			t.Errorf("comment frame = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no keepalive frame on an idle stream")
+	}
+}
