@@ -23,6 +23,7 @@ race:
 # Compare numbers against BENCH_store.json with a real -benchtime.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOFMFScale|BenchmarkStorePutSubtree|BenchmarkAblationStoreRead' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x -benchmem ./internal/store/persist
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,16 +9,26 @@
 // metrics are exposed at /metrics (-metrics), and Go profiling at
 // /debug/pprof when enabled (-pprof).
 //
+// Durability: with -data-dir the resource tree survives restarts — every
+// mutation is appended to a write-ahead log (group-committed; -fsync
+// selects whether commits wait for stable storage), compacted snapshots
+// are taken every -snapshot-interval, and boot recovers the newest
+// snapshot plus the log tail, truncating records torn by a crash.
+// Without -data-dir the store is purely in-memory, as before.
+//
 // Usage:
 //
 //	ofmf -addr :8080                      # bare service, wait for agents
 //	ofmf -addr :8080 -testbed -nodes 16   # emulated hardware + composer
 //	ofmf -addr :8080 -auth admin:secret   # require session tokens
+//	ofmf -addr :8080 -data-dir /var/lib/ofmf   # durable resource tree
 //	ofmf -addr :8080 -log-level debug -pprof
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -29,23 +39,29 @@ import (
 	"time"
 
 	"ofmf/internal/core"
+	"ofmf/internal/events"
 	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/service"
 	"ofmf/internal/sessions"
 	"ofmf/internal/store"
+	"ofmf/internal/store/persist"
 	"ofmf/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		auth        = flag.String("auth", "", "require authentication with user:password")
-		testbed     = flag.Bool("testbed", false, "assemble the emulated composable testbed")
-		nodes       = flag.Int("nodes", 8, "testbed compute node count")
-		oomMiB      = flag.Int64("oom-hot-add", 0, "enable the OOM mitigation rule with this hot-add step (MiB)")
-		snapshot    = flag.String("snapshot", "", "tree snapshot file: loaded at startup when present, written on SIGINT/SIGTERM")
+		addr         = flag.String("addr", ":8080", "listen address")
+		auth         = flag.String("auth", "", "require authentication with user:password")
+		testbed      = flag.Bool("testbed", false, "assemble the emulated composable testbed")
+		nodes        = flag.Int("nodes", 8, "testbed compute node count")
+		oomMiB       = flag.Int64("oom-hot-add", 0, "enable the OOM mitigation rule with this hot-add step (MiB)")
+		snapshot     = flag.String("snapshot", "", "tree snapshot file: loaded at startup when present, written on SIGINT/SIGTERM")
+		dataDir      = flag.String("data-dir", "", "durable store directory (WAL + snapshots); empty keeps the tree in-memory only")
+		fsync        = flag.Bool("fsync", true, "with -data-dir: mutations wait for the WAL fsync (group-committed); false flushes to the OS only")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute,
+			"with -data-dir: cadence of compacted snapshots and WAL rotation (0 disables the periodic loop)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
 		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
@@ -124,6 +140,40 @@ func main() {
 		go telem.Run(stop)
 	}
 
+	// Durable store: recover the tree from the data directory before any
+	// request is served, then attach the backend so every subsequent
+	// mutation is logged. Recovery replays through the store's normal
+	// Put/Delete paths, so indexes and id high-water marks are rebuilt
+	// exactly; a StatusChange event and log line make the restore visible
+	// to operators.
+	if *dataDir != "" {
+		backend, err := persist.Open(persist.Options{
+			Dir:              *dataDir,
+			Fsync:            *fsync,
+			SnapshotInterval: *snapInterval,
+			Logger:           logger,
+			Metrics:          metrics,
+		})
+		if err != nil {
+			fatal("ofmf: data dir", err)
+		}
+		stats, err := backend.Recover(tree)
+		if err != nil {
+			fatal("ofmf: recovery", err)
+		}
+		tree.AttachBackend(backend, stats.LastSeq)
+		backend.StartSnapshots(tree)
+		logger.Info("ofmf: store recovered",
+			"data_dir", *dataDir, "resources", stats.Resources,
+			"replayed", stats.Replayed, "snapshot_seq", stats.SnapshotSeq,
+			"truncated", stats.Truncated, "fsync", *fsync,
+			"duration", stats.Duration)
+		ofmfSvc.Bus().Publish(events.Record(redfish.EventStatusChange, "recovery",
+			fmt.Sprintf("OFMF store recovered: %d resources restored, %d WAL records replayed in %s",
+				stats.Resources, stats.Replayed, stats.Duration.Round(time.Millisecond)),
+			service.RootURI))
+	}
+
 	// The liveness sweeper is the OFMF-side half of the heartbeat
 	// contract: agents report in; the sweeper downgrades sources whose
 	// reports stop arriving.
@@ -149,6 +199,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
+	// Legacy portable snapshot file: load at startup, write at shutdown.
+	// Orthogonal to -data-dir (which owns its own snapshot format); the
+	// same export is also reachable over the wire via `ofmfctl dump`.
 	if *snapshot != "" {
 		if data, err := os.ReadFile(*snapshot); err == nil {
 			if err := tree.Import(data); err != nil {
@@ -158,26 +211,40 @@ func main() {
 		} else if !os.IsNotExist(err) {
 			fatal("ofmf: snapshot read", err)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			data, err := tree.Export()
-			if err == nil {
-				err = os.WriteFile(*snapshot, data, 0o644)
-			}
-			if err != nil {
-				logger.Error("ofmf: snapshot write failed", "err", err)
-				os.Exit(1)
-			}
-			logger.Info("ofmf: snapshot written", "file", *snapshot)
-			os.Exit(0)
-		}()
 	}
 
+	// Graceful shutdown: stop accepting requests, write the legacy
+	// snapshot if configured, then let the deferred closes flush and
+	// close the durable backend.
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Info("ofmf: shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("ofmf: shutdown", "err", err)
+		}
+	}()
+
 	logger.Info("ofmf: serving", "addr", *addr, "root", "/redfish/v1",
-		"metrics", *withMetrics, "pprof", *withPprof)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+		"metrics", *withMetrics, "pprof", *withPprof,
+		"durable", *dataDir != "")
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal("ofmf: server failed", err)
 	}
+	if *snapshot != "" {
+		data, err := tree.Export()
+		if err == nil {
+			err = os.WriteFile(*snapshot, data, 0o644)
+		}
+		if err != nil {
+			logger.Error("ofmf: snapshot write failed", "err", err)
+		} else {
+			logger.Info("ofmf: snapshot written", "file", *snapshot)
+		}
+	}
+	logger.Info("ofmf: stopped")
 }

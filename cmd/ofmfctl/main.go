@@ -18,6 +18,8 @@
 //	compositions               list live compositions
 //	stats                      composability utilization counters
 //	events [EventType]         tail the SSE event stream
+//	dump [file]                download the whole resource tree (stdout or file)
+//	restore <file>             upload a tree dump into the live store
 package main
 
 import (
@@ -110,6 +112,21 @@ func main() {
 		stats, err := c.ComposerStats()
 		check(err)
 		dump(stats)
+	case "dump":
+		data, err := c.ExportTree()
+		check(err)
+		if len(args) > 1 {
+			check(os.WriteFile(args[1], data, 0o644))
+			fmt.Fprintln(os.Stderr, "ofmfctl: dumped tree to", args[1])
+		} else {
+			fmt.Println(string(data))
+		}
+	case "restore":
+		need(args, 2, "restore <file>")
+		data, err := os.ReadFile(args[1])
+		check(err)
+		check(c.ImportTree(data))
+		fmt.Println("restored tree from", args[1])
 	case "events":
 		streamURL := *url + string(service.SSEURI)
 		if len(args) > 1 {

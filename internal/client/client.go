@@ -244,6 +244,25 @@ func (c *Client) Patch(path odata.ID, patch map[string]any) error {
 	return err
 }
 
+// ExportTree downloads the whole resource tree as portable JSON from the
+// admin backup endpoint. The format is the store's Export format,
+// independent of any on-disk WAL layout, so dumps restore across
+// deployments and versions.
+func (c *Client) ExportTree() ([]byte, error) {
+	var dump json.RawMessage
+	if _, err := c.do(http.MethodGet, string(service.AdminTreeOemURI), nil, &dump); err != nil {
+		return nil, err
+	}
+	return dump, nil
+}
+
+// ImportTree uploads a tree dump (as produced by ExportTree) to the admin
+// backup endpoint, replaying it into the live store.
+func (c *Client) ImportTree(dump []byte) error {
+	_, err := c.do(http.MethodPost, string(service.AdminTreeOemURI), json.RawMessage(dump), nil)
+	return err
+}
+
 // WaitTask polls a Redfish task monitor until the task reaches a terminal
 // state or the timeout elapses, returning the final task resource.
 func (c *Client) WaitTask(monitor odata.ID, timeout time.Duration) (redfish.Task, error) {

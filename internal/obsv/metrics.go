@@ -51,6 +51,19 @@ type Metrics struct {
 	// ofmf_store_ops_total.
 	StoreOps *CounterVec
 
+	// WALAppends counts mutation records appended to the store's
+	// write-ahead log: ofmf_wal_appends_total.
+	WALAppends *Counter
+	// WALFsync times WAL group-commit fsync rounds; one round can make
+	// many concurrent mutations durable: ofmf_wal_fsync_seconds.
+	WALFsync *Histogram
+	// SnapshotSeconds times durable snapshot capture, write and log
+	// rotation: ofmf_snapshot_seconds.
+	SnapshotSeconds *Histogram
+	// RecoveryReplayed counts WAL records replayed at boot recovery:
+	// ofmf_recovery_replayed_total.
+	RecoveryReplayed *Counter
+
 	// SSESubscribers gauges open server-sent-event streams:
 	// ofmf_sse_subscribers.
 	SSESubscribers *Gauge
@@ -93,6 +106,14 @@ func NewMetrics(reg *Registry) *Metrics {
 			"source"),
 		StoreOps: reg.CounterVec("ofmf_store_ops_total",
 			"Resource store operations, by kind.", "op"),
+		WALAppends: reg.Counter("ofmf_wal_appends_total",
+			"Mutation records appended to the store write-ahead log."),
+		WALFsync: reg.Histogram("ofmf_wal_fsync_seconds",
+			"WAL group-commit fsync round duration in seconds.", nil),
+		SnapshotSeconds: reg.Histogram("ofmf_snapshot_seconds",
+			"Durable store snapshot duration in seconds.", nil),
+		RecoveryReplayed: reg.Counter("ofmf_recovery_replayed_total",
+			"WAL records replayed during boot recovery."),
 		SSESubscribers: reg.Gauge("ofmf_sse_subscribers",
 			"Open server-sent-event streams."),
 		SSEDropped: reg.Counter("ofmf_sse_dropped_events_total",

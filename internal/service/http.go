@@ -125,6 +125,9 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request) {
 	case CollectionsOemURI:
 		s.handleCollectionsPush(w, r)
 		return
+	case AdminTreeOemURI:
+		s.handleAdminTree(w, r)
+		return
 	case SSEURI:
 		s.handleSSE(w, r)
 		return

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/resilience"
@@ -20,7 +21,52 @@ const (
 	SubtreeOemURI     = RootURI + "/Oem/OFMF/Subtree"
 	EventsOemURI      = RootURI + "/Oem/OFMF/Events"
 	CollectionsOemURI = RootURI + "/Oem/OFMF/Collections"
+	// AdminTreeOemURI is the operator backup endpoint: GET downloads the
+	// whole resource tree as portable JSON (the store's Export format,
+	// independent of the WAL's on-disk layout), POST/PUT restores one.
+	// ofmfctl dump/restore drive it.
+	AdminTreeOemURI = RootURI + "/Oem/OFMF/Admin/Tree"
 )
+
+// maxRestoreBytes bounds an uploaded tree dump. Dumps are whole-tree, so
+// the ceiling is far above the general request bound.
+const maxRestoreBytes = 256 << 20
+
+func (s *Service) handleAdminTree(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		data, err := s.store.Export()
+		if err != nil {
+			s.error(w, r, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if r.Method != http.MethodHead {
+			_, _ = w.Write(data)
+		}
+	case http.MethodPost, http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxRestoreBytes+1))
+		if err != nil {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+			return
+		}
+		if len(data) > maxRestoreBytes {
+			s.error(w, r, http.StatusRequestEntityTooLarge, "Base.1.0.PropertyValueError",
+				fmt.Sprintf("dump exceeds %d bytes", maxRestoreBytes))
+			return
+		}
+		if err := s.store.Import(data); err != nil {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
+			return
+		}
+		s.log.Info("service: tree restored via admin endpoint",
+			"resources", s.store.Len(), "request_id", obsv.RequestIDFrom(r.Context()))
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET, POST or PUT only")
+	}
+}
 
 // CollectionsPayload declares the collections an agent's subtree
 // contains, so the OFMF serves them as browsable (and POSTable)

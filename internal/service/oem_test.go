@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -265,4 +266,51 @@ func TestExpandCollection(t *testing.T) {
 	if len(plain.Members) != 2 || plain.Members[0].ODataID == "" {
 		t.Errorf("plain members = %+v", plain.Members)
 	}
+}
+
+func TestAdminTreeDumpRestore(t *testing.T) {
+	_, srvA := newTestServer(t, Config{})
+	check := func(resp *http.Response, body []byte, want int, what string) {
+		t.Helper()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %d: %s", what, resp.StatusCode, body)
+		}
+	}
+
+	// Seed A with an extra resource beyond the bootstrap tree, dump it.
+	extra := SystemsURI.Append("Imported1")
+	resp, body := doJSON(t, http.MethodPost, srvA.URL+string(SubtreeOemURI), SubtreePayload{
+		Prefix:    extra,
+		Resources: map[odata.ID]json.RawMessage{extra: json.RawMessage(`{"Name":"Imported1"}`)},
+	}, nil)
+	check(resp, body, http.StatusNoContent, "seed push")
+	resp, dump := doJSON(t, http.MethodGet, srvA.URL+string(AdminTreeOemURI), nil, nil)
+	check(resp, dump, http.StatusOK, "dump")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("dump content-type = %q", ct)
+	}
+
+	// Restore into a second, fresh deployment: the extra resource must
+	// appear there and the restored store must stay coherent.
+	_, srvB := newTestServer(t, Config{})
+	req, err := http.NewRequest(http.MethodPost, srvB.URL+string(AdminTreeOemURI), bytes.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreResp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreResp.Body.Close()
+	if restoreResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("restore = %d", restoreResp.StatusCode)
+	}
+	resp, body = doJSON(t, http.MethodGet, srvB.URL+string(extra), nil, nil)
+	check(resp, body, http.StatusOK, "restored resource")
+
+	// Bad payloads and methods are rejected cleanly.
+	resp, body = doJSON(t, http.MethodPost, srvB.URL+string(AdminTreeOemURI), "not a tree", nil)
+	check(resp, body, http.StatusBadRequest, "restore of non-object")
+	resp, body = doJSON(t, http.MethodDelete, srvB.URL+string(AdminTreeOemURI), nil, nil)
+	check(resp, body, http.StatusMethodNotAllowed, "delete")
 }

@@ -253,8 +253,16 @@ func (s *Service) Logger() *slog.Logger { return s.log }
 // Metrics exposes the service's instrument bundle.
 func (s *Service) Metrics() *obsv.Metrics { return s.metrics }
 
-// Close releases the service's background resources.
-func (s *Service) Close() { s.bus.Close() }
+// Close releases the service's background resources: the event bus, and
+// the store's durability backend if one is attached — flushing its
+// write-ahead log and taking a final snapshot, so a graceful shutdown
+// restarts without replay.
+func (s *Service) Close() {
+	s.bus.Close()
+	if err := s.store.Close(); err != nil {
+		s.log.Error("service: store backend close failed", "err", err)
+	}
+}
 
 func (s *Service) bootstrap() {
 	st := s.store

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ofmf/internal/odata"
+)
+
+// Import audit regression tests: an imported tree must behave exactly
+// like one built through the normal mutation paths — derived state
+// (children index, collection caches, id high-water marks) is rebuilt,
+// not restored, so each piece gets its own regression test.
+
+// populate builds a small tree with a registered collection, members,
+// and an unrelated subtree, mirroring what a live deployment holds.
+func populate(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	s.RegisterCollection("/redfish/v1/Systems", "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+	for _, id := range []odata.ID{"/redfish/v1/Systems/1", "/redfish/v1/Systems/7"} {
+		if err := s.Put(id, testRes{ODataID: string(id), Name: id.Leaf()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("/redfish/v1/Chassis/C1", testRes{ODataID: "/redfish/v1/Chassis/C1", Name: "C1"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// restore imports an export into a fresh store with the same collection
+// registrations a boot would re-declare.
+func restore(t *testing.T, dump []byte) *Store {
+	t.Helper()
+	s := New()
+	s.RegisterCollection("/redfish/v1/Systems", "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+	if err := s.Import(dump); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestImportRebuildsChildrenIndex(t *testing.T) {
+	src := populate(t)
+	dump, err := src.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := restore(t, dump)
+
+	want, err := src.Members("/redfish/v1/Systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Members("/redfish/v1/Systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("members after import = %v, want %v", got, want)
+	}
+	// The index must also serve deletion fan-out: removing the subtree
+	// under Systems must find both members.
+	if n := dst.DeleteSubtree("/redfish/v1/Systems/1"); n != 1 {
+		t.Errorf("DeleteSubtree removed %d resources, want 1", n)
+	}
+	got, err = dst.Members("/redfish/v1/Systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "/redfish/v1/Systems/7" {
+		t.Errorf("members after delete = %v", got)
+	}
+}
+
+func TestImportRebuildsNextIDHighWater(t *testing.T) {
+	src := New()
+	for _, id := range []odata.ID{"/redfish/v1/C/1", "/redfish/v1/C/7", "/redfish/v1/C/nonnumeric"} {
+		if err := src.Put(id, testRes{ODataID: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump, err := src.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.Import(dump); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh allocation must not collide with imported members: the
+	// high-water mark is derived from the imported ids, so the next id
+	// after 1 and 7 is 8.
+	if got := dst.NextID("/redfish/v1/C"); got != "8" {
+		t.Errorf("NextID after import = %q, want %q", got, "8")
+	}
+}
+
+func TestImportInvalidatesCollectionCache(t *testing.T) {
+	s := New()
+	s.RegisterCollection("/redfish/v1/Systems", "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+	// Prime the lazy collection cache while the collection is empty.
+	coll, err := s.Collection("/redfish/v1/Systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.Members) != 0 {
+		t.Fatalf("pre-import members = %v", coll.Members)
+	}
+	dump, err := populate(t).Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Import(dump); err != nil {
+		t.Fatal(err)
+	}
+	coll, err = s.Collection("/redfish/v1/Systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.Members) != 2 {
+		t.Errorf("post-import members = %v, want 2 entries", coll.Members)
+	}
+}
+
+func TestImportExportRoundTripStable(t *testing.T) {
+	src := populate(t)
+	dump, err := src.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := restore(t, dump)
+	again, err := dst.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump, again) {
+		t.Errorf("round-trip export diverged:\n%s\nvs\n%s", dump, again)
+	}
+	if src.Len() != dst.Len() {
+		t.Errorf("Len after import = %d, want %d", dst.Len(), src.Len())
+	}
+}
+
+// captureBackend records every appended mutation, standing in for the
+// WAL so replay parity can be checked without touching disk.
+type captureBackend struct {
+	recs []Record
+}
+
+func (c *captureBackend) Append(batch []Record) func() error {
+	c.recs = append(c.recs, batch...)
+	return nil
+}
+
+func (c *captureBackend) Close() error { return nil }
+
+func TestApplyReplayMatchesOriginal(t *testing.T) {
+	cap := &captureBackend{}
+	src := New()
+	src.AttachBackend(cap, 0)
+	src.RegisterCollection("/redfish/v1/Systems", "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+
+	// Exercise every mutation family the WAL reduces to put/delete
+	// primitives: Put, Create, Patch, PutSubtree (with deletes),
+	// Delete and DeleteSubtree.
+	for i := 1; i <= 3; i++ {
+		id := odata.ID(fmt.Sprintf("/redfish/v1/Systems/%d", i))
+		if err := src.Put(id, testRes{ODataID: string(id), Name: "sys", Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Create("/redfish/v1/Managers/M1", testRes{ODataID: "/redfish/v1/Managers/M1", Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Patch("/redfish/v1/Systems/2", map[string]any{"Name": "patched"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutSubtree("/redfish/v1/Fabrics/F1", map[odata.ID]any{
+		"/redfish/v1/Fabrics/F1":             testRes{ODataID: "/redfish/v1/Fabrics/F1", Name: "f"},
+		"/redfish/v1/Fabrics/F1/Endpoints/1": testRes{ODataID: "/redfish/v1/Fabrics/F1/Endpoints/1", Name: "ep"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Delete("/redfish/v1/Systems/3"); err != nil {
+		t.Fatal(err)
+	}
+	src.DeleteSubtree("/redfish/v1/Managers/M1")
+
+	// Replaying the captured records through Apply — exactly what boot
+	// recovery does — must reproduce the source tree and its derived
+	// state, not just the raw bytes.
+	dst := New()
+	dst.RegisterCollection("/redfish/v1/Systems", "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+	for _, rec := range cap.recs {
+		if err := dst.Apply(rec); err != nil {
+			t.Fatalf("apply %+v: %v", rec, err)
+		}
+	}
+	srcDump, err := src.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstDump, err := dst.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(srcDump, dstDump) {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", srcDump, dstDump)
+	}
+	srcMembers, _ := src.Members("/redfish/v1/Systems")
+	dstMembers, _ := dst.Members("/redfish/v1/Systems")
+	if !reflect.DeepEqual(srcMembers, dstMembers) {
+		t.Errorf("replayed members = %v, want %v", dstMembers, srcMembers)
+	}
+	if src.NextID("/redfish/v1/Systems") != dst.NextID("/redfish/v1/Systems") {
+		t.Errorf("replayed NextID = %q, want %q",
+			dst.NextID("/redfish/v1/Systems"), src.NextID("/redfish/v1/Systems"))
+	}
+}
+
+// TestImportedTreeServesCollections is the end-to-end restore check:
+// after import the collection payload (the GET hot path) must be
+// coherent JSON listing the imported members.
+func TestImportedTreeServesCollections(t *testing.T) {
+	dump, err := populate(t).Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := restore(t, dump)
+	err = dst.CollectionView("/redfish/v1/Systems", func(payload []byte, etag string) {
+		var coll struct {
+			Count   int `json:"Members@odata.count"`
+			Members []struct {
+				ID string `json:"@odata.id"`
+			} `json:"Members"`
+		}
+		if err := json.Unmarshal(payload, &coll); err != nil {
+			t.Fatalf("collection payload not JSON: %v", err)
+		}
+		if coll.Count != 2 || len(coll.Members) != 2 {
+			t.Errorf("collection after import = %+v", coll)
+		}
+		if etag == "" {
+			t.Error("collection etag empty after import")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,343 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"ofmf/internal/obsv"
+	"ofmf/internal/store"
+)
+
+// SnapshotSource yields a consistent cut of the resource tree: the
+// export plus the commit sequence number of the last mutation it
+// contains. *store.Store implements it.
+type SnapshotSource interface {
+	Snapshot() (data []byte, seq uint64, err error)
+}
+
+// Options configures a file backend.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Fsync selects the durability mode. When true (the production
+	// default) every mutation waits for its WAL record to reach stable
+	// storage before returning; group commit coalesces concurrent
+	// waiters into one fsync. When false the record still reaches the
+	// OS before the mutation returns — surviving a process kill but not
+	// a power failure.
+	Fsync bool
+	// SnapshotInterval is the cadence of compacted snapshots and WAL
+	// rotation. Zero or negative disables the periodic loop; a final
+	// compaction still happens on Close.
+	SnapshotInterval time.Duration
+	// Logger receives the backend's structured log output (default:
+	// drop everything).
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives WAL append counts, fsync and
+	// snapshot durations, and the recovery replay count.
+	Metrics *obsv.Metrics
+}
+
+// RecoveryStats describes one boot-time recovery.
+type RecoveryStats struct {
+	// SnapshotSeq is the sequence number of the snapshot loaded (0 when
+	// the directory held none).
+	SnapshotSeq uint64
+	// Replayed is the number of WAL records applied on top of the
+	// snapshot.
+	Replayed int
+	// Truncated reports that a torn tail (crash mid-write) was cut from
+	// the log.
+	Truncated bool
+	// Resources is the store's resource count after recovery.
+	Resources int
+	// LastSeq is the highest committed sequence number recovered; pass
+	// it to Store.AttachBackend.
+	LastSeq uint64
+	// Duration is the wall time recovery took, compaction included.
+	Duration time.Duration
+}
+
+// FileBackend is the store.Backend persisting mutations to a WAL plus
+// compacted snapshots in a data directory. Lifecycle:
+//
+//	b, _ := persist.Open(opts)
+//	stats, _ := b.Recover(st)          // load snapshot, replay tail
+//	st.AttachBackend(b, stats.LastSeq) // start logging new mutations
+//	b.StartSnapshots(st)               // periodic compaction
+//	...
+//	st.Close()                         // detaches and closes b
+type FileBackend struct {
+	opts Options
+	log  *slog.Logger
+
+	mu          sync.Mutex // guards wal swap and compaction
+	wal         *wal
+	lastSnapSeq uint64
+
+	src      SnapshotSource
+	stop     chan struct{}
+	loopDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open prepares a file backend on dir. No file is touched beyond
+// creating the directory; Recover opens the log.
+func Open(opts Options) (*FileBackend, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("persist: Options.Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: data dir: %w", err)
+	}
+	log := opts.Logger
+	if log == nil {
+		log = obsv.NopLogger()
+	}
+	return &FileBackend{opts: opts, log: log}, nil
+}
+
+// Recover rebuilds st from the data directory: load the newest valid
+// snapshot through Store.Import, replay every WAL record with a greater
+// sequence number through Store.Apply (truncating a torn tail), then
+// compact — write a fresh snapshot of the recovered tree, start a new
+// log segment, and delete the superseded files — so the next boot loads
+// one snapshot and an empty tail. Call it exactly once, before
+// AttachBackend.
+func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+	dir := b.opts.Dir
+
+	snap, ok, skipped, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return stats, err
+	}
+	if skipped > 0 {
+		b.log.Warn("persist: skipped unreadable snapshots", "count", skipped)
+	}
+	if ok {
+		if err := st.Import(snap.Resources); err != nil {
+			return stats, fmt.Errorf("persist: snapshot import: %w", err)
+		}
+		stats.SnapshotSeq = snap.Seq
+	}
+	lastSeq := stats.SnapshotSeq
+
+	segs, err := listSeqs(dir, walPrefix, walSuffix)
+	if err != nil {
+		return stats, err
+	}
+	for i, seg := range segs {
+		path := walPath(dir, seg)
+		f, err := os.Open(path)
+		if err != nil {
+			return stats, fmt.Errorf("persist: open segment: %w", err)
+		}
+		recs, good, torn := decodeAll(f)
+		f.Close()
+		if torn {
+			stats.Truncated = true
+			b.log.Warn("persist: truncating torn log tail", "segment", path, "offset", good)
+			if err := os.Truncate(path, good); err != nil {
+				return stats, fmt.Errorf("persist: truncate torn tail: %w", err)
+			}
+		}
+		for _, rec := range recs {
+			if rec.Seq <= lastSeq {
+				continue // already in the snapshot (or a duplicate)
+			}
+			if err := st.Apply(rec); err != nil {
+				return stats, fmt.Errorf("persist: replay seq %d: %w", rec.Seq, err)
+			}
+			stats.Replayed++
+			lastSeq = rec.Seq
+		}
+		if torn && i < len(segs)-1 {
+			// A tear can only happen at the end of the log that was
+			// active at the crash; anything after it is not trustworthy.
+			b.log.Warn("persist: ignoring segments after torn record",
+				"ignored", len(segs)-1-i)
+			break
+		}
+	}
+
+	stats.LastSeq = lastSeq
+	stats.Resources = st.Len()
+
+	// Compact: the recovered tree becomes the new baseline.
+	export, err := st.Export()
+	if err != nil {
+		return stats, fmt.Errorf("persist: recovery export: %w", err)
+	}
+	if err := writeSnapshot(dir, lastSeq, export); err != nil {
+		return stats, err
+	}
+	w, err := openWAL(walPath(dir, lastSeq+1), lastSeq, b.opts.Fsync, b.onFsync)
+	if err != nil {
+		return stats, err
+	}
+	b.mu.Lock()
+	b.wal = w
+	b.lastSnapSeq = lastSeq
+	b.mu.Unlock()
+	// The recovered store is the natural snapshot source for the final
+	// compaction on Close; StartSnapshots may override it.
+	b.src = st
+	removeBelow(dir, walPrefix, walSuffix, lastSeq+1)
+	removeBelow(dir, snapPrefix, snapSuffix, lastSeq)
+
+	stats.Duration = time.Since(start)
+	if m := b.opts.Metrics; m != nil {
+		m.RecoveryReplayed.Add(float64(stats.Replayed))
+	}
+	b.log.Info("persist: recovery complete",
+		"resources", stats.Resources, "replayed", stats.Replayed,
+		"snapshot_seq", stats.SnapshotSeq, "truncated", stats.Truncated,
+		"duration", stats.Duration)
+	return stats, nil
+}
+
+func (b *FileBackend) onFsync(d time.Duration) {
+	if m := b.opts.Metrics; m != nil {
+		m.WALFsync.Observe(d.Seconds())
+	}
+}
+
+// Append implements store.Backend. It runs under the store's write lock,
+// so it only frames the batch into the active segment's buffer; the
+// returned wait completes durability after the lock is released. The
+// backend's own mutex orders appends against segment rotation.
+func (b *FileBackend) Append(batch []store.Record) func() error {
+	b.mu.Lock()
+	w := b.wal
+	if w == nil {
+		b.mu.Unlock()
+		return func() error { return errors.New("persist: backend not recovered or already closed") }
+	}
+	wait := w.append(batch)
+	b.mu.Unlock()
+	if m := b.opts.Metrics; m != nil {
+		m.WALAppends.Add(float64(len(batch)))
+	}
+	return wait
+}
+
+// StartSnapshots begins the periodic snapshot/compaction loop over
+// consistent cuts of src. Call it once, after AttachBackend; src is also
+// used for the final compaction on Close.
+func (b *FileBackend) StartSnapshots(src SnapshotSource) {
+	b.src = src
+	if b.opts.SnapshotInterval <= 0 {
+		return
+	}
+	b.stop = make(chan struct{})
+	b.loopDone = make(chan struct{})
+	go func() {
+		defer close(b.loopDone)
+		t := time.NewTicker(b.opts.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := b.Compact(); err != nil {
+					b.log.Error("persist: periodic snapshot failed", "err", err)
+				}
+			case <-b.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Compact rotates the log and installs a fresh snapshot, then deletes
+// the files the snapshot supersedes. It is a no-op when nothing was
+// appended since the last compaction.
+//
+// The order matters for crash safety: rotate first, snapshot second. The
+// snapshot is captured after rotation, so its sequence number covers
+// every record in the retired segments — records committed in between
+// land in the new segment with Seq <= the snapshot's and are skipped on
+// replay (puts are idempotent post-state anyway). A crash between the
+// steps leaves old snapshot + all segments: fully recoverable.
+func (b *FileBackend) Compact() error {
+	if b.src == nil {
+		return errors.New("persist: no snapshot source; call StartSnapshots")
+	}
+	b.mu.Lock()
+	old := b.wal
+	if old == nil {
+		b.mu.Unlock()
+		return errors.New("persist: backend closed")
+	}
+	oldLast := old.seq()
+	if oldLast == b.lastSnapSeq {
+		b.mu.Unlock()
+		return nil
+	}
+	next, err := openWAL(walPath(b.opts.Dir, oldLast+1), oldLast, b.opts.Fsync, b.onFsync)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	b.wal = next
+	b.mu.Unlock()
+
+	start := time.Now()
+	if err := old.close(); err != nil {
+		return fmt.Errorf("persist: retire segment: %w", err)
+	}
+	export, seq, err := b.src.Snapshot()
+	if err != nil {
+		return fmt.Errorf("persist: snapshot export: %w", err)
+	}
+	if err := writeSnapshot(b.opts.Dir, seq, export); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if seq > b.lastSnapSeq {
+		b.lastSnapSeq = seq
+	}
+	b.mu.Unlock()
+	removeBelow(b.opts.Dir, walPrefix, walSuffix, oldLast+1)
+	removeBelow(b.opts.Dir, snapPrefix, snapSuffix, seq)
+	if m := b.opts.Metrics; m != nil {
+		m.SnapshotSeconds.Observe(time.Since(start).Seconds())
+	}
+	b.log.Info("persist: snapshot installed", "seq", seq, "duration", time.Since(start))
+	return nil
+}
+
+// Close implements store.Backend: stop the snapshot loop, run a final
+// compaction so the next boot is snapshot-only, and flush and close the
+// active segment. The store calls it from Store.Close after detaching.
+func (b *FileBackend) Close() error {
+	b.closeOnce.Do(func() {
+		if b.stop != nil {
+			close(b.stop)
+			<-b.loopDone
+		}
+		if b.src != nil {
+			if err := b.Compact(); err != nil {
+				b.log.Error("persist: final snapshot failed", "err", err)
+				b.closeErr = err
+			}
+		}
+		b.mu.Lock()
+		w := b.wal
+		b.wal = nil
+		b.mu.Unlock()
+		if w != nil {
+			if err := w.close(); err != nil && b.closeErr == nil {
+				b.closeErr = err
+			}
+		}
+	})
+	return b.closeErr
+}

@@ -1,0 +1,176 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/store"
+)
+
+// randomOps drives a seeded random mutation sequence against st: puts,
+// patches, deletes, subtree refreshes and subtree deletions over a small
+// id space, so records of every primitive land in the WAL, including
+// multi-record batches that a truncation can tear in half.
+func randomOps(rng *rand.Rand, st *store.Store, n int) {
+	flatIDs := make([]odata.ID, 8)
+	for i := range flatIDs {
+		flatIDs[i] = odata.ID(fmt.Sprintf("/redfish/v1/S/%d", i+1))
+	}
+	const subtree = odata.ID("/redfish/v1/T")
+	payload := func() map[string]any {
+		return map[string]any{"V": rng.Intn(1000), "W": fmt.Sprintf("w%d", rng.Intn(50))}
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // put
+			if err := st.Put(flatIDs[rng.Intn(len(flatIDs))], payload()); err != nil {
+				panic(err)
+			}
+		case 4, 5: // patch (may miss)
+			_ = st.Patch(flatIDs[rng.Intn(len(flatIDs))], map[string]any{"P": rng.Intn(100)}, "")
+		case 6: // delete (may miss)
+			_ = st.Delete(flatIDs[rng.Intn(len(flatIDs))])
+		case 7, 8: // subtree refresh: a batch of deletes + puts
+			res := map[odata.ID]any{subtree: payload()}
+			for j, m := 0, rng.Intn(6); j < m; j++ {
+				res[subtree.Append(fmt.Sprintf("%d", rng.Intn(8)+1))] = payload()
+			}
+			if err := st.PutSubtree(subtree, res); err != nil {
+				panic(err)
+			}
+		case 9: // subtree teardown: a batch of deletes
+			st.DeleteSubtree(subtree)
+		}
+	}
+}
+
+// oracleApply replays decoded records onto a plain map — an independent
+// model of what the committed prefix of the log denotes.
+func oracleApply(base map[string]json.RawMessage, recs []store.Record) map[string]json.RawMessage {
+	state := make(map[string]json.RawMessage, len(base))
+	for k, v := range base {
+		state[k] = v
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case store.OpPut:
+			state[string(rec.ID)] = rec.Raw
+		case store.OpDelete:
+			delete(state, string(rec.ID))
+		}
+	}
+	return state
+}
+
+// TestCrashRecoveryProperty is the crash-consistency property test: run
+// a seeded random op sequence, truncate the WAL at a random byte offset
+// (simulating kill -9 mid-write), recover, and require the recovered
+// tree to equal exactly the longest committed prefix of the log, as
+// judged by an independent in-memory oracle.
+func TestCrashRecoveryProperty(t *testing.T) {
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x0FBF ^ int64(trial)*2654435761))
+			dir := t.TempDir()
+			st, _, _ := openStore(t, dir, false)
+			randomOps(rng, st, 40+rng.Intn(80))
+			// Simulate kill -9: no Close, no compaction. Records are in
+			// the file because every mutation waits for its flush.
+			segs, err := listSeqs(dir, walPrefix, walSuffix)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("expected one active segment, got %v (%v)", segs, err)
+			}
+			active := walPath(dir, segs[0])
+			full, err := os.ReadFile(active)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cut := int64(rng.Intn(len(full) + 1))
+			if err := os.Truncate(active, cut); err != nil {
+				t.Fatal(err)
+			}
+
+			// Oracle: decode the surviving committed prefix independently.
+			intact, good, _ := decodeAll(bytes.NewReader(full[:cut]))
+			if good > cut {
+				t.Fatalf("decoder claimed %d good bytes from a %d-byte file", good, cut)
+			}
+			snap, ok, _, err := loadNewestSnapshot(dir)
+			if err != nil || !ok {
+				t.Fatalf("missing base snapshot: %v", err)
+			}
+			var base map[string]json.RawMessage
+			if err := json.Unmarshal(snap.Resources, &base); err != nil {
+				t.Fatal(err)
+			}
+			want := oracleApply(base, intact)
+
+			st2, _, stats := openStore(t, dir, false)
+			defer st2.Close()
+			if stats.Replayed != len(intact) {
+				t.Fatalf("replayed %d records, oracle sees %d intact", stats.Replayed, len(intact))
+			}
+			got := export(t, st2)
+			if len(got) != len(want) || !reflect.DeepEqual(normalize(got), normalize(want)) {
+				t.Fatalf("cut=%d/%d intact=%d:\n got  %v\n want %v",
+					cut, len(full), len(intact), normalize(got), normalize(want))
+			}
+		})
+	}
+}
+
+// normalize re-marshals raw values so formatting differences (compact vs
+// indented) cannot cause false mismatches.
+func normalize(m map[string]json.RawMessage) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var x any
+		if err := json.Unmarshal(v, &x); err != nil {
+			out[k] = string(v)
+			continue
+		}
+		b, _ := json.Marshal(x)
+		out[k] = string(b)
+	}
+	return out
+}
+
+// TestRecovery1000Resources asserts the acceptance bound: recovering a
+// 1000-resource tree from an unclean shutdown completes well under a
+// second.
+func TestRecovery1000Resources(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, false)
+	resources := make(map[odata.ID]any, 1001)
+	prefix := odata.ID("/redfish/v1/Chassis")
+	resources[prefix] = res("Chassis")
+	for i := 0; i < 1000; i++ {
+		id := prefix.Append(fmt.Sprintf("node%04d", i))
+		resources[id] = map[string]any{"@odata.id": string(id), "Name": "chassis", "Index": i}
+	}
+	if err := st.PutSubtree(prefix, resources); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close.
+	st2, _, stats := openStore(t, dir, false)
+	defer st2.Close()
+	if st2.Len() != 1001 {
+		t.Fatalf("recovered %d resources, want 1001", st2.Len())
+	}
+	if stats.Replayed != 1001 {
+		t.Fatalf("replayed %d records, want 1001", stats.Replayed)
+	}
+	if stats.Duration >= time.Second {
+		t.Fatalf("recovery of 1000 resources took %v, want well under 1s", stats.Duration)
+	}
+}

@@ -1,0 +1,62 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ofmf/internal/store"
+)
+
+// frames encodes records through the production writer, for seeding.
+func frames(t interface{ Fatal(...any) }, recs ...store.Record) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(bw, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzWALDecode hammers the record decoder with arbitrary bytes. The
+// decoder must never panic, must never claim more good bytes than it was
+// given, and re-scanning the good prefix must be clean: the same records
+// with no tear — the invariant recovery's truncation step relies on.
+func FuzzWALDecode(f *testing.F) {
+	valid := frames(f,
+		store.Record{Seq: 1, Op: store.OpPut, ID: "/redfish/v1/S/1", Raw: json.RawMessage(`{"Name":"s1"}`)},
+		store.Record{Seq: 2, Op: store.OpDelete, ID: "/redfish/v1/S/1"},
+	)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                       // torn tail
+	f.Add(append(append([]byte{}, valid...), 0xde))   // trailing garbage
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good, torn := decodeAll(bytes.NewReader(data))
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good offset %d outside [0,%d]", good, len(data))
+		}
+		if !torn && good != int64(len(data)) {
+			t.Fatalf("clean scan stopped at %d of %d bytes", good, len(data))
+		}
+		again, goodAgain, tornAgain := decodeAll(bytes.NewReader(data[:good]))
+		if tornAgain {
+			t.Fatal("re-scan of good prefix reported a tear")
+		}
+		if goodAgain != good || len(again) != len(recs) {
+			t.Fatalf("re-scan diverged: %d/%d bytes, %d/%d records",
+				goodAgain, good, len(again), len(recs))
+		}
+	})
+}

@@ -1,0 +1,283 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/store"
+)
+
+func res(name string) map[string]any {
+	return map[string]any{"@odata.id": name, "Name": name}
+}
+
+// openStore builds a recovered, attached store on dir.
+func openStore(t *testing.T, dir string, fsync bool) (*store.Store, *FileBackend, RecoveryStats) {
+	t.Helper()
+	st := store.New()
+	b, err := Open(Options{Dir: dir, Fsync: fsync})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stats, err := b.Recover(st)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	st.AttachBackend(b, stats.LastSeq)
+	return st, b, stats
+}
+
+func export(t *testing.T, st *store.Store) map[string]json.RawMessage {
+	t.Helper()
+	data, err := st.Export()
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("parse export: %v", err)
+	}
+	return m
+}
+
+func TestDurabilityAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, true)
+	if err := st.Put("/redfish/v1/Systems/a", res("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("/redfish/v1/Systems/b", res("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Patch("/redfish/v1/Systems/a", map[string]any{"Extra": 1.0}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("/redfish/v1/Systems/b"); err != nil {
+		t.Fatal(err)
+	}
+	want := export(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, _, stats := openStore(t, dir, true)
+	defer st2.Close()
+	if got := export(t, st2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restart mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Graceful shutdown compacts, so a clean restart replays nothing.
+	if stats.Replayed != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0", stats.Replayed)
+	}
+	if stats.Truncated {
+		t.Fatal("clean restart reported truncation")
+	}
+}
+
+func TestRecoveryWithoutCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, false)
+	if err := st.PutSubtree("/redfish/v1/Fabrics/CXL", map[odata.ID]any{
+		"/redfish/v1/Fabrics/CXL":         res("CXL"),
+		"/redfish/v1/Fabrics/CXL/Ports/1": res("p1"),
+		"/redfish/v1/Fabrics/CXL/Ports/2": res("p2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.DeleteSubtree("/redfish/v1/Fabrics/CXL/Ports/2") != 1 {
+		t.Fatal("DeleteSubtree miscounted")
+	}
+	want := export(t, st)
+	// No Close: simulate a crash. Every mutation waited for its flush,
+	// so the records are in the file even though the process "died".
+	st2, _, stats := openStore(t, dir, false)
+	defer st2.Close()
+	if got := export(t, st2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crash recovery mismatch:\n got %v\nwant %v", got, want)
+	}
+	if stats.Replayed == 0 {
+		t.Fatal("expected replayed records after unclean shutdown")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, false)
+	for _, id := range []odata.ID{"/a/1", "/a/2", "/a/3"} {
+		if err := st.Put(id, res(string(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-write: append garbage (a torn frame) to the
+	// active segment.
+	segs, err := listSeqs(dir, walPrefix, walSuffix)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segment: %v", err)
+	}
+	active := walPath(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, _, stats := openStore(t, dir, false)
+	defer st2.Close()
+	if !stats.Truncated {
+		t.Fatal("torn tail not detected")
+	}
+	if st2.Len() != 3 {
+		t.Fatalf("recovered %d resources, want 3", st2.Len())
+	}
+}
+
+func TestCompactRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	st, b, _ := openStore(t, dir, false)
+	defer st.Close()
+	b.StartSnapshots(st)
+	for i := 0; i < 10; i++ {
+		if err := st.Put(odata.ID("/a/"+string(rune('a'+i))), res("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Idempotent when nothing new was appended.
+	if err := b.Compact(); err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	segs, _ := listSeqs(dir, walPrefix, walSuffix)
+	snaps, _ := listSeqs(dir, snapPrefix, snapSuffix)
+	if len(segs) != 1 || len(snaps) != 1 {
+		t.Fatalf("after compaction: %d segments, %d snapshots; want 1 and 1", len(segs), len(snaps))
+	}
+	// The surviving snapshot covers every mutation: replay-free restart.
+	_, _, stats := openStore(t, dir, false)
+	if stats.Replayed != 0 {
+		t.Fatalf("replayed %d after compaction, want 0", stats.Replayed)
+	}
+	if stats.Resources != 10 {
+		t.Fatalf("recovered %d resources, want 10", stats.Resources)
+	}
+}
+
+func TestConcurrentWritersGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := odata.ID("/w/" + string(rune('a'+g)))
+			for i := 0; i < 25; i++ {
+				if err := st.Put(base.Append(string(rune('a'+i%26))), res("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := export(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, _ := openStore(t, dir, true)
+	defer st2.Close()
+	if got := export(t, st2); !reflect.DeepEqual(got, want) {
+		t.Fatal("concurrent-writer recovery mismatch")
+	}
+}
+
+func TestSnapshotLoopRuns(t *testing.T) {
+	dir := t.TempDir()
+	st, b, _ := openStore(t, dir, false)
+	b.StartSnapshots(st)
+	b.opts.SnapshotInterval = 0 // loop not started with 0; drive manually below
+	if err := st.Put("/a/x", res("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := listSeqs(dir, snapPrefix, snapSuffix)
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly one snapshot, got %d", len(snaps))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicSnapshotTicker(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	b, err := Open(Options{Dir: dir, Fsync: false, SnapshotInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := b.Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachBackend(b, stats.LastSeq)
+	b.StartSnapshots(st)
+	if err := st.Put("/a/x", res("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snaps, _ := listSeqs(dir, snapPrefix, snapSuffix)
+		if len(snaps) > 0 && snaps[len(snaps)-1] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataDirFilesAreScoped(t *testing.T) {
+	dir := t.TempDir()
+	// Unrelated files must survive compaction untouched.
+	keep := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(keep, []byte("operator notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, b, _ := openStore(t, dir, false)
+	b.StartSnapshots(st)
+	if err := st.Put("/a/x", res("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("unrelated file removed: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		name := e.Name()
+		if name == "README.txt" || strings.HasPrefix(name, snapPrefix) || strings.HasPrefix(name, walPrefix) {
+			continue
+		}
+		t.Fatalf("unexpected file in data dir: %s", name)
+	}
+}

@@ -1,0 +1,137 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+// snapshotFile is the on-disk snapshot format: a consistent export of
+// the tree plus the commit sequence number of the last mutation it
+// reflects. Recovery skips WAL records with Seq <= Seq.
+type snapshotFile struct {
+	Seq       uint64          `json:"Seq"`
+	Resources json.RawMessage `json:"Resources"`
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix))
+}
+
+func walPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", walPrefix, start, walSuffix))
+}
+
+// listSeqs returns the sequence numbers parsed from dir entries named
+// <prefix><16-hex-digits><suffix>, ascending. Files that merely resemble
+// the pattern are ignored.
+func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		if len(hex) != 16 {
+			continue
+		}
+		n, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// writeSnapshot durably installs a snapshot: write to a temp file, fsync
+// it, rename into place, fsync the directory. A crash at any point
+// leaves either the old snapshot set or the complete new file — never a
+// partially visible one.
+func writeSnapshot(dir string, seq uint64, export []byte) error {
+	data, err := json.Marshal(snapshotFile{Seq: seq, Resources: export})
+	if err != nil {
+		return fmt.Errorf("persist: snapshot encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), snapPath(dir, seq)); err != nil {
+		return fmt.Errorf("persist: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadNewestSnapshot reads the newest parseable snapshot in dir. ok is
+// false when none exists. Unparseable snapshots are skipped in favour of
+// older ones rather than failing the boot.
+func loadNewestSnapshot(dir string) (snap snapshotFile, ok bool, skipped int, err error) {
+	seqs, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return snapshotFile{}, false, 0, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(snapPath(dir, seqs[i]))
+		if rerr == nil && json.Unmarshal(data, &snap) == nil && len(snap.Resources) > 0 {
+			return snap, true, skipped, nil
+		}
+		skipped++
+	}
+	return snapshotFile{}, false, skipped, nil
+}
+
+// removeBelow deletes files of the given naming family whose sequence
+// number is strictly below keep. Removal failures are ignored: stale
+// files only cost disk and are retried at the next compaction.
+func removeBelow(dir, prefix, suffix string, keep uint64) {
+	seqs, err := listSeqs(dir, prefix, suffix)
+	if err != nil {
+		return
+	}
+	for _, seq := range seqs {
+		if seq < keep {
+			os.Remove(filepath.Join(dir, fmt.Sprintf("%s%016x%s", prefix, seq, suffix)))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

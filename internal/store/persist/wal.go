@@ -1,0 +1,242 @@
+// Package persist is the store's file-based durability layer: an
+// append-only write-ahead log of canonical mutation records with
+// group-commit flush/fsync coalescing, periodic compacted snapshots
+// built from consistent store cuts, and boot-time recovery that loads
+// the newest valid snapshot, replays the WAL tail, and truncates torn
+// records left by a crash mid-write.
+//
+// On-disk layout (all files live in one data directory):
+//
+//	snap-<seq>.json   compacted snapshot: {"Seq":N,"Resources":{uri:raw}}
+//	wal-<start>.log   log segment; holds records with Seq >= start
+//
+// Each WAL record is framed as
+//
+//	| uint32 payload length | uint32 CRC-32C of payload | payload |
+//
+// (little-endian) where the payload is the JSON encoding of a
+// store.Record. The frame makes torn tails self-identifying: a partial
+// header, short payload, checksum mismatch, or undecodable payload all
+// mark the end of the committed prefix, and recovery truncates the file
+// there.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"ofmf/internal/store"
+)
+
+// maxRecordBytes bounds a single record frame, rejecting garbage lengths
+// in corrupt files before any allocation happens.
+const maxRecordBytes = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame appends one length+CRC framed payload to bw.
+func writeFrame(bw *bufio.Writer, payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("persist: record size %d out of range", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// decodeAll reads framed records from r until EOF or the first torn or
+// corrupt frame. It returns the decoded records, the byte offset of the
+// end of the last intact frame, and whether the stream was torn (false
+// means it ended cleanly at EOF).
+func decodeAll(r io.Reader) (recs []store.Record, good int64, torn bool) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return recs, good, err != io.EOF
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n == 0 || n > maxRecordBytes {
+			return recs, good, true
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, good, true
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return recs, good, true
+		}
+		var rec store.Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, true
+		}
+		recs = append(recs, rec)
+		good += int64(8 + n)
+	}
+}
+
+// wal is one append-only log segment with group-commit semantics.
+// Appends serialize frames into a buffered writer under mu; durability
+// happens in waitFor, where the first waiter becomes the flush leader
+// and flushes (and fsyncs, in fsync mode) on behalf of every commit
+// queued behind it — concurrent writers pay one fsync, not one each.
+type wal struct {
+	path string
+	f    *os.File
+
+	mu      sync.Mutex // guards bw, lastSeq
+	bw      *bufio.Writer
+	lastSeq uint64
+
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncing    bool
+	flushedSeq uint64 // highest seq durable per the mode
+	err        error  // sticky write/flush/sync failure
+
+	fsync   bool
+	onFsync func(time.Duration) // observes each fsync round; may be nil
+}
+
+// openWAL opens (or creates) the segment at path. base is the sequence
+// number the segment starts after — lastSeq/flushedSeq begin there so an
+// empty segment reports the log position it was rotated at.
+func openWAL(path string, base uint64, fsync bool, onFsync func(time.Duration)) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	w := &wal{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16), fsync: fsync, onFsync: onFsync}
+	w.lastSeq = base
+	w.flushedSeq = base
+	w.syncCond = sync.NewCond(&w.syncMu)
+	return w, nil
+}
+
+// append frames the batch into the segment buffer and returns a wait
+// function that blocks until the batch is durable. The caller (the
+// store, under its write lock, via FileBackend.Append) guarantees batches
+// arrive in commit order.
+func (w *wal) append(recs []store.Record) func() error {
+	w.mu.Lock()
+	var werr error
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err == nil {
+			err = writeFrame(w.bw, payload)
+		}
+		if err != nil {
+			werr = err
+			break
+		}
+	}
+	if last := recs[len(recs)-1].Seq; last > w.lastSeq {
+		w.lastSeq = last
+	}
+	w.mu.Unlock()
+	if werr != nil {
+		w.fail(werr)
+		return func() error { return werr }
+	}
+	last := recs[len(recs)-1].Seq
+	return func() error { return w.waitFor(last) }
+}
+
+func (w *wal) fail(err error) {
+	w.syncMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+}
+
+// seq returns the highest sequence number appended to this segment.
+func (w *wal) seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// waitFor blocks until every record with Seq <= seq is flushed to the OS
+// (and fsynced, in fsync mode). Concurrent commits coalesce: one leader
+// flushes for everyone queued behind it, and waiters arriving during a
+// flush join the next round.
+func (w *wal) waitFor(seq uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.flushedSeq >= seq {
+			return nil
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+
+		w.mu.Lock()
+		target := w.lastSeq
+		err := w.bw.Flush()
+		w.mu.Unlock()
+		if err == nil && w.fsync {
+			start := time.Now()
+			err = w.f.Sync()
+			if w.onFsync != nil {
+				w.onFsync(time.Since(start))
+			}
+		}
+
+		w.syncMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = err
+		} else if target > w.flushedSeq {
+			w.flushedSeq = target
+		}
+		w.syncCond.Broadcast()
+	}
+}
+
+// close flushes and fsyncs the segment (regardless of mode — a closing
+// segment is about to be dropped from the active set, so it must be
+// fully on disk) and closes the file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	err := w.bw.Flush()
+	last := w.lastSeq
+	w.mu.Unlock()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	w.syncMu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else if last > w.flushedSeq {
+		w.flushedSeq = last
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

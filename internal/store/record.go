@@ -1,0 +1,125 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ofmf/internal/odata"
+)
+
+// RecordOp identifies a log-record primitive.
+type RecordOp string
+
+// The two log primitives. Every higher-level mutation the store performs
+// (Put, Create, Patch, PutSubtree, DeleteSubtree, Import) is reduced to
+// an ordered batch of these before it reaches a Backend: a Patch is
+// logged as the put of its merged post-state, a subtree refresh as the
+// deletions and puts it actually performed. Replay is therefore
+// insensitive to the original operation's semantics — applying the
+// records in order through the normal Put/Delete paths reconstructs the
+// tree, its children index, and its high-water marks exactly.
+const (
+	OpPut    RecordOp = "p"
+	OpDelete RecordOp = "d"
+)
+
+// Record is one canonical committed mutation. Seq is the store's
+// monotonic commit sequence number, assigned under the write lock, so a
+// log of records totally orders the store's history. Raw carries the
+// post-state for OpPut and is empty for OpDelete.
+type Record struct {
+	Seq uint64          `json:"s"`
+	Op  RecordOp        `json:"o"`
+	ID  odata.ID        `json:"i"`
+	Raw json.RawMessage `json:"r,omitempty"`
+}
+
+// Backend is the store's durability seam. The zero-config store has no
+// backend and stays purely in-memory; attaching one (see AttachBackend)
+// makes every committed mutation flow through it.
+//
+// Append is invoked while the store's write lock is held, immediately
+// after the in-memory commit, so batches reach the backend in exact
+// commit order. Implementations must therefore be fast in Append —
+// buffer the records and complete durability (flush, fsync, replication)
+// in the returned wait function, which the store calls after releasing
+// its lock. A nil wait means the batch is already durable. Errors
+// surfaced by wait are returned to the mutating caller; the in-memory
+// commit is not rolled back (the tree stays ahead of a failing log).
+type Backend interface {
+	Append(batch []Record) (wait func() error)
+	// Close flushes buffered records and releases the backend's
+	// resources. The store calls it from Store.Close after detaching.
+	Close() error
+}
+
+// Apply replays one log record through the store's normal mutation path:
+// OpPut through Put, OpDelete through Delete. Recovery uses it so
+// replayed state is rebuilt by exactly the code live mutations exercise
+// (children index, collection invalidation, high-water marks). A delete
+// of an id that is already absent is not an error — the record merely
+// re-asserts an absence the snapshot already reflects.
+func (s *Store) Apply(rec Record) error {
+	switch rec.Op {
+	case OpPut:
+		return s.Put(rec.ID, rec.Raw)
+	case OpDelete:
+		if err := s.Delete(rec.ID); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("store: apply: unknown record op %q", rec.Op)
+	}
+}
+
+// AttachBackend installs the durability backend and fast-forwards the
+// commit sequence to lastSeq (the highest sequence number the backend
+// has already logged), so new records continue the recovered history.
+// Attach after recovery has replayed the log — replay itself must not be
+// re-logged — and before the store starts serving mutations.
+func (s *Store) AttachBackend(b Backend, lastSeq uint64) {
+	s.mu.Lock()
+	s.backend = b
+	s.seq = lastSeq
+	s.mu.Unlock()
+}
+
+// Close detaches and closes the attached backend, if any, flushing its
+// buffered records. The store remains usable (in-memory only) afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	b := s.backend
+	s.backend = nil
+	s.mu.Unlock()
+	if b == nil {
+		return nil
+	}
+	return b.Close()
+}
+
+// commitLocked stamps the batch with commit sequence numbers and hands
+// it to the backend. Callers hold the write lock and call the returned
+// wait (via waitDurable) only after releasing it.
+func (s *Store) commitLocked(batch []Record) func() error {
+	if s.backend == nil || len(batch) == 0 {
+		return nil
+	}
+	for i := range batch {
+		s.seq++
+		batch[i].Seq = s.seq
+	}
+	return s.backend.Append(batch)
+}
+
+// waitDurable runs a commit's wait function, wrapping its error.
+func waitDurable(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	if err := wait(); err != nil {
+		return fmt.Errorf("store: persist: %w", err)
+	}
+	return nil
+}

@@ -6,15 +6,22 @@
 // Resources are stored as canonical JSON so the repository is agnostic to
 // the Go schema types; handlers and agents exchange typed structs which
 // are marshaled at the boundary.
+//
+// The package is layered: engine.go holds the pure in-memory engine
+// (entry map, children index, collection cache, ETags); this file owns
+// locking, change notification, and the public API; record.go defines
+// the mutation-log seam — every committed mutation reduces to canonical
+// put/delete Records handed to an optional Backend in commit order.
+// With no backend attached (the zero-config default) the seam costs one
+// nil check per mutation and nothing on reads. The file-based
+// write-ahead-log backend lives in the store/persist subpackage.
 package store
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,45 +73,17 @@ type Change struct {
 // must enqueue internally.
 type Watcher func(Change)
 
-type entry struct {
-	raw  json.RawMessage
-	etag string
-}
-
-type collectionMeta struct {
-	odataType string
-	name      string
-}
-
-// collCache is the memoized rendering of one registered collection: its
-// sorted member list, the serialized payload bytes, and the payload's
-// entity tag. A cache value is immutable once published — invalidation
-// replaces the map entry, never mutates it — so readers may use a value
-// after the store's lock is released.
-type collCache struct {
-	members []odata.ID
-	payload []byte
-	etag    string
-}
-
-// Store is a concurrent Redfish resource tree.
-//
-// Besides the entry map, the store maintains a parent→children index
-// covering every ancestor path segment of every stored id. The index
-// makes subtree operations (PutSubtree, DeleteSubtree) proportional to
-// the size of the affected subtree rather than the whole store, and
-// backs collection membership synthesis.
+// Store is a concurrent Redfish resource tree: the in-memory engine
+// behind a read-write lock, plus the optional durability backend every
+// committed mutation is logged to.
 type Store struct {
-	mu          sync.RWMutex
-	entries     map[odata.ID]*entry
-	collections map[odata.ID]collectionMeta
-	children    map[odata.ID]map[odata.ID]struct{}
-	collCache   map[odata.ID]*collCache
-	// hiwater tracks, per parent, the largest numeric child name ever
-	// linked, making NextID O(1) amortized. It never decreases, so ids
-	// are not reused after deletion (which also prevents a deleted
-	// resource's URI from aliasing a new one).
-	hiwater map[odata.ID]int
+	mu  sync.RWMutex
+	eng engine
+	// seq is the commit sequence number of the last mutation record
+	// handed to the backend; it advances only while a backend is
+	// attached.
+	seq     uint64
+	backend Backend
 
 	watchMu  sync.RWMutex
 	watchers []Watcher
@@ -130,15 +109,9 @@ func (s *Store) countOp(op string) {
 	}
 }
 
-// New creates an empty store.
+// New creates an empty store with no backend: purely in-memory.
 func New() *Store {
-	return &Store{
-		entries:     make(map[odata.ID]*entry),
-		collections: make(map[odata.ID]collectionMeta),
-		children:    make(map[odata.ID]map[odata.ID]struct{}),
-		collCache:   make(map[odata.ID]*collCache),
-		hiwater:     make(map[odata.ID]int),
-	}
+	return &Store{eng: newEngine()}
 }
 
 // Watch registers a change watcher. All subsequent mutations are reported.
@@ -170,14 +143,6 @@ func canonicalize(v any) (json.RawMessage, error) {
 	return b, nil
 }
 
-func newEntry(v any) (*entry, error) {
-	raw, err := canonicalize(v)
-	if err != nil {
-		return nil, err
-	}
-	return &entry{raw: raw, etag: odata.EtagRaw(raw)}, nil
-}
-
 // Put creates or replaces the resource at id with the JSON serialization of
 // v, which must marshal to a JSON object. Rewriting identical content does
 // not notify watchers (and skips re-hashing: the existing entry is kept).
@@ -188,115 +153,39 @@ func (s *Store) Put(id odata.ID, v any) error {
 		return err
 	}
 	s.mu.Lock()
-	old, existed := s.entries[id]
-	if existed && bytes.Equal(old.raw, raw) {
-		s.mu.Unlock()
-		return nil
-	}
-	s.entries[id] = &entry{raw: raw, etag: odata.EtagRaw(raw)}
-	s.link(id)
-	if !existed {
-		s.invalidateCollectionLocked(id.Parent())
+	kind, changed := s.eng.put(id, raw)
+	var wait func() error
+	if changed {
+		wait = s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
 	}
 	s.mu.Unlock()
-
-	kind := Added
-	if existed {
-		kind = Updated
+	if !changed {
+		return nil
 	}
+	werr := waitDurable(wait)
 	s.notify(Change{Kind: kind, ID: id})
-	return nil
+	return werr
 }
 
 // Create stores v at id and fails with ErrExists if the id is taken.
 func (s *Store) Create(id odata.ID, v any) error {
 	s.countOp("create")
-	e, err := newEntry(v)
+	raw, err := canonicalize(v)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	if _, ok := s.entries[id]; ok {
+	if _, ok := s.eng.entries[id]; ok {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
-	s.entries[id] = e
-	s.link(id)
-	s.invalidateCollectionLocked(id.Parent())
+	s.eng.put(id, raw)
+	wait := s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
 	s.mu.Unlock()
 
+	werr := waitDurable(wait)
 	s.notify(Change{Kind: Added, ID: id})
-	return nil
-}
-
-// link records id under every ancestor so the children index forms a
-// complete path tree: subtree walks reach every stored entry from any
-// prefix. It also advances the parent's numeric high-water mark.
-func (s *Store) link(id odata.ID) {
-	for id != "/" && id != "" {
-		parent := id.Parent()
-		kids, ok := s.children[parent]
-		if !ok {
-			kids = make(map[odata.ID]struct{})
-			s.children[parent] = kids
-		}
-		if _, ok := kids[id]; ok {
-			// Already linked; ancestors must be linked too.
-			return
-		}
-		kids[id] = struct{}{}
-		if leaf := id.Leaf(); leaf != "" && leaf[0] >= '0' && leaf[0] <= '9' {
-			if n, err := strconv.Atoi(leaf); err == nil && n > s.hiwater[parent] {
-				s.hiwater[parent] = n
-			}
-		}
-		id = parent
-	}
-}
-
-// unlink removes id from its parent's child set, then prunes newly empty
-// interior path nodes up the ancestor chain. A node survives while it is
-// itself a stored entry or still has descendants.
-func (s *Store) unlink(id odata.ID) {
-	for id != "/" && id != "" {
-		if _, isEntry := s.entries[id]; isEntry {
-			return
-		}
-		if len(s.children[id]) > 0 {
-			return
-		}
-		parent := id.Parent()
-		kids, ok := s.children[parent]
-		if !ok {
-			return
-		}
-		delete(kids, id)
-		if len(kids) == 0 {
-			delete(s.children, parent)
-		}
-		id = parent
-	}
-}
-
-// invalidateCollectionLocked drops the memoized payload of the collection
-// at id (if any) after a membership change. Callers hold the write lock,
-// so a reader can never observe a cache inconsistent with the entry map.
-func (s *Store) invalidateCollectionLocked(id odata.ID) {
-	if len(s.collCache) != 0 {
-		delete(s.collCache, id)
-	}
-}
-
-// descendantsLocked appends to out every stored entry id equal to or under
-// prefix, walking only the prefix's subtree via the children index.
-func (s *Store) descendantsLocked(prefix odata.ID, out []odata.ID) []odata.ID {
-	if _, ok := s.entries[prefix]; ok {
-		out = append(out, prefix)
-	}
-	for kid := range s.children[prefix] {
-		out = s.descendantsLocked(kid, out)
-	}
-	return out
+	return werr
 }
 
 // Get returns a copy of the raw JSON and the entity tag of the resource at
@@ -304,7 +193,7 @@ func (s *Store) descendantsLocked(prefix odata.ID, out []odata.ID) []odata.ID {
 func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
 	s.countOp("get")
 	s.mu.RLock()
-	e, ok := s.entries[id]
+	e, ok := s.eng.entries[id]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -322,7 +211,7 @@ func (s *Store) View(id odata.ID, fn func(raw json.RawMessage, etag string)) err
 	s.countOp("view")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e, ok := s.entries[id]
+	e, ok := s.eng.entries[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -343,7 +232,7 @@ func (s *Store) GetAs(id odata.ID, out any) error {
 func (s *Store) Etag(id odata.ID) (string, error) {
 	s.countOp("etag")
 	s.mu.RLock()
-	e, ok := s.entries[id]
+	e, ok := s.eng.entries[id]
 	s.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -354,7 +243,7 @@ func (s *Store) Etag(id odata.ID) (string, error) {
 // Exists reports whether a resource (not a collection) is stored at id.
 func (s *Store) Exists(id odata.ID) bool {
 	s.mu.RLock()
-	_, ok := s.entries[id]
+	_, ok := s.eng.entries[id]
 	s.mu.RUnlock()
 	return ok
 }
@@ -363,10 +252,13 @@ func (s *Store) Exists(id odata.ID) bool {
 // merged recursively; arrays and scalars are replaced; explicit JSON nulls
 // delete the member, per Redfish PATCH semantics. If ifMatch is non-empty
 // it must equal the current entity tag.
+//
+// The mutation is logged as the put of its merged post-state, so replay
+// needs no knowledge of merge semantics.
 func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
 	s.countOp("patch")
 	s.mu.Lock()
-	e, ok := s.entries[id]
+	e, ok := s.eng.entries[id]
 	if !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -381,19 +273,24 @@ func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
 		return fmt.Errorf("store: corrupt entry %s: %w", id, err)
 	}
 	merge(current, patch)
-	ne, err := newEntry(current)
+	raw, err := canonicalize(current)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	unchanged := bytes.Equal(ne.raw, e.raw)
-	s.entries[id] = ne
+	_, changed := s.eng.put(id, raw)
+	var wait func() error
+	if changed {
+		wait = s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
+	}
 	s.mu.Unlock()
 
-	if !unchanged {
-		s.notify(Change{Kind: Updated, ID: id})
+	if !changed {
+		return nil
 	}
-	return nil
+	werr := waitDurable(wait)
+	s.notify(Change{Kind: Updated, ID: id})
+	return werr
 }
 
 // merge applies Redfish PATCH semantics: objects merge recursively, null
@@ -418,34 +315,35 @@ func merge(dst, patch map[string]any) {
 func (s *Store) Delete(id odata.ID) error {
 	s.countOp("delete")
 	s.mu.Lock()
-	if _, ok := s.entries[id]; !ok {
+	if !s.eng.remove(id) {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	delete(s.entries, id)
-	s.unlink(id)
-	s.invalidateCollectionLocked(id.Parent())
+	wait := s.commitLocked([]Record{{Op: OpDelete, ID: id}})
 	s.mu.Unlock()
 
+	werr := waitDurable(wait)
 	s.notify(Change{Kind: Removed, ID: id})
-	return nil
+	return werr
 }
 
 // RegisterCollection declares a collection at id with the given
 // @odata.type and display name. Collection payloads are synthesized from
 // the direct children present in the store and memoized until the
-// membership changes.
+// membership changes. Registrations are service configuration, not tree
+// state: they are not logged or exported, and the service re-declares
+// them at every boot before recovery runs.
 func (s *Store) RegisterCollection(id odata.ID, odataType, name string) {
 	s.mu.Lock()
-	s.collections[id] = collectionMeta{odataType: odataType, name: name}
-	s.invalidateCollectionLocked(id)
+	s.eng.collections[id] = collectionMeta{odataType: odataType, name: name}
+	s.eng.invalidateCollection(id)
 	s.mu.Unlock()
 }
 
 // IsCollection reports whether id names a registered collection.
 func (s *Store) IsCollection(id odata.ID) bool {
 	s.mu.RLock()
-	_, ok := s.collections[id]
+	_, ok := s.eng.collections[id]
 	s.mu.RUnlock()
 	return ok
 }
@@ -456,22 +354,22 @@ func (s *Store) IsCollection(id odata.ID) bool {
 // immutable; callers may use it after the lock is released.
 func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, bool, error) {
 	s.mu.RLock()
-	meta, ok := s.collections[id]
+	meta, ok := s.eng.collections[id]
 	if !ok {
 		s.mu.RUnlock()
 		return collectionMeta{}, nil, false, fmt.Errorf("%w: %s", ErrNotCollection, id)
 	}
-	c := s.collCache[id]
+	c := s.eng.collCache[id]
 	s.mu.RUnlock()
 	if c != nil {
 		return meta, c, true, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c = s.collCache[id]; c != nil {
+	if c = s.eng.collCache[id]; c != nil {
 		return meta, c, true, nil
 	}
-	members := s.membersLocked(id)
+	members := s.eng.members(id)
 	payload, err := json.Marshal(odata.Collection{
 		ODataID:   id,
 		ODataType: meta.odataType,
@@ -483,7 +381,7 @@ func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, bool, er
 		return meta, nil, false, fmt.Errorf("store: collection %s: %w", id, err)
 	}
 	c = &collCache{members: members, payload: payload, etag: odata.EtagRaw(payload)}
-	s.collCache[id] = c
+	s.eng.collCache[id] = c
 	return meta, c, false, nil
 }
 
@@ -528,18 +426,6 @@ func (s *Store) CollectionView(id odata.ID, fn func(payload []byte, etag string)
 	return nil
 }
 
-func (s *Store) membersLocked(id odata.ID) []odata.ID {
-	kids := s.children[id]
-	members := make([]odata.ID, 0, len(kids))
-	for k := range kids {
-		if _, ok := s.entries[k]; ok {
-			members = append(members, k)
-		}
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return members
-}
-
 // Members returns the sorted direct members of the collection at id.
 func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
 	s.countOp("members")
@@ -560,20 +446,14 @@ func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
 func (s *Store) NextID(collection odata.ID) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	kids := s.children[collection]
-	for i := s.hiwater[collection] + 1; ; i++ {
-		name := strconv.Itoa(i)
-		if _, ok := kids[collection.Append(name)]; !ok {
-			return name
-		}
-	}
+	return s.eng.nextID(collection)
 }
 
 // IDs returns every stored resource identifier, sorted.
 func (s *Store) IDs() []odata.ID {
 	s.mu.RLock()
-	ids := make([]odata.ID, 0, len(s.entries))
-	for id := range s.entries {
+	ids := make([]odata.ID, 0, len(s.eng.entries))
+	for id := range s.eng.entries {
 		ids = append(ids, id)
 	}
 	s.mu.RUnlock()
@@ -585,7 +465,7 @@ func (s *Store) IDs() []odata.ID {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.entries)
+	return len(s.eng.entries)
 }
 
 // PutSubtree atomically installs a set of resources, all of which must lie
@@ -595,6 +475,10 @@ func (s *Store) Len() int {
 // keep prefix — these are owned by another writer (the OFMF stores the
 // Zone and Connection resources it creates on the agent's behalf) and
 // survive refreshes untouched.
+//
+// The whole refresh is logged as one batch — the deletions and puts it
+// actually performed, in that order — so a replayed log reproduces the
+// refresh exactly without knowing the keep semantics.
 func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
 	s.countOp("put_subtree")
 	// Serialize outside the lock; entity tags are computed lazily below,
@@ -622,40 +506,40 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 		return false
 	}
 	var changes []Change
+	var batch []Record
 	s.mu.Lock()
+	logging := s.backend != nil
 	// Remove stale descendants, walking only the prefix's subtree via the
 	// children index — the rest of the store is never touched.
-	for _, id := range s.descendantsLocked(prefix, nil) {
+	for _, id := range s.eng.descendants(prefix, nil) {
 		if kept(id) {
 			continue
 		}
 		if _, present := prepared[id]; !present {
-			delete(s.entries, id)
-			s.unlink(id)
-			s.invalidateCollectionLocked(id.Parent())
+			s.eng.remove(id)
 			changes = append(changes, Change{Kind: Removed, ID: id})
+			if logging {
+				batch = append(batch, Record{Op: OpDelete, ID: id})
+			}
 		}
 	}
 	for id, raw := range prepared {
-		old, existed := s.entries[id]
-		if existed && bytes.Equal(old.raw, raw) {
+		kind, changed := s.eng.put(id, raw)
+		if !changed {
 			continue
 		}
-		s.entries[id] = &entry{raw: raw, etag: odata.EtagRaw(raw)}
-		s.link(id)
-		kind := Added
-		if existed {
-			kind = Updated
-		} else {
-			s.invalidateCollectionLocked(id.Parent())
-		}
 		changes = append(changes, Change{Kind: kind, ID: id})
+		if logging {
+			batch = append(batch, Record{Op: OpPut, ID: id, Raw: raw})
+		}
 	}
+	wait := s.commitLocked(batch)
 	s.mu.Unlock()
 
+	werr := waitDurable(wait)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
-	return nil
+	return werr
 }
 
 // DeleteSubtree removes every resource under prefix (inclusive) and
@@ -664,44 +548,77 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 func (s *Store) DeleteSubtree(prefix odata.ID) int {
 	s.countOp("delete_subtree")
 	s.mu.Lock()
-	ids := s.descendantsLocked(prefix, nil)
+	ids := s.eng.descendants(prefix, nil)
 	changes := make([]Change, 0, len(ids))
+	var batch []Record
+	logging := s.backend != nil
 	for _, id := range ids {
-		delete(s.entries, id)
-		s.unlink(id)
-		s.invalidateCollectionLocked(id.Parent())
+		s.eng.remove(id)
 		changes = append(changes, Change{Kind: Removed, ID: id})
+		if logging {
+			batch = append(batch, Record{Op: OpDelete, ID: id})
+		}
 	}
+	wait := s.commitLocked(batch)
 	s.mu.Unlock()
+	_ = waitDurable(wait)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
 	return len(changes)
+}
+
+// exportLocked serializes the whole tree keyed by URI. Callers hold at
+// least the read lock.
+func (s *Store) exportLocked() ([]byte, error) {
+	snapshot := make(map[string]json.RawMessage, len(s.eng.entries))
+	for id, e := range s.eng.entries {
+		snapshot[string(id)] = e.raw
+	}
+	return json.MarshalIndent(snapshot, "", "  ")
 }
 
 // Export serializes the whole tree (resources only; collections are
 // declared by the service) to indented JSON keyed by URI.
 func (s *Store) Export() ([]byte, error) {
 	s.mu.RLock()
-	snapshot := make(map[string]json.RawMessage, len(s.entries))
-	for id, e := range s.entries {
-		snapshot[string(id)] = e.raw
-	}
-	s.mu.RUnlock()
-	return json.MarshalIndent(snapshot, "", "  ")
+	defer s.mu.RUnlock()
+	return s.exportLocked()
+}
+
+// Snapshot returns a consistent export of the tree together with the
+// commit sequence number of the last mutation it contains. Because
+// mutations hold the write lock while their records are handed to the
+// backend, the pair is an exact cut of the log: every record with
+// Seq <= seq is reflected in the export, none with Seq > seq is. The
+// persistence layer builds its compacted snapshots from it.
+func (s *Store) Snapshot() (data []byte, seq uint64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err = s.exportLocked()
+	return data, s.seq, err
 }
 
 // Import loads resources previously produced by Export, replacing any
-// entries at the same ids.
+// entries at the same ids. Each resource flows through Put, so the
+// children index, collection caches, and NextID high-water marks are
+// rebuilt exactly as live mutations would have built them (recovery
+// depends on this; see TestImportRebuildsDerivedState).
 func (s *Store) Import(data []byte) error {
 	var snapshot map[string]json.RawMessage
 	if err := json.Unmarshal(data, &snapshot); err != nil {
 		return fmt.Errorf("store: import: %w", err)
 	}
-	for uri, raw := range snapshot {
+	// Deterministic order keeps replayed logs byte-stable across boots.
+	uris := make([]string, 0, len(snapshot))
+	for uri := range snapshot {
+		uris = append(uris, uri)
+	}
+	sort.Strings(uris)
+	for _, uri := range uris {
 		if !strings.HasPrefix(uri, "/") {
 			return fmt.Errorf("store: import: non-absolute uri %q", uri)
 		}
-		if err := s.Put(odata.ID(uri), raw); err != nil {
+		if err := s.Put(odata.ID(uri), snapshot[uri]); err != nil {
 			return fmt.Errorf("store: import %s: %w", uri, err)
 		}
 	}
