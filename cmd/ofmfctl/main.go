@@ -19,7 +19,7 @@
 //	stats                      composability utilization counters
 //	events [EventType]         tail the SSE event stream
 //	dump [file]                download the whole resource tree (stdout or file)
-//	restore <file>             upload a tree dump into the live store
+//	restore <file>             replace the live tree with a dump (atomic)
 package main
 
 import (

@@ -257,7 +257,10 @@ func (c *Client) ExportTree() ([]byte, error) {
 }
 
 // ImportTree uploads a tree dump (as produced by ExportTree) to the admin
-// backup endpoint, replaying it into the live store.
+// backup endpoint. Restore has replace semantics: the live tree is
+// atomically replaced by the dumped one, and resources absent from the
+// dump are removed. A dump that fails validation leaves the store
+// untouched.
 func (c *Client) ImportTree(dump []byte) error {
 	_, err := c.do(http.MethodPost, string(service.AdminTreeOemURI), json.RawMessage(dump), nil)
 	return err

@@ -713,7 +713,10 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 		var src redfish.AggregationSource
 		if err := s.store.GetAs(id, &src); err == nil {
 			for _, res := range src.Links.ResourcesAccessed {
-				s.store.DeleteSubtree(res.ODataID)
+				if _, err := s.store.DeleteSubtree(res.ODataID); err != nil {
+					s.storeError(w, r, err)
+					return
+				}
 				s.UnregisterFabricHandler(res.ODataID)
 			}
 		}

@@ -24,6 +24,10 @@ const (
 	// AdminTreeOemURI is the operator backup endpoint: GET downloads the
 	// whole resource tree as portable JSON (the store's Export format,
 	// independent of the WAL's on-disk layout), POST/PUT restores one.
+	// Restore has replace semantics — the resource tree afterwards is
+	// exactly the dumped tree, resources absent from the dump included —
+	// and is all-or-nothing: the dump is fully decoded and validated
+	// before the store is touched, and then applied as one atomic batch.
 	// ofmfctl dump/restore drive it.
 	AdminTreeOemURI = RootURI + "/Oem/OFMF/Admin/Tree"
 )
@@ -56,8 +60,34 @@ func (s *Service) handleAdminTree(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("dump exceeds %d bytes", maxRestoreBytes))
 			return
 		}
-		if err := s.store.Import(data); err != nil {
-			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
+		// Stage the whole dump before touching the live tree: decode it,
+		// check every URI, and only then hand it to PutSubtree, which
+		// canonicalizes every payload up front and installs the lot under
+		// one write lock — a malformed dump is rejected with the store
+		// unchanged, never half-applied.
+		var dump map[odata.ID]json.RawMessage
+		if err := json.Unmarshal(data, &dump); err != nil {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.MalformedJSON", err.Error())
+			return
+		}
+		if _, ok := dump[RootURI]; !ok {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError",
+				"dump does not contain the service root; not a tree dump")
+			return
+		}
+		resources := make(map[odata.ID]any, len(dump))
+		for id, raw := range dump {
+			if !id.Under(RootURI) {
+				s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError",
+					"resource outside service root: "+string(id))
+				return
+			}
+			resources[id] = raw
+		}
+		if err := s.store.PutSubtree(RootURI, resources); err != nil {
+			// URIs and payload JSON were validated above, so a failure
+			// here is a durability fault, not a bad request.
+			s.error(w, r, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
 			return
 		}
 		s.log.Info("service: tree restored via admin endpoint",

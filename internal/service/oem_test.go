@@ -290,9 +290,16 @@ func TestAdminTreeDumpRestore(t *testing.T) {
 		t.Errorf("dump content-type = %q", ct)
 	}
 
-	// Restore into a second, fresh deployment: the extra resource must
-	// appear there and the restored store must stay coherent.
+	// Restore into a second deployment: the extra resource must appear
+	// there and the restored store must stay coherent. Restore has
+	// replace semantics, so a resource that exists only in B must vanish.
 	_, srvB := newTestServer(t, Config{})
+	stale := SystemsURI.Append("StaleB")
+	resp, body = doJSON(t, http.MethodPost, srvB.URL+string(SubtreeOemURI), SubtreePayload{
+		Prefix:    stale,
+		Resources: map[odata.ID]json.RawMessage{stale: json.RawMessage(`{"Name":"StaleB"}`)},
+	}, nil)
+	check(resp, body, http.StatusNoContent, "seed B")
 	req, err := http.NewRequest(http.MethodPost, srvB.URL+string(AdminTreeOemURI), bytes.NewReader(dump))
 	if err != nil {
 		t.Fatal(err)
@@ -307,10 +314,18 @@ func TestAdminTreeDumpRestore(t *testing.T) {
 	}
 	resp, body = doJSON(t, http.MethodGet, srvB.URL+string(extra), nil, nil)
 	check(resp, body, http.StatusOK, "restored resource")
+	resp, body = doJSON(t, http.MethodGet, srvB.URL+string(stale), nil, nil)
+	check(resp, body, http.StatusNotFound, "stale resource after replace-restore")
 
-	// Bad payloads and methods are rejected cleanly.
+	// Bad payloads and methods are rejected cleanly, leaving the tree
+	// untouched — restore is all-or-nothing.
 	resp, body = doJSON(t, http.MethodPost, srvB.URL+string(AdminTreeOemURI), "not a tree", nil)
 	check(resp, body, http.StatusBadRequest, "restore of non-object")
+	resp, body = doJSON(t, http.MethodPost, srvB.URL+string(AdminTreeOemURI),
+		map[string]any{"/redfish/v1/Systems/Orphan": map[string]any{"Name": "Orphan"}}, nil)
+	check(resp, body, http.StatusBadRequest, "restore without service root")
+	resp, body = doJSON(t, http.MethodGet, srvB.URL+string(extra), nil, nil)
+	check(resp, body, http.StatusOK, "tree intact after rejected restore")
 	resp, body = doJSON(t, http.MethodDelete, srvB.URL+string(AdminTreeOemURI), nil, nil)
 	check(resp, body, http.StatusMethodNotAllowed, "delete")
 }

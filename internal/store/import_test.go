@@ -65,7 +65,7 @@ func TestImportRebuildsChildrenIndex(t *testing.T) {
 	}
 	// The index must also serve deletion fan-out: removing the subtree
 	// under Systems must find both members.
-	if n := dst.DeleteSubtree("/redfish/v1/Systems/1"); n != 1 {
+	if n, _ := dst.DeleteSubtree("/redfish/v1/Systems/1"); n != 1 {
 		t.Errorf("DeleteSubtree removed %d resources, want 1", n)
 	}
 	got, err = dst.Members("/redfish/v1/Systems")
@@ -189,7 +189,9 @@ func TestApplyReplayMatchesOriginal(t *testing.T) {
 	if err := src.Delete("/redfish/v1/Systems/3"); err != nil {
 		t.Fatal(err)
 	}
-	src.DeleteSubtree("/redfish/v1/Managers/M1")
+	if _, err := src.DeleteSubtree("/redfish/v1/Managers/M1"); err != nil {
+		t.Fatal(err)
+	}
 
 	// Replaying the captured records through Apply — exactly what boot
 	// recovery does — must reproduce the source tree and its derived

@@ -144,6 +144,29 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 		f.Close()
 		if torn {
 			stats.Truncated = true
+			// A tear can only happen at the end of the log that was active
+			// at the crash; segments after it are not trustworthy and must
+			// never be replayed. Quarantine them BEFORE truncating the torn
+			// tail — the tear is the only durable evidence they are
+			// untrusted, and truncation destroys it. If we crash between
+			// the rename and the truncate, the next boot sees the same torn
+			// segment and reaches the same verdict. (In fsync mode a later
+			// segment can hold commits that were acknowledged as durable
+			// after a rotation; the rename keeps those bytes on disk for an
+			// operator instead of silently deleting them.)
+			for _, later := range segs[i+1:] {
+				lp := walPath(dir, later)
+				b.log.Warn("persist: quarantining segment after torn record",
+					"segment", lp, "quarantined", lp+quarantineSuffix)
+				if err := os.Rename(lp, lp+quarantineSuffix); err != nil {
+					return stats, fmt.Errorf("persist: quarantine %s: %w", lp, err)
+				}
+			}
+			if i < len(segs)-1 {
+				if err := syncDir(dir); err != nil {
+					return stats, fmt.Errorf("persist: sync quarantine: %w", err)
+				}
+			}
 			b.log.Warn("persist: truncating torn log tail", "segment", path, "offset", good)
 			if err := os.Truncate(path, good); err != nil {
 				return stats, fmt.Errorf("persist: truncate torn tail: %w", err)
@@ -159,11 +182,7 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 			stats.Replayed++
 			lastSeq = rec.Seq
 		}
-		if torn && i < len(segs)-1 {
-			// A tear can only happen at the end of the log that was
-			// active at the crash; anything after it is not trustworthy.
-			b.log.Warn("persist: ignoring segments after torn record",
-				"ignored", len(segs)-1-i)
+		if torn {
 			break
 		}
 	}
@@ -179,6 +198,17 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	if err := writeSnapshot(dir, lastSeq, export); err != nil {
 		return stats, err
 	}
+	// Every surviving segment is now superseded by the snapshot (replayed
+	// records have Seq <= lastSeq, untrusted ones were renamed away), so
+	// remove them all before creating the fresh segment: openWAL creates
+	// exclusively and must not collide with a leftover file — an empty
+	// rotated segment or a torn one truncated to zero can sit exactly at
+	// walPath(lastSeq+1).
+	if stale, err := listSeqs(dir, walPrefix, walSuffix); err == nil {
+		for _, seg := range stale {
+			os.Remove(walPath(dir, seg))
+		}
+	}
 	w, err := openWAL(walPath(dir, lastSeq+1), lastSeq, b.opts.Fsync, b.onFsync)
 	if err != nil {
 		return stats, err
@@ -190,7 +220,6 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	// The recovered store is the natural snapshot source for the final
 	// compaction on Close; StartSnapshots may override it.
 	b.src = st
-	removeBelow(dir, walPrefix, walSuffix, lastSeq+1)
 	removeBelow(dir, snapPrefix, snapSuffix, lastSeq)
 
 	stats.Duration = time.Since(start)
@@ -281,17 +310,27 @@ func (b *FileBackend) Compact() error {
 		b.mu.Unlock()
 		return nil
 	}
-	next, err := openWAL(walPath(b.opts.Dir, oldLast+1), oldLast, b.opts.Fsync, b.onFsync)
-	if err != nil {
-		b.mu.Unlock()
-		return err
+	// Rotate only when the active segment holds records. When it is empty
+	// (a previous snapshot failed after rotation and nothing was appended
+	// since) there is nothing to retire, and opening walPath(oldLast+1)
+	// would collide with the active segment itself — just retry the
+	// snapshot over the existing log.
+	rotated := oldLast > old.base
+	if rotated {
+		next, err := openWAL(walPath(b.opts.Dir, oldLast+1), oldLast, b.opts.Fsync, b.onFsync)
+		if err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		b.wal = next
 	}
-	b.wal = next
 	b.mu.Unlock()
 
 	start := time.Now()
-	if err := old.close(); err != nil {
-		return fmt.Errorf("persist: retire segment: %w", err)
+	if rotated {
+		if err := old.close(); err != nil {
+			return fmt.Errorf("persist: retire segment: %w", err)
+		}
 	}
 	export, seq, err := b.src.Snapshot()
 	if err != nil {

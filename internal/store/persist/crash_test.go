@@ -46,7 +46,7 @@ func randomOps(rng *rand.Rand, st *store.Store, n int) {
 				panic(err)
 			}
 		case 9: // subtree teardown: a batch of deletes
-			st.DeleteSubtree(subtree)
+			_, _ = st.DeleteSubtree(subtree)
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package persist
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -91,8 +93,8 @@ func TestRecoveryWithoutCleanShutdown(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if st.DeleteSubtree("/redfish/v1/Fabrics/CXL/Ports/2") != 1 {
-		t.Fatal("DeleteSubtree miscounted")
+	if n, err := st.DeleteSubtree("/redfish/v1/Fabrics/CXL/Ports/2"); err != nil || n != 1 {
+		t.Fatalf("DeleteSubtree = %d, %v; want 1, nil", n, err)
 	}
 	want := export(t, st)
 	// No Close: simulate a crash. Every mutation waited for its flush,
@@ -138,6 +140,136 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	if st2.Len() != 3 {
 		t.Fatalf("recovered %d resources, want 3", st2.Len())
+	}
+}
+
+// TestTornSegmentQuarantinesSuccessors covers the zombie-resurrection
+// case: a torn record means every later segment is untrusted, and one of
+// them can start exactly at the sequence number the fresh post-recovery
+// segment would take. Recovery must rename those segments aside — not
+// replay them, not silently delete them, and never append new commits
+// into them — so that neither this boot nor the next resurrects records
+// recovery refused.
+func TestTornSegmentQuarantinesSuccessors(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(seq uint64, id string) store.Record {
+		raw, err := json.Marshal(res(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store.Record{Seq: seq, Op: store.OpPut, ID: odata.ID(id), Raw: raw}
+	}
+	writeSeg := func(start uint64, torn bool, recs ...store.Record) {
+		f, err := os.Create(walPath(dir, start))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		for _, r := range recs {
+			payload, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writeFrame(bw, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if torn {
+			if _, err := f.Write([]byte{0xde, 0xad}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	// The segment active at the crash: seqs 1-2 committed, then a torn
+	// frame.
+	writeSeg(1, true, rec(1, "/a/1"), rec(2, "/a/2"))
+	// An untrusted successor starting exactly at lastSeq+1 — the very
+	// path recovery reuses for its fresh segment.
+	writeSeg(3, false, rec(3, "/a/zombie"))
+
+	st, _, stats := openStore(t, dir, false)
+	if !stats.Truncated {
+		t.Fatal("tear not detected")
+	}
+	if stats.Replayed != 2 {
+		t.Fatalf("replayed %d records, want 2 (the committed prefix)", stats.Replayed)
+	}
+	if st.Exists("/a/zombie") {
+		t.Fatal("record from untrusted successor segment replayed")
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "*"+quarantineSuffix))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantined files = %v (%v), want exactly one", quarantined, err)
+	}
+	// New commits go to a fresh segment; a second boot must serve the
+	// committed prefix plus the new commit, zombie still absent.
+	if err := st.Put("/a/3", res("/a/3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, _ := openStore(t, dir, false)
+	defer st2.Close()
+	if st2.Exists("/a/zombie") {
+		t.Fatal("untrusted record resurrected on second boot")
+	}
+	for _, id := range []odata.ID{"/a/1", "/a/2", "/a/3"} {
+		if !st2.Exists(id) {
+			t.Fatalf("committed resource %s lost", id)
+		}
+	}
+}
+
+func TestOpenWALRefusesExistingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := walPath(dir, 1)
+	if err := os.WriteFile(path, []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openWAL(path, 0, false, nil); err == nil {
+		t.Fatal("openWAL opened an existing file instead of failing loudly")
+	}
+}
+
+// flakySrc injects one snapshot failure, exercising Compact's retry path:
+// after a failed snapshot the rotation has already happened, and the
+// retry must not collide with the segment it created.
+type flakySrc struct {
+	st   *store.Store
+	fail bool
+}
+
+func (f *flakySrc) Snapshot() ([]byte, uint64, error) {
+	if f.fail {
+		return nil, 0, errors.New("injected snapshot failure")
+	}
+	return f.st.Snapshot()
+}
+
+func TestCompactRetriesAfterSnapshotFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, b, _ := openStore(t, dir, false)
+	defer st.Close()
+	src := &flakySrc{st: st, fail: true}
+	b.StartSnapshots(src)
+	if err := st.Put("/a/x", res("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Compact(); err == nil {
+		t.Fatal("expected injected snapshot failure")
+	}
+	src.fail = false
+	if err := b.Compact(); err != nil {
+		t.Fatalf("Compact retry after failed snapshot: %v", err)
+	}
+	segs, _ := listSeqs(dir, walPrefix, walSuffix)
+	if len(segs) != 1 {
+		t.Fatalf("after retried compaction: %d segments, want 1", len(segs))
 	}
 }
 

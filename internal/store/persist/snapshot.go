@@ -15,6 +15,13 @@ const (
 	snapSuffix = ".json"
 	walPrefix  = "wal-"
 	walSuffix  = ".log"
+	// quarantineSuffix marks WAL segments found after a torn record:
+	// recovery refuses to replay them (the tear means they may postdate
+	// lost mutations) but preserves their bytes for an operator instead of
+	// deleting data that may include acknowledged commits. listSeqs never
+	// matches the suffix, so quarantined files are inert until removed by
+	// hand.
+	quarantineSuffix = ".quarantined"
 )
 
 // snapshotFile is the on-disk snapshot format: a consistent export of

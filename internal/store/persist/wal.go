@@ -10,6 +10,10 @@
 //	snap-<seq>.json   compacted snapshot: {"Seq":N,"Resources":{uri:raw}}
 //	wal-<start>.log   log segment; holds records with Seq >= start
 //
+//	wal-<start>.log.quarantined
+//	                  segment found after a torn record; recovery renames
+//	                  it aside rather than replaying or deleting it
+//
 // Each WAL record is framed as
 //
 //	| uint32 payload length | uint32 CRC-32C of payload | payload |
@@ -29,6 +33,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -95,6 +100,7 @@ func decodeAll(r io.Reader) (recs []store.Record, good int64, torn bool) {
 type wal struct {
 	path string
 	f    *os.File
+	base uint64 // sequence number the segment starts after; immutable
 
 	mu      sync.Mutex // guards bw, lastSeq
 	bw      *bufio.Writer
@@ -110,15 +116,25 @@ type wal struct {
 	onFsync func(time.Duration) // observes each fsync round; may be nil
 }
 
-// openWAL opens (or creates) the segment at path. base is the sequence
-// number the segment starts after — lastSeq/flushedSeq begin there so an
-// empty segment reports the log position it was rotated at.
+// openWAL creates the segment at path. base is the sequence number the
+// segment starts after — lastSeq/flushedSeq begin there so an empty
+// segment reports the log position it was rotated at. Creation is
+// exclusive: a leftover file at the path means the caller's bookkeeping
+// is wrong (appending to a file whose contents we did not write could
+// resurrect records recovery refused), so it fails loudly instead. The
+// directory entry is fsynced before any commit can be acknowledged —
+// fsyncing the file alone does not persist its existence, and a power
+// failure could otherwise drop the whole segment.
 func openWAL(path string, base uint64, fsync bool, onFsync func(time.Duration)) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("persist: open wal: %w", err)
+		return nil, fmt.Errorf("persist: create wal: %w", err)
 	}
-	w := &wal{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16), fsync: fsync, onFsync: onFsync}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: sync wal dir: %w", err)
+	}
+	w := &wal{path: path, f: f, base: base, bw: bufio.NewWriterSize(f, 1<<16), fsync: fsync, onFsync: onFsync}
 	w.lastSeq = base
 	w.flushedSeq = base
 	w.syncCond = sync.NewCond(&w.syncMu)

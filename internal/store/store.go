@@ -544,8 +544,10 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 
 // DeleteSubtree removes every resource under prefix (inclusive) and
 // returns how many were removed. Like PutSubtree it walks only the
-// affected subtree via the children index.
-func (s *Store) DeleteSubtree(prefix odata.ID) int {
+// affected subtree via the children index. A non-nil error means the
+// in-memory removal happened but its log records did not reach durable
+// storage, same as every other mutation.
+func (s *Store) DeleteSubtree(prefix odata.ID) (int, error) {
 	s.countOp("delete_subtree")
 	s.mu.Lock()
 	ids := s.eng.descendants(prefix, nil)
@@ -561,10 +563,10 @@ func (s *Store) DeleteSubtree(prefix odata.ID) int {
 	}
 	wait := s.commitLocked(batch)
 	s.mu.Unlock()
-	_ = waitDurable(wait)
+	werr := waitDurable(wait)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
-	return len(changes)
+	return len(changes), werr
 }
 
 // exportLocked serializes the whole tree keyed by URI. Callers hold at

@@ -403,12 +403,35 @@ func TestDeleteSubtree(t *testing.T) {
 	if err := s.Put("/redfish/v1/Fabrics/CXLish", testRes{Name: "keep"}); err != nil {
 		t.Fatal(err)
 	}
-	n := s.DeleteSubtree(prefix)
+	n, err := s.DeleteSubtree(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 5 {
 		t.Errorf("removed %d, want 5", n)
 	}
 	if !s.Exists("/redfish/v1/Fabrics/CXLish") {
 		t.Error("prefix matching removed sibling with shared string prefix")
+	}
+}
+
+// failingBackend accepts appends but fails durability, standing in for a
+// WAL whose flush or fsync errors.
+type failingBackend struct{}
+
+func (failingBackend) Append([]Record) func() error {
+	return func() error { return errors.New("disk full") }
+}
+func (failingBackend) Close() error { return nil }
+
+func TestDeleteSubtreePropagatesDurabilityError(t *testing.T) {
+	s := New()
+	if err := s.Put("/redfish/v1/Systems/1", testRes{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachBackend(failingBackend{}, 0)
+	if _, err := s.DeleteSubtree("/redfish/v1/Systems/1"); err == nil {
+		t.Fatal("DeleteSubtree swallowed the durability error")
 	}
 }
 
@@ -628,7 +651,7 @@ func TestSubtreeIndexInteriorEntry(t *testing.T) {
 	if !s.Exists(sw) {
 		t.Fatal("descendant vanished with interior delete")
 	}
-	if n := s.DeleteSubtree(fab); n != 1 {
+	if n, _ := s.DeleteSubtree(fab); n != 1 {
 		t.Errorf("DeleteSubtree = %d, want 1 (the orphaned switch)", n)
 	}
 	if s.Exists(sw) {
@@ -653,7 +676,7 @@ func TestPutSubtreeKeepsKeptAndPrunesIndex(t *testing.T) {
 	}
 	// Empty the subtree entirely; a follow-up refresh must still work
 	// (index pruning must not strand stale interior nodes).
-	if n := s.DeleteSubtree(prefix); n != 2 {
+	if n, _ := s.DeleteSubtree(prefix); n != 2 {
 		t.Errorf("DeleteSubtree = %d, want 2", n)
 	}
 	if err := s.PutSubtree(prefix, map[odata.ID]any{
