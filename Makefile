@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full cover reproduce examples clean
+.PHONY: all build vet test race bench bench-full loadsmoke cover reproduce examples clean
 
 all: build vet test
 
@@ -27,6 +27,14 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-run the serving-path load harness against the in-process
+# testbed: a 2s mixed read/write/compose window whose output is
+# validated (every class saw traffic, percentiles are sane, the results
+# file round-trips). Real baselines go to BENCH_serving.json via a
+# plain `go run ./cmd/ofmfload`.
+loadsmoke:
+	$(GO) run ./cmd/ofmfload -smoke -out /tmp/ofmfload-smoke.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -146,9 +146,13 @@ func main() {
 	metrics.Registry().CounterFunc("ofmf_agent_events_dropped_total",
 		"Events evicted from the full delivery spool.",
 		func() float64 { return float64(remote.EventsDropped()) })
+	// The agent keeps its own tracer: spans adopted from the OFMF's
+	// traceparent header land in this ring, inspectable via the span dump
+	// rendered by /metrics consumers or a debugger.
+	tracer := obsv.NewTracer(metrics.Registry(), obsv.TracerOptions{Logger: logger})
 	mux := http.NewServeMux()
 	mux.Handle("/agent/ops", obsv.Middleware(remote.Handler(), metrics, logger,
-		func(string) string { return "AgentOps" }))
+		func(string) string { return "AgentOps" }, tracer))
 	if *withMetrics {
 		mux.Handle("/metrics", metrics.Registry().Handler())
 	}

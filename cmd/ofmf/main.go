@@ -65,6 +65,8 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
 		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
+		traceSlow   = flag.Duration("trace-slow", 0,
+			"log any trace whose entry span exceeds this duration (0 disables slow-trace logging)")
 
 		sweepInterval = flag.Duration("sweep-interval", 10*time.Second,
 			"aggregation-source liveness sweep cadence (0 disables the sweeper)")
@@ -94,7 +96,14 @@ func main() {
 	}
 
 	metrics := obsv.NewMetrics(obsv.NewRegistry())
-	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics}
+	// One tracer for the whole process: the HTTP middleware, composer,
+	// store, WAL and agent edges all record into the same span ring,
+	// dumped at /redfish/v1/Oem/OFMF/Admin/Traces.
+	tracer := obsv.NewTracer(metrics.Registry(), obsv.TracerOptions{
+		SlowThreshold: *traceSlow,
+		Logger:        logger,
+	})
+	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics, Tracer: tracer}
 
 	mux := http.NewServeMux()
 	var tree *store.Store
@@ -153,6 +162,7 @@ func main() {
 			SnapshotInterval: *snapInterval,
 			Logger:           logger,
 			Metrics:          metrics,
+			Tracer:           tracer,
 		})
 		if err != nil {
 			fatal("ofmf: data dir", err)

@@ -1,0 +1,383 @@
+// Command ofmfload is a wrk-style closed-loop load harness for the OFMF
+// serving path. It drives a mixed workload of three route classes —
+// reads (GET on the Redfish tree), writes (PATCH on a computer system)
+// and compositions (POST /composer/v1/Compose followed by the matching
+// decompose DELETE) — from -conns concurrent connections for -duration,
+// then reports throughput, error rate and p50/p99/p999 latency per
+// class and appends the run to BENCH_serving.json so serving-latency
+// regressions are tracked alongside the store microbenchmarks.
+//
+// With no -url it boots the in-process emulated testbed behind an
+// httptest server, so a single command measures the full HTTP stack
+// (middleware, tracing, store, composer, agents) with zero setup:
+//
+//	go run ./cmd/ofmfload                      # in-process, 10s, 8 conns
+//	go run ./cmd/ofmfload -duration 30s -conns 32
+//	go run ./cmd/ofmfload -url http://host:8080 -write 0 -compose 0
+//	go run ./cmd/ofmfload -smoke               # 2s CI gate, validates output
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ofmf/internal/core"
+	"ofmf/internal/odata"
+	"ofmf/internal/service"
+)
+
+// classResult aggregates one route class's outcomes.
+type classResult struct {
+	Requests  int     `json:"Requests"`
+	Errors    int     `json:"Errors"`
+	RPS       float64 `json:"RPS"`
+	P50Micros float64 `json:"P50Micros"`
+	P99Micros float64 `json:"P99Micros"`
+	P999Mics  float64 `json:"P999Micros"`
+}
+
+// entry is one appended BENCH_serving.json record.
+type entry struct {
+	Date       string                 `json:"date"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Target     string                 `json:"target"`
+	DurationS  float64                `json:"duration_s"`
+	Conns      int                    `json:"conns"`
+	Classes    map[string]classResult `json:"classes"`
+}
+
+// benchFile is the whole BENCH_serving.json document.
+type benchFile struct {
+	Comment string  `json:"comment"`
+	Entries []entry `json:"entries"`
+}
+
+// sample is one timed request.
+type sample struct {
+	class string
+	d     time.Duration
+	err   bool
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "target OFMF base URL; empty boots the in-process testbed")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
+		readW    = flag.Int("read", 80, "read (GET) weight in the workload mix")
+		writeW   = flag.Int("write", 15, "write (PATCH) weight in the workload mix")
+		compW    = flag.Int("compose", 5, "compose/decompose weight in the workload mix")
+		nodes    = flag.Int("nodes", 8, "in-process testbed node count")
+		out      = flag.String("out", "BENCH_serving.json", "results file to append to; empty skips the file")
+		smoke    = flag.Bool("smoke", false, "CI smoke mode: cap the window at 2s and validate the results")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	if *readW+*writeW+*compW <= 0 {
+		fatal("ofmfload: workload mix weights sum to zero")
+	}
+	if *smoke && *duration > 2*time.Second {
+		*duration = 2 * time.Second
+	}
+
+	base := *url
+	target := base
+	if base == "" {
+		f, err := core.New(core.Config{Nodes: *nodes})
+		if err != nil {
+			fatal("ofmfload: testbed: %v", err)
+		}
+		defer f.Close()
+		srv := httptest.NewServer(f.Handler())
+		defer srv.Close()
+		base = srv.URL
+		target = "in-process"
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: *conns,
+		MaxConnsPerHost:     0,
+	}}
+
+	readTargets, writeTarget, err := discover(client, base)
+	if err != nil {
+		fatal("ofmfload: discover targets: %v", err)
+	}
+	if *writeW > 0 && writeTarget == "" {
+		fatal("ofmfload: no computer system to PATCH; rerun with -write 0")
+	}
+
+	// Closed loop: each worker issues one request at a time, choosing the
+	// class by weight, and records every sample.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			var local []sample
+			for time.Now().Before(deadline) {
+				pick := rng.Intn(*readW + *writeW + *compW)
+				switch {
+				case pick < *readW:
+					local = append(local, doRead(client, rng, readTargets))
+				case pick < *readW+*writeW:
+					local = append(local, doWrite(client, rng, base, writeTarget, w))
+				default:
+					local = append(local, doCompose(client, base, w)...)
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	classes := summarize(samples, elapsed)
+	report(os.Stdout, target, elapsed, *conns, classes)
+
+	e := entry{
+		Date:       time.Now().Format("2006-01-02"),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Target:     target,
+		DurationS:  elapsed.Seconds(),
+		Conns:      *conns,
+		Classes:    classes,
+	}
+	if *out != "" {
+		if err := appendEntry(*out, e); err != nil {
+			fatal("ofmfload: %v", err)
+		}
+		fmt.Printf("appended entry to %s\n", *out)
+	}
+	if *smoke {
+		if err := validate(e, *readW, *writeW, *compW, *out); err != nil {
+			fatal("ofmfload: smoke validation: %v", err)
+		}
+		fmt.Println("smoke ok")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// discover collects GET targets and the PATCH target from the live tree.
+func discover(client *http.Client, base string) (reads []string, write string, err error) {
+	for _, path := range []odata.ID{service.RootURI, service.SystemsURI, service.FabricsURI, service.ChassisURI} {
+		reads = append(reads, base+string(path))
+	}
+	var systems struct {
+		Members []odata.Ref `json:"Members"`
+	}
+	if err := getJSON(client, base+string(service.SystemsURI), &systems); err != nil {
+		return nil, "", err
+	}
+	for _, m := range systems.Members {
+		reads = append(reads, base+string(m.ODataID))
+		if write == "" {
+			write = string(m.ODataID)
+		}
+	}
+	return reads, write, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// timed issues req and drains the response, classifying 5xx and transport
+// failures as errors (4xx are the workload's own fault and count too).
+func timed(client *http.Client, class string, req *http.Request) sample {
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{class: class, d: time.Since(start), err: true}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{class: class, d: time.Since(start), err: resp.StatusCode >= 400}
+}
+
+func doRead(client *http.Client, rng *rand.Rand, targets []string) sample {
+	req, _ := http.NewRequest(http.MethodGet, targets[rng.Intn(len(targets))], nil)
+	return timed(client, "read", req)
+}
+
+func doWrite(client *http.Client, rng *rand.Rand, base, target string, w int) sample {
+	body := fmt.Sprintf(`{"Oem": {"OFMFLoad": {"Worker": %d, "Seq": %d}}}`, w, rng.Int63())
+	req, _ := http.NewRequest(http.MethodPatch, base+target, bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	return timed(client, "write", req)
+}
+
+// doCompose composes a minimal one-core system and immediately decomposes
+// it; both round-trips are samples of the compose class.
+func doCompose(client *http.Client, base string, w int) []sample {
+	body := fmt.Sprintf(`{"Name": "load-w%d-%d", "Cores": 1}`, w, time.Now().UnixNano())
+	req, _ := http.NewRequest(http.MethodPost, base+"/composer/v1/Compose", bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return []sample{{class: "compose", d: time.Since(start), err: true}}
+	}
+	var comp struct {
+		ID string `json:"Id"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	composeSample := sample{class: "compose", d: time.Since(start), err: resp.StatusCode >= 400}
+	if composeSample.err || json.Unmarshal(data, &comp) != nil || comp.ID == "" {
+		composeSample.err = true
+		return []sample{composeSample}
+	}
+	del, _ := http.NewRequest(http.MethodDelete, base+"/composer/v1/Compositions/"+comp.ID, nil)
+	return []sample{composeSample, timed(client, "compose", del)}
+}
+
+// summarize folds samples into per-class percentiles and rates.
+func summarize(samples []sample, elapsed time.Duration) map[string]classResult {
+	byClass := map[string][]time.Duration{}
+	errs := map[string]int{}
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s.d)
+		if s.err {
+			errs[s.class]++
+		}
+	}
+	out := make(map[string]classResult, len(byClass))
+	for class, ds := range byClass {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		out[class] = classResult{
+			Requests:  len(ds),
+			Errors:    errs[class],
+			RPS:       float64(len(ds)) / elapsed.Seconds(),
+			P50Micros: micros(percentile(ds, 0.50)),
+			P99Micros: micros(percentile(ds, 0.99)),
+			P999Mics:  micros(percentile(ds, 0.999)),
+		}
+	}
+	return out
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func report(w io.Writer, target string, elapsed time.Duration, conns int, classes map[string]classResult) {
+	fmt.Fprintf(w, "target %s, %d conns, %.1fs\n", target, conns, elapsed.Seconds())
+	fmt.Fprintf(w, "%-10s %10s %8s %12s %12s %12s %12s\n",
+		"class", "requests", "errors", "rps", "p50(µs)", "p99(µs)", "p999(µs)")
+	order := []string{"read", "write", "compose"}
+	for _, class := range order {
+		c, ok := classes[class]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %10d %8d %12.1f %12.1f %12.1f %12.1f\n",
+			class, c.Requests, c.Errors, c.RPS, c.P50Micros, c.P99Micros, c.P999Mics)
+	}
+}
+
+// appendEntry loads (or creates) the results file and appends e.
+func appendEntry(path string, e entry) error {
+	doc := benchFile{
+		Comment: "OFMF serving-path latency under mixed load. Regenerate with: go run ./cmd/ofmfload",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc.Entries = append(doc.Entries, e)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// validate is the -smoke gate: every exercised class produced traffic
+// with sane percentiles, nothing errored wholesale, and the results file
+// round-trips as JSON.
+func validate(e entry, readW, writeW, compW int, out string) error {
+	check := func(class string, weight int) error {
+		if weight == 0 {
+			return nil
+		}
+		c, ok := e.Classes[class]
+		if !ok || c.Requests == 0 {
+			return fmt.Errorf("class %s saw no traffic", class)
+		}
+		if c.Errors == c.Requests {
+			return fmt.Errorf("class %s: every request failed", class)
+		}
+		if c.P99Micros <= 0 || c.P50Micros > c.P99Micros || c.P99Micros > c.P999Mics {
+			return fmt.Errorf("class %s: implausible percentiles p50=%.1f p99=%.1f p999=%.1f",
+				class, c.P50Micros, c.P99Micros, c.P999Mics)
+		}
+		return nil
+	}
+	for class, weight := range map[string]int{"read": readW, "write": writeW, "compose": compW} {
+		if err := check(class, weight); err != nil {
+			return err
+		}
+	}
+	if out != "" {
+		data, err := os.ReadFile(out)
+		if err != nil {
+			return err
+		}
+		var doc benchFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("results file does not round-trip: %w", err)
+		}
+		if len(doc.Entries) == 0 {
+			return fmt.Errorf("results file has no entries")
+		}
+	}
+	return nil
+}

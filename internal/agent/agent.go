@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/resilience"
@@ -164,7 +165,7 @@ func (r *Remote) client() *http.Client {
 	return r.defClient
 }
 
-func (r *Remote) do(method, path string, body, out any) error {
+func (r *Remote) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -173,11 +174,15 @@ func (r *Remote) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, r.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, r.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate trace identity (traceparent + X-Request-Id) when the
+	// caller's context carries one, so agent-initiated calls join the
+	// distributed trace recorded by the OFMF's middleware.
+	obsv.InjectHeaders(ctx, req.Header)
 	if r.Token != "" {
 		req.Header.Set("X-Auth-Token", r.Token)
 	}
@@ -208,7 +213,7 @@ func (r *Remote) Register(src redfish.AggregationSource) (odata.ID, error) {
 		src.HostName = r.CallbackURL
 	}
 	var created redfish.AggregationSource
-	if err := r.do(http.MethodPost, string(service.AggregationSourcesURI), src, &created); err != nil {
+	if err := r.do(context.Background(), http.MethodPost, string(service.AggregationSourcesURI), src, &created); err != nil {
 		return "", err
 	}
 	return created.ODataID, nil
@@ -225,7 +230,7 @@ func (r *Remote) PublishSubtree(prefix odata.ID, resources map[odata.ID]any, kee
 		}
 		payload.Resources[id] = b
 	}
-	return r.do(http.MethodPost, string(service.SubtreeOemURI), payload, nil)
+	return r.do(context.Background(), http.MethodPost, string(service.SubtreeOemURI), payload, nil)
 }
 
 // PublishEvent pushes the record through the OFMF's OEM event endpoint.
@@ -252,7 +257,7 @@ func (r *Remote) drainSpool() {
 		if !ok {
 			return
 		}
-		if err := r.do(http.MethodPost, string(service.EventsOemURI), rec, nil); err != nil {
+		if err := r.do(context.Background(), http.MethodPost, string(service.EventsOemURI), rec, nil); err != nil {
 			return
 		}
 		r.spool.pop()
@@ -279,7 +284,7 @@ func (r *Remote) EventsDropped() int64 {
 // successful beat doubles as the reconnect signal: any spooled events
 // are flushed before it returns.
 func (r *Remote) TouchSource(sourceURI odata.ID, timestamp string) error {
-	err := r.do(http.MethodPatch, string(sourceURI), heartbeatPatch(timestamp), nil)
+	err := r.do(context.Background(), http.MethodPatch, string(sourceURI), heartbeatPatch(timestamp), nil)
 	if err == nil && r.spool.size() > 0 {
 		r.drainSpool()
 	}
@@ -289,7 +294,7 @@ func (r *Remote) TouchSource(sourceURI odata.ID, timestamp string) error {
 // RegisterCollections pushes the collection declarations through the
 // OFMF's OEM endpoint.
 func (r *Remote) RegisterCollections(colls service.CollectionsPayload) error {
-	return r.do(http.MethodPost, string(service.CollectionsOemURI), colls, nil)
+	return r.do(context.Background(), http.MethodPost, string(service.CollectionsOemURI), colls, nil)
 }
 
 // AttachHandler records the handler locally; the OFMF forwards operations

@@ -1,0 +1,139 @@
+package agent_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ofmf/internal/agent"
+	"ofmf/internal/agent/fabagent"
+	"ofmf/internal/emul/fabsim"
+	"ofmf/internal/obsv"
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/service"
+)
+
+// TestTracePropagationAcrossThreeServers proves one trace id survives
+// every HTTP edge of a distributed deployment: a traced client request
+// hits the OFMF, the OFMF forwards the fabric mutation to a standalone
+// agent's ops server, and the resulting event is delivered to an HTTP
+// event sink — three real HTTP servers, one trace.
+func TestTracePropagationAcrossThreeServers(t *testing.T) {
+	// Server one: the OFMF.
+	ofmfTracer := obsv.NewTracer(obsv.NewRegistry(), obsv.TracerOptions{})
+	svc := service.New(service.Config{Tracer: ofmfTracer})
+	ofmfSrv := httptest.NewServer(svc.Handler())
+	defer func() {
+		ofmfSrv.Close()
+		svc.Close()
+	}()
+
+	// Server two: the agent's ops endpoint, instrumented with its own
+	// tracer exactly like cmd/ofmf-agent.
+	agentTracer := obsv.NewTracer(obsv.NewRegistry(), obsv.TracerOptions{})
+	remote := &agent.Remote{BaseURL: ofmfSrv.URL}
+	opsSrv := httptest.NewServer(obsv.Middleware(remote.Handler(), nil, nil,
+		func(string) string { return "AgentOps" }, agentTracer))
+	defer opsSrv.Close()
+	remote.CallbackURL = opsSrv.URL
+
+	fab := fabsim.New()
+	if _, err := fabsim.BuildStar(fab, "h", 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	ag := fabagent.New(remote, fab, "IB", redfish.ProtocolInfiniBand)
+	if err := ag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server three: an HTTP event sink, recording delivery headers.
+	sinkHeaders := make(chan string, 64)
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sinkHeaders <- r.Header.Get(obsv.TraceparentHeader)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer sink.Close()
+	subBody, _ := json.Marshal(map[string]any{"Destination": sink.URL})
+	resp, err := http.Post(ofmfSrv.URL+string(service.SubscriptionsURI), "application/json", bytes.NewReader(subBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscription POST = %d", resp.StatusCode)
+	}
+
+	// The traced request: a client with an existing trace creates a zone
+	// in the agent-owned fabric.
+	root := obsv.SpanContext{TraceID: strings.Repeat("42", 16), SpanID: strings.Repeat("17", 8)}
+	zoneBody, _ := json.Marshal(redfish.Zone{
+		Links: redfish.ZoneLinks{Endpoints: []odata.Ref{
+			odata.NewRef(ag.FabricID().Append("Endpoints", "h0")),
+			odata.NewRef(ag.FabricID().Append("Endpoints", "h1")),
+		}},
+	})
+	req, _ := http.NewRequest(http.MethodPost, ofmfSrv.URL+string(ag.FabricID().Append("Zones")), bytes.NewReader(zoneBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obsv.TraceparentHeader, root.Traceparent())
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("zone POST = %d", resp.StatusCode)
+	}
+
+	// The OFMF recorded the request under the client's trace id.
+	find := func(tr *obsv.Tracer, prefix string) (obsv.SpanRecord, bool) {
+		for _, r := range tr.Dump() {
+			if r.TraceID == root.TraceID && strings.HasPrefix(r.Name, prefix) {
+				return r, true
+			}
+		}
+		return obsv.SpanRecord{}, false
+	}
+	ofmfSpan, ok := find(ofmfTracer, "http.")
+	if !ok {
+		t.Fatalf("no OFMF http span with trace %s in %+v", root.TraceID, ofmfTracer.Dump())
+	}
+	if ofmfSpan.ParentID != root.SpanID {
+		t.Errorf("OFMF span parent = %s, want the client's span %s", ofmfSpan.ParentID, root.SpanID)
+	}
+
+	// The agent's ops server joined the same trace (poll briefly: its
+	// middleware finishes the span concurrently with the OFMF response).
+	deadline := time.Now().Add(5 * time.Second)
+	var agentSpan obsv.SpanRecord
+	for {
+		if sp, ok := find(agentTracer, "http.AgentOps"); ok {
+			agentSpan = sp
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no agent span with trace %s in %+v", root.TraceID, agentTracer.Dump())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if agentSpan.ParentID == "" {
+		t.Error("agent span has no parent; traceparent did not cross the forwarding edge")
+	}
+
+	// The event sink received a delivery carrying the same trace id.
+	for {
+		select {
+		case tp := <-sinkHeaders:
+			sc, ok := obsv.ParseTraceparent(tp)
+			if ok && sc.TraceID == root.TraceID {
+				return // one trace id across all three servers
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no event delivery carried the client's trace id")
+		}
+	}
+}

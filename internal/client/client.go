@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"ofmf/internal/composer"
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/resilience"
@@ -80,6 +82,10 @@ func (c *Client) Token() string {
 }
 
 func (c *Client) do(method, path string, body, out any) (*http.Response, error) {
+	return c.doCtx(context.Background(), method, path, body, out)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -88,13 +94,17 @@ func (c *Client) do(method, path string, body, out any) (*http.Response, error) 
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Join any distributed trace the caller is part of: traceparent and
+	// X-Request-Id from ctx ride along so the server's middleware links
+	// its spans under the caller's.
+	obsv.InjectHeaders(ctx, req.Header)
 	if tok := c.Token(); tok != "" {
 		req.Header.Set("X-Auth-Token", tok)
 	}
@@ -141,6 +151,12 @@ func (c *Client) Login(user, password string) error {
 // Get decodes the resource at path into out.
 func (c *Client) Get(path odata.ID, out any) error {
 	_, err := c.do(http.MethodGet, string(path), nil, out)
+	return err
+}
+
+// GetCtx is Get with cancellation and trace propagation via ctx.
+func (c *Client) GetCtx(ctx context.Context, path odata.ID, out any) error {
+	_, err := c.doCtx(ctx, http.MethodGet, string(path), nil, out)
 	return err
 }
 
@@ -244,6 +260,12 @@ func (c *Client) Patch(path odata.ID, patch map[string]any) error {
 	return err
 }
 
+// PatchCtx is Patch with cancellation and trace propagation via ctx.
+func (c *Client) PatchCtx(ctx context.Context, path odata.ID, patch map[string]any) error {
+	_, err := c.doCtx(ctx, http.MethodPatch, string(path), patch, nil)
+	return err
+}
+
 // ExportTree downloads the whole resource tree as portable JSON from the
 // admin backup endpoint. The format is the store's Export format,
 // independent of any on-disk WAL layout, so dumps restore across
@@ -302,14 +324,25 @@ func (c *Client) ComposeAsync(req composer.Request) (odata.ID, error) {
 
 // Compose submits a composition request to the Composability Layer.
 func (c *Client) Compose(req composer.Request) (composer.Composition, error) {
+	return c.ComposeCtx(context.Background(), req)
+}
+
+// ComposeCtx is Compose with cancellation and trace propagation via ctx.
+func (c *Client) ComposeCtx(ctx context.Context, req composer.Request) (composer.Composition, error) {
 	var comp composer.Composition
-	_, err := c.do(http.MethodPost, "/composer/v1/Compose", req, &comp)
+	_, err := c.doCtx(ctx, http.MethodPost, "/composer/v1/Compose", req, &comp)
 	return comp, err
 }
 
 // Decompose tears a composition down.
 func (c *Client) Decompose(id string) error {
-	_, err := c.do(http.MethodDelete, "/composer/v1/Compositions/"+id, nil, nil)
+	return c.DecomposeCtx(context.Background(), id)
+}
+
+// DecomposeCtx is Decompose with cancellation and trace propagation via
+// ctx.
+func (c *Client) DecomposeCtx(ctx context.Context, id string) error {
+	_, err := c.doCtx(ctx, http.MethodDelete, "/composer/v1/Compositions/"+id, nil, nil)
 	return err
 }
 

@@ -234,12 +234,16 @@ func (c *Composer) Get(id string) (Composition, error) {
 }
 
 // observeCompose times one composer operation, feeding the
-// ofmf_compose_* metrics and emitting a log line correlated with the
-// request id carried in ctx.
-func (c *Composer) observeCompose(ctx context.Context, op string, fn func() error) error {
+// ofmf_compose_* metrics, recording a compose.<op> span when the request
+// is traced, and emitting a log line correlated with the request id
+// carried in ctx. fn receives the (possibly span-carrying) context so the
+// store and agent operations underneath parent onto the compose span.
+func (c *Composer) observeCompose(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	ctx, span := c.svc.Tracer().StartIfTraced(ctx, "compose."+op)
 	start := time.Now()
-	err := fn()
+	err := fn(ctx)
 	elapsed := time.Since(start)
+	span.EndErr(err)
 	outcome := obsv.Outcome(err)
 	m := c.svc.Metrics()
 	m.ComposeOps.With(op, outcome).Inc()
@@ -265,7 +269,7 @@ func (c *Composer) Compose(req Request) (Composition, error) {
 // operation performed on behalf of the composition.
 func (c *Composer) ComposeCtx(ctx context.Context, req Request) (Composition, error) {
 	var comp Composition
-	err := c.observeCompose(ctx, "compose", func() error {
+	err := c.observeCompose(ctx, "compose", func(ctx context.Context) error {
 		var err error
 		comp, err = c.compose(ctx, req)
 		return err
@@ -338,7 +342,7 @@ func (c *Composer) compose(ctx context.Context, req Request) (Composition, error
 	for _, res := range comp.Resources {
 		sys.Links.ResourceBlocks = append(sys.Links.ResourceBlocks, odata.NewRef(res))
 	}
-	if err := c.svc.Store().Create(sysURI, sys); err != nil {
+	if err := c.svc.Store().CreateCtx(ctx, sysURI, sys); err != nil {
 		rollback()
 		return Composition{}, fmt.Errorf("composer: publish system: %w", err)
 	}
@@ -348,7 +352,7 @@ func (c *Composer) compose(ctx context.Context, req Request) (Composition, error
 	// Publish the Redfish-native composition view: a ResourceBlock in the
 	// CompositionService bundling the composed resources.
 	blockURI := service.ResourceBlocksURI.Append(compID)
-	if err := c.svc.Store().Put(blockURI, c.resourceBlock(blockURI, comp)); err != nil {
+	if err := c.svc.Store().PutCtx(ctx, blockURI, c.resourceBlock(blockURI, comp)); err != nil {
 		rollback()
 		return Composition{}, fmt.Errorf("composer: publish resource block: %w", err)
 	}
@@ -359,7 +363,7 @@ func (c *Composer) compose(ctx context.Context, req Request) (Composition, error
 	c.comps[compID] = comp
 	c.mu.Unlock()
 
-	c.svc.Bus().Publish(redfish.EventRecord{
+	c.svc.Bus().PublishCtx(ctx, redfish.EventRecord{
 		EventType:         redfish.EventResourceAdded,
 		EventID:           compID,
 		Severity:          "OK",
@@ -496,7 +500,7 @@ func (c *Composer) undoSteps(ctx context.Context, comp *Composition, n int) {
 		case "resource":
 			_ = c.svc.DeprovisionResource(ctx, st.id)
 		case "system":
-			_ = c.svc.Store().Delete(st.id)
+			_ = c.svc.Store().DeleteCtx(ctx, st.id)
 		}
 	}
 }
@@ -586,7 +590,7 @@ func (c *Composer) Decompose(id string) error {
 // DecomposeCtx tears down a composition, returning its resources to the
 // free pool.
 func (c *Composer) DecomposeCtx(ctx context.Context, id string) error {
-	return c.observeCompose(ctx, "decompose", func() error {
+	return c.observeCompose(ctx, "decompose", func(ctx context.Context) error {
 		return c.decompose(ctx, id)
 	})
 }
@@ -611,7 +615,7 @@ func (c *Composer) decompose(ctx context.Context, id string) error {
 	}
 	c.mu.Unlock()
 
-	c.svc.Bus().Publish(redfish.EventRecord{
+	c.svc.Bus().PublishCtx(ctx, redfish.EventRecord{
 		EventType:         redfish.EventResourceRemoved,
 		EventID:           id,
 		Severity:          "OK",
@@ -630,7 +634,7 @@ func (c *Composer) HotAddMemory(compID string, sizeMiB int64) error {
 
 // HotAddMemoryCtx is HotAddMemory with log/metric correlation via ctx.
 func (c *Composer) HotAddMemoryCtx(ctx context.Context, compID string, sizeMiB int64) error {
-	return c.observeCompose(ctx, "hot_add_memory", func() error {
+	return c.observeCompose(ctx, "hot_add_memory", func(ctx context.Context) error {
 		return c.hotAddMemory(ctx, compID, sizeMiB)
 	})
 }
@@ -647,15 +651,15 @@ func (c *Composer) hotAddMemory(ctx context.Context, compID string, sizeMiB int6
 	}
 	// Refresh the composed system's resource links and the block view.
 	patch := map[string]any{"Links": map[string]any{"ResourceBlocks": refList(comp.Resources)}}
-	if err := c.svc.Store().Patch(comp.SystemURI, patch, ""); err != nil {
+	if err := c.svc.Store().PatchCtx(ctx, comp.SystemURI, patch, ""); err != nil {
 		return err
 	}
 	if !comp.BlockURI.IsZero() {
-		if err := c.svc.Store().Put(comp.BlockURI, c.resourceBlock(comp.BlockURI, comp)); err != nil {
+		if err := c.svc.Store().PutCtx(ctx, comp.BlockURI, c.resourceBlock(comp.BlockURI, comp)); err != nil {
 			return err
 		}
 	}
-	c.svc.Bus().Publish(redfish.EventRecord{
+	c.svc.Bus().PublishCtx(ctx, redfish.EventRecord{
 		EventType:         redfish.EventResourceUpdated,
 		EventID:           compID,
 		Severity:          "OK",

@@ -283,7 +283,7 @@ func (f *Framework) Handler() http.Handler {
 	mux.Handle("/redfish", f.Service.Handler())
 	mux.Handle("/redfish/", f.Service.Handler())
 	mux.Handle("/composer/", obsv.Middleware(f.Composer.Handler(),
-		f.Service.Metrics(), f.Service.Logger(), service.RouteClass))
+		f.Service.Metrics(), f.Service.Logger(), service.RouteClass, f.Service.Tracer()))
 	return mux
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
 	"ofmf/internal/resilience"
@@ -52,6 +53,7 @@ func (h *HTTPSink) Deliver(ctx context.Context, ev redfish.Event) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obsv.InjectHeaders(ctx, req.Header)
 	client := h.Client
 	if client == nil {
 		client = defaultSinkClient()
@@ -144,6 +146,10 @@ type Config struct {
 	// successful delivery resets the count. The OFMF uses it to degrade
 	// the subscription resource's health in the tree.
 	OnDeliveryFailure func(subscriptionID string, consecutive int)
+	// Tracer, when non-nil, records each delivery as an event.deliver
+	// span parented to the publishing request's trace (see PublishCtx),
+	// so one trace id follows a mutation from the OFMF to its sinks.
+	Tracer *obsv.Tracer
 }
 
 // DefaultConfig mirrors the EventService defaults the OFMF advertises.
@@ -166,10 +172,18 @@ type Subscription struct {
 	Filter  Filter
 
 	sink        Sink
-	queue       chan redfish.EventRecord
+	queue       chan queued
 	cancel      context.CancelFunc
 	done        chan struct{}
 	consecutive int64 // consecutive delivery failures (atomic)
+}
+
+// queued is one event waiting in a subscription queue, carrying the
+// span context of the publishing request so delivery — which happens
+// later, on the worker goroutine — still belongs to the same trace.
+type queued struct {
+	rec redfish.EventRecord
+	sc  obsv.SpanContext
 }
 
 // Bus fans events out to subscriptions.
@@ -232,7 +246,7 @@ func (b *Bus) Subscribe(sink Sink, filter Filter, contextStr string) (*Subscript
 	if !b.cfg.Synchronous {
 		ctx, cancel := context.WithCancel(context.Background())
 		sub.cancel = cancel
-		sub.queue = make(chan redfish.EventRecord, b.cfg.QueueDepth)
+		sub.queue = make(chan queued, b.cfg.QueueDepth)
 		go b.drain(ctx, sub)
 	} else {
 		close(sub.done)
@@ -270,9 +284,20 @@ func (b *Bus) Subscriptions() []string {
 	return ids
 }
 
-// Publish fans the record out to every matching subscription.
+// Publish fans the record out to every matching subscription with no
+// originating trace context.
 func (b *Bus) Publish(rec redfish.EventRecord) {
+	b.PublishCtx(context.Background(), rec)
+}
+
+// PublishCtx fans the record out to every matching subscription,
+// capturing ctx's span context so deliveries — queued or inline —
+// happen inside the publishing request's trace. Only the trace identity
+// is captured: queued deliveries are not cancelled when ctx is.
+func (b *Bus) PublishCtx(ctx context.Context, rec redfish.EventRecord) {
 	atomic.AddInt64(&b.published, 1)
+	q := queued{rec: rec}
+	q.sc, _ = obsv.SpanContextFrom(ctx)
 	b.mu.RLock()
 	targets := make([]*Subscription, 0, len(b.subs))
 	for _, sub := range b.subs {
@@ -285,11 +310,11 @@ func (b *Bus) Publish(rec redfish.EventRecord) {
 
 	for _, sub := range targets {
 		if sync {
-			b.attempt(context.Background(), sub, rec)
+			b.attempt(context.Background(), sub, q)
 			continue
 		}
 		select {
-		case sub.queue <- rec:
+		case sub.queue <- q:
 		default:
 			atomic.AddInt64(&b.dropped, 1)
 		}
@@ -302,13 +327,18 @@ func (b *Bus) drain(ctx context.Context, sub *Subscription) {
 		select {
 		case <-ctx.Done():
 			return
-		case rec := <-sub.queue:
-			b.attempt(ctx, sub, rec)
+		case q := <-sub.queue:
+			b.attempt(ctx, sub, q)
 		}
 	}
 }
 
-func (b *Bus) attempt(ctx context.Context, sub *Subscription, rec redfish.EventRecord) {
+func (b *Bus) attempt(ctx context.Context, sub *Subscription, q queued) {
+	rec := q.rec
+	ctx = obsv.ContextWithRemoteSpanContext(ctx, q.sc)
+	ctx, span := b.cfg.Tracer.StartIfTraced(ctx, "event.deliver")
+	span.SetAttr("subscription", sub.ID)
+	span.SetAttr("event_type", rec.EventType)
 	ev := redfish.Event{
 		ODataType: redfish.TypeEvent,
 		ID:        rec.EventID,
@@ -316,6 +346,7 @@ func (b *Bus) attempt(ctx context.Context, sub *Subscription, rec redfish.EventR
 		Context:   sub.Context,
 		Events:    []redfish.EventRecord{rec},
 	}
+	var err error
 	for i := 0; i < b.cfg.RetryAttempts; i++ {
 		if i > 0 {
 			// Exponential backoff with jitter: a flapping destination is
@@ -323,16 +354,19 @@ func (b *Bus) attempt(ctx context.Context, sub *Subscription, rec redfish.EventR
 			// subscription workers don't re-knock in lockstep.
 			select {
 			case <-ctx.Done():
+				span.EndErr(ctx.Err())
 				return
 			case <-time.After(b.backoff.Delay(i)):
 			}
 		}
-		if err := sub.sink.Deliver(ctx, ev); err == nil {
+		if err = sub.sink.Deliver(ctx, ev); err == nil {
 			atomic.AddInt64(&b.delivered, 1)
 			atomic.StoreInt64(&sub.consecutive, 0)
+			span.End()
 			return
 		}
 	}
+	span.EndErr(err)
 	atomic.AddInt64(&b.failed, 1)
 	n := atomic.AddInt64(&sub.consecutive, 1)
 	if b.cfg.OnDeliveryFailure != nil {

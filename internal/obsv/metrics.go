@@ -72,9 +72,12 @@ type Metrics struct {
 	SSEDropped *Counter
 }
 
-// NewMetrics registers the OFMF instrument set on reg. Registration is
-// idempotent: wiring two services onto one registry shares the series.
+// NewMetrics registers the OFMF instrument set on reg, along with the
+// Go runtime health series (see RegisterRuntimeMetrics). Registration
+// is idempotent: wiring two services onto one registry shares the
+// series.
 func NewMetrics(reg *Registry) *Metrics {
+	RegisterRuntimeMetrics(reg)
 	return &Metrics{
 		reg: reg,
 		HTTPRequests: reg.CounterVec("ofmf_http_requests_total",

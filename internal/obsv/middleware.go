@@ -34,12 +34,20 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach optional interfaces (deadlines, flush) through the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Middleware instruments an HTTP handler: it assigns (or adopts) the
 // request id, returns it in the X-Request-Id header, carries it through
-// the request context so every downstream log line is correlated, and
+// the request context so every downstream log line is correlated,
+// adopts (or starts) the trace context from the traceparent header, and
 // records the request in the metrics bundle under classify's bounded
-// route class. A nil metrics, logger or classify falls back to no-ops.
-func Middleware(next http.Handler, m *Metrics, log *slog.Logger, classify func(path string) string) http.Handler {
+// route class. A nil metrics, logger, classify or tracer falls back to
+// no-ops. Accounting runs in a defer, so a panicking handler still
+// decrements in-flight, records a 500-class outcome, and ends its span
+// before the panic propagates to the server.
+func Middleware(next http.Handler, m *Metrics, log *slog.Logger, classify func(path string) string, tracer *Tracer) http.Handler {
 	if log == nil {
 		log = NopLogger()
 	}
@@ -52,6 +60,13 @@ func Middleware(next http.Handler, m *Metrics, log *slog.Logger, classify func(p
 			id = NewRequestID()
 		}
 		ctx := ContextWithRequestID(r.Context(), id)
+		if sc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = ContextWithRemoteSpanContext(ctx, sc)
+		}
+		class := classify(r.URL.Path)
+		ctx, span := tracer.Start(ctx, "http."+class)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
 		r = r.WithContext(ctx)
 		w.Header().Set(RequestIDHeader, id)
 
@@ -60,25 +75,34 @@ func Middleware(next http.Handler, m *Metrics, log *slog.Logger, classify func(p
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		panicked := true
+		defer func() {
+			elapsed := time.Since(start)
+			status := sw.status
+			if status == 0 {
+				if panicked {
+					status = http.StatusInternalServerError
+				} else {
+					status = http.StatusOK
+				}
+			}
+			span.SetAttr("status", strconv.Itoa(status))
+			span.End()
+			if m != nil {
+				m.HTTPInFlight.Dec()
+				m.HTTPRequests.With(r.Method, class, strconv.Itoa(status)).Inc()
+				m.HTTPDuration.With(r.Method, class).Observe(elapsed.Seconds())
+			}
+			log.LogAttrs(ctx, slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("class", class),
+				slog.Int("status", status),
+				slog.Duration("duration", elapsed),
+				slog.Bool("panic", panicked),
+			)
+		}()
 		next.ServeHTTP(sw, r)
-		elapsed := time.Since(start)
-
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		class := classify(r.URL.Path)
-		if m != nil {
-			m.HTTPInFlight.Dec()
-			m.HTTPRequests.With(r.Method, class, strconv.Itoa(status)).Inc()
-			m.HTTPDuration.With(r.Method, class).Observe(elapsed.Seconds())
-		}
-		log.LogAttrs(ctx, slog.LevelInfo, "http request",
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.String("class", class),
-			slog.Int("status", status),
-			slog.Duration("duration", elapsed),
-		)
+		panicked = false
 	})
 }

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMiddlewarePanicAccounting: a panicking handler must not leak the
+// in-flight gauge, must record a 500-class outcome, and the panic must
+// still propagate to the server's recoverer.
+func TestMiddlewarePanicAccounting(t *testing.T) {
+	m := NewMetrics(NewRegistry())
+	tr := NewTracer(nil, TracerOptions{})
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	}), m, nil, func(string) string { return "Test" }, tr)
+
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("middleware swallowed the panic")
+	}
+	if got := m.HTTPInFlight.Value(); got != 0 {
+		t.Errorf("in-flight after panic = %v, want 0", got)
+	}
+	if got := m.HTTPRequests.With("GET", "Test", "500").Value(); got != 1 {
+		t.Errorf("500 counter = %v, want 1", got)
+	}
+	// The span ended despite the panic, carrying the 500 status.
+	recs := tr.Dump()
+	if len(recs) != 1 || recs[0].Name != "http.Test" || recs[0].Attrs["status"] != "500" {
+		t.Errorf("panic span = %+v", recs)
+	}
+}
+
+// TestMiddlewareUnwrap: http.ResponseController must reach the real
+// writer's optional interfaces through the statusWriter wrapper.
+func TestMiddlewareUnwrap(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok || u.Unwrap() == nil {
+			t.Error("middleware writer does not unwrap")
+		}
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("ResponseController.Flush: %v", err)
+		}
+	}), nil, nil, nil, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestMiddlewareAdoptsTraceparent: an incoming traceparent joins the
+// request to the caller's trace; absent one, the middleware mints a
+// fresh trace. Either way the handler's context carries the span.
+func TestMiddlewareAdoptsTraceparent(t *testing.T) {
+	tr := NewTracer(nil, TracerOptions{})
+	var seen SpanContext
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = SpanContextFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}), nil, nil, func(string) string { return "Test" }, tr)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	remote := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set(TraceparentHeader, remote.Traceparent())
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if seen.TraceID != remote.TraceID {
+		t.Errorf("handler trace id = %s, want adopted %s", seen.TraceID, remote.TraceID)
+	}
+	recs := tr.Dump()
+	if len(recs) != 1 || recs[0].TraceID != remote.TraceID || recs[0].ParentID != remote.SpanID {
+		t.Fatalf("middleware span = %+v, want parented under the remote caller", recs)
+	}
+
+	// No traceparent: a fresh trace is minted.
+	resp, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !seen.Valid() || seen.TraceID == remote.TraceID {
+		t.Errorf("fresh request span = %+v", seen)
+	}
+}

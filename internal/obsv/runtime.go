@@ -1,0 +1,33 @@
+package obsv
+
+import "runtime"
+
+// RegisterRuntimeMetrics exports Go runtime health into reg as
+// function-backed series sampled at gather time, so /metrics and the
+// SelfCollector report process health alongside request counters.
+// Registration is idempotent (re-registering replaces the functions).
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("ofmf_go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("ofmf_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("ofmf_go_gomaxprocs",
+		"Value of GOMAXPROCS, the OS-thread parallelism limit.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.CounterFunc("ofmf_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world garbage collection pause time in seconds.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

@@ -1,0 +1,27 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsExported(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	out := renderMetrics(reg)
+	for _, name := range []string{
+		"ofmf_go_goroutines",
+		"ofmf_go_heap_alloc_bytes",
+		"ofmf_go_gc_pause_seconds_total",
+		"ofmf_go_gomaxprocs",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("%s missing from exposition:\n%s", name, out)
+		}
+	}
+	// NewMetrics wires them in by default.
+	m := NewMetrics(NewRegistry())
+	if !strings.Contains(renderMetrics(m.Registry()), "ofmf_go_goroutines") {
+		t.Error("NewMetrics does not register runtime health metrics")
+	}
+}

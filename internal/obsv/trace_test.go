@@ -51,7 +51,7 @@ func TestMiddlewareGeneratesAndAdoptsRequestID(t *testing.T) {
 	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		seenCtx = RequestIDFrom(r.Context())
 		w.WriteHeader(http.StatusTeapot)
-	}), m, log, func(string) string { return "Test" })
+	}), m, log, func(string) string { return "Test" }, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -112,7 +112,7 @@ func TestMiddlewarePreservesFlusher(t *testing.T) {
 		io.WriteString(w, "data: x\n\n")
 		f.Flush()
 		flushed = true
-	}), nil, nil, nil)
+	}), nil, nil, nil, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL)

@@ -1,0 +1,367 @@
+package obsv
+
+// Span-based tracing for the OFMF, hand-rolled like the metrics
+// registry so the management plane stays dependency-free. A Tracer
+// starts spans that link to their parent through the request context,
+// propagates identity over HTTP edges via the W3C traceparent header,
+// and retires finished spans into a bounded lock-free ring buffer that
+// the Oem admin Traces endpoint dumps on demand. Span durations also
+// feed the ofmf_span_seconds histogram, so metrics and traces
+// cross-reference by operation name, and traces whose entry span
+// exceeds a configured threshold are logged automatically.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceparentHeader is the W3C trace-context header carried on every
+// HTTP edge: OFMF -> fabric agent, OFMF -> event sink, client -> OFMF.
+const TraceparentHeader = "traceparent"
+
+// SpanContext is the wire identity of a position in a trace: which
+// trace the caller belongs to and which span is the caller.
+type SpanContext struct {
+	TraceID string // 32 lowercase hex characters, not all zero
+	SpanID  string // 16 lowercase hex characters, not all zero
+}
+
+// Valid reports whether both ids have the right shape.
+func (sc SpanContext) Valid() bool {
+	return isHexID(sc.TraceID, 32) && isHexID(sc.SpanID, 16)
+}
+
+// Traceparent renders the context in W3C traceparent form
+// (version 00, sampled flag set).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a version-00 traceparent header value.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 00-<32 hex>-<16 hex>-<2 hex flags>
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: s[3:35], SpanID: s[36:52]}
+	if !sc.Valid() || !isHex(s[53:55]) {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false // all-zero ids are invalid per W3C trace context
+}
+
+// idSeq backs the fallback id source when crypto/rand fails.
+var idSeq atomic.Uint64
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return fmt.Sprintf("%0*x", 2*n, idSeq.Add(1))
+	}
+	return hex.EncodeToString(b)
+}
+
+func newTraceID() string { return randomHex(16) }
+func newSpanID() string  { return randomHex(8) }
+
+// spanCtxKey carries a ctxSpan through request contexts.
+type spanCtxKey struct{}
+
+// ctxSpan records the active span context and whether it was started in
+// this process. A remote (adopted) parent still parents new spans, but
+// only a span with no local ancestor is an entry span — the unit the
+// slow-trace log reports on.
+type ctxSpan struct {
+	sc    SpanContext
+	local bool
+}
+
+// ContextWithRemoteSpanContext attaches a span context adopted from an
+// incoming traceparent header. Spans started under it parent to the
+// remote caller, keeping one trace id across process boundaries.
+func ContextWithRemoteSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, ctxSpan{sc: sc})
+}
+
+// SpanContextFrom returns the active span context carried by ctx.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	cs, ok := ctx.Value(spanCtxKey{}).(ctxSpan)
+	return cs.sc, ok
+}
+
+// InjectHeaders stamps the outgoing request headers with the trace
+// context and request id carried by ctx, if any. Every HTTP edge the
+// OFMF originates (agent ops, event delivery, CLI client) calls this.
+func InjectHeaders(ctx context.Context, h http.Header) {
+	if sc, ok := SpanContextFrom(ctx); ok {
+		h.Set(TraceparentHeader, sc.Traceparent())
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		h.Set(RequestIDHeader, id)
+	}
+}
+
+// SpanRecord is one finished span as stored in the ring buffer and
+// served by the admin Traces endpoint.
+type SpanRecord struct {
+	TraceID  string            `json:"TraceId"`
+	SpanID   string            `json:"SpanId"`
+	ParentID string            `json:"ParentId,omitempty"`
+	Name     string            `json:"Name"`
+	Start    time.Time         `json:"Start"`
+	Duration time.Duration     `json:"DurationNs"`
+	Err      string            `json:"Err,omitempty"`
+	Attrs    map[string]string `json:"Attrs,omitempty"`
+}
+
+// Span is an in-flight operation. End (or EndErr) is idempotent;
+// methods on a nil Span are no-ops so untraced paths need no guards.
+type Span struct {
+	tracer *Tracer
+	entry  bool // no local ancestor: slow-log candidate
+
+	mu    sync.Mutex
+	ended bool
+	rec   SpanRecord
+}
+
+// Context returns the span's wire identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]string, 4)
+		}
+		s.rec.Attrs[k] = v
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span successfully.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr finishes the span, recording err's message if non-nil. The
+// first call wins; later calls are ignored.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.Duration = time.Since(s.rec.Start)
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.finish(&rec, s.entry)
+}
+
+// StartChild starts a span parented to s without threading a context,
+// for seams (WAL group commit) where no context crosses the boundary.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(name, SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}, false)
+}
+
+// TracerOptions configures a Tracer; the zero value is usable.
+type TracerOptions struct {
+	// Capacity is the ring buffer size in spans (default 4096).
+	Capacity int
+	// SlowThreshold logs any entry span at least this slow; zero
+	// disables slow-trace logging.
+	SlowThreshold time.Duration
+	// Logger receives slow-trace lines (default: none).
+	Logger *slog.Logger
+}
+
+// Tracer starts spans, retires them into a bounded lock-free ring
+// buffer, and feeds their durations into ofmf_span_seconds. All methods
+// are safe on a nil receiver, so tracing is strictly opt-in.
+type Tracer struct {
+	ring   []atomic.Pointer[SpanRecord]
+	cursor atomic.Uint64
+
+	spanSeconds *HistogramVec
+	slow        time.Duration
+	log         *slog.Logger
+}
+
+// NewTracer builds a tracer, registering ofmf_span_seconds on reg when
+// reg is non-nil.
+func NewTracer(reg *Registry, opts TracerOptions) *Tracer {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	t := &Tracer{
+		ring: make([]atomic.Pointer[SpanRecord], capacity),
+		slow: opts.SlowThreshold,
+		log:  opts.Logger,
+	}
+	if t.log == nil {
+		t.log = NopLogger()
+	}
+	if reg != nil {
+		t.spanSeconds = reg.HistogramVec("ofmf_span_seconds",
+			"Traced span duration in seconds, by operation name.",
+			nil, "op")
+	}
+	return t
+}
+
+// Start begins a span named name. The parent is the span context
+// carried by ctx — local or adopted from a remote caller — or a fresh
+// trace when ctx carries none. The returned context carries the new
+// span so children link to it and InjectHeaders propagates it.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent SpanContext
+	localParent := false
+	if cs, ok := ctx.Value(spanCtxKey{}).(ctxSpan); ok {
+		parent = cs.sc
+		localParent = cs.local
+	}
+	sp := t.newSpan(name, parent, !localParent)
+	ctx = context.WithValue(ctx, spanCtxKey{}, ctxSpan{sc: sp.Context(), local: true})
+	return ctx, sp
+}
+
+// StartIfTraced begins a span only when ctx already carries a span
+// context. Seams reachable from untraced paths (recovery replay,
+// background sweeps) use it so they never mint orphan traces.
+func (t *Tracer) StartIfTraced(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if _, ok := ctx.Value(spanCtxKey{}).(ctxSpan); !ok {
+		return ctx, nil
+	}
+	return t.Start(ctx, name)
+}
+
+func (t *Tracer) newSpan(name string, parent SpanContext, entry bool) *Span {
+	sp := &Span{
+		tracer: t,
+		entry:  entry,
+		rec: SpanRecord{
+			SpanID: newSpanID(),
+			Name:   name,
+			Start:  time.Now(),
+		},
+	}
+	if parent.Valid() {
+		sp.rec.TraceID = parent.TraceID
+		sp.rec.ParentID = parent.SpanID
+	} else {
+		sp.rec.TraceID = newTraceID()
+	}
+	return sp
+}
+
+// Observe records a completed background operation (WAL fsync round,
+// snapshot) as a root span without requiring context plumbing.
+func (t *Tracer) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	rec := &SpanRecord{
+		TraceID:  newTraceID(),
+		SpanID:   newSpanID(),
+		Name:     name,
+		Start:    time.Now().Add(-d),
+		Duration: d,
+	}
+	t.finish(rec, false)
+}
+
+// finish retires a completed span: histogram, ring push, slow-trace log.
+func (t *Tracer) finish(rec *SpanRecord, entry bool) {
+	if t == nil {
+		return
+	}
+	if t.spanSeconds != nil {
+		t.spanSeconds.With(rec.Name).Observe(rec.Duration.Seconds())
+	}
+	i := t.cursor.Add(1) - 1
+	t.ring[i%uint64(len(t.ring))].Store(rec)
+	if entry && t.slow > 0 && rec.Duration >= t.slow {
+		t.log.LogAttrs(context.Background(), slog.LevelWarn, "slow trace",
+			slog.String("trace_id", rec.TraceID),
+			slog.String("span", rec.Name),
+			slog.Duration("duration", rec.Duration),
+			slog.String("err", rec.Err),
+		)
+	}
+}
+
+// Dump returns the ring buffer's finished spans, oldest first. Spans
+// retired concurrently with the dump may or may not appear.
+func (t *Tracer) Dump() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	for i := range t.ring {
+		if p := t.ring[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}

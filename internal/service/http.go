@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,7 +51,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/redfish", s.handleVersions)
 	mux.HandleFunc("/redfish/", s.dispatch)
-	return obsv.Middleware(mux, s.metrics, s.log, RouteClass)
+	return obsv.Middleware(mux, s.metrics, s.log, RouteClass, s.tracer)
 }
 
 // RouteClass maps a request path to a bounded route class used as the
@@ -127,6 +128,9 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request) {
 		return
 	case AdminTreeOemURI:
 		s.handleAdminTree(w, r)
+		return
+	case TracesOemURI:
+		s.handleTraces(w, r)
 		return
 	case SSEURI:
 		s.handleSSE(w, r)
@@ -471,7 +475,7 @@ func (s *Service) postSession(w http.ResponseWriter, r *http.Request) {
 		UserName:    sess.User,
 		CreatedTime: redfish.Timestamp(sess.Created),
 	}
-	if err := s.store.Put(uri, res); err != nil {
+	if err := s.store.PutCtx(r.Context(), uri, res); err != nil {
 		s.storeError(w, r, err)
 		return
 	}
@@ -503,7 +507,7 @@ func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
 	dest.Resource = odata.NewResource(uri, redfish.TypeEventDestination, "Subscription "+sub.ID)
 	dest.Protocol = "Redfish"
 	dest.Status = odata.StatusOK()
-	if err := s.store.Put(uri, dest); err != nil {
+	if err := s.store.PutCtx(r.Context(), uri, dest); err != nil {
 		s.storeError(w, r, err)
 		return
 	}
@@ -515,7 +519,7 @@ func (s *Service) postSubscription(w http.ResponseWriter, r *http.Request) {
 // build with the resulting URI (build may forward to an agent and mutate
 // the payload), and stores the built resource. Allocation is serialized so
 // concurrent POSTs never collide.
-func (s *Service) createInCollection(coll odata.ID, build func(uri odata.ID) (any, error)) (odata.ID, error) {
+func (s *Service) createInCollection(ctx context.Context, coll odata.ID, build func(uri odata.ID) (any, error)) (odata.ID, error) {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	id := s.store.NextID(coll)
@@ -527,7 +531,7 @@ func (s *Service) createInCollection(coll odata.ID, build func(uri odata.ID) (an
 	// Put rather than Create: a provisioning agent may have already
 	// republished its subtree (including the new resource) before build
 	// returned; allocation collisions are excluded by allocMu.
-	if err := s.store.Put(uri, v); err != nil {
+	if err := s.store.PutCtx(ctx, uri, v); err != nil {
 		return "", err
 	}
 	return uri, nil
@@ -552,7 +556,7 @@ func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) 
 			if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat == "" {
 				src.Oem.OFMF.LastHeartbeat = redfish.Timestamp(time.Now())
 			}
-			if err := s.store.Put(existing.ODataID, src); err != nil {
+			if err := s.store.PutCtx(r.Context(), existing.ODataID, src); err != nil {
 				s.storeError(w, r, err)
 				return
 			}
@@ -564,7 +568,7 @@ func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) 
 			return
 		}
 	}
-	uri, err := s.createInCollection(AggregationSourcesURI, func(uri odata.ID) (any, error) {
+	uri, err := s.createInCollection(r.Context(), AggregationSourcesURI, func(uri odata.ID) (any, error) {
 		name := src.Name
 		if name == "" {
 			name = "Agent " + uri.Leaf()
@@ -645,7 +649,7 @@ func (s *Service) postGeneric(w http.ResponseWriter, r *http.Request, coll odata
 	if !s.decode(w, r, &payload) {
 		return
 	}
-	uri, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+	uri, err := s.createInCollection(r.Context(), coll, func(uri odata.ID) (any, error) {
 		payload["@odata.id"] = string(uri)
 		if _, ok := payload["Id"]; !ok {
 			payload["Id"] = uri.Leaf()
@@ -713,7 +717,7 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 		var src redfish.AggregationSource
 		if err := s.store.GetAs(id, &src); err == nil {
 			for _, res := range src.Links.ResourcesAccessed {
-				if _, err := s.store.DeleteSubtree(res.ODataID); err != nil {
+				if _, err := s.store.DeleteSubtreeCtx(r.Context(), res.ODataID); err != nil {
 					s.storeError(w, r, err)
 					return
 				}
@@ -729,7 +733,7 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 				return
 			}
 			// The composer removed the resource itself.
-			if err := s.store.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			if err := s.store.DeleteCtx(r.Context(), id); err != nil && !errors.Is(err, store.ErrNotFound) {
 				s.storeError(w, r, err)
 				return
 			}
@@ -766,7 +770,7 @@ func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, id odata.
 			return
 		}
 	}
-	if err := s.store.Delete(id); err != nil {
+	if err := s.store.DeleteCtx(r.Context(), id); err != nil {
 		s.storeError(w, r, err)
 		return
 	}

@@ -2,11 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
@@ -30,6 +33,12 @@ const (
 	// before the store is touched, and then applied as one atomic batch.
 	// ofmfctl dump/restore drive it.
 	AdminTreeOemURI = RootURI + "/Oem/OFMF/Admin/Tree"
+	// TracesOemURI is the operator tracing endpoint: GET dumps the
+	// tracer's ring buffer of finished spans as JSON, newest trace
+	// first. Query parameters: min_ms filters to spans at least that
+	// many milliseconds long, trace selects one trace id, limit caps the
+	// span count (default 1000).
+	TracesOemURI = RootURI + "/Oem/OFMF/Admin/Traces"
 )
 
 // maxRestoreBytes bounds an uploaded tree dump. Dumps are whole-tree, so
@@ -84,7 +93,7 @@ func (s *Service) handleAdminTree(w http.ResponseWriter, r *http.Request) {
 			}
 			resources[id] = raw
 		}
-		if err := s.store.PutSubtree(RootURI, resources); err != nil {
+		if err := s.store.PutSubtreeCtx(r.Context(), RootURI, resources); err != nil {
 			// URIs and payload JSON were validated above, so a failure
 			// here is a durability fault, not a bad request.
 			s.error(w, r, http.StatusInternalServerError, "Base.1.0.InternalError", err.Error())
@@ -96,6 +105,50 @@ func (s *Service) handleAdminTree(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET, POST or PUT only")
 	}
+}
+
+// handleTraces serves the tracer's ring buffer: a JSON dump of finished
+// spans, newest first, filterable by minimum duration (min_ms), trace
+// id (trace) and span count (limit).
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.error(w, r, http.StatusMethodNotAllowed, "Base.1.0.OperationNotAllowed", "GET only")
+		return
+	}
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", "min_ms must be a non-negative number")
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 1000
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	traceID := q.Get("trace")
+	spans := s.tracer.Dump() // oldest first
+	out := make([]obsv.SpanRecord, 0, min(len(spans), limit))
+	for i := len(spans) - 1; i >= 0 && len(out) < limit; i-- {
+		sp := spans[i]
+		if sp.Duration < minDur || (traceID != "" && sp.TraceID != traceID) {
+			continue
+		}
+		out = append(out, sp)
+	}
+	s.json(w, http.StatusOK, map[string]any{
+		"Name":  "OFMF Trace Ring",
+		"Count": len(out),
+		"Spans": out,
+	})
 }
 
 // CollectionsPayload declares the collections an agent's subtree
@@ -144,7 +197,7 @@ func (s *Service) handleSubtreePush(w http.ResponseWriter, r *http.Request) {
 	for id, raw := range payload.Resources {
 		resources[id] = raw
 	}
-	if err := s.store.PutSubtree(payload.Prefix, resources, payload.Keep...); err != nil {
+	if err := s.store.PutSubtreeCtx(r.Context(), payload.Prefix, resources, payload.Keep...); err != nil {
 		s.error(w, r, http.StatusBadRequest, "Base.1.0.PropertyValueError", err.Error())
 		return
 	}
@@ -179,7 +232,7 @@ func (s *Service) handleEventPush(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &rec) {
 		return
 	}
-	s.bus.Publish(rec)
+	s.bus.PublishCtx(r.Context(), rec)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -202,6 +255,10 @@ type remoteHandler struct {
 	fabric odata.ID
 	url    string // agent callback base URL
 	client *http.Client
+	// ctx, when non-nil, is the request context the next forwarded call
+	// runs under (see WithOpContext); it carries the caller's trace
+	// identity onto the wire.
+	ctx context.Context
 }
 
 // NewRemoteFabricHandler builds a FabricHandler that forwards operations
@@ -212,6 +269,15 @@ func NewRemoteFabricHandler(fabricID odata.ID, callbackURL string) FabricHandler
 
 func (h *remoteHandler) FabricID() odata.ID { return h.fabric }
 
+// WithOpContext implements ctxBinder: it returns a copy of the handler
+// whose forwarded calls run under ctx, so the OFMF->agent POST carries
+// the request's trace context and cancellation.
+func (h *remoteHandler) WithOpContext(ctx context.Context) FabricHandler {
+	c := *h
+	c.ctx = ctx
+	return &c
+}
+
 func (h *remoteHandler) post(op OpRequest, out any) error {
 	body, err := json.Marshal(op)
 	if err != nil {
@@ -221,7 +287,17 @@ func (h *remoteHandler) post(op OpRequest, out any) error {
 	if client == nil {
 		client = defaultAgentClient()
 	}
-	resp, err := client.Post(h.url+"/agent/ops", "application/json", bytes.NewReader(body))
+	ctx := h.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.url+"/agent/ops", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	obsv.InjectHeaders(ctx, req.Header)
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}

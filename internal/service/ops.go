@@ -30,13 +30,44 @@ func IsAgentError(err error) bool {
 	return errors.As(err, &ae)
 }
 
+// ctxBinder is an optional FabricHandler extension implemented by
+// handlers that forward over HTTP: WithOpContext returns a handler
+// bound to the request context, so the forwarded call carries the
+// request's deadline and trace identity (see remoteHandler).
+type ctxBinder interface {
+	WithOpContext(ctx context.Context) FabricHandler
+}
+
+// bindCtx binds h to ctx when h supports it.
+func bindCtx(ctx context.Context, h FabricHandler) FabricHandler {
+	if b, ok := h.(ctxBinder); ok {
+		return b.WithOpContext(ctx)
+	}
+	return h
+}
+
+// bindProvisionerCtx is bindCtx for the provisioning extension.
+func bindProvisionerCtx(ctx context.Context, p ResourceProvisioner) ResourceProvisioner {
+	if b, ok := p.(ctxBinder); ok {
+		if bp, ok := b.WithOpContext(ctx).(ResourceProvisioner); ok {
+			return bp
+		}
+	}
+	return p
+}
+
 // observeAgentOp times one forwarded agent operation, feeding the
-// ofmf_agent_* metrics and emitting a debug log line correlated with the
-// request id in ctx.
-func (s *Service) observeAgentOp(ctx context.Context, fabric odata.ID, op string, fn func() error) error {
+// ofmf_agent_* metrics, recording an agent.<op> span when the request
+// is traced, and emitting a debug log line correlated with the request
+// id in ctx. fn receives the (possibly span-carrying) context so it can
+// bind it into the forwarded call.
+func (s *Service) observeAgentOp(ctx context.Context, fabric odata.ID, op string, fn func(ctx context.Context) error) error {
+	ctx, span := s.tracer.StartIfTraced(ctx, "agent."+op)
+	span.SetAttr("fabric", string(fabric))
 	start := time.Now()
-	err := fn()
+	err := fn(ctx)
 	elapsed := time.Since(start)
+	span.EndErr(err)
 	outcome := obsv.Outcome(err)
 	s.metrics.AgentOps.With(fabric.Leaf(), op, outcome).Inc()
 	s.metrics.AgentOpDuration.With(fabric.Leaf(), op).Observe(elapsed.Seconds())
@@ -86,7 +117,7 @@ type ResourceProvisioner interface {
 // the owning agent when one is registered.
 func (s *Service) CreateZone(ctx context.Context, coll odata.ID, zone redfish.Zone) (redfish.Zone, error) {
 	var agentErr error
-	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+	_, err := s.createInCollection(ctx, coll, func(uri odata.ID) (any, error) {
 		name := zone.Name
 		if name == "" {
 			name = "Zone " + uri.Leaf()
@@ -97,8 +128,8 @@ func (s *Service) CreateZone(ctx context.Context, coll odata.ID, zone redfish.Zo
 		}
 		zone.Status = odata.StatusOK()
 		if h, ok := s.handlerFor(uri); ok {
-			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateZone", func() error {
-				return h.CreateZone(&zone)
+			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateZone", func(ctx context.Context) error {
+				return bindCtx(ctx, h).CreateZone(&zone)
 			}); err != nil {
 				agentErr = err
 				return nil, err
@@ -119,13 +150,13 @@ func (s *Service) DeleteZone(ctx context.Context, id odata.ID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	if h, ok := s.handlerFor(id); ok {
-		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteZone", func() error {
-			return h.DeleteZone(id)
+		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteZone", func(ctx context.Context) error {
+			return bindCtx(ctx, h).DeleteZone(id)
 		}); err != nil {
 			return &AgentError{Err: err}
 		}
 	}
-	return s.store.Delete(id)
+	return s.store.DeleteCtx(ctx, id)
 }
 
 // CreateConnection creates a connection in the given collection,
@@ -133,7 +164,7 @@ func (s *Service) DeleteZone(ctx context.Context, id odata.ID) error {
 // before the resource becomes visible.
 func (s *Service) CreateConnection(ctx context.Context, coll odata.ID, conn redfish.Connection) (redfish.Connection, error) {
 	var agentErr error
-	_, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+	_, err := s.createInCollection(ctx, coll, func(uri odata.ID) (any, error) {
 		name := conn.Name
 		if name == "" {
 			name = "Connection " + uri.Leaf()
@@ -141,8 +172,8 @@ func (s *Service) CreateConnection(ctx context.Context, coll odata.ID, conn redf
 		conn.Resource = odata.NewResource(uri, redfish.TypeConnection, name)
 		conn.Status = odata.StatusOK()
 		if h, ok := s.handlerFor(uri); ok {
-			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateConnection", func() error {
-				return h.CreateConnection(&conn)
+			if err := s.observeAgentOp(ctx, h.FabricID(), "CreateConnection", func(ctx context.Context) error {
+				return bindCtx(ctx, h).CreateConnection(&conn)
 			}); err != nil {
 				agentErr = err
 				return nil, err
@@ -163,13 +194,13 @@ func (s *Service) DeleteConnection(ctx context.Context, id odata.ID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
 	if h, ok := s.handlerFor(id); ok {
-		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteConnection", func() error {
-			return h.DeleteConnection(id)
+		if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteConnection", func(ctx context.Context) error {
+			return bindCtx(ctx, h).DeleteConnection(id)
 		}); err != nil {
 			return &AgentError{Err: err}
 		}
 	}
-	return s.store.Delete(id)
+	return s.store.DeleteCtx(ctx, id)
 }
 
 // PatchResource applies a patch, forwarding to the owning agent for
@@ -178,14 +209,14 @@ func (s *Service) DeleteConnection(ctx context.Context, id odata.ID) error {
 func (s *Service) PatchResource(ctx context.Context, id odata.ID, patch map[string]any, ifMatch string) error {
 	s.recordHeartbeat(id, patch)
 	if h, ok := s.handlerFor(id); ok {
-		if err := s.observeAgentOp(ctx, h.FabricID(), "Patch", func() error {
-			return h.Patch(id, patch)
+		if err := s.observeAgentOp(ctx, h.FabricID(), "Patch", func(ctx context.Context) error {
+			return bindCtx(ctx, h).Patch(id, patch)
 		}); err != nil {
 			return &AgentError{Err: err}
 		}
 		return nil
 	}
-	return s.store.Patch(id, patch, ifMatch)
+	return s.store.PatchCtx(ctx, id, patch, ifMatch)
 }
 
 // ProvisionResource creates a resource in an agent-owned collection by
@@ -202,11 +233,11 @@ func (s *Service) ProvisionResource(ctx context.Context, coll odata.ID, payload 
 		return "", fmt.Errorf("service: agent for %s cannot provision resources", coll)
 	}
 	var agentErr error
-	uri, err := s.createInCollection(coll, func(uri odata.ID) (any, error) {
+	uri, err := s.createInCollection(ctx, coll, func(uri odata.ID) (any, error) {
 		var res any
-		err := s.observeAgentOp(ctx, h.FabricID(), "CreateResource", func() error {
+		err := s.observeAgentOp(ctx, h.FabricID(), "CreateResource", func(ctx context.Context) error {
 			var err error
-			res, err = prov.CreateResource(coll, uri, payload)
+			res, err = bindProvisionerCtx(ctx, prov).CreateResource(coll, uri, payload)
 			return err
 		})
 		if err != nil {
@@ -235,13 +266,13 @@ func (s *Service) DeprovisionResource(ctx context.Context, id odata.ID) error {
 	if !ok {
 		return fmt.Errorf("service: agent for %s cannot provision resources", id)
 	}
-	if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteResource", func() error {
-		return prov.DeleteResource(id)
+	if err := s.observeAgentOp(ctx, h.FabricID(), "DeleteResource", func(ctx context.Context) error {
+		return bindProvisionerCtx(ctx, prov).DeleteResource(id)
 	}); err != nil {
 		return &AgentError{Err: err}
 	}
 	// The agent's republish may already have dropped the resource.
-	if err := s.store.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+	if err := s.store.DeleteCtx(ctx, id); err != nil && !errors.Is(err, store.ErrNotFound) {
 		return err
 	}
 	return nil

@@ -122,6 +122,11 @@ type Config struct {
 	// a private registry is created. Expose it at /metrics via
 	// Metrics.Registry().Handler().
 	Metrics *obsv.Metrics
+	// Tracer records request spans; when nil one is created on the
+	// metrics registry with default options (traces buffered, no slow
+	// logging). It is shared with the store, the event bus and the
+	// composer so one request yields one linked trace.
+	Tracer *obsv.Tracer
 }
 
 // Service is the OFMF instance.
@@ -134,6 +139,7 @@ type Service struct {
 	sessions *sessions.Service
 	log      *slog.Logger
 	metrics  *obsv.Metrics
+	tracer   *obsv.Tracer
 
 	mu       sync.RWMutex
 	handlers map[odata.ID]FabricHandler
@@ -176,17 +182,25 @@ func New(cfg Config) *Service {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obsv.NewMetrics(obsv.NewRegistry())
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obsv.NewTracer(cfg.Metrics.Registry(), obsv.TracerOptions{Logger: cfg.Logger})
+	}
 	s := &Service{
 		cfg:      cfg,
 		store:    store.New(),
 		log:      cfg.Logger,
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
 		handlers: make(map[odata.ID]FabricHandler),
 	}
 	s.store.SetOpHook(func(op string) { s.metrics.StoreOps.With(op).Inc() })
+	s.store.SetTracer(s.tracer)
 	// Degrade a subscription's advertised health as deliveries fail, so
 	// monitoring clients can see dead destinations in the tree.
 	evCfg := cfg.Events
+	if evCfg.Tracer == nil {
+		evCfg.Tracer = s.tracer
+	}
 	if evCfg.OnDeliveryFailure == nil {
 		evCfg.OnDeliveryFailure = func(subID string, consecutive int) {
 			health := odata.HealthWarning
@@ -252,6 +266,10 @@ func (s *Service) Logger() *slog.Logger { return s.log }
 
 // Metrics exposes the service's instrument bundle.
 func (s *Service) Metrics() *obsv.Metrics { return s.metrics }
+
+// Tracer exposes the service's span tracer so in-process components
+// (composer, agents, the testbed) record into the same trace ring.
+func (s *Service) Tracer() *obsv.Tracer { return s.tracer }
 
 // Close releases the service's background resources: the event bus, and
 // the store's durability backend if one is attached — flushing its
@@ -376,7 +394,11 @@ func (s *Service) publishChange(c store.Change) {
 	s.eventSeq++
 	id := s.eventSeq
 	s.mu.Unlock()
-	s.bus.Publish(events.Record(c.Kind.String(), fmt.Sprintf("%d", id), fmt.Sprintf("%s: %s", c.Kind, c.ID), c.ID))
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.bus.PublishCtx(ctx, events.Record(c.Kind.String(), fmt.Sprintf("%d", id), fmt.Sprintf("%s: %s", c.Kind, c.ID), c.ID))
 }
 
 // RegisterFabricHandler attaches an Agent's handler for its fabric

@@ -40,6 +40,10 @@ type Options struct {
 	// Metrics, when non-nil, receives WAL append counts, fsync and
 	// snapshot durations, and the recovery replay count.
 	Metrics *obsv.Metrics
+	// Tracer, when non-nil, records WAL append, group-commit fsync and
+	// snapshot rounds as root spans (these run outside any request
+	// context), so the trace ring shows where durability time goes.
+	Tracer *obsv.Tracer
 }
 
 // RecoveryStats describes one boot-time recovery.
@@ -237,6 +241,7 @@ func (b *FileBackend) onFsync(d time.Duration) {
 	if m := b.opts.Metrics; m != nil {
 		m.WALFsync.Observe(d.Seconds())
 	}
+	b.opts.Tracer.Observe("wal.fsync", d)
 }
 
 // Append implements store.Backend. It runs under the store's write lock,
@@ -244,6 +249,7 @@ func (b *FileBackend) onFsync(d time.Duration) {
 // returned wait completes durability after the lock is released. The
 // backend's own mutex orders appends against segment rotation.
 func (b *FileBackend) Append(batch []store.Record) func() error {
+	start := time.Now()
 	b.mu.Lock()
 	w := b.wal
 	if w == nil {
@@ -255,6 +261,7 @@ func (b *FileBackend) Append(batch []store.Record) func() error {
 	if m := b.opts.Metrics; m != nil {
 		m.WALAppends.Add(float64(len(batch)))
 	}
+	b.opts.Tracer.Observe("wal.append", time.Since(start))
 	return wait
 }
 
@@ -349,6 +356,7 @@ func (b *FileBackend) Compact() error {
 	if m := b.opts.Metrics; m != nil {
 		m.SnapshotSeconds.Observe(time.Since(start).Seconds())
 	}
+	b.opts.Tracer.Observe("store.snapshot", time.Since(start))
 	b.log.Info("persist: snapshot installed", "seq", seq, "duration", time.Since(start))
 	return nil
 }

@@ -18,6 +18,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ofmf/internal/obsv"
 	"ofmf/internal/odata"
 )
 
@@ -62,10 +64,16 @@ func (k ChangeKind) String() string {
 	}
 }
 
-// Change describes one mutation of the tree.
+// Change describes one mutation of the tree. Ctx is the request
+// context the mutation was performed under (context.Background() for
+// mutations with no originating request); watchers that fan the change
+// out over further HTTP edges use it to keep event delivery in the
+// originating trace. Watchers must not use Ctx for cancellation — it
+// may already be done by the time an asynchronous consumer runs.
 type Change struct {
 	Kind ChangeKind
 	ID   odata.ID
+	Ctx  context.Context
 }
 
 // Watcher receives change notifications. Watchers are invoked synchronously
@@ -91,6 +99,10 @@ type Store struct {
 	// opHook holds an OpHook observing operation counts (atomic.Value so
 	// hot read paths never contend on a lock for it).
 	opHook atomic.Value
+
+	// tracer, when set, records mutation spans for requests that already
+	// belong to a trace (atomic for the same reason as opHook).
+	tracer atomic.Pointer[obsv.Tracer]
 }
 
 // OpHook observes one store operation by kind: "get", "view", "etag",
@@ -102,6 +114,36 @@ type OpHook func(op string)
 
 // SetOpHook installs the operation observer, replacing any previous one.
 func (s *Store) SetOpHook(h OpHook) { s.opHook.Store(h) }
+
+// SetTracer installs the tracer mutation spans are recorded on.
+// Mutations only start spans when their context already carries a trace
+// (see Tracer.StartIfTraced), so recovery replay and background writes
+// never mint orphan traces.
+func (s *Store) SetTracer(t *obsv.Tracer) { s.tracer.Store(t) }
+
+// traceStart opens a mutation span when ctx belongs to a trace and a
+// tracer is installed; it returns nil (a no-op span) otherwise.
+func (s *Store) traceStart(ctx context.Context, name string) *obsv.Span {
+	t := s.tracer.Load()
+	if t == nil {
+		return nil
+	}
+	_, sp := t.StartIfTraced(ctx, name)
+	return sp
+}
+
+// waitDurableTraced is waitDurable with the group-commit wait recorded
+// as a wal.commit child span, separating time spent waiting on
+// durability from the in-memory mutation around it.
+func waitDurableTraced(sp *obsv.Span, wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	c := sp.StartChild("wal.commit")
+	err := waitDurable(wait)
+	c.EndErr(err)
+	return err
+}
 
 func (s *Store) countOp(op string) {
 	if h, ok := s.opHook.Load().(OpHook); ok && h != nil {
@@ -147,9 +189,19 @@ func canonicalize(v any) (json.RawMessage, error) {
 // v, which must marshal to a JSON object. Rewriting identical content does
 // not notify watchers (and skips re-hashing: the existing entry is kept).
 func (s *Store) Put(id odata.ID, v any) error {
+	return s.PutCtx(context.Background(), id, v)
+}
+
+// PutCtx is Put carrying the originating request context: when ctx
+// belongs to a trace the mutation is recorded as a store.put span (with
+// a wal.commit child for the durability wait), and the emitted Change
+// carries ctx so downstream event delivery stays in the same trace.
+func (s *Store) PutCtx(ctx context.Context, id odata.ID, v any) error {
 	s.countOp("put")
+	sp := s.traceStart(ctx, "store.put")
 	raw, err := canonicalize(v)
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	s.mu.Lock()
@@ -160,31 +212,44 @@ func (s *Store) Put(id odata.ID, v any) error {
 	}
 	s.mu.Unlock()
 	if !changed {
+		sp.End()
 		return nil
 	}
-	werr := waitDurable(wait)
-	s.notify(Change{Kind: kind, ID: id})
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
+	s.notify(Change{Kind: kind, ID: id, Ctx: ctx})
 	return werr
 }
 
 // Create stores v at id and fails with ErrExists if the id is taken.
 func (s *Store) Create(id odata.ID, v any) error {
+	return s.CreateCtx(context.Background(), id, v)
+}
+
+// CreateCtx is Create carrying the originating request context; see
+// PutCtx for the tracing and change-attribution semantics.
+func (s *Store) CreateCtx(ctx context.Context, id odata.ID, v any) error {
 	s.countOp("create")
+	sp := s.traceStart(ctx, "store.create")
 	raw, err := canonicalize(v)
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	s.mu.Lock()
 	if _, ok := s.eng.entries[id]; ok {
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrExists, id)
+		err := fmt.Errorf("%w: %s", ErrExists, id)
+		sp.EndErr(err)
+		return err
 	}
 	s.eng.put(id, raw)
 	wait := s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
 	s.mu.Unlock()
 
-	werr := waitDurable(wait)
-	s.notify(Change{Kind: Added, ID: id})
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
+	s.notify(Change{Kind: Added, ID: id, Ctx: ctx})
 	return werr
 }
 
@@ -256,26 +321,40 @@ func (s *Store) Exists(id odata.ID) bool {
 // The mutation is logged as the put of its merged post-state, so replay
 // needs no knowledge of merge semantics.
 func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
+	return s.PatchCtx(context.Background(), id, patch, ifMatch)
+}
+
+// PatchCtx is Patch carrying the originating request context; see
+// PutCtx for the tracing and change-attribution semantics.
+func (s *Store) PatchCtx(ctx context.Context, id odata.ID, patch map[string]any, ifMatch string) error {
 	s.countOp("patch")
+	sp := s.traceStart(ctx, "store.patch")
 	s.mu.Lock()
 	e, ok := s.eng.entries[id]
 	if !ok {
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+		err := fmt.Errorf("%w: %s", ErrNotFound, id)
+		sp.EndErr(err)
+		return err
 	}
 	if ifMatch != "" && ifMatch != e.etag {
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrEtagMismatch, id)
+		err := fmt.Errorf("%w: %s", ErrEtagMismatch, id)
+		sp.EndErr(err)
+		return err
 	}
 	var current map[string]any
 	if err := json.Unmarshal(e.raw, &current); err != nil {
 		s.mu.Unlock()
-		return fmt.Errorf("store: corrupt entry %s: %w", id, err)
+		err = fmt.Errorf("store: corrupt entry %s: %w", id, err)
+		sp.EndErr(err)
+		return err
 	}
 	merge(current, patch)
 	raw, err := canonicalize(current)
 	if err != nil {
 		s.mu.Unlock()
+		sp.EndErr(err)
 		return err
 	}
 	_, changed := s.eng.put(id, raw)
@@ -286,10 +365,12 @@ func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
 	s.mu.Unlock()
 
 	if !changed {
+		sp.End()
 		return nil
 	}
-	werr := waitDurable(wait)
-	s.notify(Change{Kind: Updated, ID: id})
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
+	s.notify(Change{Kind: Updated, ID: id, Ctx: ctx})
 	return werr
 }
 
@@ -313,17 +394,27 @@ func merge(dst, patch map[string]any) {
 
 // Delete removes the resource at id.
 func (s *Store) Delete(id odata.ID) error {
+	return s.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete carrying the originating request context; see
+// PutCtx for the tracing and change-attribution semantics.
+func (s *Store) DeleteCtx(ctx context.Context, id odata.ID) error {
 	s.countOp("delete")
+	sp := s.traceStart(ctx, "store.delete")
 	s.mu.Lock()
 	if !s.eng.remove(id) {
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+		err := fmt.Errorf("%w: %s", ErrNotFound, id)
+		sp.EndErr(err)
+		return err
 	}
 	wait := s.commitLocked([]Record{{Op: OpDelete, ID: id}})
 	s.mu.Unlock()
 
-	werr := waitDurable(wait)
-	s.notify(Change{Kind: Removed, ID: id})
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
+	s.notify(Change{Kind: Removed, ID: id, Ctx: ctx})
 	return werr
 }
 
@@ -480,7 +571,14 @@ func (s *Store) Len() int {
 // actually performed, in that order — so a replayed log reproduces the
 // refresh exactly without knowing the keep semantics.
 func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
+	return s.PutSubtreeCtx(context.Background(), prefix, resources, keep...)
+}
+
+// PutSubtreeCtx is PutSubtree carrying the originating request context;
+// see PutCtx for the tracing and change-attribution semantics.
+func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
 	s.countOp("put_subtree")
+	sp := s.traceStart(ctx, "store.put_subtree")
 	// Serialize outside the lock; entity tags are computed lazily below,
 	// only for payloads that actually changed — an agent heartbeat that
 	// republishes an unchanged snapshot costs one marshal and one byte
@@ -488,11 +586,15 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 	prepared := make(map[odata.ID]json.RawMessage, len(resources))
 	for id, v := range resources {
 		if !id.Under(prefix) {
-			return fmt.Errorf("store: %s outside subtree %s", id, prefix)
+			err := fmt.Errorf("store: %s outside subtree %s", id, prefix)
+			sp.EndErr(err)
+			return err
 		}
 		raw, err := canonicalize(v)
 		if err != nil {
-			return fmt.Errorf("store: subtree %s: %w", id, err)
+			err = fmt.Errorf("store: subtree %s: %w", id, err)
+			sp.EndErr(err)
+			return err
 		}
 		prepared[id] = raw
 	}
@@ -517,7 +619,7 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 		}
 		if _, present := prepared[id]; !present {
 			s.eng.remove(id)
-			changes = append(changes, Change{Kind: Removed, ID: id})
+			changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
 			if logging {
 				batch = append(batch, Record{Op: OpDelete, ID: id})
 			}
@@ -528,7 +630,7 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 		if !changed {
 			continue
 		}
-		changes = append(changes, Change{Kind: kind, ID: id})
+		changes = append(changes, Change{Kind: kind, ID: id, Ctx: ctx})
 		if logging {
 			batch = append(batch, Record{Op: OpPut, ID: id, Raw: raw})
 		}
@@ -536,7 +638,8 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 	wait := s.commitLocked(batch)
 	s.mu.Unlock()
 
-	werr := waitDurable(wait)
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
 	return werr
@@ -548,7 +651,14 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 // in-memory removal happened but its log records did not reach durable
 // storage, same as every other mutation.
 func (s *Store) DeleteSubtree(prefix odata.ID) (int, error) {
+	return s.DeleteSubtreeCtx(context.Background(), prefix)
+}
+
+// DeleteSubtreeCtx is DeleteSubtree carrying the originating request
+// context; see PutCtx for the tracing and change-attribution semantics.
+func (s *Store) DeleteSubtreeCtx(ctx context.Context, prefix odata.ID) (int, error) {
 	s.countOp("delete_subtree")
+	sp := s.traceStart(ctx, "store.delete_subtree")
 	s.mu.Lock()
 	ids := s.eng.descendants(prefix, nil)
 	changes := make([]Change, 0, len(ids))
@@ -556,14 +666,15 @@ func (s *Store) DeleteSubtree(prefix odata.ID) (int, error) {
 	logging := s.backend != nil
 	for _, id := range ids {
 		s.eng.remove(id)
-		changes = append(changes, Change{Kind: Removed, ID: id})
+		changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
 		if logging {
 			batch = append(batch, Record{Op: OpDelete, ID: id})
 		}
 	}
 	wait := s.commitLocked(batch)
 	s.mu.Unlock()
-	werr := waitDurable(wait)
+	werr := waitDurableTraced(sp, wait)
+	sp.EndErr(werr)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
 	return len(changes), werr
