@@ -23,18 +23,20 @@ race:
 # Compare numbers against BENCH_store.json with a real -benchtime.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOFMFScale|BenchmarkStorePutSubtree|BenchmarkAblationStoreRead' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkStorePutParallel|BenchmarkStoreMixedParallel' -benchtime=1x -benchmem ./internal/store
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x -benchmem ./internal/store/persist
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Smoke-run the serving-path load harness against the in-process
-# testbed: a 2s mixed read/write/compose window whose output is
-# validated (every class saw traffic, percentiles are sane, the results
-# file round-trips). Real baselines go to BENCH_serving.json via a
+# testbed: a 2s window whose output is validated (every class saw
+# traffic, percentiles are sane, the results file round-trips). The
+# write-heavy mix on a sharded store stresses the write path the
+# sharding work targets. Real baselines go to BENCH_serving.json via a
 # plain `go run ./cmd/ofmfload`.
 loadsmoke:
-	$(GO) run ./cmd/ofmfload -smoke -out /tmp/ofmfload-smoke.json
+	$(GO) run ./cmd/ofmfload -smoke -mix write-heavy -shards 8 -out /tmp/ofmfload-smoke.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

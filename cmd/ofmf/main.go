@@ -16,6 +16,13 @@
 // snapshot plus the log tail, truncating records torn by a crash.
 // Without -data-dir the store is purely in-memory, as before.
 //
+// Scaling: -shards partitions the resource tree by top-level URI
+// segment into independently locked store shards, each with its own WAL
+// stream and group-commit leader, so writers to different subtrees
+// (Fabrics vs Systems) never contend. -shards 0 sizes the partition to
+// the CPU count; a data dir written at a different shard count is
+// migrated automatically at boot.
+//
 // Usage:
 //
 //	ofmf -addr :8080                      # bare service, wait for agents
@@ -34,6 +41,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -62,6 +70,8 @@ func main() {
 		fsync        = flag.Bool("fsync", true, "with -data-dir: mutations wait for the WAL fsync (group-committed); false flushes to the OS only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute,
 			"with -data-dir: cadence of compacted snapshots and WAL rotation (0 disables the periodic loop)")
+		shards = flag.Int("shards", 1,
+			"store shard count: independent locks and WAL streams per top-level URI partition; 0 sizes to the CPU count, 1 keeps the single-stream layout")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus-format metrics at /metrics")
 		withPprof   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof")
@@ -95,6 +105,16 @@ func main() {
 		creds = sessions.StaticCredentials(map[string]string{user: pass})
 	}
 
+	// Resolve the shard count once: the store and the persistence layer
+	// must agree for per-shard WAL streams to engage.
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+		if nShards > 16 {
+			nShards = 16
+		}
+	}
+
 	metrics := obsv.NewMetrics(obsv.NewRegistry())
 	// One tracer for the whole process: the HTTP middleware, composer,
 	// store, WAL and agent edges all record into the same span ring,
@@ -103,7 +123,7 @@ func main() {
 		SlowThreshold: *traceSlow,
 		Logger:        logger,
 	})
-	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics, Tracer: tracer}
+	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics, Tracer: tracer, StoreShards: nShards}
 
 	mux := http.NewServeMux()
 	var tree *store.Store
@@ -159,6 +179,7 @@ func main() {
 		backend, err := persist.Open(persist.Options{
 			Dir:              *dataDir,
 			Fsync:            *fsync,
+			Shards:           nShards,
 			SnapshotInterval: *snapInterval,
 			Logger:           logger,
 			Metrics:          metrics,
@@ -176,7 +197,8 @@ func main() {
 		logger.Info("ofmf: store recovered",
 			"data_dir", *dataDir, "resources", stats.Resources,
 			"replayed", stats.Replayed, "snapshot_seq", stats.SnapshotSeq,
-			"truncated", stats.Truncated, "fsync", *fsync,
+			"truncated", stats.Truncated, "dropped", stats.Dropped,
+			"shards", stats.Shards, "fsync", *fsync,
 			"duration", stats.Duration)
 		ofmfSvc.Bus().Publish(events.Record(redfish.EventStatusChange, "recovery",
 			fmt.Sprintf("OFMF store recovered: %d resources restored, %d WAL records replayed in %s",

@@ -14,6 +14,7 @@
 //	go run ./cmd/ofmfload                      # in-process, 10s, 8 conns
 //	go run ./cmd/ofmfload -duration 30s -conns 32
 //	go run ./cmd/ofmfload -url http://host:8080 -write 0 -compose 0
+//	go run ./cmd/ofmfload -mix write-heavy -shards 8   # stress the sharded write path
 //	go run ./cmd/ofmfload -smoke               # 2s CI gate, validates output
 package main
 
@@ -54,6 +55,8 @@ type entry struct {
 	GOARCH     string                 `json:"goarch"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Target     string                 `json:"target"`
+	Mix        string                 `json:"mix,omitempty"`
+	Shards     int                    `json:"shards,omitempty"`
 	DurationS  float64                `json:"duration_s"`
 	Conns      int                    `json:"conns"`
 	Classes    map[string]classResult `json:"classes"`
@@ -80,13 +83,24 @@ func main() {
 		readW    = flag.Int("read", 80, "read (GET) weight in the workload mix")
 		writeW   = flag.Int("write", 15, "write (PATCH) weight in the workload mix")
 		compW    = flag.Int("compose", 5, "compose/decompose weight in the workload mix")
+		mix      = flag.String("mix", "", `named class mix overriding -read/-write/-compose: "read-heavy" (80/15/5) or "write-heavy" (20/70/10)`)
 		nodes    = flag.Int("nodes", 8, "in-process testbed node count")
+		shards   = flag.Int("shards", 1, "in-process testbed store shard count (see ofmf -shards); ignored with -url")
 		out      = flag.String("out", "BENCH_serving.json", "results file to append to; empty skips the file")
 		smoke    = flag.Bool("smoke", false, "CI smoke mode: cap the window at 2s and validate the results")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 	)
 	flag.Parse()
 
+	switch *mix {
+	case "":
+	case "read-heavy":
+		*readW, *writeW, *compW = 80, 15, 5
+	case "write-heavy":
+		*readW, *writeW, *compW = 20, 70, 10
+	default:
+		fatal("ofmfload: unknown -mix %q (want read-heavy or write-heavy)", *mix)
+	}
 	if *readW+*writeW+*compW <= 0 {
 		fatal("ofmfload: workload mix weights sum to zero")
 	}
@@ -97,7 +111,7 @@ func main() {
 	base := *url
 	target := base
 	if base == "" {
-		f, err := core.New(core.Config{Nodes: *nodes})
+		f, err := core.New(core.Config{Nodes: *nodes, Service: service.Config{StoreShards: *shards}})
 		if err != nil {
 			fatal("ofmfload: testbed: %v", err)
 		}
@@ -113,11 +127,11 @@ func main() {
 		MaxConnsPerHost:     0,
 	}}
 
-	readTargets, writeTarget, err := discover(client, base)
+	readTargets, writeTargets, err := discover(client, base)
 	if err != nil {
 		fatal("ofmfload: discover targets: %v", err)
 	}
-	if *writeW > 0 && writeTarget == "" {
+	if *writeW > 0 && len(writeTargets) == 0 {
 		fatal("ofmfload: no computer system to PATCH; rerun with -write 0")
 	}
 
@@ -142,7 +156,7 @@ func main() {
 				case pick < *readW:
 					local = append(local, doRead(client, rng, readTargets))
 				case pick < *readW+*writeW:
-					local = append(local, doWrite(client, rng, base, writeTarget, w))
+					local = append(local, doWrite(client, rng, base, writeTargets, w))
 				default:
 					local = append(local, doCompose(client, base, w)...)
 				}
@@ -164,6 +178,8 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Target:     target,
+		Mix:        *mix,
+		Shards:     *shards,
 		DurationS:  elapsed.Seconds(),
 		Conns:      *conns,
 		Classes:    classes,
@@ -187,8 +203,11 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// discover collects GET targets and the PATCH target from the live tree.
-func discover(client *http.Client, base string) (reads []string, write string, err error) {
+// discover collects GET targets and the PATCH targets from the live
+// tree. Every computer system is a write target — spreading PATCHes
+// across systems is what lets a sharded store absorb the write class in
+// parallel instead of serializing them on one resource's shard.
+func discover(client *http.Client, base string) (reads, writes []string, err error) {
 	for _, path := range []odata.ID{service.RootURI, service.SystemsURI, service.FabricsURI, service.ChassisURI} {
 		reads = append(reads, base+string(path))
 	}
@@ -196,15 +215,13 @@ func discover(client *http.Client, base string) (reads []string, write string, e
 		Members []odata.Ref `json:"Members"`
 	}
 	if err := getJSON(client, base+string(service.SystemsURI), &systems); err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	for _, m := range systems.Members {
 		reads = append(reads, base+string(m.ODataID))
-		if write == "" {
-			write = string(m.ODataID)
-		}
+		writes = append(writes, string(m.ODataID))
 	}
-	return reads, write, nil
+	return reads, writes, nil
 }
 
 func getJSON(client *http.Client, url string, out any) error {
@@ -237,9 +254,9 @@ func doRead(client *http.Client, rng *rand.Rand, targets []string) sample {
 	return timed(client, "read", req)
 }
 
-func doWrite(client *http.Client, rng *rand.Rand, base, target string, w int) sample {
+func doWrite(client *http.Client, rng *rand.Rand, base string, targets []string, w int) sample {
 	body := fmt.Sprintf(`{"Oem": {"OFMFLoad": {"Worker": %d, "Seq": %d}}}`, w, rng.Int63())
-	req, _ := http.NewRequest(http.MethodPatch, base+target, bytes.NewReader([]byte(body)))
+	req, _ := http.NewRequest(http.MethodPatch, base+targets[rng.Intn(len(targets))], bytes.NewReader([]byte(body)))
 	req.Header.Set("Content-Type", "application/json")
 	return timed(client, "write", req)
 }

@@ -126,7 +126,9 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		`ofmf_compose_duration_seconds_count{op="decompose",outcome="ok"} 1`,
 		`ofmf_agent_ops_total{fabric="CXLMemoryAppliance",op="CreateResource",outcome="ok"} 1`,
 		`ofmf_agent_ops_total{fabric="CXL",op="CreateConnection",outcome="ok"} 1`,
-		`ofmf_store_ops_total{op="get"}`,
+		`ofmf_store_ops_total{op="get",shard=`,
+		`ofmf_store_shards`,
+		`ofmf_store_shard_entries{shard="0"}`,
 	} {
 		if !strings.Contains(metricsText, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -47,9 +47,19 @@ type Metrics struct {
 	// ofmf_agent_liveness.
 	AgentLiveness *GaugeVec
 
-	// StoreOps counts resource-store operations by kind:
-	// ofmf_store_ops_total.
+	// StoreOps counts resource-store operations by kind and shard ("all"
+	// for operations spanning every shard): ofmf_store_ops_total.
 	StoreOps *CounterVec
+	// StoreLockWait times how long mutations waited to acquire their
+	// shard's write lock, by shard — the store's headline contention
+	// number before and after sharding: ofmf_store_lock_wait_seconds.
+	StoreLockWait *HistogramVec
+	// StoreShards gauges the configured store shard count:
+	// ofmf_store_shards. Per-shard entry counts are published alongside
+	// it as the ofmf_store_shard_entries gather-time gauge family (see
+	// Registry.LabeledGaugeFunc; the service registers one series per
+	// shard).
+	StoreShards *Gauge
 
 	// WALAppends counts mutation records appended to the store's
 	// write-ahead log: ofmf_wal_appends_total.
@@ -108,7 +118,12 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Sweeper verdict per aggregation source: 1 live, 0.5 degraded, 0 unavailable.",
 			"source"),
 		StoreOps: reg.CounterVec("ofmf_store_ops_total",
-			"Resource store operations, by kind.", "op"),
+			"Resource store operations, by kind and shard.", "op", "shard"),
+		StoreLockWait: reg.HistogramVec("ofmf_store_lock_wait_seconds",
+			"Time mutations spent waiting for their shard's write lock, by shard.",
+			nil, "shard"),
+		StoreShards: reg.Gauge("ofmf_store_shards",
+			"Configured store shard count."),
 		WALAppends: reg.Counter("ofmf_wal_appends_total",
 			"Mutation records appended to the store write-ahead log."),
 		WALFsync: reg.Histogram("ofmf_wal_fsync_seconds",

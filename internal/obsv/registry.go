@@ -169,14 +169,23 @@ type HistogramVec struct{ fam *family }
 // With returns the histogram for the given label values.
 func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.fam.get(labelValues).hist }
 
-// funcMetric is a counter or gauge whose value is computed at gather
-// time from a closure — used to surface counters maintained elsewhere
-// (e.g. the event bus's delivery statistics) without double bookkeeping.
+// funcMetric is a counter or gauge family whose values are computed at
+// gather time from closures — used to surface counters maintained
+// elsewhere (e.g. the event bus's delivery statistics, the store's
+// per-shard entry counts) without double bookkeeping. An unlabelled
+// func metric is a family with one series under the empty label key.
 type funcMetric struct {
-	name string
-	help string
-	typ  string
-	fn   func() float64
+	name       string
+	help       string
+	typ        string
+	labelNames []string
+	series     map[string]*funcSeries // keyed by joined label values
+}
+
+// funcSeries is one labelled gather-time sample inside a funcMetric.
+type funcSeries struct {
+	labelValues []string
+	fn          func() float64
 }
 
 // Registry is a concurrency-safe collection of metric families.
@@ -249,20 +258,48 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	return &HistogramVec{fam: r.register(name, help, TypeHistogram, labels, buckets)}
 }
 
+func (r *Registry) registerFunc(name, help, typ string, labelNames, labelValues []string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fm, ok := r.funcs[name]
+	if !ok {
+		fm = &funcMetric{
+			name: name, help: help, typ: typ,
+			labelNames: append([]string(nil), labelNames...),
+			series:     make(map[string]*funcSeries),
+		}
+		r.funcs[name] = fm
+	}
+	if fm.typ != typ || len(fm.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("obsv: func metric %s re-registered with different type or labels", name))
+	}
+	if len(labelValues) != len(labelNames) {
+		panic(fmt.Sprintf("obsv: func metric %s expects %d label values, got %d",
+			name, len(labelNames), len(labelValues)))
+	}
+	fm.series[strings.Join(labelValues, labelSep)] = &funcSeries{
+		labelValues: append([]string(nil), labelValues...), fn: fn,
+	}
+}
+
 // CounterFunc registers a counter whose value is read from fn at gather
 // time. Re-registering the same name replaces the function, so wiring a
 // fresh service onto a shared registry stays safe.
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {
-	r.mu.Lock()
-	r.funcs[name] = &funcMetric{name: name, help: help, typ: TypeCounter, fn: fn}
-	r.mu.Unlock()
+	r.registerFunc(name, help, TypeCounter, nil, nil, fn)
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at gather time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.mu.Lock()
-	r.funcs[name] = &funcMetric{name: name, help: help, typ: TypeGauge, fn: fn}
-	r.mu.Unlock()
+	r.registerFunc(name, help, TypeGauge, nil, nil, fn)
+}
+
+// LabeledGaugeFunc registers one series of a labelled gauge family whose
+// value is read from fn at gather time. Every registration for a name
+// must agree on labelNames; re-registering the same label values
+// replaces that series' function.
+func (r *Registry) LabeledGaugeFunc(name, help string, labelNames, labelValues []string, fn func() float64) {
+	r.registerFunc(name, help, TypeGauge, labelNames, labelValues, fn)
 }
 
 // Bucket is one cumulative histogram bucket in a snapshot.
@@ -298,9 +335,21 @@ func (r *Registry) Gather() []Family {
 	for _, f := range r.fams {
 		fams = append(fams, f)
 	}
-	funcs := make([]*funcMetric, 0, len(r.funcs))
+	// Snapshot func-metric series under the lock (LabeledGaugeFunc may
+	// add series concurrently); the closures run after it is released.
+	type funcSnap struct {
+		name, help, typ string
+		labelNames      []string
+		series          []*funcSeries
+	}
+	funcs := make([]funcSnap, 0, len(r.funcs))
 	for _, fm := range r.funcs {
-		funcs = append(funcs, fm)
+		fs := funcSnap{name: fm.name, help: fm.help, typ: fm.typ, labelNames: fm.labelNames}
+		fs.series = make([]*funcSeries, 0, len(fm.series))
+		for _, sr := range fm.series {
+			fs.series = append(fs.series, sr)
+		}
+		funcs = append(funcs, fs)
 	}
 	r.mu.RUnlock()
 
@@ -344,12 +393,21 @@ func (r *Registry) Gather() []Family {
 		out = append(out, fam)
 	}
 	for _, fm := range funcs {
-		out = append(out, Family{
-			Name:    fm.name,
-			Help:    fm.help,
-			Type:    fm.typ,
-			Samples: []Sample{{Value: fm.fn()}},
+		fam := Family{
+			Name:       fm.name,
+			Help:       fm.help,
+			Type:       fm.typ,
+			LabelNames: fm.labelNames,
+			Samples:    make([]Sample, 0, len(fm.series)),
+		}
+		for _, sr := range fm.series {
+			fam.Samples = append(fam.Samples, Sample{LabelValues: sr.labelValues, Value: sr.fn()})
+		}
+		sort.Slice(fam.Samples, func(i, j int) bool {
+			return strings.Join(fam.Samples[i].LabelValues, labelSep) <
+				strings.Join(fam.Samples[j].LabelValues, labelSep)
 		})
+		out = append(out, fam)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
@@ -127,6 +128,11 @@ type Config struct {
 	// logging). It is shared with the store, the event bus and the
 	// composer so one request yields one linked trace.
 	Tracer *obsv.Tracer
+	// StoreShards partitions the resource store into this many
+	// independently locked shards (see store.NewSharded). Zero or
+	// negative selects the store's default (1, or the OFMF_STORE_SHARDS
+	// environment override).
+	StoreShards int
 }
 
 // Service is the OFMF instance.
@@ -187,14 +193,49 @@ func New(cfg Config) *Service {
 	}
 	s := &Service{
 		cfg:      cfg,
-		store:    store.New(),
+		store:    store.NewSharded(cfg.StoreShards),
 		log:      cfg.Logger,
 		metrics:  cfg.Metrics,
 		tracer:   cfg.Tracer,
 		handlers: make(map[odata.ID]FabricHandler),
 	}
-	s.store.SetOpHook(func(op string) { s.metrics.StoreOps.With(op).Inc() })
+	// Shard labels are precomputed so the hooks on the store's hot paths
+	// never format strings; index -1 is the cross-shard ("all") label.
+	shardLabels := make([]string, s.store.ShardCount()+1)
+	shardLabels[0] = "all"
+	for i := 1; i < len(shardLabels); i++ {
+		shardLabels[i] = strconv.Itoa(i - 1)
+	}
+	// Counters are resolved per (op, shard) up front: With joins its two
+	// label values into a fresh key string on every call, which would put
+	// an allocation on the zero-alloc read path.
+	opCounters := make(map[string][]*obsv.Counter, len(store.OpNames))
+	for _, op := range store.OpNames {
+		cs := make([]*obsv.Counter, len(shardLabels))
+		for i, lbl := range shardLabels {
+			cs[i] = s.metrics.StoreOps.With(op, lbl)
+		}
+		opCounters[op] = cs
+	}
+	s.store.SetOpHook(func(op string, shard int) {
+		if cs, ok := opCounters[op]; ok {
+			cs[shard+1].Inc()
+			return
+		}
+		s.metrics.StoreOps.With(op, shardLabels[shard+1]).Inc()
+	})
+	s.store.SetLockWaitHook(func(shard int, wait time.Duration) {
+		s.metrics.StoreLockWait.With(shardLabels[shard+1]).Observe(wait.Seconds())
+	})
 	s.store.SetTracer(s.tracer)
+	s.metrics.StoreShards.Set(float64(s.store.ShardCount()))
+	for i := 0; i < s.store.ShardCount(); i++ {
+		i := i
+		s.metrics.Registry().LabeledGaugeFunc("ofmf_store_shard_entries",
+			"Resources held by each store shard.",
+			[]string{"shard"}, []string{shardLabels[i+1]},
+			func() float64 { return float64(s.store.ShardLen(i)) })
+	}
 	// Degrade a subscription's advertised health as deliveries fail, so
 	// monitoring clients can see dead destinations in the tree.
 	evCfg := cfg.Events

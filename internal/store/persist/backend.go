@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,14 @@ type Options struct {
 	// OS before the mutation returns — surviving a process kill but not
 	// a power failure.
 	Fsync bool
+	// Shards is the number of independent WAL streams. 0 or 1 keeps the
+	// original single-stream layout (byte-compatible with data dirs
+	// written before sharding existed); higher counts give each store
+	// shard its own segment stream and group-commit leader, under
+	// shard-NN subdirectories. Pass the store's shard count — per-shard
+	// appends only engage when the two match. A data dir written at a
+	// different count is migrated automatically during Recover.
+	Shards int
 	// SnapshotInterval is the cadence of compacted snapshots and WAL
 	// rotation. Zero or negative disables the periodic loop; a final
 	// compaction still happens on Close.
@@ -57,31 +66,49 @@ type RecoveryStats struct {
 	// Truncated reports that a torn tail (crash mid-write) was cut from
 	// the log.
 	Truncated bool
+	// Dropped is the number of decoded records NOT replayed because an
+	// earlier record in the global order was lost (a sequence gap after
+	// merging the per-shard streams — only possible with a sharded
+	// layout). Their segments are quarantined, not deleted.
+	Dropped int
 	// Resources is the store's resource count after recovery.
 	Resources int
 	// LastSeq is the highest committed sequence number recovered; pass
 	// it to Store.AttachBackend.
 	LastSeq uint64
+	// Shards is the stream count the directory was compacted into (the
+	// configured layout).
+	Shards int
 	// Duration is the wall time recovery took, compaction included.
 	Duration time.Duration
 }
 
-// FileBackend is the store.Backend persisting mutations to a WAL plus
-// compacted snapshots in a data directory. Lifecycle:
+// FileBackend is the store.Backend persisting mutations to per-shard
+// WAL streams plus global compacted snapshots in a data directory. It
+// implements store.ShardedBackend: when its stream count matches the
+// store's shard count, each shard appends to its own stream with its
+// own group-commit leader, so fsync batching parallelizes across
+// shards. Lifecycle:
 //
 //	b, _ := persist.Open(opts)
-//	stats, _ := b.Recover(st)          // load snapshot, replay tail
+//	stats, _ := b.Recover(st)          // load snapshot, merge-replay streams
 //	st.AttachBackend(b, stats.LastSeq) // start logging new mutations
 //	b.StartSnapshots(st)               // periodic compaction
 //	...
 //	st.Close()                         // detaches and closes b
 type FileBackend struct {
-	opts Options
-	log  *slog.Logger
+	opts   Options
+	shards int // normalized stream count (>= 1)
+	log    *slog.Logger
 
-	mu          sync.Mutex // guards wal swap and compaction
-	wal         *wal
+	mu          sync.Mutex // guards wals swaps and lastSnapSeq
+	wals        []*wal     // one active segment per stream; nil until Recover
 	lastSnapSeq uint64
+
+	// compactMu serializes whole compaction passes (periodic loop,
+	// explicit Compact, final Close compaction) against each other; mu
+	// alone only covers the rotation bookkeeping inside one pass.
+	compactMu sync.Mutex
 
 	src      SnapshotSource
 	stop     chan struct{}
@@ -92,7 +119,7 @@ type FileBackend struct {
 }
 
 // Open prepares a file backend on dir. No file is touched beyond
-// creating the directory; Recover opens the log.
+// creating the directory; Recover opens the streams.
 func Open(opts Options) (*FileBackend, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("persist: Options.Dir required")
@@ -104,20 +131,38 @@ func Open(opts Options) (*FileBackend, error) {
 	if log == nil {
 		log = obsv.NopLogger()
 	}
-	return &FileBackend{opts: opts, log: log}, nil
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return &FileBackend{opts: opts, shards: shards, log: log}, nil
 }
 
+// Shards implements store.ShardedBackend.
+func (b *FileBackend) Shards() int { return b.shards }
+
 // Recover rebuilds st from the data directory: load the newest valid
-// snapshot through Store.Import, replay every WAL record with a greater
-// sequence number through Store.Apply (truncating a torn tail), then
-// compact — write a fresh snapshot of the recovered tree, start a new
-// log segment, and delete the superseded files — so the next boot loads
-// one snapshot and an empty tail. Call it exactly once, before
-// AttachBackend.
+// snapshot through Store.Import, merge every stream's records by global
+// sequence number, replay the longest contiguous prefix through
+// Store.Apply (truncating torn tails, quarantining untrusted segments),
+// then compact into the configured layout — write a fresh snapshot of
+// the recovered tree, start new log segments, and delete the superseded
+// files — so the next boot loads one snapshot and empty tails. A data
+// dir written at a different shard count (including the flat pre-shard
+// layout) is migrated here: replay reads the on-disk layout, compaction
+// writes the configured one, and every intermediate crash leaves a
+// directory either layout's recovery handles. Call it exactly once,
+// before AttachBackend.
 func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	start := time.Now()
 	var stats RecoveryStats
 	dir := b.opts.Dir
+	stats.Shards = b.shards
+
+	diskShards, err := readLayout(dir)
+	if err != nil {
+		return stats, err
+	}
 
 	snap, ok, skipped, err := loadNewestSnapshot(dir)
 	if err != nil {
@@ -134,67 +179,122 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	}
 	lastSeq := stats.SnapshotSeq
 
-	segs, err := listSeqs(dir, walPrefix, walSuffix)
-	if err != nil {
-		return stats, err
+	// Decode every stream, handling tears per stream: a tear marks the
+	// end of that stream's trustworthy prefix, so its later segments are
+	// quarantined and the torn tail truncated — exactly the single-
+	// stream protocol, applied stream by stream.
+	type sourced struct {
+		rec    store.Record
+		stream int
+		seg    uint64
 	}
-	for i, seg := range segs {
-		path := walPath(dir, seg)
-		f, err := os.Open(path)
+	var merged []sourced
+	for si := 0; si < diskShards; si++ {
+		sdir := shardDir(dir, diskShards, si)
+		if _, serr := os.Stat(sdir); os.IsNotExist(serr) {
+			continue // a shard that never committed anything
+		}
+		segs, err := listSeqs(sdir, walPrefix, walSuffix)
 		if err != nil {
-			return stats, fmt.Errorf("persist: open segment: %w", err)
+			return stats, err
 		}
-		recs, good, torn := decodeAll(f)
-		f.Close()
-		if torn {
-			stats.Truncated = true
-			// A tear can only happen at the end of the log that was active
-			// at the crash; segments after it are not trustworthy and must
-			// never be replayed. Quarantine them BEFORE truncating the torn
-			// tail — the tear is the only durable evidence they are
-			// untrusted, and truncation destroys it. If we crash between
-			// the rename and the truncate, the next boot sees the same torn
-			// segment and reaches the same verdict. (In fsync mode a later
-			// segment can hold commits that were acknowledged as durable
-			// after a rotation; the rename keeps those bytes on disk for an
-			// operator instead of silently deleting them.)
-			for _, later := range segs[i+1:] {
-				lp := walPath(dir, later)
-				b.log.Warn("persist: quarantining segment after torn record",
-					"segment", lp, "quarantined", lp+quarantineSuffix)
-				if err := os.Rename(lp, lp+quarantineSuffix); err != nil {
-					return stats, fmt.Errorf("persist: quarantine %s: %w", lp, err)
+		for i, seg := range segs {
+			path := walPath(sdir, seg)
+			f, err := os.Open(path)
+			if err != nil {
+				return stats, fmt.Errorf("persist: open segment: %w", err)
+			}
+			recs, good, torn := decodeAll(f)
+			f.Close()
+			if torn {
+				stats.Truncated = true
+				// A tear can only happen at the end of the stream that was
+				// active at the crash; segments after it are not trustworthy
+				// and must never be replayed. Quarantine them BEFORE
+				// truncating the torn tail — the tear is the only durable
+				// evidence they are untrusted, and truncation destroys it. If
+				// we crash between the rename and the truncate, the next boot
+				// sees the same torn segment and reaches the same verdict.
+				// (In fsync mode a later segment can hold commits that were
+				// acknowledged as durable after a rotation; the rename keeps
+				// those bytes on disk for an operator instead of silently
+				// deleting them.)
+				for _, later := range segs[i+1:] {
+					lp := walPath(sdir, later)
+					b.log.Warn("persist: quarantining segment after torn record",
+						"segment", lp, "quarantined", lp+quarantineSuffix)
+					if err := os.Rename(lp, lp+quarantineSuffix); err != nil {
+						return stats, fmt.Errorf("persist: quarantine %s: %w", lp, err)
+					}
+				}
+				if i < len(segs)-1 {
+					if err := syncDir(sdir); err != nil {
+						return stats, fmt.Errorf("persist: sync quarantine: %w", err)
+					}
+				}
+				b.log.Warn("persist: truncating torn log tail", "segment", path, "offset", good)
+				if err := os.Truncate(path, good); err != nil {
+					return stats, fmt.Errorf("persist: truncate torn tail: %w", err)
 				}
 			}
-			if i < len(segs)-1 {
-				if err := syncDir(dir); err != nil {
-					return stats, fmt.Errorf("persist: sync quarantine: %w", err)
-				}
+			for _, rec := range recs {
+				merged = append(merged, sourced{rec: rec, stream: si, seg: seg})
 			}
-			b.log.Warn("persist: truncating torn log tail", "segment", path, "offset", good)
-			if err := os.Truncate(path, good); err != nil {
-				return stats, fmt.Errorf("persist: truncate torn tail: %w", err)
+			if torn {
+				break
 			}
 		}
-		for _, rec := range recs {
-			if rec.Seq <= lastSeq {
-				continue // already in the snapshot (or a duplicate)
-			}
-			if err := st.Apply(rec); err != nil {
-				return stats, fmt.Errorf("persist: replay seq %d: %w", rec.Seq, err)
-			}
-			stats.Replayed++
-			lastSeq = rec.Seq
+	}
+
+	// Each stream is sequence-ascending (records are stamped under the
+	// shard's write lock), so a stable sort by Seq is a merge that
+	// reconstructs the global commit order.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].rec.Seq < merged[j].rec.Seq })
+
+	// Replay the longest contiguous prefix of the merged order. With one
+	// stream the order is trivially gap-free; with several, a truncated
+	// tail on one stream can leave later-sequence records on the others
+	// — records whose commit order depends on a mutation that was lost.
+	// Replay stops at the first gap: the store recovers the committed
+	// prefix of the *global* history, and the dropped records' segments
+	// are quarantined below rather than deleted.
+	dropFrom := len(merged)
+	for k, sr := range merged {
+		if sr.rec.Seq <= lastSeq {
+			continue // already in the snapshot (or a duplicate)
 		}
-		if torn {
+		if diskShards > 1 && sr.rec.Seq != lastSeq+1 {
+			dropFrom = k
 			break
 		}
+		if err := st.Apply(sr.rec); err != nil {
+			return stats, fmt.Errorf("persist: replay seq %d: %w", sr.rec.Seq, err)
+		}
+		stats.Replayed++
+		lastSeq = sr.rec.Seq
+	}
+	stats.Dropped = len(merged) - dropFrom
+	quarantine := make(map[string]bool)
+	for _, sr := range merged[dropFrom:] {
+		quarantine[walPath(shardDir(dir, diskShards, sr.stream), sr.seg)] = true
+	}
+	if stats.Dropped > 0 {
+		b.log.Warn("persist: dropping records after global sequence gap",
+			"dropped", stats.Dropped, "last_seq", lastSeq,
+			"next_seq", merged[dropFrom].rec.Seq, "segments", len(quarantine))
 	}
 
 	stats.LastSeq = lastSeq
 	stats.Resources = st.Len()
 
-	// Compact: the recovered tree becomes the new baseline.
+	// Compact into the configured layout: the recovered tree becomes the
+	// new baseline. Step order is what makes a crashed migration safe —
+	// (1) snapshot at lastSeq: from here replay is optional; (2) retire
+	// the old segments (quarantining any that held dropped records);
+	// (3) switch the layout descriptor; (4) create the fresh streams. A
+	// crash after (1) replays nothing new from the old segments; after
+	// (2) the old layout is empty but described; after (3) the new
+	// layout is described and empty; after (4) we are here.
 	export, err := st.Export()
 	if err != nil {
 		return stats, fmt.Errorf("persist: recovery export: %w", err)
@@ -202,23 +302,51 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	if err := writeSnapshot(dir, lastSeq, export); err != nil {
 		return stats, err
 	}
-	// Every surviving segment is now superseded by the snapshot (replayed
-	// records have Seq <= lastSeq, untrusted ones were renamed away), so
-	// remove them all before creating the fresh segment: openWAL creates
-	// exclusively and must not collide with a leftover file — an empty
-	// rotated segment or a torn one truncated to zero can sit exactly at
-	// walPath(lastSeq+1).
-	if stale, err := listSeqs(dir, walPrefix, walSuffix); err == nil {
-		for _, seg := range stale {
-			os.Remove(walPath(dir, seg))
+	for si := 0; si < diskShards; si++ {
+		sdir := shardDir(dir, diskShards, si)
+		segs, err := listSeqs(sdir, walPrefix, walSuffix)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return stats, err
+		}
+		for _, seg := range segs {
+			p := walPath(sdir, seg)
+			if quarantine[p] {
+				if err := os.Rename(p, p+quarantineSuffix); err != nil {
+					return stats, fmt.Errorf("persist: quarantine %s: %w", p, err)
+				}
+				continue
+			}
+			os.Remove(p)
+		}
+		if diskShards > 1 && diskShards != b.shards {
+			// Old layout's shard dir; gone unless quarantined files remain.
+			os.Remove(sdir)
 		}
 	}
-	w, err := openWAL(walPath(dir, lastSeq+1), lastSeq, b.opts.Fsync, b.onFsync)
-	if err != nil {
-		return stats, err
+	if diskShards != b.shards {
+		if err := installLayout(dir, b.shards); err != nil {
+			return stats, err
+		}
+		b.log.Info("persist: data dir layout migrated",
+			"from_shards", diskShards, "to_shards", b.shards)
+	}
+	ws := make([]*wal, b.shards)
+	for i := range ws {
+		sdir := shardDir(dir, b.shards, i)
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return stats, fmt.Errorf("persist: shard dir: %w", err)
+		}
+		w, err := openWAL(walPath(sdir, lastSeq+1), lastSeq, b.opts.Fsync, b.onFsync)
+		if err != nil {
+			return stats, err
+		}
+		ws[i] = w
 	}
 	b.mu.Lock()
-	b.wal = w
+	b.wals = ws
 	b.lastSnapSeq = lastSeq
 	b.mu.Unlock()
 	// The recovered store is the natural snapshot source for the final
@@ -233,6 +361,7 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 	b.log.Info("persist: recovery complete",
 		"resources", stats.Resources, "replayed", stats.Replayed,
 		"snapshot_seq", stats.SnapshotSeq, "truncated", stats.Truncated,
+		"dropped", stats.Dropped, "shards", b.shards,
 		"duration", stats.Duration)
 	return stats, nil
 }
@@ -244,25 +373,35 @@ func (b *FileBackend) onFsync(d time.Duration) {
 	b.opts.Tracer.Observe("wal.fsync", d)
 }
 
-// Append implements store.Backend. It runs under the store's write lock,
-// so it only frames the batch into the active segment's buffer; the
-// returned wait completes durability after the lock is released. The
-// backend's own mutex orders appends against segment rotation.
-func (b *FileBackend) Append(batch []store.Record) func() error {
+// AppendShard implements store.ShardedBackend. It runs under the
+// shard's write lock, so it only frames the batch into that stream's
+// active segment buffer; the returned wait completes durability after
+// the lock is released. Streams are independent: appends on different
+// shards share nothing but the backend mutex ordering them against
+// rotation.
+func (b *FileBackend) AppendShard(shard int, batch []store.Record) func() error {
 	start := time.Now()
 	b.mu.Lock()
-	w := b.wal
-	if w == nil {
+	if b.wals == nil {
 		b.mu.Unlock()
 		return func() error { return errors.New("persist: backend not recovered or already closed") }
 	}
-	wait := w.append(batch)
+	wait := b.wals[shard].append(batch)
 	b.mu.Unlock()
 	if m := b.opts.Metrics; m != nil {
 		m.WALAppends.Add(float64(len(batch)))
 	}
 	b.opts.Tracer.Observe("wal.append", time.Since(start))
 	return wait
+}
+
+// Append implements store.Backend for stores whose shard count differs
+// from the backend's stream count (including the plain single-stream
+// case). Batches arrive globally ordered (the store serializes them),
+// and recovery orders by sequence number, not stream, so funneling them
+// all into stream 0 is correct — it just forgoes per-shard parallelism.
+func (b *FileBackend) Append(batch []store.Record) func() error {
+	return b.AppendShard(0, batch)
 }
 
 // StartSnapshots begins the periodic snapshot/compaction loop over
@@ -292,50 +431,67 @@ func (b *FileBackend) StartSnapshots(src SnapshotSource) {
 	}()
 }
 
-// Compact rotates the log and installs a fresh snapshot, then deletes
-// the files the snapshot supersedes. It is a no-op when nothing was
-// appended since the last compaction.
+// Compact rotates every stream that holds records and installs a fresh
+// global snapshot, then deletes the files the snapshot supersedes. It
+// is a no-op when nothing was appended anywhere since the last
+// compaction.
 //
-// The order matters for crash safety: rotate first, snapshot second. The
-// snapshot is captured after rotation, so its sequence number covers
-// every record in the retired segments — records committed in between
-// land in the new segment with Seq <= the snapshot's and are skipped on
-// replay (puts are idempotent post-state anyway). A crash between the
-// steps leaves old snapshot + all segments: fully recoverable.
+// The order matters for crash safety: rotate first, snapshot second.
+// The snapshot is captured after rotation, so its sequence number
+// covers every record in the retired segments — records committed in
+// between land in the new segments with Seq <= the snapshot's and are
+// skipped on replay (puts are idempotent post-state anyway). A crash
+// between the steps leaves old snapshot + all segments: fully
+// recoverable.
 func (b *FileBackend) Compact() error {
 	if b.src == nil {
 		return errors.New("persist: no snapshot source; call StartSnapshots")
 	}
+	b.compactMu.Lock()
+	defer b.compactMu.Unlock()
+
 	b.mu.Lock()
-	old := b.wal
-	if old == nil {
+	if b.wals == nil {
 		b.mu.Unlock()
 		return errors.New("persist: backend closed")
 	}
-	oldLast := old.seq()
-	if oldLast == b.lastSnapSeq {
+	var maxLast uint64
+	for _, w := range b.wals {
+		if l := w.seq(); l > maxLast {
+			maxLast = l
+		}
+	}
+	if maxLast == b.lastSnapSeq {
 		b.mu.Unlock()
 		return nil
 	}
-	// Rotate only when the active segment holds records. When it is empty
-	// (a previous snapshot failed after rotation and nothing was appended
-	// since) there is nothing to retire, and opening walPath(oldLast+1)
-	// would collide with the active segment itself — just retry the
-	// snapshot over the existing log.
-	rotated := oldLast > old.base
-	if rotated {
-		next, err := openWAL(walPath(b.opts.Dir, oldLast+1), oldLast, b.opts.Fsync, b.onFsync)
+	// Rotate only streams whose active segment holds records. An empty
+	// active segment (nothing appended to that shard since the last
+	// rotation, or a previous snapshot failed after rotating) has
+	// nothing to retire, and opening walPath(last+1) would collide with
+	// the active segment itself.
+	retired := make([]*wal, len(b.wals))
+	for i, w := range b.wals {
+		last := w.seq()
+		if last <= w.base {
+			continue
+		}
+		next, err := openWAL(walPath(shardDir(b.opts.Dir, b.shards, i), last+1), last, b.opts.Fsync, b.onFsync)
 		if err != nil {
 			b.mu.Unlock()
 			return err
 		}
-		b.wal = next
+		retired[i] = w
+		b.wals[i] = next
 	}
 	b.mu.Unlock()
 
 	start := time.Now()
-	if rotated {
-		if err := old.close(); err != nil {
+	for _, w := range retired {
+		if w == nil {
+			continue
+		}
+		if err := w.close(); err != nil {
 			return fmt.Errorf("persist: retire segment: %w", err)
 		}
 	}
@@ -350,8 +506,14 @@ func (b *FileBackend) Compact() error {
 	if seq > b.lastSnapSeq {
 		b.lastSnapSeq = seq
 	}
+	actives := append([]*wal(nil), b.wals...)
 	b.mu.Unlock()
-	removeBelow(b.opts.Dir, walPrefix, walSuffix, oldLast+1)
+	for i, w := range actives {
+		// Every segment older than the stream's active one is covered by
+		// the snapshot: its records were appended before rotation, and
+		// the snapshot cut was taken after.
+		removeBelow(shardDir(b.opts.Dir, b.shards, i), walPrefix, walSuffix, w.base+1)
+	}
 	removeBelow(b.opts.Dir, snapPrefix, snapSuffix, seq)
 	if m := b.opts.Metrics; m != nil {
 		m.SnapshotSeconds.Observe(time.Since(start).Seconds())
@@ -363,7 +525,7 @@ func (b *FileBackend) Compact() error {
 
 // Close implements store.Backend: stop the snapshot loop, run a final
 // compaction so the next boot is snapshot-only, and flush and close the
-// active segment. The store calls it from Store.Close after detaching.
+// active segments. The store calls it from Store.Close after detaching.
 func (b *FileBackend) Close() error {
 	b.closeOnce.Do(func() {
 		if b.stop != nil {
@@ -377,10 +539,10 @@ func (b *FileBackend) Close() error {
 			}
 		}
 		b.mu.Lock()
-		w := b.wal
-		b.wal = nil
+		ws := b.wals
+		b.wals = nil
 		b.mu.Unlock()
-		if w != nil {
+		for _, w := range ws {
 			if err := w.close(); err != nil && b.closeErr == nil {
 				b.closeErr = err
 			}

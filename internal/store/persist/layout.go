@@ -1,0 +1,100 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// layoutFile is the data-dir layout descriptor, stored as layout.json at
+// the top of the directory. Its absence means the original single-stream
+// layout (every WAL segment at the top level) — the file exists only for
+// sharded layouts, so a shards=1 data dir is byte-identical to one
+// written before sharding existed.
+type layoutFile struct {
+	Version int `json:"Version"`
+	Shards  int `json:"Shards"`
+}
+
+const (
+	layoutName    = "layout.json"
+	layoutVersion = 1
+	// shardDirFmt names the per-shard WAL directories of a sharded
+	// layout. Snapshots are always global and stay at the top level.
+	shardDirFmt = "shard-%02d"
+)
+
+// shardDir returns the directory holding shard i's WAL segments: the
+// data dir itself for a single-stream layout, a shard subdirectory
+// otherwise.
+func shardDir(dir string, shards, i int) string {
+	if shards <= 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf(shardDirFmt, i))
+}
+
+// readLayout reports the number of WAL streams the directory holds on
+// disk: the layout descriptor's count when present, 1 (the flat legacy
+// layout) otherwise.
+func readLayout(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, layoutName))
+	if os.IsNotExist(err) {
+		return 1, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("persist: read layout: %w", err)
+	}
+	var lf layoutFile
+	if err := json.Unmarshal(data, &lf); err != nil {
+		return 0, fmt.Errorf("persist: parse %s: %w", layoutName, err)
+	}
+	if lf.Version != layoutVersion {
+		return 0, fmt.Errorf("persist: unsupported layout version %d", lf.Version)
+	}
+	if lf.Shards < 1 {
+		return 0, fmt.Errorf("persist: layout declares %d shards", lf.Shards)
+	}
+	return lf.Shards, nil
+}
+
+// installLayout durably records the directory's layout: write (or
+// replace) the descriptor for a sharded layout, remove it for the flat
+// one. The descriptor is written via temp+rename and the directory is
+// fsynced, so a crash leaves either the old or the new layout fully
+// described — and recovery handles both (see Recover: every step of a
+// layout migration leaves a recoverable directory).
+func installLayout(dir string, shards int) error {
+	path := filepath.Join(dir, layoutName)
+	if shards <= 1 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: remove layout: %w", err)
+		}
+		return syncDir(dir)
+	}
+	data, err := json.Marshal(layoutFile{Version: layoutVersion, Shards: shards})
+	if err != nil {
+		return fmt.Errorf("persist: encode layout: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "layout-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: layout temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: layout write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: layout sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: layout close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: layout rename: %w", err)
+	}
+	return syncDir(dir)
+}

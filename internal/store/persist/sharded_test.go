@@ -1,0 +1,311 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/store"
+)
+
+// openStoreSharded builds a recovered, attached store with n shards on
+// both the engine and the backend — matching counts are what engage the
+// per-shard WAL streams.
+func openStoreSharded(t *testing.T, dir string, fsync bool, n int) (*store.Store, *FileBackend, RecoveryStats) {
+	t.Helper()
+	st := store.NewSharded(n)
+	b, err := Open(Options{Dir: dir, Fsync: fsync, Shards: n})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stats, err := b.Recover(st)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	st.AttachBackend(b, stats.LastSeq)
+	return st, b, stats
+}
+
+// randomOpsSpread mirrors randomOps but scatters ids across eight
+// top-level segments so the records land in several WAL streams.
+func randomOpsSpread(rng *rand.Rand, st *store.Store, n int) {
+	flatIDs := make([]odata.ID, 16)
+	for i := range flatIDs {
+		flatIDs[i] = odata.ID(fmt.Sprintf("/redfish/v1/S%d/%d", i%8, i/8+1))
+	}
+	subtrees := []odata.ID{"/redfish/v1/T0", "/redfish/v1/T1"}
+	payload := func() map[string]any {
+		return map[string]any{"V": rng.Intn(1000), "W": fmt.Sprintf("w%d", rng.Intn(50))}
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			if err := st.Put(flatIDs[rng.Intn(len(flatIDs))], payload()); err != nil {
+				panic(err)
+			}
+		case 4, 5:
+			_ = st.Patch(flatIDs[rng.Intn(len(flatIDs))], map[string]any{"P": rng.Intn(100)}, "")
+		case 6:
+			_ = st.Delete(flatIDs[rng.Intn(len(flatIDs))])
+		case 7, 8:
+			sub := subtrees[rng.Intn(len(subtrees))]
+			res := map[odata.ID]any{sub: payload()}
+			for j, m := 0, rng.Intn(6); j < m; j++ {
+				res[sub.Append(fmt.Sprintf("%d", rng.Intn(8)+1))] = payload()
+			}
+			if err := st.PutSubtree(sub, res); err != nil {
+				panic(err)
+			}
+		case 9:
+			_, _ = st.DeleteSubtree(subtrees[rng.Intn(len(subtrees))])
+		}
+	}
+}
+
+func TestShardedDurabilityAcrossRestart(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+	st, _, stats := openStoreSharded(t, dir, true, n)
+	if stats.Shards != n {
+		t.Fatalf("fresh dir recovered with %d shards, want %d", stats.Shards, n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	randomOpsSpread(rng, st, 120)
+	want := export(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The sharded layout is on disk: descriptor plus one dir per shard.
+	if _, err := readLayout(dir); err != nil {
+		t.Fatalf("readLayout: %v", err)
+	}
+	if got, err := readLayout(dir); err != nil || got != n {
+		t.Fatalf("layout says %d shards (%v), want %d", got, err, n)
+	}
+	for i := 0; i < n; i++ {
+		if fi, err := os.Stat(shardDir(dir, n, i)); err != nil || !fi.IsDir() {
+			t.Fatalf("missing shard dir %d: %v", i, err)
+		}
+	}
+
+	st2, _, stats2 := openStoreSharded(t, dir, true, n)
+	defer st2.Close()
+	if got := export(t, st2); !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Fatalf("restart mismatch:\n got %v\nwant %v", normalize(got), normalize(want))
+	}
+	if stats2.Replayed != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0", stats2.Replayed)
+	}
+}
+
+// TestLayoutMigrationRoundTrip writes a flat (shards=1) directory,
+// reopens it at shards=4, then back at shards=1, checking the tree is
+// identical at every step and the on-disk layout follows the
+// configuration.
+func TestLayoutMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := openStore(t, dir, true)
+	rng := rand.New(rand.NewSource(7))
+	randomOpsSpread(rng, st, 80)
+	want := normalize(export(t, st))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 -> 4: the flat stream is retired into a snapshot and per-shard
+	// segments appear.
+	st4, _, stats4 := openStoreSharded(t, dir, true, 4)
+	if got := normalize(export(t, st4)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("1->4 migration changed the tree:\n got %v\nwant %v", got, want)
+	}
+	if stats4.Shards != 4 {
+		t.Fatalf("stats.Shards = %d after migration, want 4", stats4.Shards)
+	}
+	if n, err := readLayout(dir); err != nil || n != 4 {
+		t.Fatalf("layout after 1->4: %d shards (%v)", n, err)
+	}
+	if segs, err := listSeqs(dir, walPrefix, walSuffix); err != nil || len(segs) != 0 {
+		t.Fatalf("flat segments survived migration: %v (%v)", segs, err)
+	}
+	randomOpsSpread(rng, st4, 40)
+	want = normalize(export(t, st4))
+	if err := st4.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 -> 1: back to the byte-compatible flat layout, no descriptor.
+	st1, _, _ := openStoreSharded(t, dir, true, 1)
+	defer st1.Close()
+	if got := normalize(export(t, st1)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("4->1 migration changed the tree:\n got %v\nwant %v", got, want)
+	}
+	if _, err := os.Stat(shardDir(dir, 4, 0)); !os.IsNotExist(err) {
+		t.Fatalf("shard dir survived 4->1 migration: %v", err)
+	}
+	if n, err := readLayout(dir); err != nil || n != 1 {
+		t.Fatalf("layout after 4->1: %d shards (%v)", n, err)
+	}
+	if _, err := os.Stat(shardDir(dir, 4, 0)); !os.IsNotExist(err) {
+		t.Fatal("shard-00 left behind after migrating back to flat")
+	}
+}
+
+// TestCrashRecoveryPropertySharded re-runs the crash-consistency
+// property with four WAL streams: truncate ONE shard's log at a random
+// byte offset and require recovery to rebuild exactly the longest
+// committed prefix of the GLOBAL order — records on intact shards whose
+// sequence numbers follow the victim's lost records must be dropped,
+// not replayed out of order.
+func TestCrashRecoveryPropertySharded(t *testing.T) {
+	const trials = 30
+	const n = 4
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x5AAD ^ int64(trial)*2654435761))
+			dir := t.TempDir()
+			st, _, _ := openStoreSharded(t, dir, false, n)
+			randomOpsSpread(rng, st, 40+rng.Intn(80))
+
+			// Simulate kill -9: no Close, no compaction. Read every
+			// stream's bytes, then truncate one at a random offset.
+			streams := make([][]byte, n)
+			paths := make([]string, n)
+			for i := 0; i < n; i++ {
+				sdir := shardDir(dir, n, i)
+				segs, err := listSeqs(sdir, walPrefix, walSuffix)
+				if err != nil || len(segs) != 1 {
+					t.Fatalf("shard %d: expected one active segment, got %v (%v)", i, segs, err)
+				}
+				paths[i] = walPath(sdir, segs[0])
+				if streams[i], err = os.ReadFile(paths[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			victim := rng.Intn(n)
+			cut := int64(rng.Intn(len(streams[victim]) + 1))
+			if err := os.Truncate(paths[victim], cut); err != nil {
+				t.Fatal(err)
+			}
+
+			// Oracle: decode each surviving stream, merge by global Seq,
+			// and keep only the contiguous prefix above the snapshot.
+			snap, ok, _, err := loadNewestSnapshot(dir)
+			if err != nil || !ok {
+				t.Fatalf("missing base snapshot: %v", err)
+			}
+			var merged []store.Record
+			for i := 0; i < n; i++ {
+				data := streams[i]
+				if i == victim {
+					data = data[:cut]
+				}
+				recs, _, _ := decodeAll(bytes.NewReader(data))
+				merged = append(merged, recs...)
+			}
+			sort.SliceStable(merged, func(a, b int) bool { return merged[a].Seq < merged[b].Seq })
+			last := snap.Seq
+			var prefix []store.Record
+			for _, rec := range merged {
+				if rec.Seq != last+1 {
+					break
+				}
+				prefix = append(prefix, rec)
+				last++
+			}
+			var base map[string]json.RawMessage
+			if err := json.Unmarshal(snap.Resources, &base); err != nil {
+				t.Fatal(err)
+			}
+			want := oracleApply(base, prefix)
+
+			st2, _, stats := openStoreSharded(t, dir, false, n)
+			defer st2.Close()
+			if stats.Replayed != len(prefix) {
+				t.Fatalf("replayed %d records, oracle sees a %d-record committed prefix (dropped=%d)",
+					stats.Replayed, len(prefix), stats.Dropped)
+			}
+			got := export(t, st2)
+			if !reflect.DeepEqual(normalize(got), normalize(want)) {
+				t.Fatalf("victim=%d cut=%d/%d prefix=%d:\n got  %v\n want %v",
+					victim, cut, len(streams[victim]), len(prefix), normalize(got), normalize(want))
+			}
+		})
+	}
+}
+
+// TestShardedGapQuarantine pins the deterministic core of the property
+// test: losing an earlier record on one shard makes later records on
+// OTHER shards unreplayable, and recovery quarantines their segments
+// instead of deleting them.
+func TestShardedGapQuarantine(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+	st, _, _ := openStoreSharded(t, dir, false, n)
+
+	// Two resources on different shards: seq 1 lands on x's stream,
+	// seq 2 on y's.
+	idA := odata.ID("/redfish/v1/Systems/a")
+	var idB odata.ID
+	for _, cand := range []odata.ID{
+		"/redfish/v1/Fabrics/b", "/redfish/v1/Chassis/b", "/redfish/v1/Storage/b",
+		"/redfish/v1/Managers/b", "/redfish/v1/TaskService/b",
+	} {
+		if st.ShardOf(cand) != st.ShardOf(idA) {
+			idB = cand
+			break
+		}
+	}
+	if idB == "" {
+		t.Fatal("no second segment on a different shard")
+	}
+	if err := st.Put(idA, res("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(idB, res("b")); err != nil {
+		t.Fatal(err)
+	}
+	x, y := st.ShardOf(idA), st.ShardOf(idB)
+
+	// Lose shard x's record entirely (its stream becomes empty but not
+	// torn), leaving a hole at seq 1 beneath shard y's seq-2 record.
+	xdir := shardDir(dir, n, x)
+	segs, err := listSeqs(xdir, walPrefix, walSuffix)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("shard %d segments: %v (%v)", x, segs, err)
+	}
+	if err := os.Truncate(walPath(xdir, segs[0]), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _, stats := openStoreSharded(t, dir, false, n)
+	defer st2.Close()
+	if stats.Replayed != 0 || stats.Dropped != 1 {
+		t.Fatalf("replayed=%d dropped=%d, want 0 and 1", stats.Replayed, stats.Dropped)
+	}
+	if st2.Exists(idA) || st2.Exists(idB) {
+		t.Fatal("resource beyond the sequence gap was replayed")
+	}
+	// The dropped record's segment sits quarantined in shard y's dir.
+	ydir := shardDir(dir, n, y)
+	entries, err := os.ReadDir(ydir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if len(e.Name()) > len(quarantineSuffix) && e.Name()[len(e.Name())-len(quarantineSuffix):] == quarantineSuffix {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantined segment in shard %d's dir", y)
+	}
+}

@@ -1,18 +1,37 @@
-// Package persist is the store's file-based durability layer: an
-// append-only write-ahead log of canonical mutation records with
+// Package persist is the store's file-based durability layer: per-shard
+// append-only write-ahead logs of canonical mutation records with
 // group-commit flush/fsync coalescing, periodic compacted snapshots
 // built from consistent store cuts, and boot-time recovery that loads
-// the newest valid snapshot, replays the WAL tail, and truncates torn
-// records left by a crash mid-write.
+// the newest valid snapshot, merge-replays every stream's tail by
+// global sequence number, and truncates torn records left by a crash
+// mid-write.
 //
-// On-disk layout (all files live in one data directory):
+// On-disk layout. The single-stream layout (Options.Shards <= 1) keeps
+// everything in one data directory, byte-compatible with dirs written
+// before sharding existed:
 //
 //	snap-<seq>.json   compacted snapshot: {"Seq":N,"Resources":{uri:raw}}
 //	wal-<start>.log   log segment; holds records with Seq >= start
 //
 //	wal-<start>.log.quarantined
-//	                  segment found after a torn record; recovery renames
-//	                  it aside rather than replaying or deleting it
+//	                  segment found after a torn record, or holding
+//	                  records beyond a global sequence gap; recovery
+//	                  renames it aside rather than replaying or deleting
+//	                  it
+//
+// The sharded layout (Options.Shards > 1) adds a layout.json descriptor
+// and moves the WAL streams into per-shard subdirectories, while
+// snapshots stay global at the top level:
+//
+//	layout.json            {"Version":1,"Shards":N}
+//	snap-<seq>.json        global snapshot, as above
+//	shard-00/wal-<start>.log ... shard-NN/wal-<start>.log
+//
+// Records carry globally unique, monotonically increasing sequence
+// numbers regardless of which stream they land in, so recovery sorts
+// the union of all streams by Seq to rebuild the total commit order.
+// Recover migrates a directory between layouts automatically when the
+// configured shard count differs from the one on disk.
 //
 // Each WAL record is framed as
 //

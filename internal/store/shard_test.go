@@ -1,0 +1,307 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+)
+
+func TestShardKeyRouting(t *testing.T) {
+	for _, tc := range []struct {
+		id   odata.ID
+		want string
+	}{
+		{"/redfish/v1", ""},
+		{"/redfish/v1/Systems", "Systems"},
+		{"/redfish/v1/Systems/1", "Systems"},
+		{"/redfish/v1/Fabrics/CXL/Zones/Z1", "Fabrics"},
+		{"/redfish", "redfish"},
+		{"/", ""},
+		{"/other/path", "other"},
+	} {
+		if got := shardKey(tc.id); got != tc.want {
+			t.Errorf("shardKey(%q) = %q, want %q", tc.id, got, tc.want)
+		}
+	}
+}
+
+// TestShardCoLocation: a collection, its members, and every descendant
+// of a top-level subtree must share a shard at any shard count —
+// single-shard operations (Members, NextID, subtree refresh below the
+// root) depend on it.
+func TestShardCoLocation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		s := NewSharded(n)
+		if s.ShardCount() != n {
+			t.Fatalf("ShardCount = %d, want %d", s.ShardCount(), n)
+		}
+		for _, group := range [][]odata.ID{
+			{"/redfish/v1/Systems", "/redfish/v1/Systems/1", "/redfish/v1/Systems/cpu-7/Processors/0"},
+			{"/redfish/v1/Fabrics", "/redfish/v1/Fabrics/CXL", "/redfish/v1/Fabrics/CXL/Zones/Z1"},
+			{"/redfish/v1/Chassis", "/redfish/v1/Chassis/enc0"},
+		} {
+			first := s.ShardOf(group[0])
+			for _, id := range group[1:] {
+				if got := s.ShardOf(id); got != first {
+					t.Errorf("shards=%d: %s on shard %d, %s on shard %d", n, group[0], first, id, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSpansShards(t *testing.T) {
+	for _, tc := range []struct {
+		prefix odata.ID
+		want   bool
+	}{
+		{"", true},
+		{"/", true},
+		{"/redfish", true},
+		{"/redfish/v1", true},
+		{"/redfish/v1/", true},
+		{"/redfish/v1/Systems", false},
+		{"/redfish/v1/Fabrics/CXL", false},
+		{"/other", false},
+	} {
+		if got := spansShards(tc.prefix); got != tc.want {
+			t.Errorf("spansShards(%q) = %v, want %v", tc.prefix, got, tc.want)
+		}
+	}
+}
+
+// distinctSegments returns top-level segment names that map to at least
+// two different shards, or skips the test when the count cannot split
+// them (shards=1).
+func distinctSegments(t *testing.T, s *Store) (odata.ID, odata.ID) {
+	t.Helper()
+	if s.ShardCount() == 1 {
+		t.Skip("one shard cannot split segments")
+	}
+	first := odata.ID("/redfish/v1/Systems")
+	for _, cand := range []odata.ID{
+		"/redfish/v1/Fabrics", "/redfish/v1/Chassis", "/redfish/v1/Storage",
+		"/redfish/v1/Managers", "/redfish/v1/TaskService", "/redfish/v1/EventService",
+	} {
+		if s.ShardOf(cand) != s.ShardOf(first) {
+			return first, cand
+		}
+	}
+	t.Fatalf("no segment found on a different shard than %s at %d shards", first, s.ShardCount())
+	return "", ""
+}
+
+// TestCrossShardPutSubtreeAtomicUnderReaders flips the whole tree
+// between two versions with root-spanning PutSubtree while concurrent
+// Snapshot readers check they never observe a mix: the ordered
+// multi-shard commit holds every shard's write lock, so a consistent
+// reader sees all of a replacement or none of it.
+func TestCrossShardPutSubtreeAtomicUnderReaders(t *testing.T) {
+	s := NewSharded(4)
+	a, b := distinctSegments(t, s)
+
+	tree := func(version int) map[odata.ID]any {
+		m := make(map[odata.ID]any)
+		for _, seg := range []odata.ID{a, b} {
+			for i := 0; i < 4; i++ {
+				id := seg.Append(fmt.Sprintf("r%d", i))
+				m[id] = map[string]any{"@odata.id": string(id), "V": version}
+			}
+		}
+		return m
+	}
+	if err := s.PutSubtree("/redfish/v1", tree(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				data, _, err := s.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var m map[string]struct{ V int }
+				if err := json.Unmarshal(data, &m); err != nil {
+					t.Error(err)
+					return
+				}
+				seen := -1
+				for id, v := range m {
+					if seen == -1 {
+						seen = v.V
+					} else if v.V != seen {
+						torn.Add(1)
+						t.Errorf("snapshot mixes versions: %s has V=%d, another resource V=%d", id, v.V, seen)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 50; i++ {
+		if err := s.PutSubtree("/redfish/v1", tree(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if torn.Load() > 0 {
+		t.Fatalf("%d torn snapshots", torn.Load())
+	}
+}
+
+// TestRestoreReplaceAcrossShards checks admin-restore semantics through
+// the sharded store: a root-spanning PutSubtree replaces the whole tree,
+// deleting stale resources on every shard, not just the ones the new
+// set touches.
+func TestRestoreReplaceAcrossShards(t *testing.T) {
+	s := NewSharded(8)
+	a, b := distinctSegments(t, s)
+
+	old := map[odata.ID]any{
+		a.Append("stale1"): map[string]any{"Name": "stale1"},
+		b.Append("stale2"): map[string]any{"Name": "stale2"},
+		b.Append("kept"):   map[string]any{"Name": "kept"},
+	}
+	if err := s.PutSubtree("/redfish/v1", old); err != nil {
+		t.Fatal(err)
+	}
+	replacement := map[odata.ID]any{
+		a.Append("new1"): map[string]any{"Name": "new1"},
+		b.Append("kept"): map[string]any{"Name": "kept"},
+	}
+	if err := s.PutSubtree("/redfish/v1", replacement); err != nil {
+		t.Fatal(err)
+	}
+
+	wantIDs := []odata.ID{a.Append("new1"), b.Append("kept")}
+	sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+	if got := s.IDs(); !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("after replace: ids %v, want %v", got, wantIDs)
+	}
+	if s.Exists(a.Append("stale1")) || s.Exists(b.Append("stale2")) {
+		t.Fatal("stale resources survived a cross-shard replace")
+	}
+}
+
+// TestShardCountEquivalence runs one mixed mutation sequence at several
+// shard counts and requires identical externally visible state: sharding
+// is a concurrency structure, never a semantic one.
+func TestShardCountEquivalence(t *testing.T) {
+	run := func(n int) map[string]json.RawMessage {
+		s := NewSharded(n)
+		s.RegisterCollection("/redfish/v1/Systems", "#SystemCollection", "Systems")
+		for i := 0; i < 10; i++ {
+			id := odata.ID("/redfish/v1/Systems").Append(s.NextID("/redfish/v1/Systems"))
+			if err := s.Create(id, map[string]any{"Name": fmt.Sprintf("sys%d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Patch("/redfish/v1/Systems/3", map[string]any{"Tag": "x"}, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete("/redfish/v1/Systems/5"); err != nil {
+			t.Fatal(err)
+		}
+		sub := map[odata.ID]any{
+			odata.ID("/redfish/v1/Fabrics/CXL"):          map[string]any{"Name": "CXL"},
+			odata.ID("/redfish/v1/Fabrics/CXL/Zones/Z1"): map[string]any{"Name": "Z1"},
+		}
+		if err := s.PutSubtree("/redfish/v1/Fabrics/CXL", sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.DeleteSubtree("/redfish/v1/Systems/7"); err != nil {
+			t.Fatal(err)
+		}
+		data, err := s.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		// Collections answer identically too.
+		members, err := s.Members("/redfish/v1/Systems")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m["__members"], _ = json.Marshal(members)
+		return m
+	}
+	want := run(1)
+	for _, n := range []int{2, 4, 8} {
+		if got := run(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d diverged from shards=1:\n got %v\nwant %v", n, got, want)
+		}
+	}
+}
+
+// TestOpHookShardLabels checks the hook receives the owning shard for
+// single-shard ops and -1 for spanning ones.
+func TestOpHookShardLabels(t *testing.T) {
+	s := NewSharded(4)
+	type call struct {
+		op    string
+		shard int
+	}
+	var mu sync.Mutex
+	var calls []call
+	s.SetOpHook(func(op string, shard int) {
+		mu.Lock()
+		calls = append(calls, call{op, shard})
+		mu.Unlock()
+	})
+	id := odata.ID("/redfish/v1/Systems/1")
+	if err := s.Put(id, map[string]any{"Name": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSubtree("/redfish/v1", map[odata.ID]any{id: map[string]any{"Name": "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []call{{"put", s.ShardOf(id)}, {"put_subtree", -1}}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("hook calls %v, want %v", calls, want)
+	}
+}
+
+// TestLockWaitHookReportsContention checks the wait hook fires for every
+// write acquisition with the shard index (or -1 for all-shard locks).
+func TestLockWaitHookReportsContention(t *testing.T) {
+	s := NewSharded(2)
+	var single, multi atomic.Int64
+	s.SetLockWaitHook(func(shard int, _ time.Duration) {
+		if shard == -1 {
+			multi.Add(1)
+		} else {
+			single.Add(1)
+		}
+	})
+	if err := s.Put("/redfish/v1/Systems/1", map[string]any{"Name": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSubtree("/redfish/v1", map[odata.ID]any{
+		"/redfish/v1/Systems/1": map[string]any{"Name": "y"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if single.Load() != 1 || multi.Load() != 1 {
+		t.Fatalf("lock-wait hook: single=%d multi=%d, want 1 and 1", single.Load(), multi.Load())
+	}
+}

@@ -8,13 +8,24 @@
 // are marshaled at the boundary.
 //
 // The package is layered: engine.go holds the pure in-memory engine
-// (entry map, children index, collection cache, ETags); this file owns
-// locking, change notification, and the public API; record.go defines
-// the mutation-log seam — every committed mutation reduces to canonical
-// put/delete Records handed to an optional Backend in commit order.
-// With no backend attached (the zero-config default) the seam costs one
-// nil check per mutation and nothing on reads. The file-based
-// write-ahead-log backend lives in the store/persist subpackage.
+// (entry map, children index, collection cache, ETags); shard.go routes
+// ids to one of N independent engine+lock shards by top-level URI
+// segment; this file owns locking, change notification, and the public
+// API; record.go defines the mutation-log seam — every committed
+// mutation reduces to canonical put/delete Records stamped with a global
+// commit sequence and handed to an optional Backend. With no backend
+// attached (the zero-config default) the seam costs one nil check per
+// mutation and nothing on reads. The file-based write-ahead-log backend
+// lives in the store/persist subpackage.
+//
+// Sharding: single-resource operations touch only the owning shard's
+// lock, so writers to different top-level subtrees (Fabrics vs Systems)
+// never contend. Operations whose prefix spans shards — PutSubtree at
+// the service root, admin restore, Export/Snapshot — use an ordered
+// multi-shard commit: every shard lock is acquired in ascending index
+// order, so readers observe the whole mutation or none of it, and the
+// global sequence numbers assigned under the locks let recovery merge
+// the per-shard logs back into one total order.
 package store
 
 import (
@@ -81,17 +92,30 @@ type Change struct {
 // must enqueue internally.
 type Watcher func(Change)
 
-// Store is a concurrent Redfish resource tree: the in-memory engine
-// behind a read-write lock, plus the optional durability backend every
-// committed mutation is logged to.
+// Store is a concurrent Redfish resource tree: N independent engine
+// shards each behind their own read-write lock, plus the optional
+// durability backend every committed mutation is logged to.
 type Store struct {
-	mu  sync.RWMutex
-	eng engine
-	// seq is the commit sequence number of the last mutation record
-	// handed to the backend; it advances only while a backend is
-	// attached.
-	seq     uint64
+	shards []*shard
+
+	// seq is the global commit sequence number of the last mutation
+	// record handed to the backend. It is assigned while the mutating
+	// shard's write lock is held, so each shard's log stream is
+	// sequence-ascending and merging all streams by Seq reconstructs the
+	// total commit order. It advances only while a backend is attached.
+	seq atomic.Uint64
+
+	// backend and sharded are written only while every shard lock is
+	// held (AttachBackend/Close) and read under at least one shard lock.
+	// sharded is backend when it routes per shard (see ShardedBackend)
+	// with a matching shard count, nil otherwise.
 	backend Backend
+	sharded ShardedBackend
+	// appendMu serializes sequence stamping and Append for legacy
+	// single-stream backends, so their one log stays in global commit
+	// order even when writers on different shards race. Always acquired
+	// after shard locks, never before.
+	appendMu sync.Mutex
 
 	watchMu  sync.RWMutex
 	watchers []Watcher
@@ -99,6 +123,10 @@ type Store struct {
 	// opHook holds an OpHook observing operation counts (atomic.Value so
 	// hot read paths never contend on a lock for it).
 	opHook atomic.Value
+
+	// lockWait holds a LockWaitHook observing write-lock acquisition
+	// waits (atomic for the same reason as opHook).
+	lockWait atomic.Value
 
 	// tracer, when set, records mutation spans for requests that already
 	// belong to a trace (atomic for the same reason as opHook).
@@ -108,9 +136,19 @@ type Store struct {
 // OpHook observes one store operation by kind: "get", "view", "etag",
 // "put", "put_subtree", "create", "patch", "delete", "delete_subtree",
 // "members", "collection" (cache miss, payload built) or
-// "collection_cached" (served from the memoized payload). Hooks must be
-// fast and must not call back into the store.
-type OpHook func(op string)
+// "collection_cached" (served from the memoized payload). shard is the
+// index of the shard the operation touched, or -1 for operations that
+// touch every shard (spanning subtree ops, export, snapshot). Hooks
+// must be fast and must not call back into the store.
+type OpHook func(op string, shard int)
+
+// OpNames lists every op string the hook can receive, so observers can
+// pre-resolve per-op state (label sets, counters) instead of allocating
+// on the hot path.
+var OpNames = []string{
+	"get", "view", "etag", "put", "put_subtree", "create", "patch",
+	"delete", "delete_subtree", "members", "collection", "collection_cached",
+}
 
 // SetOpHook installs the operation observer, replacing any previous one.
 func (s *Store) SetOpHook(h OpHook) { s.opHook.Store(h) }
@@ -145,15 +183,35 @@ func waitDurableTraced(sp *obsv.Span, wait func() error) error {
 	return err
 }
 
-func (s *Store) countOp(op string) {
+func (s *Store) countOp(op string, shard int) {
 	if h, ok := s.opHook.Load().(OpHook); ok && h != nil {
-		h(op)
+		h(op, shard)
 	}
 }
 
-// New creates an empty store with no backend: purely in-memory.
+// New creates an empty store with no backend: purely in-memory. The
+// shard count defaults to 1 unless the OFMF_STORE_SHARDS environment
+// variable overrides it (the CI race matrix uses this to drive the
+// whole suite at shards>1).
 func New() *Store {
-	return &Store{eng: newEngine()}
+	return NewSharded(0)
+}
+
+// NewSharded creates an empty store partitioned into n shards. n <= 0
+// selects the environment default (see New); the count is capped at
+// maxShards.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = envShards()
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{eng: newEngine()}
+	}
+	return s
 }
 
 // Watch registers a change watcher. All subsequent mutations are reported.
@@ -197,20 +255,21 @@ func (s *Store) Put(id odata.ID, v any) error {
 // a wal.commit child for the durability wait), and the emitted Change
 // carries ctx so downstream event delivery stays in the same trace.
 func (s *Store) PutCtx(ctx context.Context, id odata.ID, v any) error {
-	s.countOp("put")
+	si := s.shardIndex(id)
+	s.countOp("put", si)
 	sp := s.traceStart(ctx, "store.put")
 	raw, err := canonicalize(v)
 	if err != nil {
 		sp.EndErr(err)
 		return err
 	}
-	s.mu.Lock()
-	kind, changed := s.eng.put(id, raw)
+	sh := s.lockShard(si)
+	kind, changed := sh.eng.put(id, raw)
 	var wait func() error
 	if changed {
-		wait = s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
+		wait = s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !changed {
 		sp.End()
 		return nil
@@ -229,23 +288,24 @@ func (s *Store) Create(id odata.ID, v any) error {
 // CreateCtx is Create carrying the originating request context; see
 // PutCtx for the tracing and change-attribution semantics.
 func (s *Store) CreateCtx(ctx context.Context, id odata.ID, v any) error {
-	s.countOp("create")
+	si := s.shardIndex(id)
+	s.countOp("create", si)
 	sp := s.traceStart(ctx, "store.create")
 	raw, err := canonicalize(v)
 	if err != nil {
 		sp.EndErr(err)
 		return err
 	}
-	s.mu.Lock()
-	if _, ok := s.eng.entries[id]; ok {
-		s.mu.Unlock()
+	sh := s.lockShard(si)
+	if _, ok := sh.eng.entries[id]; ok {
+		sh.mu.Unlock()
 		err := fmt.Errorf("%w: %s", ErrExists, id)
 		sp.EndErr(err)
 		return err
 	}
-	s.eng.put(id, raw)
-	wait := s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
-	s.mu.Unlock()
+	sh.eng.put(id, raw)
+	wait := s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
+	sh.mu.Unlock()
 
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
@@ -256,10 +316,12 @@ func (s *Store) CreateCtx(ctx context.Context, id odata.ID, v any) error {
 // Get returns a copy of the raw JSON and the entity tag of the resource at
 // id. The returned slice is never aliased to store internals.
 func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
-	s.countOp("get")
-	s.mu.RLock()
-	e, ok := s.eng.entries[id]
-	s.mu.RUnlock()
+	si := s.shardIndex(id)
+	s.countOp("get", si)
+	sh := s.shards[si]
+	sh.mu.RLock()
+	e, ok := sh.eng.entries[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -269,14 +331,16 @@ func (s *Store) Get(id odata.ID) (json.RawMessage, string, error) {
 }
 
 // View invokes fn with the raw JSON of the resource at id without
-// copying. fn runs under the store's read lock and must not retain or
-// mutate the slice. It is the zero-copy alternative to Get for hot read
-// paths (see BenchmarkAblationStoreRead).
+// copying. fn runs under the owning shard's read lock and must not
+// retain or mutate the slice. It is the zero-copy alternative to Get
+// for hot read paths (see BenchmarkAblationStoreRead).
 func (s *Store) View(id odata.ID, fn func(raw json.RawMessage, etag string)) error {
-	s.countOp("view")
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.eng.entries[id]
+	si := s.shardIndex(id)
+	s.countOp("view", si)
+	sh := s.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.eng.entries[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -295,10 +359,12 @@ func (s *Store) GetAs(id odata.ID, out any) error {
 
 // Etag returns the entity tag of the resource at id.
 func (s *Store) Etag(id odata.ID) (string, error) {
-	s.countOp("etag")
-	s.mu.RLock()
-	e, ok := s.eng.entries[id]
-	s.mu.RUnlock()
+	si := s.shardIndex(id)
+	s.countOp("etag", si)
+	sh := s.shards[si]
+	sh.mu.RLock()
+	e, ok := sh.eng.entries[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -307,9 +373,10 @@ func (s *Store) Etag(id odata.ID) (string, error) {
 
 // Exists reports whether a resource (not a collection) is stored at id.
 func (s *Store) Exists(id odata.ID) bool {
-	s.mu.RLock()
-	_, ok := s.eng.entries[id]
-	s.mu.RUnlock()
+	sh := s.shards[s.shardIndex(id)]
+	sh.mu.RLock()
+	_, ok := sh.eng.entries[id]
+	sh.mu.RUnlock()
 	return ok
 }
 
@@ -327,25 +394,26 @@ func (s *Store) Patch(id odata.ID, patch map[string]any, ifMatch string) error {
 // PatchCtx is Patch carrying the originating request context; see
 // PutCtx for the tracing and change-attribution semantics.
 func (s *Store) PatchCtx(ctx context.Context, id odata.ID, patch map[string]any, ifMatch string) error {
-	s.countOp("patch")
+	si := s.shardIndex(id)
+	s.countOp("patch", si)
 	sp := s.traceStart(ctx, "store.patch")
-	s.mu.Lock()
-	e, ok := s.eng.entries[id]
+	sh := s.lockShard(si)
+	e, ok := sh.eng.entries[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		err := fmt.Errorf("%w: %s", ErrNotFound, id)
 		sp.EndErr(err)
 		return err
 	}
 	if ifMatch != "" && ifMatch != e.etag {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		err := fmt.Errorf("%w: %s", ErrEtagMismatch, id)
 		sp.EndErr(err)
 		return err
 	}
 	var current map[string]any
 	if err := json.Unmarshal(e.raw, &current); err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		err = fmt.Errorf("store: corrupt entry %s: %w", id, err)
 		sp.EndErr(err)
 		return err
@@ -353,16 +421,16 @@ func (s *Store) PatchCtx(ctx context.Context, id odata.ID, patch map[string]any,
 	merge(current, patch)
 	raw, err := canonicalize(current)
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		sp.EndErr(err)
 		return err
 	}
-	_, changed := s.eng.put(id, raw)
+	_, changed := sh.eng.put(id, raw)
 	var wait func() error
 	if changed {
-		wait = s.commitLocked([]Record{{Op: OpPut, ID: id, Raw: raw}})
+		wait = s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if !changed {
 		sp.End()
@@ -400,17 +468,18 @@ func (s *Store) Delete(id odata.ID) error {
 // DeleteCtx is Delete carrying the originating request context; see
 // PutCtx for the tracing and change-attribution semantics.
 func (s *Store) DeleteCtx(ctx context.Context, id odata.ID) error {
-	s.countOp("delete")
+	si := s.shardIndex(id)
+	s.countOp("delete", si)
 	sp := s.traceStart(ctx, "store.delete")
-	s.mu.Lock()
-	if !s.eng.remove(id) {
-		s.mu.Unlock()
+	sh := s.lockShard(si)
+	if !sh.eng.remove(id) {
+		sh.mu.Unlock()
 		err := fmt.Errorf("%w: %s", ErrNotFound, id)
 		sp.EndErr(err)
 		return err
 	}
-	wait := s.commitLocked([]Record{{Op: OpDelete, ID: id}})
-	s.mu.Unlock()
+	wait := s.commitShardLocked(si, []Record{{Op: OpDelete, ID: id}})
+	sh.mu.Unlock()
 
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
@@ -423,19 +492,22 @@ func (s *Store) DeleteCtx(ctx context.Context, id odata.ID) error {
 // the direct children present in the store and memoized until the
 // membership changes. Registrations are service configuration, not tree
 // state: they are not logged or exported, and the service re-declares
-// them at every boot before recovery runs.
+// them at every boot before recovery runs. A collection and its members
+// always share a shard (both route on the collection's URI segment).
 func (s *Store) RegisterCollection(id odata.ID, odataType, name string) {
-	s.mu.Lock()
-	s.eng.collections[id] = collectionMeta{odataType: odataType, name: name}
-	s.eng.invalidateCollection(id)
-	s.mu.Unlock()
+	sh := s.shards[s.shardIndex(id)]
+	sh.mu.Lock()
+	sh.eng.collections[id] = collectionMeta{odataType: odataType, name: name}
+	sh.eng.invalidateCollection(id)
+	sh.mu.Unlock()
 }
 
 // IsCollection reports whether id names a registered collection.
 func (s *Store) IsCollection(id odata.ID) bool {
-	s.mu.RLock()
-	_, ok := s.eng.collections[id]
-	s.mu.RUnlock()
+	sh := s.shards[s.shardIndex(id)]
+	sh.mu.RLock()
+	_, ok := sh.eng.collections[id]
+	sh.mu.RUnlock()
 	return ok
 }
 
@@ -443,24 +515,26 @@ func (s *Store) IsCollection(id odata.ID) bool {
 // building and publishing the cache on a miss. hit reports whether the
 // rendering was served from the cache. The returned collCache is
 // immutable; callers may use it after the lock is released.
-func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, bool, error) {
-	s.mu.RLock()
-	meta, ok := s.eng.collections[id]
+func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, int, bool, error) {
+	si := s.shardIndex(id)
+	sh := s.shards[si]
+	sh.mu.RLock()
+	meta, ok := sh.eng.collections[id]
 	if !ok {
-		s.mu.RUnlock()
-		return collectionMeta{}, nil, false, fmt.Errorf("%w: %s", ErrNotCollection, id)
+		sh.mu.RUnlock()
+		return collectionMeta{}, nil, si, false, fmt.Errorf("%w: %s", ErrNotCollection, id)
 	}
-	c := s.eng.collCache[id]
-	s.mu.RUnlock()
+	c := sh.eng.collCache[id]
+	sh.mu.RUnlock()
 	if c != nil {
-		return meta, c, true, nil
+		return meta, c, si, true, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c = s.eng.collCache[id]; c != nil {
-		return meta, c, true, nil
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.eng.collCache[id]; c != nil {
+		return meta, c, si, true, nil
 	}
-	members := s.eng.members(id)
+	members := sh.eng.members(id)
 	payload, err := json.Marshal(odata.Collection{
 		ODataID:   id,
 		ODataType: meta.odataType,
@@ -469,29 +543,29 @@ func (s *Store) collectionFor(id odata.ID) (collectionMeta, *collCache, bool, er
 		Members:   odata.RefSlice(members),
 	})
 	if err != nil {
-		return meta, nil, false, fmt.Errorf("store: collection %s: %w", id, err)
+		return meta, nil, si, false, fmt.Errorf("store: collection %s: %w", id, err)
 	}
 	c = &collCache{members: members, payload: payload, etag: odata.EtagRaw(payload)}
-	s.eng.collCache[id] = c
-	return meta, c, false, nil
+	sh.eng.collCache[id] = c
+	return meta, c, si, false, nil
 }
 
-func (s *Store) countCollection(hit bool) {
+func (s *Store) countCollection(shard int, hit bool) {
 	if hit {
-		s.countOp("collection_cached")
+		s.countOp("collection_cached", shard)
 	} else {
-		s.countOp("collection")
+		s.countOp("collection", shard)
 	}
 }
 
 // Collection synthesizes the collection payload at id from its current
 // members, serving the memoized member list when it is still valid.
 func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
-	meta, c, hit, err := s.collectionFor(id)
+	meta, c, si, hit, err := s.collectionFor(id)
 	if err != nil {
 		return odata.Collection{}, err
 	}
-	s.countCollection(hit)
+	s.countCollection(si, hit)
 	return odata.Collection{
 		ODataID:   id,
 		ODataType: meta.odataType,
@@ -508,22 +582,22 @@ func (s *Store) Collection(id odata.ID) (odata.Collection, error) {
 // mutating). This is the zero-copy fast path collection GETs are served
 // from.
 func (s *Store) CollectionView(id odata.ID, fn func(payload []byte, etag string)) error {
-	_, c, hit, err := s.collectionFor(id)
+	_, c, si, hit, err := s.collectionFor(id)
 	if err != nil {
 		return err
 	}
-	s.countCollection(hit)
+	s.countCollection(si, hit)
 	fn(c.payload, c.etag)
 	return nil
 }
 
 // Members returns the sorted direct members of the collection at id.
 func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
-	s.countOp("members")
-	_, c, _, err := s.collectionFor(id)
+	_, c, si, _, err := s.collectionFor(id)
 	if err != nil {
 		return nil, err
 	}
+	s.countOp("members", si)
 	out := make([]odata.ID, len(c.members))
 	copy(out, c.members)
 	return out, nil
@@ -535,28 +609,35 @@ func (s *Store) Members(id odata.ID) ([]odata.ID, error) {
 // reused after deletion, so a released URI can never alias a later
 // resource.
 func (s *Store) NextID(collection odata.ID) string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.nextID(collection)
+	sh := s.shards[s.shardIndex(collection)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.eng.nextID(collection)
 }
 
 // IDs returns every stored resource identifier, sorted.
 func (s *Store) IDs() []odata.ID {
-	s.mu.RLock()
-	ids := make([]odata.ID, 0, len(s.eng.entries))
-	for id := range s.eng.entries {
-		ids = append(ids, id)
+	s.rlockAll()
+	var ids []odata.ID
+	for _, sh := range s.shards {
+		for id := range sh.eng.entries {
+			ids = append(ids, id)
+		}
 	}
-	s.mu.RUnlock()
+	s.runlockAll()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // Len returns the number of stored resources.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.eng.entries)
+	s.rlockAll()
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.eng.entries)
+	}
+	s.runlockAll()
+	return n
 }
 
 // PutSubtree atomically installs a set of resources, all of which must lie
@@ -570,6 +651,11 @@ func (s *Store) Len() int {
 // The whole refresh is logged as one batch — the deletions and puts it
 // actually performed, in that order — so a replayed log reproduces the
 // refresh exactly without knowing the keep semantics.
+//
+// A prefix below the service root pins the refresh to one shard; a
+// prefix at or above it (the admin restore path) commits across every
+// shard at once, holding all locks in order so concurrent readers see
+// the whole replacement or none of it.
 func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
 	return s.PutSubtreeCtx(context.Background(), prefix, resources, keep...)
 }
@@ -577,7 +663,12 @@ func (s *Store) PutSubtree(prefix odata.ID, resources map[odata.ID]any, keep ...
 // PutSubtreeCtx is PutSubtree carrying the originating request context;
 // see PutCtx for the tracing and change-attribution semantics.
 func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources map[odata.ID]any, keep ...odata.ID) error {
-	s.countOp("put_subtree")
+	multi := len(s.shards) > 1 && spansShards(prefix)
+	si := -1
+	if !multi {
+		si = s.shardIndex(prefix)
+	}
+	s.countOp("put_subtree", si)
 	sp := s.traceStart(ctx, "store.put_subtree")
 	// Serialize outside the lock; entity tags are computed lazily below,
 	// only for payloads that actually changed — an agent heartbeat that
@@ -609,16 +700,29 @@ func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources ma
 	}
 	var changes []Change
 	var batch []Record
-	s.mu.Lock()
+	if multi {
+		s.lockAll()
+	} else {
+		s.lockShard(si)
+	}
 	logging := s.backend != nil
 	// Remove stale descendants, walking only the prefix's subtree via the
-	// children index — the rest of the store is never touched.
-	for _, id := range s.eng.descendants(prefix, nil) {
+	// children index — the rest of the store is never touched. When the
+	// prefix spans shards the walk is the union of every shard's subtree.
+	var stale []odata.ID
+	if multi {
+		for _, sh := range s.shards {
+			stale = sh.eng.descendants(prefix, stale)
+		}
+	} else {
+		stale = s.shards[si].eng.descendants(prefix, nil)
+	}
+	for _, id := range stale {
 		if kept(id) {
 			continue
 		}
 		if _, present := prepared[id]; !present {
-			s.eng.remove(id)
+			s.engFor(multi, si, id).remove(id)
 			changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
 			if logging {
 				batch = append(batch, Record{Op: OpDelete, ID: id})
@@ -626,7 +730,7 @@ func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources ma
 		}
 	}
 	for id, raw := range prepared {
-		kind, changed := s.eng.put(id, raw)
+		kind, changed := s.engFor(multi, si, id).put(id, raw)
 		if !changed {
 			continue
 		}
@@ -635,14 +739,29 @@ func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources ma
 			batch = append(batch, Record{Op: OpPut, ID: id, Raw: raw})
 		}
 	}
-	wait := s.commitLocked(batch)
-	s.mu.Unlock()
+	var wait func() error
+	if multi {
+		wait = s.commitMultiLocked(batch)
+		s.unlockAll()
+	} else {
+		wait = s.commitShardLocked(si, batch)
+		s.shards[si].mu.Unlock()
+	}
 
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
 	s.notify(changes...)
 	return werr
+}
+
+// engFor returns the engine owning id: the routed shard for a spanning
+// operation (all locks held), the pinned shard otherwise.
+func (s *Store) engFor(multi bool, si int, id odata.ID) *engine {
+	if multi {
+		return &s.shards[s.shardIndex(id)].eng
+	}
+	return &s.shards[si].eng
 }
 
 // DeleteSubtree removes every resource under prefix (inclusive) and
@@ -657,22 +776,44 @@ func (s *Store) DeleteSubtree(prefix odata.ID) (int, error) {
 // DeleteSubtreeCtx is DeleteSubtree carrying the originating request
 // context; see PutCtx for the tracing and change-attribution semantics.
 func (s *Store) DeleteSubtreeCtx(ctx context.Context, prefix odata.ID) (int, error) {
-	s.countOp("delete_subtree")
+	multi := len(s.shards) > 1 && spansShards(prefix)
+	si := -1
+	if !multi {
+		si = s.shardIndex(prefix)
+	}
+	s.countOp("delete_subtree", si)
 	sp := s.traceStart(ctx, "store.delete_subtree")
-	s.mu.Lock()
-	ids := s.eng.descendants(prefix, nil)
+	if multi {
+		s.lockAll()
+	} else {
+		s.lockShard(si)
+	}
+	var ids []odata.ID
+	if multi {
+		for _, sh := range s.shards {
+			ids = sh.eng.descendants(prefix, ids)
+		}
+	} else {
+		ids = s.shards[si].eng.descendants(prefix, nil)
+	}
 	changes := make([]Change, 0, len(ids))
 	var batch []Record
 	logging := s.backend != nil
 	for _, id := range ids {
-		s.eng.remove(id)
+		s.engFor(multi, si, id).remove(id)
 		changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
 		if logging {
 			batch = append(batch, Record{Op: OpDelete, ID: id})
 		}
 	}
-	wait := s.commitLocked(batch)
-	s.mu.Unlock()
+	var wait func() error
+	if multi {
+		wait = s.commitMultiLocked(batch)
+		s.unlockAll()
+	} else {
+		wait = s.commitShardLocked(si, batch)
+		s.shards[si].mu.Unlock()
+	}
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
 	sort.Slice(changes, func(i, j int) bool { return changes[i].ID < changes[j].ID })
@@ -680,12 +821,18 @@ func (s *Store) DeleteSubtreeCtx(ctx context.Context, prefix odata.ID) (int, err
 	return len(changes), werr
 }
 
-// exportLocked serializes the whole tree keyed by URI. Callers hold at
-// least the read lock.
-func (s *Store) exportLocked() ([]byte, error) {
-	snapshot := make(map[string]json.RawMessage, len(s.eng.entries))
-	for id, e := range s.eng.entries {
-		snapshot[string(id)] = e.raw
+// exportAllLocked serializes the whole tree keyed by URI. Callers hold
+// at least the read lock on every shard.
+func (s *Store) exportAllLocked() ([]byte, error) {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.eng.entries)
+	}
+	snapshot := make(map[string]json.RawMessage, n)
+	for _, sh := range s.shards {
+		for id, e := range sh.eng.entries {
+			snapshot[string(id)] = e.raw
+		}
 	}
 	return json.MarshalIndent(snapshot, "", "  ")
 }
@@ -693,22 +840,23 @@ func (s *Store) exportLocked() ([]byte, error) {
 // Export serializes the whole tree (resources only; collections are
 // declared by the service) to indented JSON keyed by URI.
 func (s *Store) Export() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.exportLocked()
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.exportAllLocked()
 }
 
 // Snapshot returns a consistent export of the tree together with the
 // commit sequence number of the last mutation it contains. Because
-// mutations hold the write lock while their records are handed to the
-// backend, the pair is an exact cut of the log: every record with
-// Seq <= seq is reflected in the export, none with Seq > seq is. The
-// persistence layer builds its compacted snapshots from it.
+// mutations hold their shard's write lock while sequence numbers are
+// assigned and records are handed to the backend, holding every shard's
+// read lock makes the pair an exact cut of the merged log: every record
+// with Seq <= seq is reflected in the export, none with Seq > seq is.
+// The persistence layer builds its compacted snapshots from it.
 func (s *Store) Snapshot() (data []byte, seq uint64, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	data, err = s.exportLocked()
-	return data, s.seq, err
+	s.rlockAll()
+	defer s.runlockAll()
+	data, err = s.exportAllLocked()
+	return data, s.seq.Load(), err
 }
 
 // Import loads resources previously produced by Export, replacing any

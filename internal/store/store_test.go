@@ -560,7 +560,7 @@ func TestCollectionViewCachedPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ops []string
-	s.SetOpHook(func(op string) { ops = append(ops, op) })
+	s.SetOpHook(func(op string, shard int) { ops = append(ops, op) })
 
 	var p1, p2 []byte
 	var e1, e2 string
