@@ -25,6 +25,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOFMFScale|BenchmarkStorePutSubtree|BenchmarkAblationStoreRead' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkStorePutParallel|BenchmarkStoreMixedParallel' -benchtime=1x -benchmem ./internal/store
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x -benchmem ./internal/store/persist
+	$(GO) test -run '^$$' -bench 'BenchmarkEventFanout' -benchtime=1x -benchmem ./internal/events
+	$(GO) test -run '^$$' -bench 'BenchmarkLivenessSweep' -benchtime=1x -benchmem ./internal/service
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,10 +35,13 @@ bench-full:
 # testbed: a 2s window whose output is validated (every class saw
 # traffic, percentiles are sane, the results file round-trips). The
 # write-heavy mix on a sharded store stresses the write path the
-# sharding work targets. Real baselines go to BENCH_serving.json via a
-# plain `go run ./cmd/ofmfload`.
+# sharding work targets; the events mix adds webhook subscriptions and
+# SSE streams over the same churn so event-plane regressions (fan-out,
+# marshal-once delivery) fail the gate too. Real baselines go to
+# BENCH_serving.json via a plain `go run ./cmd/ofmfload`.
 loadsmoke:
 	$(GO) run ./cmd/ofmfload -smoke -mix write-heavy -shards 8 -out /tmp/ofmfload-smoke.json
+	$(GO) run ./cmd/ofmfload -smoke -mix events -shards 8 -subs 32 -sse 2 -out /tmp/ofmfload-events.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

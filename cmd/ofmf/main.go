@@ -82,6 +82,8 @@ func main() {
 			"aggregation-source liveness sweep cadence (0 disables the sweeper)")
 		heartbeatTimeout = flag.Duration("heartbeat-timeout", 30*time.Second,
 			"heartbeat age at which an agent is marked Degraded; 3x marks it Unavailable")
+		eventWorkers = flag.Int("event-workers", 0,
+			"event delivery worker pool size (0 sizes to the CPU count)")
 	)
 	flag.Parse()
 
@@ -124,6 +126,7 @@ func main() {
 		Logger:        logger,
 	})
 	svcCfg := service.Config{Credentials: creds, Logger: logger, Metrics: metrics, Tracer: tracer, StoreShards: nShards}
+	svcCfg.Events.Workers = *eventWorkers
 
 	mux := http.NewServeMux()
 	var tree *store.Store

@@ -7,6 +7,14 @@
 // class and appends the run to BENCH_serving.json so serving-latency
 // regressions are tracked alongside the store microbenchmarks.
 //
+// The "events" mix additionally exercises the event plane: it registers
+// -subs webhook subscriptions against a local counting sink (most
+// filtered to event types the run never publishes, so the subscription
+// index is doing real work), opens -sse SSE streams that drain frames,
+// and drives the write-heavy mutation mix so every PATCH fans out as a
+// ResourceUpdated event. Webhook POST and SSE frame counts land in the
+// results entry.
+//
 // With no -url it boots the in-process emulated testbed behind an
 // httptest server, so a single command measures the full HTTP stack
 // (middleware, tracing, store, composer, agents) with zero setup:
@@ -15,11 +23,14 @@
 //	go run ./cmd/ofmfload -duration 30s -conns 32
 //	go run ./cmd/ofmfload -url http://host:8080 -write 0 -compose 0
 //	go run ./cmd/ofmfload -mix write-heavy -shards 8   # stress the sharded write path
+//	go run ./cmd/ofmfload -mix events -subs 256        # event-plane fan-out under churn
 //	go run ./cmd/ofmfload -smoke               # 2s CI gate, validates output
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,7 +41,9 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofmf/internal/core"
@@ -48,6 +61,16 @@ type classResult struct {
 	P999Mics  float64 `json:"P999Micros"`
 }
 
+// eventsResult summarizes the event-plane side of an events-mix run.
+type eventsResult struct {
+	Subscriptions int     `json:"Subscriptions"` // registered webhook subscriptions
+	Matching      int     `json:"Matching"`      // subscriptions whose filter the run's events match
+	SSEConns      int     `json:"SSEConns"`      // open SSE streams
+	WebhookPosts  int64   `json:"WebhookPosts"`  // POSTs received by the counting sink
+	SSEFrames     int64   `json:"SSEFrames"`     // data frames drained across streams
+	WebhookRPS    float64 `json:"WebhookRPS"`
+}
+
 // entry is one appended BENCH_serving.json record.
 type entry struct {
 	Date       string                 `json:"date"`
@@ -60,6 +83,7 @@ type entry struct {
 	DurationS  float64                `json:"duration_s"`
 	Conns      int                    `json:"conns"`
 	Classes    map[string]classResult `json:"classes"`
+	Events     *eventsResult          `json:"events,omitempty"`
 }
 
 // benchFile is the whole BENCH_serving.json document.
@@ -89,17 +113,25 @@ func main() {
 		out      = flag.String("out", "BENCH_serving.json", "results file to append to; empty skips the file")
 		smoke    = flag.Bool("smoke", false, "CI smoke mode: cap the window at 2s and validate the results")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		subs     = flag.Int("subs", 64, "webhook subscriptions registered by -mix events (1 in 8 matches the run's traffic)")
+		sseConns = flag.Int("sse", 4, "SSE streams drained by -mix events")
 	)
 	flag.Parse()
 
+	eventPlane := false
 	switch *mix {
 	case "":
 	case "read-heavy":
 		*readW, *writeW, *compW = 80, 15, 5
 	case "write-heavy":
 		*readW, *writeW, *compW = 20, 70, 10
+	case "events":
+		// Write-heavy churn: every PATCH publishes a ResourceUpdated
+		// event, which is what the subscriptions and SSE streams consume.
+		*readW, *writeW, *compW = 20, 70, 10
+		eventPlane = true
 	default:
-		fatal("ofmfload: unknown -mix %q (want read-heavy or write-heavy)", *mix)
+		fatal("ofmfload: unknown -mix %q (want read-heavy, write-heavy or events)", *mix)
 	}
 	if *readW+*writeW+*compW <= 0 {
 		fatal("ofmfload: workload mix weights sum to zero")
@@ -133,6 +165,15 @@ func main() {
 	}
 	if *writeW > 0 && len(writeTargets) == 0 {
 		fatal("ofmfload: no computer system to PATCH; rerun with -write 0")
+	}
+
+	var plane *eventPlaneState
+	if eventPlane {
+		plane, err = startEventPlane(client, base, *subs, *sseConns)
+		if err != nil {
+			fatal("ofmfload: event plane: %v", err)
+		}
+		defer plane.stop()
 	}
 
 	// Closed loop: each worker issues one request at a time, choosing the
@@ -183,6 +224,12 @@ func main() {
 		DurationS:  elapsed.Seconds(),
 		Conns:      *conns,
 		Classes:    classes,
+	}
+	if plane != nil {
+		e.Events = plane.result(elapsed)
+		fmt.Printf("events: %d subs (%d matching), %d sse conns, %d webhook posts (%.1f/s), %d sse frames\n",
+			e.Events.Subscriptions, e.Events.Matching, e.Events.SSEConns,
+			e.Events.WebhookPosts, e.Events.WebhookRPS, e.Events.SSEFrames)
 	}
 	if *out != "" {
 		if err := appendEntry(*out, e); err != nil {
@@ -337,6 +384,122 @@ func report(w io.Writer, target string, elapsed time.Duration, conns int, classe
 	}
 }
 
+// eventPlaneState is the -mix events harness: a local webhook sink
+// counting bus deliveries, the registered subscriptions, and SSE drain
+// goroutines counting frames.
+type eventPlaneState struct {
+	sinkSrv      *httptest.Server
+	webhookPosts atomic.Int64
+	sseFrames    atomic.Int64
+	subs         int
+	matching     int
+	sseConns     int
+	cancel       context.CancelFunc
+	wg           sync.WaitGroup
+}
+
+// startEventPlane registers subs webhook subscriptions against a local
+// counting sink and opens sseConns draining SSE streams. One in eight
+// subscriptions is filtered to ResourceUpdated (the event type the
+// write mix actually publishes); the rest listen for Alert, which never
+// fires — they exist to prove fan-out cost tracks matching subscribers,
+// not the subscription count. One SSE stream exercises the
+// comma-separated multi-type filter.
+func startEventPlane(client *http.Client, base string, subs, sseConns int) (*eventPlaneState, error) {
+	p := &eventPlaneState{subs: subs, sseConns: sseConns}
+	p.sinkSrv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		p.webhookPosts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	for i := 0; i < subs; i++ {
+		types := []string{"Alert"}
+		if i%8 == 0 {
+			types = []string{"ResourceUpdated"}
+			p.matching++
+		}
+		body, _ := json.Marshal(map[string]any{
+			"Destination": p.sinkSrv.URL,
+			"Protocol":    "Redfish",
+			"Context":     fmt.Sprintf("ofmfload-%d", i),
+			"EventTypes":  types,
+		})
+		req, _ := http.NewRequest(http.MethodPost, base+string(service.SubscriptionsURI), bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			p.sinkSrv.Close()
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			p.sinkSrv.Close()
+			return nil, fmt.Errorf("subscription %d: %s", i, resp.Status)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	for i := 0; i < sseConns; i++ {
+		uri := base + string(service.SSEURI)
+		if i == 0 {
+			uri += "?EventType=ResourceUpdated,ResourceAdded"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, uri, nil)
+		if err != nil {
+			cancel()
+			p.sinkSrv.Close()
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			p.sinkSrv.Close()
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			cancel()
+			p.sinkSrv.Close()
+			return nil, fmt.Errorf("sse stream %d: %s", i, resp.Status)
+		}
+		p.wg.Add(1)
+		go func(body io.ReadCloser) {
+			defer p.wg.Done()
+			defer body.Close()
+			rd := bufio.NewReader(body)
+			for {
+				line, err := rd.ReadString('\n')
+				if err != nil {
+					return
+				}
+				if strings.HasPrefix(line, "data: ") {
+					p.sseFrames.Add(1)
+				}
+			}
+		}(resp.Body)
+	}
+	return p, nil
+}
+
+func (p *eventPlaneState) result(elapsed time.Duration) *eventsResult {
+	posts := p.webhookPosts.Load()
+	return &eventsResult{
+		Subscriptions: p.subs,
+		Matching:      p.matching,
+		SSEConns:      p.sseConns,
+		WebhookPosts:  posts,
+		SSEFrames:     p.sseFrames.Load(),
+		WebhookRPS:    float64(posts) / elapsed.Seconds(),
+	}
+}
+
+func (p *eventPlaneState) stop() {
+	p.cancel()
+	p.wg.Wait()
+	p.sinkSrv.Close()
+}
+
 // appendEntry loads (or creates) the results file and appends e.
 func appendEntry(path string, e entry) error {
 	doc := benchFile{
@@ -381,6 +544,14 @@ func validate(e entry, readW, writeW, compW int, out string) error {
 	for class, weight := range map[string]int{"read": readW, "write": writeW, "compose": compW} {
 		if err := check(class, weight); err != nil {
 			return err
+		}
+	}
+	if e.Events != nil {
+		if e.Events.WebhookPosts == 0 {
+			return fmt.Errorf("events mix: the webhook sink received no POSTs")
+		}
+		if e.Events.SSEFrames == 0 {
+			return fmt.Errorf("events mix: no SSE frames were drained")
 		}
 	}
 	if out != "" {

@@ -1,9 +1,14 @@
 // Package events implements the OFMF event subsystem: a publish/subscribe
-// bus carrying Redfish event records to registered destinations. Each
-// subscription gets a bounded delivery queue drained by its own worker so a
-// slow subscriber cannot stall the management plane; deliveries are retried
-// with a configurable attempt count and backoff, matching the Redfish
-// EventService DeliveryRetryAttempts/DeliveryRetryIntervalSeconds model.
+// bus carrying Redfish event records to registered destinations. The bus
+// is built for fleet scale: an inverted subscription index makes publish
+// cost proportional to the matching subscribers rather than the total
+// subscription count, the event envelope is encoded once per publish and
+// shared across every delivery and retry attempt, and deliveries are
+// drained by a bounded worker pool over per-subscription FIFO queues so
+// a slow subscriber can neither stall the management plane nor cost a
+// dedicated goroutine. Deliveries are retried with a configurable
+// attempt count and backoff, matching the Redfish EventService
+// DeliveryRetryAttempts/DeliveryRetryIntervalSeconds model.
 package events
 
 import (
@@ -13,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +41,16 @@ type SinkFunc func(ctx context.Context, ev redfish.Event) error
 // Deliver calls f.
 func (f SinkFunc) Deliver(ctx context.Context, ev redfish.Event) error { return f(ctx, ev) }
 
+// BytesSink is an optional extension of Sink. Destinations that forward
+// the wire form unchanged (webhook POSTs, SSE frames) implement it to
+// receive the publish's shared encoding: the bus then marshals the
+// event once per publish, not once per subscriber per attempt. The
+// payload is shared and must be treated as read-only; eventID is the
+// envelope's Redfish event id (the SSE frame id).
+type BytesSink interface {
+	DeliverBytes(ctx context.Context, eventID string, payload []byte) error
+}
+
 // HTTPSink posts events to a subscriber's destination URL using the
 // Redfish event payload format.
 type HTTPSink struct {
@@ -42,13 +58,24 @@ type HTTPSink struct {
 	Client *http.Client
 }
 
-// Deliver posts the event as JSON and treats any 2xx status as success.
+// Deliver encodes the event once and posts it. The bus prefers
+// DeliverBytes, which shares one encoding across subscribers and retry
+// attempts; Deliver exists for direct use.
 func (h *HTTPSink) Deliver(ctx context.Context, ev redfish.Event) error {
 	body, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("events: marshal: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.URL, bytes.NewReader(body))
+	return h.DeliverBytes(ctx, ev.ID, body)
+}
+
+// DeliverBytes posts the pre-encoded payload as JSON and treats any 2xx
+// status as success. Each call wraps the shared bytes in a fresh
+// bytes.Reader — net/http derives GetBody from it, so redirects and
+// every bus-level retry rewind over the same buffer instead of
+// re-marshaling the event.
+func (h *HTTPSink) DeliverBytes(ctx context.Context, _ string, payload []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.URL, bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
@@ -93,17 +120,8 @@ type Filter struct {
 
 // Matches reports whether the filter admits the record.
 func (f Filter) Matches(rec redfish.EventRecord) bool {
-	if len(f.EventTypes) > 0 {
-		ok := false
-		for _, t := range f.EventTypes {
-			if t == rec.EventType {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
+	if !typeMatches(f.EventTypes, rec.EventType) {
+		return false
 	}
 	if len(f.Origins) > 0 {
 		if rec.OriginOfCondition == nil {
@@ -137,8 +155,13 @@ type Config struct {
 	// QueueDepth bounds each subscription's pending-event queue; events
 	// beyond the bound are dropped and counted.
 	QueueDepth int
+	// Workers bounds the delivery worker pool shared by all
+	// subscriptions (default 4×GOMAXPROCS, clamped to [4,64]). Each
+	// subscription is drained by at most one worker at a time, so
+	// per-subscriber delivery order is FIFO regardless of pool size.
+	Workers int
 	// Synchronous delivers events inline on the publisher's goroutine
-	// instead of through per-subscription queues. Retries still apply. It
+	// instead of through the worker pool. Retries still apply. It
 	// exists for the delivery-strategy ablation benchmark.
 	Synchronous bool
 	// OnDeliveryFailure, when set, is invoked after each delivery that
@@ -146,6 +169,11 @@ type Config struct {
 	// successful delivery resets the count. The OFMF uses it to degrade
 	// the subscription resource's health in the tree.
 	OnDeliveryFailure func(subscriptionID string, consecutive int)
+	// PublishObserver, when set, receives the duration of every
+	// PublishCtx call (match + enqueue, or inline delivery when
+	// Synchronous). The OFMF feeds it into the
+	// ofmf_event_publish_seconds histogram.
+	PublishObserver func(time.Duration)
 	// Tracer, when non-nil, records each delivery as an event.deliver
 	// span parented to the publishing request's trace (see PublishCtx),
 	// so one trace id follows a mutation from the OFMF to its sinks.
@@ -163,7 +191,20 @@ type Stats struct {
 	Delivered int64 // successful deliveries (per subscription)
 	Failed    int64 // deliveries abandoned after retries
 	Dropped   int64 // events dropped on full queues
+	Encodes   int64 // envelope encodings (exactly one per publish that reached a byte sink)
 }
+
+// PoolStats is a snapshot of the delivery worker pool.
+type PoolStats struct {
+	Workers int   // pool size (0 in Synchronous mode)
+	Busy    int64 // workers currently delivering
+	Queued  int64 // events waiting in subscription queues
+}
+
+// drainBatch bounds how many events one worker delivers from a single
+// subscription before re-queueing it, so a deep queue cannot starve
+// other ready subscriptions of the pool.
+const drainBatch = 32
 
 // Subscription is one registered event destination.
 type Subscription struct {
@@ -171,19 +212,72 @@ type Subscription struct {
 	Context string
 	Filter  Filter
 
-	sink        Sink
-	queue       chan queued
-	cancel      context.CancelFunc
-	done        chan struct{}
+	sink   Sink
+	ctx    context.Context // cancelled on Unsubscribe/Close: aborts in-flight backoff waits
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a draining worker parks the subscription
+	pending []*envelope
+	headIdx int  // pending[:headIdx] already delivered (cleared lazily)
+	active  bool // a worker currently owns this subscription's queue
+	closed  bool
+
 	consecutive int64 // consecutive delivery failures (atomic)
 }
 
-// queued is one event waiting in a subscription queue, carrying the
-// span context of the publishing request so delivery — which happens
-// later, on the worker goroutine — still belongs to the same trace.
-type queued struct {
-	rec redfish.EventRecord
-	sc  obsv.SpanContext
+// queueLen returns the pending count. Callers hold s.mu.
+func (s *Subscription) queueLen() int { return len(s.pending) - s.headIdx }
+
+// readyQueue is the unbounded list of subscriptions with pending events
+// awaiting a worker. Unbounded so a publish burst can never block the
+// publisher; memory is bounded by the subscription count (each
+// subscription is enqueued at most once — the active flag).
+type readyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*Subscription
+	closed bool
+}
+
+func newReadyQueue() *readyQueue {
+	r := &readyQueue{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *readyQueue) push(sub *Subscription) {
+	r.mu.Lock()
+	if !r.closed {
+		r.q = append(r.q, sub)
+		r.cond.Signal()
+	}
+	r.mu.Unlock()
+}
+
+// pop blocks until a subscription is ready or the queue is closed. A
+// closed queue still drains its remaining entries so every active
+// subscription gets parked before the workers exit.
+func (r *readyQueue) pop() (*Subscription, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.q) == 0 && !r.closed {
+		r.cond.Wait()
+	}
+	if len(r.q) == 0 {
+		return nil, false
+	}
+	sub := r.q[0]
+	r.q[0] = nil
+	r.q = r.q[1:]
+	return sub, true
+}
+
+func (r *readyQueue) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // Bus fans events out to subscriptions.
@@ -191,15 +285,25 @@ type Bus struct {
 	cfg     Config
 	backoff resilience.Backoff
 
-	mu     sync.RWMutex
+	// snap is the publish path's copy-on-write subscription index;
+	// PublishCtx takes no lock.
+	snap atomic.Pointer[snapshot]
+
+	mu     sync.Mutex // guards subs, nextID, closed, snapshot swaps
 	subs   map[string]*Subscription
 	nextID int64
 	closed bool
+
+	ready *readyQueue
+	wg    sync.WaitGroup
 
 	published int64
 	delivered int64
 	failed    int64
 	dropped   int64
+	encodes   int64
+	queued    int64 // events across all subscription queues
+	busy      int64 // workers currently delivering
 }
 
 // NewBus creates a bus with the given configuration. Zero-valued fields
@@ -218,11 +322,29 @@ func NewBus(cfg Config) *Bus {
 	if cfg.RetryMaxInterval <= 0 {
 		cfg.RetryMaxInterval = 10 * cfg.RetryInterval
 	}
-	return &Bus{
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4 * runtime.GOMAXPROCS(0)
+		if cfg.Workers < 4 {
+			cfg.Workers = 4
+		}
+		if cfg.Workers > 64 {
+			cfg.Workers = 64
+		}
+	}
+	b := &Bus{
 		cfg:     cfg,
 		backoff: resilience.Backoff{Base: cfg.RetryInterval, Max: cfg.RetryMaxInterval, Jitter: 0.5},
 		subs:    make(map[string]*Subscription),
+		ready:   newReadyQueue(),
 	}
+	b.snap.Store(emptySnapshot)
+	if !cfg.Synchronous {
+		b.wg.Add(cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			go b.worker()
+		}
+	}
+	return b
 }
 
 // ErrClosed is returned when operating on a closed bus.
@@ -236,47 +358,58 @@ func (b *Bus) Subscribe(sink Sink, filter Filter, contextStr string) (*Subscript
 		return nil, ErrClosed
 	}
 	b.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
 	sub := &Subscription{
 		ID:      fmt.Sprintf("%d", b.nextID),
 		Context: contextStr,
 		Filter:  filter,
 		sink:    sink,
-		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
-	if !b.cfg.Synchronous {
-		ctx, cancel := context.WithCancel(context.Background())
-		sub.cancel = cancel
-		sub.queue = make(chan queued, b.cfg.QueueDepth)
-		go b.drain(ctx, sub)
-	} else {
-		close(sub.done)
-	}
+	sub.cond = sync.NewCond(&sub.mu)
 	b.subs[sub.ID] = sub
+	b.snap.Store(buildSnapshot(b.subs))
 	return sub, nil
 }
 
-// Unsubscribe removes the subscription and stops its worker.
+// Unsubscribe removes the subscription, cancels its in-flight delivery
+// waits and returns once no worker is draining it.
 func (b *Bus) Unsubscribe(id string) error {
 	b.mu.Lock()
 	sub, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
+		b.snap.Store(buildSnapshot(b.subs))
 	}
 	b.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("events: no subscription %q", id)
 	}
-	if sub.cancel != nil {
-		sub.cancel()
-		<-sub.done
+	b.retire(sub)
+	sub.mu.Lock()
+	for sub.active {
+		sub.cond.Wait()
 	}
+	sub.mu.Unlock()
 	return nil
+}
+
+// retire marks the subscription closed, discards its queue and cancels
+// any in-flight delivery wait.
+func (b *Bus) retire(sub *Subscription) {
+	sub.mu.Lock()
+	sub.closed = true
+	atomic.AddInt64(&b.queued, -int64(sub.queueLen()))
+	sub.pending, sub.headIdx = nil, 0
+	sub.mu.Unlock()
+	sub.cancel()
 }
 
 // Subscriptions returns a snapshot of current subscription ids.
 func (b *Bus) Subscriptions() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	ids := make([]string, 0, len(b.subs))
 	for id := range b.subs {
 		ids = append(ids, id)
@@ -294,64 +427,131 @@ func (b *Bus) Publish(rec redfish.EventRecord) {
 // capturing ctx's span context so deliveries — queued or inline —
 // happen inside the publishing request's trace. Only the trace identity
 // is captured: queued deliveries are not cancelled when ctx is.
+//
+// The subscription index is read through one atomic snapshot load, so
+// publishing never contends with Subscribe/Unsubscribe; cost scales
+// with the matching subscribers, not the total subscription count.
 func (b *Bus) PublishCtx(ctx context.Context, rec redfish.EventRecord) {
+	start := time.Now()
 	atomic.AddInt64(&b.published, 1)
-	q := queued{rec: rec}
-	q.sc, _ = obsv.SpanContextFrom(ctx)
-	b.mu.RLock()
-	targets := make([]*Subscription, 0, len(b.subs))
-	for _, sub := range b.subs {
-		if sub.Filter.Matches(rec) {
-			targets = append(targets, sub)
-		}
-	}
-	sync := b.cfg.Synchronous
-	b.mu.RUnlock()
-
+	sc, _ := obsv.SpanContextFrom(ctx)
+	env := newEnvelope(rec, sc)
+	targets := b.snap.Load().match(rec, nil)
 	for _, sub := range targets {
-		if sync {
-			b.attempt(context.Background(), sub, q)
+		if b.cfg.Synchronous {
+			b.attempt(sub, env)
 			continue
 		}
-		select {
-		case sub.queue <- q:
-		default:
-			atomic.AddInt64(&b.dropped, 1)
-		}
+		b.enqueue(sub, env)
+	}
+	if b.cfg.PublishObserver != nil {
+		b.cfg.PublishObserver(time.Since(start))
 	}
 }
 
-func (b *Bus) drain(ctx context.Context, sub *Subscription) {
-	defer close(sub.done)
+// enqueue appends the envelope to the subscription's FIFO queue and
+// hands the subscription to the worker pool when it is not already
+// owned by (or ready for) a worker.
+func (b *Bus) enqueue(sub *Subscription, env *envelope) {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	if sub.queueLen() >= b.cfg.QueueDepth {
+		sub.mu.Unlock()
+		atomic.AddInt64(&b.dropped, 1)
+		return
+	}
+	// Compact the lazily consumed head before the backing array grows.
+	if sub.headIdx > 0 && len(sub.pending) == cap(sub.pending) {
+		n := copy(sub.pending, sub.pending[sub.headIdx:])
+		sub.pending, sub.headIdx = sub.pending[:n], 0
+	}
+	sub.pending = append(sub.pending, env)
+	wake := !sub.active
+	if wake {
+		sub.active = true
+	}
+	sub.mu.Unlock()
+	atomic.AddInt64(&b.queued, 1)
+	if wake {
+		b.ready.push(sub)
+	}
+}
+
+// worker drains ready subscriptions until the bus closes.
+func (b *Bus) worker() {
+	defer b.wg.Done()
 	for {
-		select {
-		case <-ctx.Done():
+		sub, ok := b.ready.pop()
+		if !ok {
 			return
-		case q := <-sub.queue:
-			b.attempt(ctx, sub, q)
 		}
+		atomic.AddInt64(&b.busy, 1)
+		b.drain(sub)
+		atomic.AddInt64(&b.busy, -1)
 	}
 }
 
-func (b *Bus) attempt(ctx context.Context, sub *Subscription, q queued) {
-	rec := q.rec
-	ctx = obsv.ContextWithRemoteSpanContext(ctx, q.sc)
+// drain delivers the subscription's queued events in FIFO order. Only
+// the owning worker pops the queue, so per-subscriber ordering holds
+// regardless of pool size. After drainBatch events the subscription is
+// re-queued so one deep queue cannot monopolize a worker.
+func (b *Bus) drain(sub *Subscription) {
+	for n := 0; ; n++ {
+		sub.mu.Lock()
+		if sub.closed || sub.queueLen() == 0 {
+			sub.active = false
+			sub.cond.Broadcast()
+			sub.mu.Unlock()
+			return
+		}
+		if n >= drainBatch {
+			sub.mu.Unlock()
+			b.ready.push(sub) // still active: ownership passes with the queue entry
+			return
+		}
+		env := sub.pending[sub.headIdx]
+		sub.pending[sub.headIdx] = nil
+		sub.headIdx++
+		if sub.headIdx == len(sub.pending) {
+			sub.pending, sub.headIdx = sub.pending[:0], 0
+		}
+		sub.mu.Unlock()
+		atomic.AddInt64(&b.queued, -1)
+		b.attempt(sub, env)
+	}
+}
+
+// attempt delivers one envelope to the subscription, retrying with
+// backoff. The wire payload is resolved once before the retry loop, so
+// every attempt reuses the same bytes.
+func (b *Bus) attempt(sub *Subscription, env *envelope) {
+	ctx := obsv.ContextWithRemoteSpanContext(sub.ctx, env.sc)
 	ctx, span := b.cfg.Tracer.StartIfTraced(ctx, "event.deliver")
 	span.SetAttr("subscription", sub.ID)
-	span.SetAttr("event_type", rec.EventType)
-	ev := redfish.Event{
-		ODataType: redfish.TypeEvent,
-		ID:        rec.EventID,
-		Name:      "OFMF Event",
-		Context:   sub.Context,
-		Events:    []redfish.EventRecord{rec},
+	span.SetAttr("event_type", env.rec.EventType)
+	var deliver func(context.Context) error
+	if bs, ok := sub.sink.(BytesSink); ok {
+		body, err := env.body(sub.Context, func() { atomic.AddInt64(&b.encodes, 1) })
+		if err != nil {
+			span.EndErr(err)
+			b.countFailure(sub)
+			return
+		}
+		eventID := env.rec.EventID
+		deliver = func(ctx context.Context) error { return bs.DeliverBytes(ctx, eventID, body) }
+	} else {
+		ev := env.event(sub.Context)
+		deliver = func(ctx context.Context) error { return sub.sink.Deliver(ctx, ev) }
 	}
 	var err error
 	for i := 0; i < b.cfg.RetryAttempts; i++ {
 		if i > 0 {
 			// Exponential backoff with jitter: a flapping destination is
 			// given progressively more room to recover, and concurrent
-			// subscription workers don't re-knock in lockstep.
+			// deliveries don't re-knock in lockstep.
 			select {
 			case <-ctx.Done():
 				span.EndErr(ctx.Err())
@@ -359,7 +559,7 @@ func (b *Bus) attempt(ctx context.Context, sub *Subscription, q queued) {
 			case <-time.After(b.backoff.Delay(i)):
 			}
 		}
-		if err = sub.sink.Deliver(ctx, ev); err == nil {
+		if err = deliver(ctx); err == nil {
 			atomic.AddInt64(&b.delivered, 1)
 			atomic.StoreInt64(&sub.consecutive, 0)
 			span.End()
@@ -367,6 +567,11 @@ func (b *Bus) attempt(ctx context.Context, sub *Subscription, q queued) {
 		}
 	}
 	span.EndErr(err)
+	b.countFailure(sub)
+}
+
+// countFailure records one delivery abandoned after retries.
+func (b *Bus) countFailure(sub *Subscription) {
 	atomic.AddInt64(&b.failed, 1)
 	n := atomic.AddInt64(&sub.consecutive, 1)
 	if b.cfg.OnDeliveryFailure != nil {
@@ -381,11 +586,25 @@ func (b *Bus) Stats() Stats {
 		Delivered: atomic.LoadInt64(&b.delivered),
 		Failed:    atomic.LoadInt64(&b.failed),
 		Dropped:   atomic.LoadInt64(&b.dropped),
+		Encodes:   atomic.LoadInt64(&b.encodes),
 	}
 }
 
-// Close stops all subscription workers. The bus accepts no further
-// subscriptions; Publish becomes a no-op for queued subscriptions.
+// Pool returns a snapshot of the delivery worker pool.
+func (b *Bus) Pool() PoolStats {
+	workers := b.cfg.Workers
+	if b.cfg.Synchronous {
+		workers = 0
+	}
+	return PoolStats{
+		Workers: workers,
+		Busy:    atomic.LoadInt64(&b.busy),
+		Queued:  atomic.LoadInt64(&b.queued),
+	}
+}
+
+// Close stops the worker pool. The bus accepts no further
+// subscriptions; Publish becomes a no-op.
 func (b *Bus) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -398,13 +617,15 @@ func (b *Bus) Close() {
 		subs = append(subs, s)
 	}
 	b.subs = make(map[string]*Subscription)
+	b.snap.Store(emptySnapshot)
 	b.mu.Unlock()
 	for _, s := range subs {
-		if s.cancel != nil {
-			s.cancel()
-			<-s.done
-		}
+		b.retire(s)
 	}
+	// Closing the ready queue lets workers drain the remaining entries
+	// (parking each retired subscription) and then exit.
+	b.ready.close()
+	b.wg.Wait()
 }
 
 // Record builds an event record with the current timestamp.

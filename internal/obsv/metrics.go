@@ -74,6 +74,14 @@ type Metrics struct {
 	// ofmf_recovery_replayed_total.
 	RecoveryReplayed *Counter
 
+	// EventPublishSeconds times event fan-out on the publish path
+	// (subscription-index match plus enqueue, or inline delivery in
+	// synchronous mode): ofmf_event_publish_seconds.
+	EventPublishSeconds *Histogram
+	// SweepSeconds times liveness sweeper passes:
+	// ofmf_sweep_seconds.
+	SweepSeconds *Histogram
+
 	// SSESubscribers gauges open server-sent-event streams:
 	// ofmf_sse_subscribers.
 	SSESubscribers *Gauge
@@ -132,6 +140,10 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Durable store snapshot duration in seconds.", nil),
 		RecoveryReplayed: reg.Counter("ofmf_recovery_replayed_total",
 			"WAL records replayed during boot recovery."),
+		EventPublishSeconds: reg.Histogram("ofmf_event_publish_seconds",
+			"Event publish fan-out duration in seconds (index match + enqueue).", nil),
+		SweepSeconds: reg.Histogram("ofmf_sweep_seconds",
+			"Liveness sweep duration in seconds.", nil),
 		SSESubscribers: reg.Gauge("ofmf_sse_subscribers",
 			"Open server-sent-event streams."),
 		SSEDropped: reg.Counter("ofmf_sse_dropped_events_total",

@@ -1,15 +1,19 @@
 package service
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofmf/internal/events"
 	"ofmf/internal/odata"
 	"ofmf/internal/redfish"
+	"ofmf/internal/store"
 )
 
 // Liveness verdict levels, in order of decreasing health.
@@ -49,37 +53,105 @@ func (c LivenessConfig) withDefaults() LivenessConfig {
 // stale — Degraded (Health Warning) after StaleAfter, Unavailable
 // (State UnavailableOffline, Health Critical) after UnavailableAfter —
 // and back to OK when they resume. Every transition publishes a
-// StatusChange event and each sweep refreshes the ofmf_agent_liveness
-// gauge, so both subscribers and scrapers see dead agents without
-// polling the tree. This closes the paper's centralization loop: the
-// OFMF owns all composition state, so it must also own the authoritative
-// view of which agents still answer for theirs.
+// StatusChange event and refreshes the ofmf_agent_liveness gauge, so
+// both subscribers and scrapers see dead agents without polling the
+// tree. This closes the paper's centralization loop: the OFMF owns all
+// composition state, so it must also own the authoritative view of
+// which agents still answer for theirs.
+//
+// The sweeper keeps its own heartbeat index, fed by the store's change
+// stream (registrations, heartbeat patches, deletions all pass through
+// the store), plus a min-heap of next-transition deadlines. A sweep
+// therefore pops only the sources whose verdict can have changed since
+// the last pass — O(changed), not O(fleet) — and never decodes the
+// AggregationSources collection in steady state. Store writes, event
+// publishes and logging all happen after the sweeper mutex is
+// released, so a slow store can't back up the heartbeat path.
 type LivenessSweeper struct {
 	svc *Service
 	cfg LivenessConfig
-	now func() time.Time
 
-	mu sync.Mutex
-	// firstSeen anchors staleness for sources that have never sent a
-	// heartbeat, so an agent that dies between registration and its
-	// first beat is still detected.
-	firstSeen map[odata.ID]time.Time
-	seq       int64
+	mu  sync.Mutex
+	now func() time.Time
+	// sources is the in-memory heartbeat index, keyed by source URI.
+	sources map[odata.ID]*sourceEntry
+	// deadlines orders sources by the earliest instant their verdict can
+	// change. Entries are invalidated lazily: each (re)schedule bumps the
+	// entry's gen, and popped items whose gen no longer matches are
+	// skipped.
+	deadlines deadlineHeap
+	// seeded flips once the index has been primed from the store; seeding
+	// is lazy so a sweeper built before a test clock is installed anchors
+	// never-beaten sources against the right epoch.
+	seeded  bool
+	nextGen uint64
+
+	seq int64 // event-id sequence (atomic)
 }
 
+// sourceEntry is one aggregation source's liveness state.
+type sourceEntry struct {
+	lastBeat time.Time // zero if the source has never sent a heartbeat
+	// anchor is when the sweeper first saw the source; staleness for
+	// never-beaten sources is measured from it, so an agent that dies
+	// between registration and its first beat is still detected.
+	anchor time.Time
+	level  int
+	// local marks in-process agents (no callback URL): they share the
+	// OFMF's process fate, so there is no management path to lose and
+	// they are live by construction, never swept.
+	local bool
+	gen   uint64 // matches the entry's one live deadline item, if any
+}
+
+// deadlineItem schedules one source for re-evaluation at a given time.
+type deadlineItem struct {
+	at  time.Time
+	uri odata.ID
+	gen uint64
+}
+
+// deadlineHeap is a min-heap of deadline items ordered by time.
+type deadlineHeap []deadlineItem
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineItem)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = deadlineItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// aggSourcesPrefix prefixes every aggregation-source URI; precomputed so
+// the change-stream filter on the store's hot mutation path is a plain
+// string check with no allocation.
+var aggSourcesPrefix = string(AggregationSourcesURI) + "/"
+
 // NewLivenessSweeper builds a sweeper over the service's aggregation
-// sources. Start it with Start, or drive sweeps manually with Sweep.
+// sources and subscribes it to the store's change stream. Start it with
+// Start, or drive sweeps manually with Sweep.
 func (s *Service) NewLivenessSweeper(cfg LivenessConfig) *LivenessSweeper {
-	return &LivenessSweeper{
-		svc:       s,
-		cfg:       cfg.withDefaults(),
-		now:       time.Now,
-		firstSeen: make(map[odata.ID]time.Time),
+	w := &LivenessSweeper{
+		svc:     s,
+		cfg:     cfg.withDefaults(),
+		now:     time.Now,
+		sources: make(map[odata.ID]*sourceEntry),
 	}
+	s.store.Watch(w.onChange)
+	return w
 }
 
 // SetClock overrides the sweeper's time source (tests).
-func (w *LivenessSweeper) SetClock(now func() time.Time) { w.now = now }
+func (w *LivenessSweeper) SetClock(now func() time.Time) {
+	w.mu.Lock()
+	w.now = now
+	w.mu.Unlock()
+}
 
 // Start runs the sweeper at its configured interval until the returned
 // stop function is called.
@@ -108,89 +180,209 @@ func (w *LivenessSweeper) Start() (stop func()) {
 	}
 }
 
-// Sweep performs one liveness pass over all aggregation sources.
-func (w *LivenessSweeper) Sweep() {
-	now := w.now()
+// onChange maintains the heartbeat index from the store's change
+// stream: registrations and heartbeat patches upsert, deletions evict.
+func (w *LivenessSweeper) onChange(c store.Change) {
+	// Cheap reject for the overwhelming majority of mutations: only
+	// direct children of the AggregationSources collection matter.
+	id := string(c.ID)
+	if !strings.HasPrefix(id, aggSourcesPrefix) {
+		return
+	}
+	if rest := id[len(aggSourcesPrefix):]; rest == "" || strings.Contains(rest, "/") {
+		return
+	}
+	if c.Kind == store.Removed {
+		w.mu.Lock()
+		if e, ok := w.sources[c.ID]; ok {
+			delete(w.sources, c.ID)
+			w.nextGen++
+			e.gen = w.nextGen // orphan any scheduled deadline
+		}
+		w.mu.Unlock()
+		return
+	}
+	var src redfish.AggregationSource
+	if err := w.svc.store.GetAs(c.ID, &src); err != nil {
+		return
+	}
+	w.mu.Lock()
+	w.upsertLocked(c.ID, &src, w.now())
+	w.mu.Unlock()
+}
+
+// upsertLocked reconciles one source's index entry against its stored
+// form and (re)schedules its next deadline. Callers hold w.mu.
+func (w *LivenessSweeper) upsertLocked(uri odata.ID, src *redfish.AggregationSource, now time.Time) {
+	e, ok := w.sources[uri]
+	if !ok {
+		e = &sourceEntry{anchor: now}
+		w.sources[uri] = e
+	}
+	w.nextGen++
+	e.gen = w.nextGen // supersede any previously scheduled deadline
+	if src.HostName == "" {
+		e.local = true
+		w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(1)
+		return
+	}
+	e.local = false
+	e.lastBeat = time.Time{}
+	if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat != "" {
+		if t, err := time.Parse(time.RFC3339, src.Oem.OFMF.LastHeartbeat); err == nil {
+			e.lastBeat = t
+		}
+	}
+	e.level = levelOf(src.Status)
+	w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(livenessValue(e.level))
+	if w.ageLevelLocked(e, now) != e.level {
+		// The stored status already disagrees with the heartbeat age
+		// (fresh beat on a downed source, or a source registered stale):
+		// have the next sweep reconcile it immediately.
+		heap.Push(&w.deadlines, deadlineItem{at: now, uri: uri, gen: e.gen})
+		return
+	}
+	w.scheduleLocked(uri, e)
+}
+
+// scheduleLocked pushes the entry's next possible-transition deadline,
+// derived from its current level and heartbeat anchor. Unavailable is
+// terminal by age alone — only a fresh heartbeat (which arrives through
+// onChange) can move it, so nothing is scheduled. Callers hold w.mu and
+// have already bumped e.gen for this schedule.
+func (w *LivenessSweeper) scheduleLocked(uri odata.ID, e *sourceEntry) {
+	base := e.lastBeat
+	if base.IsZero() {
+		base = e.anchor
+	}
+	var at time.Time
+	switch e.level {
+	case liveOK:
+		at = base.Add(w.cfg.StaleAfter)
+	case liveDegraded:
+		at = base.Add(w.cfg.UnavailableAfter)
+	default:
+		return
+	}
+	heap.Push(&w.deadlines, deadlineItem{at: at, uri: uri, gen: e.gen})
+}
+
+// ageLevelLocked computes the verdict the source's heartbeat age alone
+// implies at the given instant. Callers hold w.mu.
+func (w *LivenessSweeper) ageLevelLocked(e *sourceEntry, now time.Time) int {
+	age := w.ageLocked(e, now)
+	switch {
+	case age >= w.cfg.UnavailableAfter:
+		return liveUnavailable
+	case age >= w.cfg.StaleAfter:
+		return liveDegraded
+	}
+	return liveOK
+}
+
+// ageLocked is the source's heartbeat age (anchor-relative when it has
+// never beaten). Callers hold w.mu.
+func (w *LivenessSweeper) ageLocked(e *sourceEntry, now time.Time) time.Duration {
+	base := e.lastBeat
+	if base.IsZero() {
+		base = e.anchor
+	}
+	return now.Sub(base)
+}
+
+// seedLocked primes the index from the store. It runs once, on the
+// first sweep; afterwards the change stream keeps the index current and
+// sweeps touch the store only to apply transitions. Callers hold w.mu.
+func (w *LivenessSweeper) seedLocked(now time.Time) {
 	members, err := w.svc.store.Members(AggregationSourcesURI)
 	if err != nil {
 		return
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	seen := make(map[odata.ID]bool, len(members))
 	for _, uri := range members {
-		seen[uri] = true
-		w.sweepSourceLocked(uri, now)
-	}
-	// Forget deleted sources so their anchors don't accumulate.
-	for uri := range w.firstSeen {
-		if !seen[uri] {
-			delete(w.firstSeen, uri)
+		if _, ok := w.sources[uri]; ok {
+			continue // already indexed by a change-stream event
 		}
+		var src redfish.AggregationSource
+		if err := w.svc.store.GetAs(uri, &src); err != nil {
+			continue
+		}
+		w.upsertLocked(uri, &src, now)
+	}
+	w.seeded = true
+}
+
+// transition is one verdict change collected under the sweeper mutex
+// and applied (store patch, event, log) after it is released.
+type transition struct {
+	uri      odata.ID
+	from, to int
+	age      time.Duration
+}
+
+// Sweep performs one liveness pass. It pops only the sources whose
+// deadline has arrived; everything else is untouched.
+func (w *LivenessSweeper) Sweep() {
+	start := time.Now()
+	w.mu.Lock()
+	now := w.now()
+	if !w.seeded {
+		w.seedLocked(now)
+	}
+	var due []transition
+	for len(w.deadlines) > 0 && !w.deadlines[0].at.After(now) {
+		it := heap.Pop(&w.deadlines).(deadlineItem)
+		e, ok := w.sources[it.uri]
+		if !ok || e.gen != it.gen || e.local {
+			continue // superseded, evicted, or became in-process
+		}
+		level := w.ageLevelLocked(e, now)
+		w.nextGen++
+		e.gen = w.nextGen
+		if level != e.level {
+			due = append(due, transition{uri: it.uri, from: e.level, to: level, age: w.ageLocked(e, now)})
+			e.level = level
+		}
+		w.scheduleLocked(it.uri, e)
+	}
+	w.mu.Unlock()
+	for _, tr := range due {
+		w.apply(tr)
+	}
+	if w.svc.metrics.SweepSeconds != nil {
+		w.svc.metrics.SweepSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 
-func (w *LivenessSweeper) sweepSourceLocked(uri odata.ID, now time.Time) {
-	var src redfish.AggregationSource
-	if err := w.svc.store.GetAs(uri, &src); err != nil {
-		return
-	}
-	// In-process agents (no callback URL) share the OFMF's process fate:
-	// there is no management path to lose, so they are live by
-	// construction and never swept.
-	if src.HostName == "" {
-		w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(1)
-		delete(w.firstSeen, uri)
-		return
-	}
-	var last time.Time
-	if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat != "" {
-		t, err := time.Parse(time.RFC3339, src.Oem.OFMF.LastHeartbeat)
-		if err == nil {
-			last = t
-			delete(w.firstSeen, uri)
-		}
-	}
-	if last.IsZero() {
-		// Never beaten: measure staleness from when the sweeper first
-		// saw the source.
-		anchor, ok := w.firstSeen[uri]
-		if !ok {
-			w.firstSeen[uri] = now
-			anchor = now
-		}
-		last = anchor
-	}
-
-	age := now.Sub(last)
-	level := liveOK
-	switch {
-	case age >= w.cfg.UnavailableAfter:
-		level = liveUnavailable
-	case age >= w.cfg.StaleAfter:
-		level = liveDegraded
-	}
-	w.svc.metrics.AgentLiveness.With(uri.Leaf()).Set(livenessValue(level))
-	current := levelOf(src.Status)
-	if level == current {
-		return
-	}
-
-	status, word, severity := statusFor(level)
-	if err := w.svc.store.Patch(uri, map[string]any{"Status": map[string]any{
+// apply writes one transition to the store and announces it. Runs with
+// w.mu released: store I/O, event fan-out and logging never block the
+// heartbeat path through onChange.
+func (w *LivenessSweeper) apply(tr transition) {
+	status, word, severity := statusFor(tr.to)
+	if err := w.svc.store.Patch(tr.uri, map[string]any{"Status": map[string]any{
 		"State": status.State, "Health": status.Health,
 	}}, ""); err != nil {
+		// Patch failed (source deleted mid-sweep, store error): revert the
+		// index so the next sweep retries rather than believing the write.
+		w.mu.Lock()
+		if e, ok := w.sources[tr.uri]; ok && !e.local {
+			e.level = tr.from
+			w.nextGen++
+			e.gen = w.nextGen
+			heap.Push(&w.deadlines, deadlineItem{at: w.now(), uri: tr.uri, gen: e.gen})
+		}
+		w.mu.Unlock()
 		return
 	}
-	w.seq++
-	rec := events.Record(redfish.EventStatusChange, fmt.Sprintf("liveness-%d", w.seq),
-		fmt.Sprintf("aggregation source %s is %s (heartbeat age %s)", uri.Leaf(), word, age.Round(time.Second)), uri)
+	w.svc.metrics.AgentLiveness.With(tr.uri.Leaf()).Set(livenessValue(tr.to))
+	seq := atomic.AddInt64(&w.seq, 1)
+	rec := events.Record(redfish.EventStatusChange, fmt.Sprintf("liveness-%d", seq),
+		fmt.Sprintf("aggregation source %s is %s (heartbeat age %s)", tr.uri.Leaf(), word, tr.age.Round(time.Second)), tr.uri)
 	rec.Severity = severity
 	w.svc.bus.Publish(rec)
 	w.svc.log.LogAttrs(context.Background(), slog.LevelWarn, "agent liveness transition",
-		slog.String("source", string(uri)),
+		slog.String("source", string(tr.uri)),
 		slog.String("to", word),
-		slog.Duration("heartbeat_age", age),
+		slog.Duration("heartbeat_age", tr.age),
 	)
 }
 

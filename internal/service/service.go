@@ -253,6 +253,11 @@ func New(cfg Config) *Service {
 				map[string]any{"Status": map[string]any{"Health": health}}, "")
 		}
 	}
+	if evCfg.PublishObserver == nil {
+		evCfg.PublishObserver = func(d time.Duration) {
+			s.metrics.EventPublishSeconds.Observe(d.Seconds())
+		}
+	}
 	s.bus = events.NewBus(evCfg)
 	// Event-bus statistics surface as function metrics read at scrape
 	// time, so the bus keeps sole ownership of its counters.
@@ -272,6 +277,18 @@ func New(cfg Config) *Service {
 	reg.GaugeFunc("ofmf_event_subscribers",
 		"Registered event subscriptions.",
 		func() float64 { return float64(len(s.bus.Subscriptions())) })
+	reg.CounterFunc("ofmf_event_encodes_total",
+		"Event envelope encodings (one per publish reaching a byte sink).",
+		func() float64 { return float64(s.bus.Stats().Encodes) })
+	reg.GaugeFunc("ofmf_event_workers",
+		"Delivery worker pool size.",
+		func() float64 { return float64(s.bus.Pool().Workers) })
+	reg.GaugeFunc("ofmf_event_workers_busy",
+		"Delivery workers currently mid-delivery.",
+		func() float64 { return float64(s.bus.Pool().Busy) })
+	reg.GaugeFunc("ofmf_event_queue_depth",
+		"Events waiting across all subscription queues.",
+		func() float64 { return float64(s.bus.Pool().Queued) })
 	s.tasks = tasks.NewService(TasksURI,
 		tasks.WithMirror(func(id odata.ID, task redfish.Task) { _ = s.store.Put(id, task) }),
 		tasks.WithNotifier(func(rec redfish.EventRecord) { s.bus.Publish(rec) }),

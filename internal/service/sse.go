@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"ofmf/internal/events"
@@ -16,6 +19,59 @@ import (
 // and receive every matching event as an SSE "data:" frame, the push
 // alternative to webhook subscriptions for monitoring dashboards.
 const SSEURI = EventServiceURI + "/SSE"
+
+// sseFrame is one queued server-sent event: the frame id plus the
+// publish's shared payload bytes (see events.BytesSink) — the stream
+// writer never re-marshals an event.
+type sseFrame struct {
+	id      string
+	payload []byte
+}
+
+// sseSink bridges the event bus to one SSE stream. It implements
+// events.BytesSink, so frames carry the publish's marshal-once payload;
+// a full queue drops the frame (counted per stream and globally) rather
+// than stalling a shared bus worker on one slow browser.
+type sseSink struct {
+	ch      chan sseFrame
+	dropped atomic.Int64
+	global  interface{ Inc() }
+}
+
+func (k *sseSink) DeliverBytes(_ context.Context, eventID string, payload []byte) error {
+	select {
+	case k.ch <- sseFrame{id: eventID, payload: payload}:
+	default: // slow consumer: drop rather than stall the bus worker
+		k.dropped.Add(1)
+		k.global.Inc()
+	}
+	return nil
+}
+
+// Deliver exists to satisfy events.Sink; the bus always prefers the
+// BytesSink path above.
+func (k *sseSink) Deliver(ctx context.Context, ev redfish.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	return k.DeliverBytes(ctx, ev.ID, data)
+}
+
+// parseSSEFilter builds the subscription filter from the optional
+// ?EventType= query: repeated parameters and comma-separated lists both
+// work, mirroring the list filters webhook subscriptions take.
+func parseSSEFilter(query []string) events.Filter {
+	var filter events.Filter
+	for _, v := range query {
+		for _, t := range strings.Split(v, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				filter.EventTypes = append(filter.EventTypes, t)
+			}
+		}
+	}
+	return filter
+}
 
 func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -28,28 +84,24 @@ func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Optional ?EventType=Alert filter, mirroring subscription filters.
-	var filter events.Filter
-	if et := r.URL.Query().Get("EventType"); et != "" {
-		filter.EventTypes = []string{et}
-	}
-
-	ch := make(chan redfish.Event, 64)
-	sub, err := s.bus.Subscribe(events.SinkFunc(func(_ context.Context, ev redfish.Event) error {
-		select {
-		case ch <- ev:
-		default: // slow consumer: drop rather than stall the bus worker
-			s.metrics.SSEDropped.Inc()
-		}
-		return nil
-	}), filter, "sse")
+	filter := parseSSEFilter(r.URL.Query()["EventType"])
+	sink := &sseSink{ch: make(chan sseFrame, 64), global: s.metrics.SSEDropped}
+	// Empty Context: the stream shares each publish's base payload bytes
+	// with every other context-free subscriber.
+	sub, err := s.bus.Subscribe(sink, filter, "")
 	if err != nil {
 		s.error(w, r, http.StatusServiceUnavailable, "Base.1.0.ServiceShuttingDown", err.Error())
 		return
 	}
 	s.metrics.SSESubscribers.Inc()
 	defer s.metrics.SSESubscribers.Dec()
-	defer func() { _ = s.bus.Unsubscribe(sub.ID) }()
+	defer func() {
+		_ = s.bus.Unsubscribe(sub.ID)
+		if n := sink.dropped.Load(); n > 0 {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "sse stream dropped events",
+				slog.String("subscription", sub.ID), slog.Int64("dropped", n))
+		}
+	}()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -81,12 +133,8 @@ func (s *Service) handleSSE(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			flusher.Flush()
-		case ev := <-ch:
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
-			}
-			if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n", ev.ID, data); err != nil {
+		case fr := <-sink.ch:
+			if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n", fr.id, fr.payload); err != nil {
 				return
 			}
 			flusher.Flush()

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+func TestParseSSEFilter(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want []string
+	}{
+		{nil, nil},
+		{[]string{"Alert"}, []string{"Alert"}},
+		{[]string{"Alert,StatusChange"}, []string{"Alert", "StatusChange"}},
+		{[]string{" Alert , StatusChange "}, []string{"Alert", "StatusChange"}},
+		{[]string{"Alert", "StatusChange,ResourceUpdated"}, []string{"Alert", "StatusChange", "ResourceUpdated"}},
+		{[]string{",", ""}, nil},
+	}
+	for _, c := range cases {
+		got := parseSSEFilter(c.in).EventTypes
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseSSEFilter(%q).EventTypes = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSSEMultiValueEventTypeFilter opens a stream filtered to two event
+// types at once via a comma-separated ?EventType= and checks both pass
+// while a third is rejected.
+func TestSSEMultiValueEventTypeFilter(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	resp, err := http.Get(srv.URL + string(SSEURI) + "?EventType=Alert,StatusChange")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.Bus().Subscriptions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscription never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Bus().Publish(events.Record(redfish.EventResourceUpdated, "f-1", "filtered out", "/redfish/v1/Systems/S1"))
+	svc.Bus().Publish(events.Record(redfish.EventAlert, "f-2", "link degraded", "/redfish/v1/Fabrics/X"))
+	svc.Bus().Publish(events.Record(redfish.EventStatusChange, "f-3", "agent down", "/redfish/v1/Systems/S1"))
+
+	reader := bufio.NewReader(resp.Body)
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < 2 {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev redfish.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &ev); err != nil {
+				return
+			}
+			got = append(got, ev.Events[0].EventID)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatalf("stream stalled; frames so far: %q", got)
+	}
+	if !reflect.DeepEqual(got, []string{"f-2", "f-3"}) {
+		t.Fatalf("stream delivered %q, want [f-2 f-3] (ResourceUpdated must be filtered)", got)
+	}
+}
+
+// TestSSESinkCountsDrops fills an sseSink's queue past capacity and
+// checks overflow is counted per stream and globally instead of
+// blocking the delivering worker.
+func TestSSESinkCountsDrops(t *testing.T) {
+	var global counterStub
+	sink := &sseSink{ch: make(chan sseFrame, 2), global: &global}
+	for i := 0; i < 5; i++ {
+		if err := sink.DeliverBytes(context.Background(), "id", []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.dropped.Load(); got != 3 {
+		t.Fatalf("per-stream dropped = %d, want 3", got)
+	}
+	if global.n != 3 {
+		t.Fatalf("global dropped = %d, want 3", global.n)
+	}
+	if len(sink.ch) != 2 {
+		t.Fatalf("queued frames = %d, want 2", len(sink.ch))
+	}
+}
+
+type counterStub struct{ n int }
+
+func (c *counterStub) Inc() { c.n++ }
