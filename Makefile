@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full loadsmoke cover reproduce examples clean
+.PHONY: all build vet test race bench bench-full loadsmoke chaossmoke cover reproduce examples clean
 
 all: build vet test
 
@@ -42,6 +42,18 @@ bench-full:
 loadsmoke:
 	$(GO) run ./cmd/ofmfload -smoke -mix write-heavy -shards 8 -out /tmp/ofmfload-smoke.json
 	$(GO) run ./cmd/ofmfload -smoke -mix events -shards 8 -subs 32 -sse 2 -out /tmp/ofmfload-events.json
+
+# Smoke-run the fleet chaos harness under the race detector: 100
+# emulated agents through every scripted scenario (crash/restart,
+# partition + link flap, heartbeat/registration storm, OFMF
+# kill/recover with WAL replay), with end-state invariant checks —
+# ghost/duplicate sources, event-count conservation, liveness vs
+# ground truth, WAL sequence integrity. Deterministic (-seed 42); a
+# violation exits non-zero. Full-scale baselines go to
+# BENCH_serving.json via `go run ./cmd/ofmfchaos -agents 10000 -seed 42
+# -scenario all -out BENCH_serving.json`.
+chaossmoke:
+	$(GO) run -race ./cmd/ofmfchaos -agents 100 -seed 42 -scenario all -smoke -out /tmp/ofmfchaos-smoke.json
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -86,10 +86,13 @@ type entry struct {
 	Events     *eventsResult          `json:"events,omitempty"`
 }
 
-// benchFile is the whole BENCH_serving.json document.
+// benchFile is the whole BENCH_serving.json document. FleetChurn is
+// owned by cmd/ofmfchaos; it passes through untouched so appending a
+// serving entry never drops the chaos-harness section.
 type benchFile struct {
-	Comment string  `json:"comment"`
-	Entries []entry `json:"entries"`
+	Comment    string          `json:"comment"`
+	Entries    []entry         `json:"entries"`
+	FleetChurn json.RawMessage `json:"fleet_churn,omitempty"`
 }
 
 // sample is one timed request.

@@ -55,21 +55,15 @@ type Local struct {
 	Service *service.Service
 }
 
-// Register stores the aggregation source directly.
+// Register registers the aggregation source through the service's
+// serialized registration path, so local agents get the same
+// HostName-dedup semantics as remote ones.
 func (l *Local) Register(src redfish.AggregationSource) (odata.ID, error) {
-	st := l.Service.Store()
-	id := st.NextID(service.AggregationSourcesURI)
-	uri := service.AggregationSourcesURI.Append(id)
-	name := src.Name
-	if name == "" {
-		name = "Agent " + id
-	}
-	src.Resource = odata.NewResource(uri, redfish.TypeAggregationSource, name)
-	src.Status = odata.StatusOK()
-	if err := st.Create(uri, src); err != nil {
+	stored, _, err := l.Service.RegisterAggregationSource(context.Background(), src)
+	if err != nil {
 		return "", err
 	}
-	return uri, nil
+	return stored.ODataID, nil
 }
 
 // PublishSubtree installs the subtree into the service store.
@@ -246,26 +240,42 @@ func (r *Remote) PublishEvent(rec redfish.EventRecord) {
 
 // drainSpool delivers spooled events head-of-line until the spool is
 // empty or a delivery fails. A single drainer runs at a time, keeping
-// delivery FIFO.
+// delivery FIFO. Events published mid-drain land in the spool's live
+// side-buffer; endDrain merges them back and reports the remainder, so
+// a healthy drainer loops until the spool is truly empty instead of
+// stranding them until the next reconnect signal.
 func (r *Remote) drainSpool() {
-	if !r.spool.beginDrain() {
-		return
-	}
-	defer r.spool.endDrain()
 	for {
-		rec, ok := r.spool.peek()
-		if !ok {
+		if !r.spool.beginDrain() {
 			return
 		}
-		if err := r.do(context.Background(), http.MethodPost, string(service.EventsOemURI), rec, nil); err != nil {
+		healthy := true
+		for {
+			rec, ok := r.spool.peek()
+			if !ok {
+				break
+			}
+			if err := r.do(context.Background(), http.MethodPost, string(service.EventsOemURI), rec, nil); err != nil {
+				healthy = false
+				break
+			}
+			r.spool.pop()
+		}
+		if pending := r.spool.endDrain(); pending == 0 || !healthy {
 			return
 		}
-		r.spool.pop()
 	}
 }
 
 // EventBacklog returns the number of events spooled awaiting delivery.
 func (r *Remote) EventBacklog() int { return r.spool.size() }
+
+// DropSpool models an agent process crash: the in-memory spool dies
+// with the process, so every undelivered event is discarded and counted
+// as dropped (the chaos harness's conservation ledger needs the loss
+// attributed, not vanished). Returns the number of records lost. Call
+// it only with no drain in flight — a crashed process has no drainer.
+func (r *Remote) DropSpool() int { return r.spool.reset() }
 
 // EventsDelivered returns the number of events delivered to the OFMF.
 func (r *Remote) EventsDelivered() int64 {

@@ -14,16 +14,29 @@ const defaultSpoolSize = 1024
 // the OFMF. When the management path is down, records accumulate here
 // instead of vanishing; when the spool is full the oldest record is
 // dropped (and counted) so the newest hardware state wins.
+//
+// While a drain is in flight the drainer holds a positional claim on
+// buf[0] (peek, POST, pop). Events arriving mid-drain therefore go to
+// the live side-buffer instead of buf: an eviction from buf at that
+// moment would either drop the very record the drainer has in flight
+// (double-accounted as both dropped and delivered) or shift the queue
+// under the drainer's feet so pop removes the wrong record and a later
+// event is delivered twice while an earlier one is lost. endDrain
+// merges the side-buffer back, preserving arrival order.
 type eventSpool struct {
 	mu        sync.Mutex
 	max       int
 	buf       []redfish.EventRecord
+	live      []redfish.EventRecord // arrivals while draining
 	dropped   int64
 	delivered int64
 	draining  bool
 }
 
-// add enqueues rec, evicting the oldest record when the spool is full.
+// add enqueues rec, evicting the oldest *undrained* record when the
+// spool is full. During a drain the eviction comes from the live
+// side-buffer's head, never from buf, so the drainer's in-flight head
+// record stays where pop expects it.
 func (s *eventSpool) add(rec redfish.EventRecord, max int) {
 	if max <= 0 {
 		max = defaultSpoolSize
@@ -31,6 +44,26 @@ func (s *eventSpool) add(rec redfish.EventRecord, max int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.max = max
+	if s.draining {
+		if len(s.buf)+len(s.live) >= s.max {
+			switch {
+			case len(s.buf) > 1:
+				// Oldest undrained record. buf[0] is the drainer's
+				// in-flight claim and must stay put for pop.
+				s.buf = append(s.buf[:1], s.buf[2:]...)
+			case len(s.live) > 0:
+				s.live = s.live[1:]
+			default:
+				// Only the in-flight head remains (max == 1): the
+				// arrival itself is the overflow.
+				s.dropped++
+				return
+			}
+			s.dropped++
+		}
+		s.live = append(s.live, rec)
+		return
+	}
 	if len(s.buf) >= s.max {
 		s.buf = s.buf[1:]
 		s.dropped++
@@ -70,17 +103,37 @@ func (s *eventSpool) beginDrain() bool {
 	return true
 }
 
-func (s *eventSpool) endDrain() {
+// endDrain releases the drainer slot and merges records that arrived
+// mid-drain back into the FIFO, in arrival order. It returns the number
+// of records still awaiting delivery so the drainer can notice that new
+// work arrived while it was finishing and go around again.
+func (s *eventSpool) endDrain() int {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.draining = false
-	s.mu.Unlock()
+	if len(s.live) > 0 {
+		s.buf = append(s.buf, s.live...)
+		s.live = nil
+	}
+	return len(s.buf)
+}
+
+// reset discards every buffered record, counting them as dropped. It
+// models a process crash: the in-memory spool dies with the agent.
+func (s *eventSpool) reset() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf) + len(s.live)
+	s.dropped += int64(n)
+	s.buf, s.live = nil, nil
+	return n
 }
 
 // size returns the number of records awaiting delivery.
 func (s *eventSpool) size() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.buf)
+	return len(s.buf) + len(s.live)
 }
 
 // stats returns the delivered and dropped counters.

@@ -1,0 +1,129 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+
+	"ofmf/internal/redfish"
+)
+
+func rec(i int) redfish.EventRecord {
+	return redfish.EventRecord{EventID: fmt.Sprintf("e%04d", i)}
+}
+
+// TestSpoolAddDuringDrainKeepsInFlightHead is the regression test for
+// the drain-interleave bug: add() used to evict buf[0] on overflow even
+// mid-drain, which is exactly the record the drainer had peeked and was
+// POSTing — pop then removed a different record, delivering one event
+// twice and silently losing another.
+func TestSpoolAddDuringDrainKeepsInFlightHead(t *testing.T) {
+	var s eventSpool
+	const max = 4
+	for i := 0; i < max; i++ {
+		s.add(rec(i), max)
+	}
+	if !s.beginDrain() {
+		t.Fatal("beginDrain refused")
+	}
+	head, ok := s.peek()
+	if !ok || head.EventID != "e0000" {
+		t.Fatalf("peek = %v %v, want e0000", head, ok)
+	}
+	// Overflow arrives while e0000 is in flight: the eviction must take
+	// the oldest undrained record (e0001), never the in-flight head.
+	s.add(rec(max), max)
+	if got, _ := s.peek(); got.EventID != "e0000" {
+		t.Fatalf("in-flight head evicted: peek = %s, want e0000", got.EventID)
+	}
+	s.pop() // e0000 delivered
+	if pending := s.endDrain(); pending != max-1 {
+		t.Fatalf("endDrain pending = %d, want %d", pending, max-1)
+	}
+	delivered, dropped := s.stats()
+	if delivered != 1 || dropped != 1 {
+		t.Fatalf("stats = (%d delivered, %d dropped), want (1, 1)", delivered, dropped)
+	}
+	// Remaining order: e0002, e0003, e0004 — FIFO with the overflow
+	// victim (e0001) gone and the mid-drain arrival merged at the tail.
+	want := []string{"e0002", "e0003", "e0004"}
+	for _, w := range want {
+		got, ok := s.peek()
+		if !ok || got.EventID != w {
+			t.Fatalf("drain order: got %v %v, want %s", got, ok, w)
+		}
+		s.pop()
+	}
+	if s.size() != 0 {
+		t.Fatalf("spool not empty: %d", s.size())
+	}
+}
+
+// TestSpoolLiveArrivalsMergeInOrder checks that events added mid-drain
+// are buffered aside and merged back in arrival order, after every
+// record that was already spooled.
+func TestSpoolLiveArrivalsMergeInOrder(t *testing.T) {
+	var s eventSpool
+	const max = 16
+	s.add(rec(0), max)
+	s.add(rec(1), max)
+	if !s.beginDrain() {
+		t.Fatal("beginDrain refused")
+	}
+	s.add(rec(2), max)
+	s.add(rec(3), max)
+	// Mid-drain arrivals are invisible to peek/pop until merged...
+	s.pop()
+	s.pop()
+	if _, ok := s.peek(); ok {
+		t.Fatal("live records visible before endDrain merge")
+	}
+	// ...but counted by size, so reconnect triggers see the backlog.
+	if s.size() != 2 {
+		t.Fatalf("size = %d, want 2", s.size())
+	}
+	if pending := s.endDrain(); pending != 2 {
+		t.Fatalf("endDrain pending = %d, want 2", pending)
+	}
+	for _, w := range []string{"e0002", "e0003"} {
+		got, ok := s.peek()
+		if !ok || got.EventID != w {
+			t.Fatalf("merged order: got %v %v, want %s", got, ok, w)
+		}
+		s.pop()
+	}
+}
+
+// TestSpoolDrainOverflowSpillsLive checks the overflow cascade while
+// draining: buf's undrained tail empties first, then the live buffer's
+// head, and with max=1 the arrival itself is the casualty.
+func TestSpoolDrainOverflowSpillsLive(t *testing.T) {
+	var s eventSpool
+	s.add(rec(0), 2)
+	s.add(rec(1), 2)
+	if !s.beginDrain() {
+		t.Fatal("beginDrain refused")
+	}
+	s.add(rec(2), 2) // evicts e0001 (oldest undrained)
+	s.add(rec(3), 2) // evicts e0002 (live head)
+	if _, dropped := s.stats(); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	s.pop()
+	s.endDrain()
+	if got, _ := s.peek(); got.EventID != "e0003" {
+		t.Fatalf("survivor = %s, want e0003", got.EventID)
+	}
+
+	var one eventSpool
+	one.add(rec(0), 1)
+	if !one.beginDrain() {
+		t.Fatal("beginDrain refused")
+	}
+	one.add(rec(1), 1) // only the in-flight head remains: arrival dropped
+	if got, _ := one.peek(); got.EventID != "e0000" {
+		t.Fatalf("in-flight head = %s, want e0000", got.EventID)
+	}
+	if _, dropped := one.stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}

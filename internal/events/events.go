@@ -185,13 +185,21 @@ func DefaultConfig() Config {
 	return Config{RetryAttempts: 3, RetryInterval: 50 * time.Millisecond, QueueDepth: 256}
 }
 
-// Stats counts delivery outcomes across the bus.
+// Stats counts delivery outcomes across the bus. Every event routed to
+// a subscription lands in exactly one of Delivered, Failed, Dropped or
+// DroppedClosed, so after the queues quiesce the counters conserve:
+// matched enqueues = Delivered + Failed + Dropped + DroppedClosed. The
+// chaos harness asserts this ledger after every churn scenario.
 type Stats struct {
 	Published int64 // events published
 	Delivered int64 // successful deliveries (per subscription)
 	Failed    int64 // deliveries abandoned after retries
 	Dropped   int64 // events dropped on full queues
-	Encodes   int64 // envelope encodings (exactly one per publish that reached a byte sink)
+	// DroppedClosed counts events discarded because their subscription
+	// was closed: queued events thrown away when a subscription retires
+	// (Unsubscribe/Close) plus publishes that raced a retirement.
+	DroppedClosed int64
+	Encodes       int64 // envelope encodings (exactly one per publish that reached a byte sink)
 }
 
 // PoolStats is a snapshot of the delivery worker pool.
@@ -297,11 +305,12 @@ type Bus struct {
 	ready *readyQueue
 	wg    sync.WaitGroup
 
-	published int64
-	delivered int64
-	failed    int64
-	dropped   int64
-	encodes   int64
+	published     int64
+	delivered     int64
+	failed        int64
+	dropped       int64
+	droppedClosed int64
+	encodes       int64
 	queued    int64 // events across all subscription queues
 	busy      int64 // workers currently delivering
 }
@@ -395,12 +404,16 @@ func (b *Bus) Unsubscribe(id string) error {
 	return nil
 }
 
-// retire marks the subscription closed, discards its queue and cancels
-// any in-flight delivery wait.
+// retire marks the subscription closed, discards its queue (counting
+// the discards, so the delivery ledger stays conserved) and cancels any
+// in-flight delivery wait.
 func (b *Bus) retire(sub *Subscription) {
 	sub.mu.Lock()
 	sub.closed = true
-	atomic.AddInt64(&b.queued, -int64(sub.queueLen()))
+	if n := int64(sub.queueLen()); n > 0 {
+		atomic.AddInt64(&b.queued, -n)
+		atomic.AddInt64(&b.droppedClosed, n)
+	}
 	sub.pending, sub.headIdx = nil, 0
 	sub.mu.Unlock()
 	sub.cancel()
@@ -456,6 +469,9 @@ func (b *Bus) enqueue(sub *Subscription, env *envelope) {
 	sub.mu.Lock()
 	if sub.closed {
 		sub.mu.Unlock()
+		// The publish matched the pre-retirement snapshot: count the
+		// discard so published events stay conserved across the stats.
+		atomic.AddInt64(&b.droppedClosed, 1)
 		return
 	}
 	if sub.queueLen() >= b.cfg.QueueDepth {
@@ -554,6 +570,9 @@ func (b *Bus) attempt(sub *Subscription, env *envelope) {
 			// deliveries don't re-knock in lockstep.
 			select {
 			case <-ctx.Done():
+				// Only retirement cancels sub.ctx: the event is being
+				// discarded with its subscription, not abandoned on error.
+				atomic.AddInt64(&b.droppedClosed, 1)
 				span.EndErr(ctx.Err())
 				return
 			case <-time.After(b.backoff.Delay(i)):
@@ -582,11 +601,12 @@ func (b *Bus) countFailure(sub *Subscription) {
 // Stats returns a snapshot of delivery counters.
 func (b *Bus) Stats() Stats {
 	return Stats{
-		Published: atomic.LoadInt64(&b.published),
-		Delivered: atomic.LoadInt64(&b.delivered),
-		Failed:    atomic.LoadInt64(&b.failed),
-		Dropped:   atomic.LoadInt64(&b.dropped),
-		Encodes:   atomic.LoadInt64(&b.encodes),
+		Published:     atomic.LoadInt64(&b.published),
+		Delivered:     atomic.LoadInt64(&b.delivered),
+		Failed:        atomic.LoadInt64(&b.failed),
+		Dropped:       atomic.LoadInt64(&b.dropped),
+		DroppedClosed: atomic.LoadInt64(&b.droppedClosed),
+		Encodes:       atomic.LoadInt64(&b.encodes),
 	}
 }
 

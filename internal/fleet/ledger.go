@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"ofmf/internal/events"
+	"ofmf/internal/redfish"
+)
+
+// agentReceipt tracks what one agent's events looked like on arrival at
+// a counting sink: how many, whether any sequence number repeated or
+// went backwards. The spool keeps per-agent delivery FIFO and the bus
+// keeps per-subscription delivery FIFO, so any dup or order violation
+// is a real serving-path bug, not scheduling noise.
+type agentReceipt struct {
+	count      int
+	lastSeq    int
+	dups       int
+	orderViols int
+	seen       map[int]bool
+}
+
+// countingSink is an in-process bus subscriber that classifies every
+// record it receives: agent events (ID "fAAAAA-SSSSSS") feed per-agent
+// receipts, liveness events ("liveness-N") and everything else are
+// counted. One sink is one conservation unit: the bus's Delivered
+// counter includes each record delivered to it.
+type countingSink struct {
+	mu       sync.Mutex
+	agentEvs int64
+	liveness int64
+	other    int64
+	perAgent map[int]*agentReceipt
+}
+
+func newCountingSink() *countingSink {
+	return &countingSink{perAgent: make(map[int]*agentReceipt)}
+}
+
+// sink returns the events.Sink wired into the bus.
+func (c *countingSink) sink() events.Sink {
+	return events.SinkFunc(func(_ context.Context, ev redfish.Event) error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, rec := range ev.Events {
+			agentIdx, seq, ok := parseFleetEventID(rec.EventID)
+			switch {
+			case ok:
+				c.agentEvs++
+				r := c.perAgent[agentIdx]
+				if r == nil {
+					r = &agentReceipt{lastSeq: -1, seen: make(map[int]bool)}
+					c.perAgent[agentIdx] = r
+				}
+				if r.seen[seq] {
+					r.dups++
+				}
+				r.seen[seq] = true
+				if seq <= r.lastSeq {
+					r.orderViols++
+				}
+				r.lastSeq = seq
+				r.count++
+			case strings.HasPrefix(rec.EventID, "liveness-"):
+				c.liveness++
+			default:
+				c.other++
+			}
+		}
+		return nil
+	})
+}
+
+// parseFleetEventID decodes the harness's "f%05d-%06d" event IDs.
+func parseFleetEventID(id string) (agentIdx, seq int, ok bool) {
+	if len(id) != 13 || id[0] != 'f' || id[6] != '-' {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(id, "f%05d-%06d", &agentIdx, &seq); err != nil {
+		return 0, 0, false
+	}
+	return agentIdx, seq, true
+}
+
+// snapshot returns the sink's totals and a copy of the per-agent
+// receipts.
+func (c *countingSink) snapshot() (agentEvs, liveness, other int64, per map[int]agentReceipt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per = make(map[int]agentReceipt, len(c.perAgent))
+	for idx, r := range c.perAgent {
+		per[idx] = *r
+	}
+	return c.agentEvs, c.liveness, c.other, per
+}

@@ -46,6 +46,13 @@ type Metrics struct {
 	// aggregation source: 1 live, 0.5 degraded, 0 unavailable:
 	// ofmf_agent_liveness.
 	AgentLiveness *GaugeVec
+	// Registrations counts aggregation-source registrations by outcome
+	// (created, revived, error) — the fleet churn signal:
+	// ofmf_registrations_total.
+	Registrations *CounterVec
+	// RegistrationSeconds times one registration through the serialized
+	// dedup-or-create path: ofmf_registration_seconds.
+	RegistrationSeconds *Histogram
 
 	// StoreOps counts resource-store operations by kind and shard ("all"
 	// for operations spanning every shard): ofmf_store_ops_total.
@@ -125,6 +132,11 @@ func NewMetrics(reg *Registry) *Metrics {
 		AgentLiveness: reg.GaugeVec("ofmf_agent_liveness",
 			"Sweeper verdict per aggregation source: 1 live, 0.5 degraded, 0 unavailable.",
 			"source"),
+		Registrations: reg.CounterVec("ofmf_registrations_total",
+			"Aggregation-source registrations, by outcome (created, revived, error).",
+			"outcome"),
+		RegistrationSeconds: reg.Histogram("ofmf_registration_seconds",
+			"Aggregation-source registration latency in seconds.", nil),
 		StoreOps: reg.CounterVec("ofmf_store_ops_total",
 			"Resource store operations, by kind and shard.", "op", "shard"),
 		StoreLockWait: reg.HistogramVec("ofmf_store_lock_wait_seconds",

@@ -30,16 +30,25 @@ type FaultTransport struct {
 	ErrorRate float64
 	// Latency is added to every request before any other behaviour.
 	Latency time.Duration
-	// Seed makes the fault sequence deterministic when non-zero.
+	// Seed makes the fault sequence deterministic when non-zero. When
+	// zero the transport seeds itself from the wall clock — fine for
+	// one-off tests, but a reproducibility bug in a chaos harness, so
+	// fleet mode requires an explicit seed (see EffectiveSeed).
 	Seed int64
+	// Rules, when set, is consulted per request; a returned rule
+	// overrides ErrorRate and Latency and can deny or black-hole the
+	// request. Chaos scenarios script partitions and link flap through
+	// it (see ScriptedFaults) without racing on the struct fields.
+	Rules func(*http.Request) (FaultRule, bool)
 
 	blackhole atomic.Bool
 	attempts  atomic.Int64
 	injected  atomic.Int64
 
-	once sync.Once
-	mu   sync.Mutex
-	rng  *rand.Rand
+	once       sync.Once
+	seededWith int64
+	mu         sync.Mutex
+	rng        *rand.Rand
 }
 
 // SetBlackHole toggles black-hole mode: requests hang (consuming their
@@ -53,14 +62,29 @@ func (f *FaultTransport) Attempts() int64 { return f.attempts.Load() }
 // Injected returns the number of failures injected so far.
 func (f *FaultTransport) Injected() int64 { return f.injected.Load() }
 
-func (f *FaultTransport) roll() float64 {
+func (f *FaultTransport) seedRNG() {
 	f.once.Do(func() {
 		seed := f.Seed
 		if seed == 0 {
 			seed = time.Now().UnixNano()
 		}
+		f.seededWith = seed
 		f.rng = rand.New(rand.NewSource(seed))
 	})
+}
+
+// EffectiveSeed forces the RNG to seed now and returns the seed in
+// effect — the configured Seed, or the wall-clock fallback an unseeded
+// transport chose. Harnesses that must be reproducible call it up
+// front, reject the fallback, and log the value alongside their run
+// parameters.
+func (f *FaultTransport) EffectiveSeed() int64 {
+	f.seedRNG()
+	return f.seededWith
+}
+
+func (f *FaultTransport) roll() float64 {
+	f.seedRNG()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.rng.Float64()
@@ -69,22 +93,36 @@ func (f *FaultTransport) roll() float64 {
 // RoundTrip implements http.RoundTripper.
 func (f *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	f.attempts.Add(1)
-	if f.Latency > 0 {
+	errorRate, latency := f.ErrorRate, f.Latency
+	hole := f.blackhole.Load()
+	if f.Rules != nil {
+		if rule, ok := f.Rules(req); ok {
+			errorRate, latency = rule.ErrorRate, rule.Latency
+			hole = hole || rule.BlackHole
+			if rule.Deny {
+				// A partitioned peer refuses immediately, before any
+				// latency or probability roll.
+				f.injected.Add(1)
+				return nil, fmt.Errorf("%w: connection refused (partitioned)", ErrInjected)
+			}
+		}
+	}
+	if latency > 0 {
 		select {
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
-		case <-time.After(f.Latency):
+		case <-time.After(latency):
 		}
 	}
-	if f.blackhole.Load() {
+	if hole {
 		f.injected.Add(1)
 		// A wedged server never answers: burn the caller's deadline.
 		<-req.Context().Done()
 		return nil, fmt.Errorf("%w: black hole: %v", ErrInjected, req.Context().Err())
 	}
-	if f.ErrorRate > 0 && f.roll() < f.ErrorRate {
+	if errorRate > 0 && f.roll() < errorRate {
 		f.injected.Add(1)
-		return nil, fmt.Errorf("%w: connection reset (rate %.2f)", ErrInjected, f.ErrorRate)
+		return nil, fmt.Errorf("%w: connection reset (rate %.2f)", ErrInjected, errorRate)
 	}
 	base := f.Base
 	if base == nil {

@@ -1,0 +1,72 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+type okTransport struct{ calls int }
+
+func (t *okTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	t.calls++
+	return &http.Response{StatusCode: 200, Body: io.NopCloser(strings.NewReader("ok"))}, nil
+}
+
+func TestScriptedFaultsDenyAndHeal(t *testing.T) {
+	sched := NewScriptedFaults()
+	base := &okTransport{}
+	ft := &FaultTransport{Base: base, Seed: 1, Rules: sched.Bind("agent-1")}
+	req, _ := http.NewRequest(http.MethodGet, "http://ofmf.example/redfish/v1", nil)
+
+	if _, err := ft.RoundTrip(req); err != nil {
+		t.Fatalf("healthy link failed: %v", err)
+	}
+	sched.Set("agent-1", FaultRule{Deny: true})
+	if _, err := ft.RoundTrip(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned link err = %v, want ErrInjected", err)
+	}
+	if sched.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", sched.Active())
+	}
+	sched.Clear("agent-1")
+	if _, err := ft.RoundTrip(req); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+	if base.calls != 2 {
+		t.Fatalf("base saw %d calls, want 2 (deny must not reach the wire)", base.calls)
+	}
+}
+
+func TestScriptedFaultsRuleOverridesErrorRate(t *testing.T) {
+	sched := NewScriptedFaults()
+	base := &okTransport{}
+	// Static rate 1.0 — but an installed zero-value rule overrides it to
+	// a healthy link, proving rules replace (not compose with) statics.
+	ft := &FaultTransport{Base: base, Seed: 1, ErrorRate: 1, Rules: sched.Bind("a")}
+	req, _ := http.NewRequest(http.MethodGet, "http://ofmf.example/", nil)
+	if _, err := ft.RoundTrip(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("static rate ignored without rule: %v", err)
+	}
+	sched.Set("a", FaultRule{})
+	if _, err := ft.RoundTrip(req); err != nil {
+		t.Fatalf("zero rule did not override static rate: %v", err)
+	}
+	sched.Set("a", FaultRule{ErrorRate: 1})
+	if _, err := ft.RoundTrip(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rule rate 1.0 did not inject: %v", err)
+	}
+}
+
+func TestEffectiveSeed(t *testing.T) {
+	ft := &FaultTransport{Seed: 42}
+	if got := ft.EffectiveSeed(); got != 42 {
+		t.Fatalf("EffectiveSeed = %d, want 42", got)
+	}
+	unseeded := &FaultTransport{}
+	if got := unseeded.EffectiveSeed(); got == 0 {
+		t.Fatal("unseeded transport reported seed 0")
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"time"
 
 	"ofmf/internal/events"
 	"ofmf/internal/obsv"
@@ -542,41 +541,7 @@ func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) 
 	if !s.decode(w, r, &src) {
 		return
 	}
-	// Registration is idempotent per HostName: agents retry the POST
-	// through their resilient transport, and a retry of a POST that in
-	// fact succeeded must not mint a duplicate source. Re-registering an
-	// existing HostName updates the record in place and revives it.
-	if src.HostName != "" {
-		if existing, ok := s.findSourceByHost(src.HostName); ok {
-			src.Resource = existing.Resource
-			if src.Name == "" {
-				src.Name = existing.Name
-			}
-			src.Status = odata.StatusOK()
-			if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat == "" {
-				src.Oem.OFMF.LastHeartbeat = redfish.Timestamp(time.Now())
-			}
-			if err := s.store.PutCtx(r.Context(), existing.ODataID, src); err != nil {
-				s.storeError(w, r, err)
-				return
-			}
-			for _, res := range src.Links.ResourcesAccessed {
-				s.RegisterFabricHandler(NewRemoteFabricHandler(res.ODataID, src.HostName))
-			}
-			w.Header().Set("Location", string(existing.ODataID))
-			s.json(w, http.StatusOK, src)
-			return
-		}
-	}
-	uri, err := s.createInCollection(r.Context(), AggregationSourcesURI, func(uri odata.ID) (any, error) {
-		name := src.Name
-		if name == "" {
-			name = "Agent " + uri.Leaf()
-		}
-		src.Resource = odata.NewResource(uri, redfish.TypeAggregationSource, name)
-		src.Status = odata.StatusOK()
-		return src, nil
-	})
+	src, created, err := s.RegisterAggregationSource(r.Context(), src)
 	if err != nil {
 		s.storeError(w, r, err)
 		return
@@ -588,24 +553,12 @@ func (s *Service) postAggregationSource(w http.ResponseWriter, r *http.Request) 
 			s.RegisterFabricHandler(NewRemoteFabricHandler(res.ODataID, src.HostName))
 		}
 	}
-	w.Header().Set("Location", string(uri))
-	s.json(w, http.StatusCreated, src)
-}
-
-// findSourceByHost locates the aggregation source registered with the
-// given agent callback URL, if any.
-func (s *Service) findSourceByHost(host string) (redfish.AggregationSource, bool) {
-	members, err := s.store.Members(AggregationSourcesURI)
-	if err != nil {
-		return redfish.AggregationSource{}, false
+	w.Header().Set("Location", string(src.ODataID))
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
 	}
-	for _, uri := range members {
-		var src redfish.AggregationSource
-		if err := s.store.GetAs(uri, &src); err == nil && src.HostName == host {
-			return src, true
-		}
-	}
-	return redfish.AggregationSource{}, false
+	s.json(w, status, src)
 }
 
 func (s *Service) postZone(w http.ResponseWriter, r *http.Request, coll odata.ID) {

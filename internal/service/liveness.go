@@ -3,6 +3,7 @@ package service
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -21,6 +22,14 @@ const (
 	liveOK = iota
 	liveDegraded
 	liveUnavailable
+)
+
+// Exported liveness levels for introspection consumers: the chaos
+// harness compares SourcesSnapshot verdicts against its ground truth.
+const (
+	LiveOK          = liveOK
+	LiveDegraded    = liveDegraded
+	LiveUnavailable = liveUnavailable
 )
 
 // LivenessConfig tunes the aggregation-source liveness sweeper.
@@ -80,6 +89,14 @@ type LivenessSweeper struct {
 	// entry's gen, and popped items whose gen no longer matches are
 	// skipped.
 	deadlines deadlineHeap
+	// tombs records the Change.Seq of each evicted source URI. The store
+	// notifies watchers after releasing its shard lock, so notifications
+	// for one URI can interleave across goroutines; without the
+	// tombstone, a delete-then-recreate at the same URI whose stale
+	// pre-delete notification replayed last would resurrect the old
+	// entry — and its old deadline — firing a spurious Degraded for a
+	// source that is beating fine.
+	tombs map[odata.ID]uint64
 	// seeded flips once the index has been primed from the store; seeding
 	// is lazy so a sweeper built before a test clock is installed anchors
 	// never-beaten sources against the right epoch.
@@ -102,6 +119,10 @@ type sourceEntry struct {
 	// they are live by construction, never swept.
 	local bool
 	gen   uint64 // matches the entry's one live deadline item, if any
+	// seq is the Change.Seq of the newest change applied to this entry;
+	// older reordered notifications are discarded against it. Zero for
+	// entries primed by seedLocked (the store read is authoritative).
+	seq uint64
 }
 
 // deadlineItem schedules one source for re-evaluation at a given time.
@@ -141,6 +162,7 @@ func (s *Service) NewLivenessSweeper(cfg LivenessConfig) *LivenessSweeper {
 		cfg:     cfg.withDefaults(),
 		now:     time.Now,
 		sources: make(map[odata.ID]*sourceEntry),
+		tombs:   make(map[odata.ID]uint64),
 	}
 	s.store.Watch(w.onChange)
 	return w
@@ -195,29 +217,53 @@ func (w *LivenessSweeper) onChange(c store.Change) {
 	if c.Kind == store.Removed {
 		w.mu.Lock()
 		if e, ok := w.sources[c.ID]; ok {
-			delete(w.sources, c.ID)
-			w.nextGen++
-			e.gen = w.nextGen // orphan any scheduled deadline
+			if c.Seq > e.seq {
+				delete(w.sources, c.ID)
+				w.nextGen++
+				e.gen = w.nextGen // orphan any scheduled deadline
+				w.tombs[c.ID] = c.Seq
+			}
+			// else: stale delete ordered before the entry's newest state
+			// (the source was recreated); keep the live entry.
+		} else if c.Seq > w.tombs[c.ID] {
+			w.tombs[c.ID] = c.Seq
 		}
 		w.mu.Unlock()
 		return
 	}
+	// The read can observe a state newer than this change; that is safe:
+	// the newer mutation's own (higher-seq) notification re-applies it,
+	// and the seq gate below keeps this one from clobbering it.
 	var src redfish.AggregationSource
 	if err := w.svc.store.GetAs(c.ID, &src); err != nil {
 		return
 	}
 	w.mu.Lock()
-	w.upsertLocked(c.ID, &src, w.now())
+	w.upsertLocked(c.ID, &src, w.now(), c.Seq)
 	w.mu.Unlock()
 }
 
 // upsertLocked reconciles one source's index entry against its stored
-// form and (re)schedules its next deadline. Callers hold w.mu.
-func (w *LivenessSweeper) upsertLocked(uri odata.ID, src *redfish.AggregationSource, now time.Time) {
+// form and (re)schedules its next deadline. seq is the triggering
+// Change.Seq (zero when priming from a direct store read); stale
+// reordered notifications — including upserts ordered before a delete —
+// are discarded so a recreate at the same URI starts from a fresh
+// entry instead of resurrecting the old one's deadline. Callers hold
+// w.mu.
+func (w *LivenessSweeper) upsertLocked(uri odata.ID, src *redfish.AggregationSource, now time.Time, seq uint64) {
 	e, ok := w.sources[uri]
 	if !ok {
+		if seq != 0 && seq <= w.tombs[uri] {
+			return // pre-delete notification arriving after the delete
+		}
+		delete(w.tombs, uri)
 		e = &sourceEntry{anchor: now}
 		w.sources[uri] = e
+	} else if seq != 0 && seq <= e.seq {
+		return // stale reordered notification
+	}
+	if seq > e.seq {
+		e.seq = seq
 	}
 	w.nextGen++
 	e.gen = w.nextGen // supersede any previously scheduled deadline
@@ -306,7 +352,7 @@ func (w *LivenessSweeper) seedLocked(now time.Time) {
 		if err := w.svc.store.GetAs(uri, &src); err != nil {
 			continue
 		}
-		w.upsertLocked(uri, &src, now)
+		w.upsertLocked(uri, &src, now, 0)
 	}
 	w.seeded = true
 }
@@ -361,14 +407,24 @@ func (w *LivenessSweeper) apply(tr transition) {
 	if err := w.svc.store.Patch(tr.uri, map[string]any{"Status": map[string]any{
 		"State": status.State, "Health": status.Health,
 	}}, ""); err != nil {
-		// Patch failed (source deleted mid-sweep, store error): revert the
-		// index so the next sweep retries rather than believing the write.
 		w.mu.Lock()
 		if e, ok := w.sources[tr.uri]; ok && !e.local {
-			e.level = tr.from
-			w.nextGen++
-			e.gen = w.nextGen
-			heap.Push(&w.deadlines, deadlineItem{at: w.now(), uri: tr.uri, gen: e.gen})
+			if errors.Is(err, store.ErrNotFound) {
+				// The source is gone and its Removed notification may have
+				// been processed before this sweep's transition was
+				// collected: drop the entry. Reverting and rescheduling
+				// here would retry the patch of a deleted source forever.
+				delete(w.sources, tr.uri)
+				w.nextGen++
+				e.gen = w.nextGen
+			} else {
+				// Transient store error: revert the index so the next
+				// sweep retries rather than believing the write.
+				e.level = tr.from
+				w.nextGen++
+				e.gen = w.nextGen
+				heap.Push(&w.deadlines, deadlineItem{at: w.now(), uri: tr.uri, gen: e.gen})
+			}
 		}
 		w.mu.Unlock()
 		return
@@ -384,6 +440,36 @@ func (w *LivenessSweeper) apply(tr transition) {
 		slog.String("to", word),
 		slog.Duration("heartbeat_age", tr.age),
 	)
+}
+
+// SourcesSnapshot returns the sweeper's current verdict for every
+// indexed source (LiveOK/LiveDegraded/LiveUnavailable). The chaos
+// harness diffs it against the store's members and its own ground
+// truth after churn: a key the store lacks is a ghost entry, a missing
+// key is a lost registration, a wrong level is a convergence failure.
+func (w *LivenessSweeper) SourcesSnapshot() map[odata.ID]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[odata.ID]int, len(w.sources))
+	for uri, e := range w.sources {
+		out[uri] = e.level
+	}
+	return out
+}
+
+// PendingDeadlines returns the deadline heap's length (live plus
+// lazily-invalidated entries) — a churn-leak signal for the harness.
+func (w *LivenessSweeper) PendingDeadlines() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.deadlines)
+}
+
+// Tombstones returns the number of deletion tombstones held.
+func (w *LivenessSweeper) Tombstones() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.tombs)
 }
 
 // levelOf maps a stored Status back to a liveness level.

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/redfish"
+	"ofmf/internal/store"
+)
+
+// churnSource builds a minimal remote aggregation source at uri with
+// the given heartbeat timestamp.
+func churnSource(uri odata.ID, beat time.Time) redfish.AggregationSource {
+	return redfish.AggregationSource{
+		Resource: odata.NewResource(uri, redfish.TypeAggregationSource, "Agent "+uri.Leaf()),
+		HostName: "http://" + uri.Leaf() + ".example:9000",
+		Status:   odata.StatusOK(),
+		Oem:      redfish.AggSourceOem{OFMF: &redfish.AgentDescriptor{LastHeartbeat: redfish.Timestamp(beat)}},
+	}
+}
+
+// TestLivenessDeleteRecreateChurn is the regression test for the
+// sweeper's delete-then-recreate race: when a source was deleted and a
+// new one recreated at the same URI, a stale (reordered) notification
+// from the old incarnation used to resurrect the old entry — and its
+// old heartbeat deadline — firing a spurious Degraded transition for a
+// source that was beating fine. All changes are seq-gated now.
+func TestLivenessDeleteRecreateChurn(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	w := svc.NewLivenessSweeper(LivenessConfig{Interval: time.Second})
+	base := time.Unix(1700000000, 0).UTC()
+	now := base
+	w.SetClock(func() time.Time { return now })
+
+	uri := AggregationSourcesURI.Append("1")
+	st := svc.Store()
+
+	// First incarnation, heartbeat already stale at its creation.
+	if err := st.Put(uri, churnSource(uri, base.Add(-time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	w.Sweep() // seeds the index
+	// Delete it, then recreate the same URI with a fresh heartbeat.
+	if err := st.Delete(uri); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(uri, churnSource(uri, now)); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.SourcesSnapshot()
+	if lvl, ok := snap[uri]; !ok || lvl != LiveOK {
+		t.Fatalf("after recreate: snapshot[%s] = %d,%v, want LiveOK", uri, lvl, ok)
+	}
+
+	// Replay the first incarnation's notifications out of order: a stale
+	// update and a stale delete, both with seqs from before the recreate.
+	w.onChange(store.Change{Kind: store.Updated, ID: uri, Seq: 1})
+	w.onChange(store.Change{Kind: store.Removed, ID: uri, Seq: 2})
+	snap = w.SourcesSnapshot()
+	if lvl, ok := snap[uri]; !ok || lvl != LiveOK {
+		t.Fatalf("after stale replay: snapshot[%s] = %d,%v, want LiveOK", uri, lvl, ok)
+	}
+
+	// A sweep within the fresh heartbeat's window must not transition.
+	now = now.Add(2 * time.Second)
+	w.Sweep()
+	var src redfish.AggregationSource
+	if err := st.GetAs(uri, &src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Status != odata.StatusOK() {
+		t.Fatalf("spurious transition: status = %+v, want OK", src.Status)
+	}
+
+	// The old incarnation's stale deadline (heartbeat an hour old) must
+	// not fire either: advance past StaleAfter relative to the OLD beat
+	// but inside the window of the fresh one.
+	now = now.Add(500 * time.Millisecond)
+	w.Sweep()
+	if err := st.GetAs(uri, &src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Status != odata.StatusOK() {
+		t.Fatalf("old incarnation's deadline fired: status = %+v, want OK", src.Status)
+	}
+}
+
+// TestLivenessTombstoneBlocksPreDeleteUpsert checks that an upsert
+// notification ordered before a delete cannot re-admit the source after
+// the delete was processed, and that a genuinely newer upsert can.
+func TestLivenessTombstoneBlocksPreDeleteUpsert(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	w := svc.NewLivenessSweeper(LivenessConfig{Interval: time.Second})
+	now := time.Unix(1700000000, 0).UTC()
+	w.SetClock(func() time.Time { return now })
+
+	uri := AggregationSourcesURI.Append("1")
+	st := svc.Store()
+	if err := st.Put(uri, churnSource(uri, now)); err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic delete with a far-future seq: everything the first
+	// incarnation ever published is now stale.
+	w.onChange(store.Change{Kind: store.Removed, ID: uri, Seq: 1 << 40})
+	if _, ok := w.SourcesSnapshot()[uri]; ok {
+		t.Fatal("entry survived delete")
+	}
+	if w.Tombstones() != 1 {
+		t.Fatalf("tombstones = %d, want 1", w.Tombstones())
+	}
+	// The pre-delete upsert replays late (resource still in the store,
+	// so GetAs succeeds — only the tombstone can reject it).
+	w.onChange(store.Change{Kind: store.Updated, ID: uri, Seq: 7})
+	if _, ok := w.SourcesSnapshot()[uri]; ok {
+		t.Fatal("tombstoned source resurrected by stale upsert")
+	}
+	// A recreate with a newer seq re-admits and clears the tombstone.
+	w.onChange(store.Change{Kind: store.Updated, ID: uri, Seq: 1<<40 + 1})
+	if lvl, ok := w.SourcesSnapshot()[uri]; !ok || lvl != LiveOK {
+		t.Fatalf("recreate not admitted: lvl=%d ok=%v", lvl, ok)
+	}
+	if w.Tombstones() != 0 {
+		t.Fatalf("tombstone not cleared: %d", w.Tombstones())
+	}
+}
+
+// TestLivenessApplyDropsDeletedSource checks that a transition whose
+// store patch fails with ErrNotFound (source deleted mid-sweep) drops
+// the index entry instead of rescheduling the patch forever.
+func TestLivenessApplyDropsDeletedSource(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	w := svc.NewLivenessSweeper(LivenessConfig{Interval: time.Second})
+	base := time.Unix(1700000000, 0).UTC()
+	now := base
+	w.SetClock(func() time.Time { return now })
+
+	uri := AggregationSourcesURI.Append("1")
+	st := svc.Store()
+	if err := st.Put(uri, churnSource(uri, base)); err != nil {
+		t.Fatal(err)
+	}
+	w.Sweep()
+	// Delete behind the sweeper's back: bypass the change stream by
+	// replaying the delete only to the store... the watcher fires on
+	// Delete, so instead simulate the race by deleting the entry's
+	// backing resource and re-adding the index entry with a stale seq.
+	if err := st.Delete(uri); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the entry as the pre-fix code could have (stale upsert
+	// with the tombstone absent): inject directly.
+	w.mu.Lock()
+	w.nextGen++
+	e := &sourceEntry{anchor: base.Add(-time.Hour), gen: w.nextGen, level: liveOK}
+	w.sources[uri] = e
+	w.deadlines = append(w.deadlines, deadlineItem{at: now, uri: uri, gen: e.gen})
+	w.mu.Unlock()
+
+	// The sweep computes a transition, the patch hits ErrNotFound, and
+	// the entry must be dropped — not rescheduled.
+	now = now.Add(time.Hour)
+	w.Sweep()
+	if _, ok := w.SourcesSnapshot()[uri]; ok {
+		t.Fatal("deleted source still indexed after failed patch")
+	}
+	w.Sweep()
+	if n := w.PendingDeadlines(); n > 0 {
+		// Lazily invalidated items may linger one pass; a second sweep at
+		// a later instant must have drained them.
+		now = now.Add(time.Hour)
+		w.Sweep()
+		if n = w.PendingDeadlines(); n > 0 {
+			t.Fatalf("deadline heap not drained: %d", n)
+		}
+	}
+}

@@ -104,6 +104,68 @@ func (s *Service) recordHeartbeat(id odata.ID, patch map[string]any) {
 	s.metrics.AgentLastHeartbeat.With(source).Set(float64(time.Now().UnixNano()) / 1e9)
 }
 
+// RegisterAggregationSource registers an agent's aggregation source,
+// returning the stored source and whether it was newly created (false
+// means an existing registration for the same HostName was revived).
+//
+// Registration is idempotent per HostName: agents retry the POST
+// through their resilient transport, and a retry of a POST that in fact
+// succeeded must not mint a duplicate source. The dedup lookup and the
+// create both run under allocMu — the lookup used to happen outside it,
+// so two concurrent registrations of one HostName could both miss and
+// mint duplicates. The change-stream-fed host index makes the lookup
+// O(1); the store notifies watchers synchronously on the mutating
+// goroutine, so by the time allocMu is released the index already
+// reflects this registration and the next holder cannot race past it.
+func (s *Service) RegisterAggregationSource(ctx context.Context, src redfish.AggregationSource) (redfish.AggregationSource, bool, error) {
+	start := time.Now()
+	created, err := s.registerSourceLocked(ctx, &src)
+	outcome := "created"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case !created:
+		outcome = "revived"
+	}
+	s.metrics.Registrations.With(outcome).Inc()
+	s.metrics.RegistrationSeconds.Observe(time.Since(start).Seconds())
+	return src, created, err
+}
+
+// registerSourceLocked is RegisterAggregationSource's critical section:
+// dedup, revive-or-create, store write, all under allocMu.
+func (s *Service) registerSourceLocked(ctx context.Context, src *redfish.AggregationSource) (bool, error) {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if src.HostName != "" {
+		if uri, ok := s.hosts.lookup(src.HostName); ok {
+			var existing redfish.AggregationSource
+			if err := s.store.GetAs(uri, &existing); err == nil {
+				// Re-registering an existing HostName updates the record in
+				// place and revives it.
+				src.Resource = existing.Resource
+				if src.Name == "" {
+					src.Name = existing.Name
+				}
+				src.Status = odata.StatusOK()
+				if src.Oem.OFMF != nil && src.Oem.OFMF.LastHeartbeat == "" {
+					src.Oem.OFMF.LastHeartbeat = redfish.Timestamp(time.Now())
+				}
+				return false, s.store.PutCtx(ctx, uri, *src)
+			}
+		}
+	}
+	id := s.store.NextID(AggregationSourcesURI)
+	uri := AggregationSourcesURI.Append(id)
+	name := src.Name
+	if name == "" {
+		name = "Agent " + id
+	}
+	src.Resource = odata.NewResource(uri, redfish.TypeAggregationSource, name)
+	src.Status = odata.StatusOK()
+	return true, s.store.PutCtx(ctx, uri, *src)
+}
+
 // ResourceProvisioner is an optional extension of FabricHandler: agents
 // whose hardware can provision resources (memory chunks, volumes, GPU
 // partitions) implement it so POSTs to their collections carve real

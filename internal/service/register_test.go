@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ofmf/internal/redfish"
+	"ofmf/internal/store"
+)
+
+// TestRegisterConcurrentSameHost is the regression test for the
+// registration race: the HostName dedup lookup used to run outside
+// allocMu, so concurrent registrations of one HostName could both miss
+// the existing source and mint duplicates. 100 goroutines registering
+// the same callback URL must converge on exactly one source.
+func TestRegisterConcurrentSameHost(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+
+	const goroutines = 100
+	const host = "http://agent-1.example:9000"
+	uris := make([]string, goroutines)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			src, _, err := svc.RegisterAggregationSource(context.Background(),
+				redfish.AggregationSource{HostName: host})
+			if err != nil {
+				t.Errorf("register %d: %v", i, err)
+				return
+			}
+			uris[i] = string(src.ODataID)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	members, err := svc.Store().Members(AggregationSourcesURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("want exactly 1 aggregation source, got %d: %v", len(members), members)
+	}
+	for i, uri := range uris {
+		if uri != string(members[0]) {
+			t.Fatalf("goroutine %d got URI %q, want %q", i, uri, members[0])
+		}
+	}
+	var stored redfish.AggregationSource
+	if err := svc.Store().GetAs(members[0], &stored); err != nil {
+		t.Fatal(err)
+	}
+	if stored.HostName != host {
+		t.Fatalf("stored HostName = %q, want %q", stored.HostName, host)
+	}
+}
+
+// TestRegisterManyHostsConcurrent checks that distinct hosts never
+// collide on allocated ids and each maps to its own source.
+func TestRegisterManyHostsConcurrent(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			host := fmt.Sprintf("http://agent-%d.example:9000", i)
+			// Register twice: the second must revive, not duplicate.
+			if _, created, err := svc.RegisterAggregationSource(context.Background(),
+				redfish.AggregationSource{HostName: host}); err != nil || !created {
+				t.Errorf("host %d first register: created=%v err=%v", i, created, err)
+			}
+			if _, created, err := svc.RegisterAggregationSource(context.Background(),
+				redfish.AggregationSource{HostName: host}); err != nil || created {
+				t.Errorf("host %d second register: created=%v err=%v", i, created, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	members, err := svc.Store().Members(AggregationSourcesURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != n {
+		t.Fatalf("want %d aggregation sources, got %d", n, len(members))
+	}
+}
+
+// TestHostIndexDeleteRecreate drives the host index with a
+// delete-then-recreate cycle at the same HostName and checks the index
+// tracks the live source, including when a stale pre-delete
+// notification replays after the delete (the seq gate).
+func TestHostIndexDeleteRecreate(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ctx := context.Background()
+	const host = "http://churn.example:9000"
+
+	first, _, err := svc.RegisterAggregationSource(ctx, redfish.AggregationSource{HostName: host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Store().Delete(first.ODataID); err != nil {
+		t.Fatal(err)
+	}
+	if uri, ok := svc.hosts.lookup(host); ok {
+		t.Fatalf("host still indexed after delete: %s", uri)
+	}
+	second, created, err := svc.RegisterAggregationSource(ctx, redfish.AggregationSource{HostName: host})
+	if err != nil || !created {
+		t.Fatalf("re-register after delete: created=%v err=%v", created, err)
+	}
+	if second.ODataID == first.ODataID {
+		t.Fatalf("recreated source reused deleted URI %s", first.ODataID)
+	}
+	if uri, ok := svc.hosts.lookup(host); !ok || uri != second.ODataID {
+		t.Fatalf("index maps %q to %q, want %q", host, uri, second.ODataID)
+	}
+
+	// A stale pre-delete notification (lower seq than the recreate) must
+	// not clobber the live mapping.
+	svc.hosts.onChange(store.Change{Kind: store.Updated, ID: first.ODataID, Seq: 1})
+	if uri, ok := svc.hosts.lookup(host); !ok || uri != second.ODataID {
+		t.Fatalf("stale notification clobbered index: %q → %q, want %q", host, uri, second.ODataID)
+	}
+}

@@ -152,6 +152,10 @@ type Service struct {
 	composer SystemComposer
 	eventSeq int64
 
+	// hosts indexes AggregationSource.HostName → source URI for O(1)
+	// registration dedup (see hostIndex).
+	hosts *hostIndex
+
 	// allocMu serializes id allocation for POSTed resources so concurrent
 	// creations in one collection cannot collide.
 	allocMu sync.Mutex
@@ -199,6 +203,11 @@ func New(cfg Config) *Service {
 		tracer:   cfg.Tracer,
 		handlers: make(map[odata.ID]FabricHandler),
 	}
+	// The host index watches from the very first mutation (before
+	// bootstrap), so it also covers sources re-created by WAL recovery
+	// replay and never needs to scan the collection.
+	s.hosts = newHostIndex(s.store)
+	s.store.Watch(s.hosts.onChange)
 	// Shard labels are precomputed so the hooks on the store's hot paths
 	// never format strings; index -1 is the cross-shard ("all") label.
 	shardLabels := make([]string, s.store.ShardCount()+1)
@@ -274,6 +283,9 @@ func New(cfg Config) *Service {
 	reg.CounterFunc("ofmf_events_dropped_total",
 		"Events dropped on full subscription queues.",
 		func() float64 { return float64(s.bus.Stats().Dropped) })
+	reg.CounterFunc("ofmf_events_dropped_closed_total",
+		"Events discarded because their subscription was closed.",
+		func() float64 { return float64(s.bus.Stats().DroppedClosed) })
 	reg.GaugeFunc("ofmf_event_subscribers",
 		"Registered event subscriptions.",
 		func() float64 { return float64(len(s.bus.Subscriptions())) })

@@ -116,6 +116,12 @@ func (s *Store) AttachBackend(b Backend, lastSeq uint64) {
 	s.unlockAll()
 }
 
+// Seq returns the global commit sequence number of the last mutation
+// record handed to the durability backend (0 with no backend ever
+// attached). The chaos harness compares it across a kill/recover cycle
+// to prove WAL sequence integrity.
+func (s *Store) Seq() uint64 { return s.seq.Load() }
+
 // Close detaches and closes the attached backend, if any, flushing its
 // buffered records. The store remains usable (in-memory only) afterwards.
 func (s *Store) Close() error {

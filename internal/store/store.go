@@ -81,9 +81,18 @@ func (k ChangeKind) String() string {
 // out over further HTTP edges use it to keep event delivery in the
 // originating trace. Watchers must not use Ctx for cancellation — it
 // may already be done by the time an asynchronous consumer runs.
+//
+// Seq is the store's mutation sequence number, assigned while the
+// mutated shard's write lock is held. Unlike the WAL commit sequence it
+// always advances, backend or not. Because notification runs after the
+// lock is released, two watchers can observe changes to the same URI in
+// either order — but their Seq values always reflect commit order, so a
+// watcher keeping derived per-URI state can discard the stale one (the
+// liveness sweeper's delete/recreate handling depends on this).
 type Change struct {
 	Kind ChangeKind
 	ID   odata.ID
+	Seq  uint64
 	Ctx  context.Context
 }
 
@@ -104,6 +113,12 @@ type Store struct {
 	// sequence-ascending and merging all streams by Seq reconstructs the
 	// total commit order. It advances only while a backend is attached.
 	seq atomic.Uint64
+
+	// mutSeq numbers every committed mutation for change notification
+	// (see Change.Seq). Assigned under the mutated shard's write lock
+	// like seq, but independent of it: mutSeq advances with no backend
+	// attached and is not persisted.
+	mutSeq atomic.Uint64
 
 	// backend and sharded are written only while every shard lock is
 	// held (AttachBackend/Close) and read under at least one shard lock.
@@ -266,7 +281,9 @@ func (s *Store) PutCtx(ctx context.Context, id odata.ID, v any) error {
 	sh := s.lockShard(si)
 	kind, changed := sh.eng.put(id, raw)
 	var wait func() error
+	var cs uint64
 	if changed {
+		cs = s.mutSeq.Add(1)
 		wait = s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
 	}
 	sh.mu.Unlock()
@@ -276,7 +293,7 @@ func (s *Store) PutCtx(ctx context.Context, id odata.ID, v any) error {
 	}
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
-	s.notify(Change{Kind: kind, ID: id, Ctx: ctx})
+	s.notify(Change{Kind: kind, ID: id, Seq: cs, Ctx: ctx})
 	return werr
 }
 
@@ -304,12 +321,13 @@ func (s *Store) CreateCtx(ctx context.Context, id odata.ID, v any) error {
 		return err
 	}
 	sh.eng.put(id, raw)
+	cs := s.mutSeq.Add(1)
 	wait := s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
 	sh.mu.Unlock()
 
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
-	s.notify(Change{Kind: Added, ID: id, Ctx: ctx})
+	s.notify(Change{Kind: Added, ID: id, Seq: cs, Ctx: ctx})
 	return werr
 }
 
@@ -427,7 +445,9 @@ func (s *Store) PatchCtx(ctx context.Context, id odata.ID, patch map[string]any,
 	}
 	_, changed := sh.eng.put(id, raw)
 	var wait func() error
+	var cs uint64
 	if changed {
+		cs = s.mutSeq.Add(1)
 		wait = s.commitShardLocked(si, []Record{{Op: OpPut, ID: id, Raw: raw}})
 	}
 	sh.mu.Unlock()
@@ -438,7 +458,7 @@ func (s *Store) PatchCtx(ctx context.Context, id odata.ID, patch map[string]any,
 	}
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
-	s.notify(Change{Kind: Updated, ID: id, Ctx: ctx})
+	s.notify(Change{Kind: Updated, ID: id, Seq: cs, Ctx: ctx})
 	return werr
 }
 
@@ -478,12 +498,13 @@ func (s *Store) DeleteCtx(ctx context.Context, id odata.ID) error {
 		sp.EndErr(err)
 		return err
 	}
+	cs := s.mutSeq.Add(1)
 	wait := s.commitShardLocked(si, []Record{{Op: OpDelete, ID: id}})
 	sh.mu.Unlock()
 
 	werr := waitDurableTraced(sp, wait)
 	sp.EndErr(werr)
-	s.notify(Change{Kind: Removed, ID: id, Ctx: ctx})
+	s.notify(Change{Kind: Removed, ID: id, Seq: cs, Ctx: ctx})
 	return werr
 }
 
@@ -723,7 +744,7 @@ func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources ma
 		}
 		if _, present := prepared[id]; !present {
 			s.engFor(multi, si, id).remove(id)
-			changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
+			changes = append(changes, Change{Kind: Removed, ID: id, Seq: s.mutSeq.Add(1), Ctx: ctx})
 			if logging {
 				batch = append(batch, Record{Op: OpDelete, ID: id})
 			}
@@ -734,7 +755,7 @@ func (s *Store) PutSubtreeCtx(ctx context.Context, prefix odata.ID, resources ma
 		if !changed {
 			continue
 		}
-		changes = append(changes, Change{Kind: kind, ID: id, Ctx: ctx})
+		changes = append(changes, Change{Kind: kind, ID: id, Seq: s.mutSeq.Add(1), Ctx: ctx})
 		if logging {
 			batch = append(batch, Record{Op: OpPut, ID: id, Raw: raw})
 		}
@@ -801,7 +822,7 @@ func (s *Store) DeleteSubtreeCtx(ctx context.Context, prefix odata.ID) (int, err
 	logging := s.backend != nil
 	for _, id := range ids {
 		s.engFor(multi, si, id).remove(id)
-		changes = append(changes, Change{Kind: Removed, ID: id, Ctx: ctx})
+		changes = append(changes, Change{Kind: Removed, ID: id, Seq: s.mutSeq.Add(1), Ctx: ctx})
 		if logging {
 			batch = append(batch, Record{Op: OpDelete, ID: id})
 		}
