@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full loadsmoke chaossmoke cover reproduce examples clean
+.PHONY: all build vet test race bench bench-full loadsmoke chaossmoke replsmoke cover reproduce examples clean
 
 all: build vet test
 
@@ -54,6 +54,15 @@ loadsmoke:
 # -scenario all -out BENCH_serving.json`.
 chaossmoke:
 	$(GO) run -race ./cmd/ofmfchaos -agents 100 -seed 42 -scenario all -smoke -out /tmp/ofmfchaos-smoke.json
+
+# Replication failover gate under the race detector: a 1-leader /
+# 2-replica in-process cluster loses its leader while four writers
+# POST through whichever node answers. A replica must promote into a
+# higher epoch, clients must be carried to it, every acknowledged
+# (201) write must survive, and the survivors' trees must converge
+# byte-identically.
+replsmoke:
+	$(GO) test -race -count=1 -run 'TestReplSmoke' ./internal/store/repl
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

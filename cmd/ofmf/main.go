@@ -43,6 +43,8 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +57,7 @@ import (
 	"ofmf/internal/sessions"
 	"ofmf/internal/store"
 	"ofmf/internal/store/persist"
+	"ofmf/internal/store/repl"
 	"ofmf/internal/telemetry"
 )
 
@@ -84,7 +87,23 @@ func main() {
 			"heartbeat age at which an agent is marked Degraded; 3x marks it Unavailable")
 		eventWorkers = flag.Int("event-workers", 0,
 			"event delivery worker pool size (0 sizes to the CPU count)")
+
+		role = flag.String("role", "",
+			"replication role: leader (read-write, ships its WAL) or replica (read-only, follows the leader; promotes on failover); empty runs unreplicated")
+		peers   peerFlag
+		selfURL = flag.String("self-url", "",
+			"this node's externally reachable base URL, required with -role")
+		minSync = flag.Int("repl-min-sync", 0,
+			"followers that must acknowledge a write before the client is acknowledged (0 ships asynchronously)")
+		syncTimeout = flag.Duration("repl-sync-timeout", 5*time.Second,
+			"how long a semi-sync write waits for follower acknowledgements before failing")
+		leaseTimeout = flag.Duration("lease-timeout", 3*time.Second,
+			"leadership lease: a replica that hears nothing for this long holds an election")
+		proxyWrites = flag.Bool("repl-proxy-writes", false,
+			"replicas proxy mutations to the leader instead of returning 307 redirects")
 	)
+	flag.Var(&peers, "peer",
+		"base URL of another replication node; repeat per peer, or pass one comma-separated list")
 	flag.Parse()
 
 	level, err := obsv.ParseLevel(*logLevel)
@@ -97,6 +116,17 @@ func main() {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+
+	if *role != "" && *role != "leader" && *role != "replica" {
+		fatal("ofmf: -role must be leader or replica", nil)
+	}
+	if *role != "" && *selfURL == "" {
+		fatal("ofmf: -role requires -self-url", nil)
+	}
+	if *role == "replica" && *testbed {
+		fatal("ofmf: a replica cannot assemble the testbed; its tree comes from the leader", nil)
+	}
+	peerList := []string(peers)
 
 	var creds sessions.Credentials
 	if *auth != "" {
@@ -178,7 +208,20 @@ func main() {
 	// Put/Delete paths, so indexes and id high-water marks are rebuilt
 	// exactly; a StatusChange event and log line make the restore visible
 	// to operators.
-	if *dataDir != "" {
+	// pb tracks the live persist backend — boot-recovered here on a
+	// leader (or an unreplicated node), installed at promotion time on a
+	// replica — so the replication layer's disk-tail and snapshot
+	// closures always see the current one.
+	var pb atomic.Pointer[persist.FileBackend]
+	var bootStats persist.RecoveryStats
+	if *dataDir != "" && *role == "replica" {
+		// A replica's tree comes from the leader; its data directory
+		// stays untouched until this node is promoted, at which point it
+		// is bootstrapped at the replicated sequence number. It must be
+		// empty then — a previous life's history cannot be merged with
+		// the replicated one.
+		logger.Info("ofmf: replica: data dir deferred until promotion", "data_dir", *dataDir)
+	} else if *dataDir != "" {
 		backend, err := persist.Open(persist.Options{
 			Dir:              *dataDir,
 			Fsync:            *fsync,
@@ -195,8 +238,14 @@ func main() {
 		if err != nil {
 			fatal("ofmf: recovery", err)
 		}
-		tree.AttachBackend(backend, stats.LastSeq)
+		if *role == "" {
+			// Replicated leaders attach through the replication tee
+			// below; unreplicated nodes log straight to disk.
+			tree.AttachBackend(backend, stats.LastSeq)
+		}
 		backend.StartSnapshots(tree)
+		pb.Store(backend)
+		bootStats = stats
 		logger.Info("ofmf: store recovered",
 			"data_dir", *dataDir, "resources", stats.Resources,
 			"replayed", stats.Replayed, "snapshot_seq", stats.SnapshotSeq,
@@ -211,16 +260,115 @@ func main() {
 
 	// The liveness sweeper is the OFMF-side half of the heartbeat
 	// contract: agents report in; the sweeper downgrades sources whose
-	// reports stop arriving.
-	if *sweepInterval > 0 {
+	// reports stop arriving. It runs only where registrations land —
+	// the leader — so replicas never mark sources stale from a tree
+	// they don't own; failover callbacks toggle it.
+	var sweepMu sync.Mutex
+	var stopSweep func()
+	startSweep := func() {
+		sweepMu.Lock()
+		defer sweepMu.Unlock()
+		if stopSweep != nil || *sweepInterval <= 0 {
+			return
+		}
 		sweeper := ofmfSvc.NewLivenessSweeper(service.LivenessConfig{
 			Interval:   *sweepInterval,
 			StaleAfter: *heartbeatTimeout,
 		})
-		stopSweep := sweeper.Start()
-		defer stopSweep()
+		stopSweep = sweeper.Start()
 		logger.Info("ofmf: liveness sweeper running",
 			"interval", *sweepInterval, "heartbeat_timeout", *heartbeatTimeout)
+	}
+	haltSweep := func() {
+		sweepMu.Lock()
+		defer sweepMu.Unlock()
+		if stopSweep != nil {
+			stopSweep()
+			stopSweep = nil
+		}
+	}
+	defer haltSweep()
+
+	if *role == "" {
+		startSweep()
+	} else {
+		var node *repl.Node
+		var inner store.Backend
+		if b := pb.Load(); b != nil {
+			inner = b
+		}
+		cfg := repl.Config{
+			Store:        tree,
+			Self:         strings.TrimRight(*selfURL, "/"),
+			Peers:        peerList,
+			Leader:       *role == "leader",
+			BootEpoch:    bootStats.LastEpoch,
+			MinSync:      *minSync,
+			SyncTimeout:  *syncTimeout,
+			LeaseTimeout: *leaseTimeout,
+			Inner:        inner,
+			DiskTail: func(from uint64) ([]store.Record, error) {
+				if b := pb.Load(); b != nil {
+					return b.ReadRecords(from)
+				}
+				return nil, nil
+			},
+			DiskFlush: func() error {
+				if b := pb.Load(); b != nil {
+					return b.Flush()
+				}
+				return nil
+			},
+			DiskSnapshot: func() ([]byte, uint64, bool, error) {
+				if b := pb.Load(); b != nil {
+					return b.LatestSnapshot()
+				}
+				return nil, 0, false, nil
+			},
+			OnLeader: func(epoch uint64) {
+				ofmfSvc.ClearReplicaMode()
+				startSweep()
+			},
+			OnFollower: func(string) {
+				haltSweep()
+				ofmfSvc.SetReplicaMode(func() string { return node.LeaderURL() }, *proxyWrites)
+			},
+			Logger:  logger,
+			Metrics: metrics,
+		}
+		if *dataDir != "" {
+			cfg.PromoteBackend = func(st *store.Store, seq uint64) (store.Backend, error) {
+				b, err := persist.Open(persist.Options{
+					Dir:              *dataDir,
+					Fsync:            *fsync,
+					Shards:           nShards,
+					SnapshotInterval: *snapInterval,
+					Logger:           logger,
+					Metrics:          metrics,
+					Tracer:           tracer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := b.Bootstrap(st, seq); err != nil {
+					b.Close()
+					return nil, err
+				}
+				b.StartSnapshots(st)
+				pb.Store(b)
+				return b, nil
+			}
+		}
+		node, err = repl.NewNode(cfg)
+		if err != nil {
+			fatal("ofmf: replication", err)
+		}
+		mux.Handle(repl.PathPrefix, node.Handler())
+		node.Start()
+		defer node.Stop()
+		logger.Info("ofmf: replication enabled",
+			"role", *role, "self", *selfURL, "peers", peerList,
+			"min_sync", *minSync, "lease", *leaseTimeout)
 	}
 
 	if *withMetrics {
@@ -282,4 +430,21 @@ func main() {
 		}
 	}
 	logger.Info("ofmf: stopped")
+}
+
+// peerFlag accumulates -peer values: the flag may be repeated, and each
+// value may itself be a comma-separated list. Trailing slashes are
+// stripped so peer URLs compare equal to the -self-url other nodes
+// advertise.
+type peerFlag []string
+
+func (p *peerFlag) String() string { return strings.Join(*p, ",") }
+
+func (p *peerFlag) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*p = append(*p, strings.TrimRight(u, "/"))
+		}
+	}
+	return nil
 }

@@ -17,6 +17,7 @@
 //	decompose <id>             tear a composition down
 //	compositions               list live compositions
 //	stats                      composability utilization counters
+//	replication                replication role, epoch and follower progress
 //	events [EventType]         tail the SSE event stream
 //	dump [file]                download the whole resource tree (stdout or file)
 //	restore <file>             replace the live tree with a dump (atomic)
@@ -127,6 +128,18 @@ func main() {
 		check(err)
 		check(c.ImportTree(data))
 		fmt.Println("restored tree from", args[1])
+	case "replication":
+		// Replication status lives outside the Redfish tree (every node
+		// answers, leader or replica, without redirecting).
+		resp, err := c.HTTP.Get(*url + "/repl/v1/status")
+		check(err)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("ofmfctl: replication status returned %s (is the node running with -role?)", resp.Status)
+		}
+		var status map[string]any
+		check(json.NewDecoder(resp.Body).Decode(&status))
+		dump(status)
 	case "events":
 		streamURL := *url + string(service.SSEURI)
 		if len(args) > 1 {

@@ -80,6 +80,31 @@ type Metrics struct {
 	// RecoveryReplayed counts WAL records replayed at boot recovery:
 	// ofmf_recovery_replayed_total.
 	RecoveryReplayed *Counter
+	// WALQuarantined counts WAL segments renamed aside because recovery
+	// refused to replay them (found after a torn record, or holding
+	// records beyond a global sequence gap). Quarantine preserves bytes
+	// that may include acknowledged commits; a non-zero rate means an
+	// operator should inspect the data directory:
+	// ofmf_wal_quarantined_total.
+	WALQuarantined *Counter
+
+	// ReplShipped counts mutation records shipped to replication
+	// followers (one increment per record per follower stream):
+	// ofmf_repl_shipped_total.
+	ReplShipped *Counter
+	// ReplApplied counts replicated records applied by this node as a
+	// follower: ofmf_repl_applied_total.
+	ReplApplied *Counter
+	// ReplEpoch gauges the node's current replication epoch; it bumps by
+	// one at every failover: ofmf_repl_epoch.
+	ReplEpoch *Gauge
+	// ReplAppliedSeq gauges the last replicated sequence number this
+	// node applied (follower) or committed (leader): ofmf_repl_seq.
+	ReplAppliedSeq *Gauge
+	// ReplAckLag times how long a committed record took to be
+	// acknowledged by the first follower — the shipping lag a semi-sync
+	// write waits out: ofmf_repl_ack_lag_seconds.
+	ReplAckLag *Histogram
 
 	// EventPublishSeconds times event fan-out on the publish path
 	// (subscription-index match plus enqueue, or inline delivery in
@@ -152,6 +177,18 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Durable store snapshot duration in seconds.", nil),
 		RecoveryReplayed: reg.Counter("ofmf_recovery_replayed_total",
 			"WAL records replayed during boot recovery."),
+		WALQuarantined: reg.Counter("ofmf_wal_quarantined_total",
+			"WAL segments quarantined by recovery (torn-tail successors or beyond a sequence gap)."),
+		ReplShipped: reg.Counter("ofmf_repl_shipped_total",
+			"Mutation records shipped to replication followers."),
+		ReplApplied: reg.Counter("ofmf_repl_applied_total",
+			"Replicated mutation records applied by this follower."),
+		ReplEpoch: reg.Gauge("ofmf_repl_epoch",
+			"Current replication epoch (leadership term)."),
+		ReplAppliedSeq: reg.Gauge("ofmf_repl_seq",
+			"Last replicated sequence number applied or committed by this node."),
+		ReplAckLag: reg.Histogram("ofmf_repl_ack_lag_seconds",
+			"Time from record commit to first follower acknowledgement.", nil),
 		EventPublishSeconds: reg.Histogram("ofmf_event_publish_seconds",
 			"Event publish fan-out duration in seconds (index match + enqueue).", nil),
 		SweepSeconds: reg.Histogram("ofmf_sweep_seconds",

@@ -31,6 +31,40 @@ type hostIndex struct {
 	// tombs records the deletion seq of evicted URIs; an upsert must
 	// carry a newer seq to re-admit the URI (delete-then-recreate).
 	tombs map[odata.ID]uint64
+	// lastSeq is the highest change seq observed; tombstones are
+	// garbage-collected once the stream has moved tombRetainSeqs past
+	// them (see gcTombsLocked).
+	lastSeq uint64
+	// sweepAfter throttles GC sweeps: no sweep before lastSeq passes it.
+	sweepAfter uint64
+}
+
+// Tombstone GC tuning. A tombstone only matters while an out-of-order
+// pre-delete notification for its URI can still arrive; notifications
+// trail their mutation by goroutine-scheduling delays, not by thousands
+// of commits, so once the stream has advanced tombRetainSeqs past a
+// deletion its tombstone is dead weight. Sweeps are amortized: only
+// when the map has at least tombSweepLen entries, and at most once per
+// tombSweepEvery observed seqs — delete/recreate churn therefore holds
+// the map near tombRetainSeqs entries instead of growing it forever.
+const (
+	tombRetainSeqs = 1024
+	tombSweepLen   = 256
+	tombSweepEvery = 64
+)
+
+// gcTombsLocked drops tombstones the change stream has long passed.
+// Caller holds x.mu.
+func (x *hostIndex) gcTombsLocked() {
+	if len(x.tombs) < tombSweepLen || x.lastSeq < x.sweepAfter {
+		return
+	}
+	for id, seq := range x.tombs {
+		if seq+tombRetainSeqs <= x.lastSeq {
+			delete(x.tombs, id)
+		}
+	}
+	x.sweepAfter = x.lastSeq + tombSweepEvery
 }
 
 // hostEntry is the index's view of one aggregation source.
@@ -69,6 +103,9 @@ func (x *hostIndex) onChange(c store.Change) {
 	}
 	if c.Kind == store.Removed {
 		x.mu.Lock()
+		if c.Seq > x.lastSeq {
+			x.lastSeq = c.Seq
+		}
 		if e, ok := x.byURI[c.ID]; ok && c.Seq > e.seq {
 			if x.byHost[e.host] == c.ID {
 				delete(x.byHost, e.host)
@@ -78,6 +115,7 @@ func (x *hostIndex) onChange(c store.Change) {
 		} else if !ok && c.Seq > x.tombs[c.ID] {
 			x.tombs[c.ID] = c.Seq
 		}
+		x.gcTombsLocked()
 		x.mu.Unlock()
 		return
 	}
@@ -90,6 +128,9 @@ func (x *hostIndex) onChange(c store.Change) {
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if c.Seq > x.lastSeq {
+		x.lastSeq = c.Seq
+	}
 	if e, ok := x.byURI[c.ID]; ok {
 		if c.Seq <= e.seq {
 			return // stale reordered notification

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ofmf/internal/redfish"
+)
+
+// TestHostIndexTombstoneGC is the regression test for unbounded
+// tombstone growth: every deleted aggregation source left a permanent
+// entry in hostIndex.tombs, so fleets that register and deregister
+// agents in steady state (spot instances, maintenance rotation) leaked
+// one map entry per deletion forever. The GC drops tombstones once the
+// change stream has moved tombRetainSeqs past them; sustained
+// delete/recreate churn must hold the map near that window, not grow
+// it linearly.
+func TestHostIndexTombstoneGC(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	st := svc.Store()
+
+	const churn = 5000
+	for i := 0; i < churn; i++ {
+		src, _, err := svc.RegisterAggregationSource(context.Background(),
+			redfish.AggregationSource{HostName: fmt.Sprintf("http://agent-%d.example:9000", i)})
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		if err := st.Delete(src.ODataID); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+
+	svc.hosts.mu.Lock()
+	tombs := len(svc.hosts.tombs)
+	entries := len(svc.hosts.byURI)
+	svc.hosts.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("byURI should be empty after full churn, holds %d", entries)
+	}
+	// The retention window plus one sweep interval of slack; without GC
+	// this would be the full churn count.
+	const bound = tombRetainSeqs + tombSweepLen + tombSweepEvery
+	if tombs > bound {
+		t.Fatalf("tombstone map grew to %d entries after %d delete/recreate cycles (want <= %d)",
+			tombs, churn, bound)
+	}
+
+	// The window must still do its job: a tombstone inside it keeps
+	// blocking resurrection by late out-of-order upserts (covered by
+	// the seq-gating tests); a fresh registration after churn works.
+	src, created, err := svc.RegisterAggregationSource(context.Background(),
+		redfish.AggregationSource{HostName: "http://agent-fresh.example:9000"})
+	if err != nil || !created {
+		t.Fatalf("fresh registration after churn: created=%v err=%v", created, err)
+	}
+	if uri, ok := svc.hosts.lookup("http://agent-fresh.example:9000"); !ok || uri != src.ODataID {
+		t.Fatalf("host index lookup after churn: ok=%v uri=%s want %s", ok, uri, src.ODataID)
+	}
+}

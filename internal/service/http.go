@@ -115,6 +115,16 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r, id) {
 		return
 	}
+	// Replica serving: reads come from the local replicated tree;
+	// mutations and SSE (the event plane is leader-owned) forward to
+	// the leader. One atomic load — the GET hot path stays allocation
+	// free when the pointer is nil (the normal, non-replica case).
+	if rm := s.replica.Load(); rm != nil {
+		if (r.Method != http.MethodGet && r.Method != http.MethodHead) || id == SSEURI {
+			s.forwardToLeader(w, r, rm)
+			return
+		}
+	}
 	switch id {
 	case SubtreeOemURI:
 		s.handleSubtreePush(w, r)

@@ -19,6 +19,7 @@ import (
 	"log/slog"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofmf/internal/events"
@@ -159,6 +160,12 @@ type Service struct {
 	// allocMu serializes id allocation for POSTed resources so concurrent
 	// creations in one collection cannot collide.
 	allocMu sync.Mutex
+
+	// replica, when non-nil, puts the service in replica serving mode:
+	// reads are served from the local (replicated) tree, everything
+	// else is forwarded to the leader (see replica.go). An atomic
+	// pointer so the hot GET path pays one load, no lock.
+	replica atomic.Pointer[replicaMode]
 }
 
 // SetSystemComposer wires Redfish-native composition: subsequent POSTs to

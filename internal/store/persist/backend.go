@@ -76,6 +76,11 @@ type RecoveryStats struct {
 	// LastSeq is the highest committed sequence number recovered; pass
 	// it to Store.AttachBackend.
 	LastSeq uint64
+	// LastEpoch is the highest replication epoch stamped on any
+	// replayed record (0 for an unreplicated history); a rebooting
+	// leader seeds its term from it so epochs never move backwards
+	// across a restart.
+	LastEpoch uint64
 	// Shards is the stream count the directory was compacted into (the
 	// configured layout).
 	Shards int
@@ -226,6 +231,7 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 					if err := os.Rename(lp, lp+quarantineSuffix); err != nil {
 						return stats, fmt.Errorf("persist: quarantine %s: %w", lp, err)
 					}
+					b.countQuarantine()
 				}
 				if i < len(segs)-1 {
 					if err := syncDir(sdir); err != nil {
@@ -272,6 +278,9 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 		}
 		stats.Replayed++
 		lastSeq = sr.rec.Seq
+		if sr.rec.Epoch > stats.LastEpoch {
+			stats.LastEpoch = sr.rec.Epoch
+		}
 	}
 	stats.Dropped = len(merged) - dropFrom
 	quarantine := make(map[string]bool)
@@ -314,9 +323,12 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 		for _, seg := range segs {
 			p := walPath(sdir, seg)
 			if quarantine[p] {
+				b.log.Warn("persist: quarantining segment beyond sequence gap",
+					"segment", p, "quarantined", p+quarantineSuffix)
 				if err := os.Rename(p, p+quarantineSuffix); err != nil {
 					return stats, fmt.Errorf("persist: quarantine %s: %w", p, err)
 				}
+				b.countQuarantine()
 				continue
 			}
 			os.Remove(p)
@@ -364,6 +376,16 @@ func (b *FileBackend) Recover(st *store.Store) (RecoveryStats, error) {
 		"dropped", stats.Dropped, "shards", b.shards,
 		"duration", stats.Duration)
 	return stats, nil
+}
+
+// countQuarantine records one quarantined WAL segment in the metrics
+// bundle. The rename itself is always accompanied by a warning log
+// carrying the quarantined path; this makes the event visible to
+// monitoring that only scrapes /metrics.
+func (b *FileBackend) countQuarantine() {
+	if m := b.opts.Metrics; m != nil {
+		m.WALQuarantined.Inc()
+	}
 }
 
 func (b *FileBackend) onFsync(d time.Duration) {

@@ -1,0 +1,174 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ofmf/internal/store"
+)
+
+// This file is the persistence layer's replication surface: segment
+// tailing for followers that lag behind the leader's in-memory backlog,
+// snapshot serving for bootstrap, and data-dir initialization for a
+// replica promoted mid-history. The shipping protocol itself lives in
+// store/repl; persist only exposes ordered reads of what is already on
+// disk.
+
+// ReadRecords returns the contiguous run of committed records with
+// Seq > fromSeq currently on disk, merged across every stream in global
+// sequence order. It stops (without error) at the first gap — a record
+// not yet flushed, or lost to a tear — so the caller always receives a
+// replayable prefix. Torn tails end their stream's contribution exactly
+// as recovery would, but nothing is truncated or quarantined: this is a
+// read-only tail, safe to call on a live backend.
+//
+// Records the active segments still hold in their write buffers are not
+// visible; call Flush first when the tail must include the newest
+// commits.
+func (b *FileBackend) ReadRecords(fromSeq uint64) ([]store.Record, error) {
+	b.mu.Lock()
+	closed := b.wals == nil
+	b.mu.Unlock()
+	if closed {
+		return nil, errors.New("persist: backend not recovered or already closed")
+	}
+	var merged []store.Record
+	for si := 0; si < b.shards; si++ {
+		sdir := shardDir(b.opts.Dir, b.shards, si)
+		segs, err := listSeqs(sdir, walPrefix, walSuffix)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		for _, seg := range segs {
+			f, err := os.Open(walPath(sdir, seg))
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // compaction raced the listing
+				}
+				return nil, fmt.Errorf("persist: open segment: %w", err)
+			}
+			recs, _, torn := decodeAll(f)
+			f.Close()
+			for _, rec := range recs {
+				if rec.Seq > fromSeq {
+					merged = append(merged, rec)
+				}
+			}
+			if torn {
+				break
+			}
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+	next := fromSeq + 1
+	for k, rec := range merged {
+		if rec.Seq != next {
+			// Duplicates (a record both in a retired and a rewritten
+			// segment) cannot happen — segments never overlap — so any
+			// mismatch is a gap: return the contiguous prefix.
+			return merged[:k], nil
+		}
+		next++
+	}
+	return merged, nil
+}
+
+// Flush forces every stream's buffered frames to the OS, so a
+// subsequent ReadRecords observes all records appended so far. It does
+// not fsync; durability still follows the backend's configured mode.
+func (b *FileBackend) Flush() error {
+	b.mu.Lock()
+	ws := append([]*wal(nil), b.wals...)
+	b.mu.Unlock()
+	var first error
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		if err := w.waitFor(w.seq()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LatestSnapshot returns the newest parseable on-disk snapshot: the
+// exported resource map and the commit sequence number it reflects.
+// ok is false when the directory holds none. Replication serves this to
+// bootstrapping replicas when it is recent enough, saving a fresh
+// all-shard export under the store's read locks.
+func (b *FileBackend) LatestSnapshot() (resources []byte, seq uint64, ok bool, err error) {
+	snap, ok, _, err := loadNewestSnapshot(b.opts.Dir)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	return snap.Resources, snap.Seq, true, nil
+}
+
+// Bootstrap initializes a fresh data directory for a replica promoted
+// to leader mid-history: install a snapshot of st at seq (the replica's
+// applied sequence number), write the layout descriptor, and open empty
+// WAL streams starting after seq. The directory must not already hold
+// snapshots or WAL segments — a promoted replica's local history (if
+// any) predates the replicated one and silently merging the two could
+// resurrect divergent records; the caller decides what to do with a
+// non-empty directory. Call instead of Recover, then AttachBackend.
+func (b *FileBackend) Bootstrap(st *store.Store, seq uint64) error {
+	start := time.Now()
+	dir := b.opts.Dir
+	for _, probe := range []struct{ prefix, suffix string }{
+		{snapPrefix, snapSuffix}, {walPrefix, walSuffix},
+	} {
+		seqs, err := listSeqs(dir, probe.prefix, probe.suffix)
+		if err != nil {
+			return err
+		}
+		if len(seqs) > 0 {
+			return fmt.Errorf("persist: bootstrap: %s holds existing %s*%s files", dir, probe.prefix, probe.suffix)
+		}
+	}
+	if onDisk, err := readLayout(dir); err != nil {
+		return err
+	} else if onDisk > 1 {
+		return fmt.Errorf("persist: bootstrap: %s holds a sharded layout", dir)
+	}
+	export, err := st.Export()
+	if err != nil {
+		return fmt.Errorf("persist: bootstrap export: %w", err)
+	}
+	if err := writeSnapshot(dir, seq, export); err != nil {
+		return err
+	}
+	if b.shards > 1 {
+		if err := installLayout(dir, b.shards); err != nil {
+			return err
+		}
+	}
+	ws := make([]*wal, b.shards)
+	for i := range ws {
+		sdir := shardDir(dir, b.shards, i)
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return fmt.Errorf("persist: shard dir: %w", err)
+		}
+		w, err := openWAL(walPath(sdir, seq+1), seq, b.opts.Fsync, b.onFsync)
+		if err != nil {
+			return err
+		}
+		ws[i] = w
+	}
+	b.mu.Lock()
+	b.wals = ws
+	b.lastSnapSeq = seq
+	b.mu.Unlock()
+	b.src = st
+	b.log.Info("persist: bootstrapped at replicated seq",
+		"seq", seq, "resources", st.Len(), "shards", b.shards,
+		"duration", time.Since(start))
+	return nil
+}

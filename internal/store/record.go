@@ -29,11 +29,21 @@ const (
 // shard's write lock is held, so the union of all log streams totally
 // orders the store's history even when shards log independently. Raw
 // carries the post-state for OpPut and is empty for OpDelete.
+//
+// Epoch is the replication leadership term the record was committed
+// under (see SetEpoch). It is 0 for an unreplicated store — the field
+// is omitted from the WAL encoding then, keeping data directories
+// byte-compatible with pre-replication layouts. After a failover the
+// promoted leader stamps a higher epoch into every new record, so the
+// logs themselves fence a deposed leader: two records with the same
+// Seq but different Epochs identify the divergent suffix an old
+// leader committed after losing leadership.
 type Record struct {
-	Seq uint64          `json:"s"`
-	Op  RecordOp        `json:"o"`
-	ID  odata.ID        `json:"i"`
-	Raw json.RawMessage `json:"r,omitempty"`
+	Seq   uint64          `json:"s"`
+	Epoch uint64          `json:"e,omitempty"`
+	Op    RecordOp        `json:"o"`
+	ID    odata.ID        `json:"i"`
+	Raw   json.RawMessage `json:"r,omitempty"`
 }
 
 // Backend is the store's durability seam. The zero-config store has no
@@ -122,6 +132,14 @@ func (s *Store) AttachBackend(b Backend, lastSeq uint64) {
 // to prove WAL sequence integrity.
 func (s *Store) Seq() uint64 { return s.seq.Load() }
 
+// SetEpoch sets the replication epoch stamped into every subsequently
+// committed record. The replication layer calls it when a node assumes
+// (or resumes) leadership; an unreplicated store leaves it at 0.
+func (s *Store) SetEpoch(e uint64) { s.epoch.Store(e) }
+
+// Epoch returns the current replication epoch.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
 // Close detaches and closes the attached backend, if any, flushing its
 // buffered records. The store remains usable (in-memory only) afterwards.
 func (s *Store) Close() error {
@@ -136,13 +154,16 @@ func (s *Store) Close() error {
 	return b.Close()
 }
 
-// stampLocked assigns the batch its global commit sequence numbers.
-// Callers hold the write lock of every shard the batch touches, so the
-// numbers land in each shard's stream in ascending order.
+// stampLocked assigns the batch its global commit sequence numbers and
+// the current replication epoch. Callers hold the write lock of every
+// shard the batch touches, so the numbers land in each shard's stream
+// in ascending order.
 func (s *Store) stampLocked(batch []Record) {
 	base := s.seq.Add(uint64(len(batch))) - uint64(len(batch))
+	epoch := s.epoch.Load()
 	for i := range batch {
 		batch[i].Seq = base + uint64(i) + 1
+		batch[i].Epoch = epoch
 	}
 }
 

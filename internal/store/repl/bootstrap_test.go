@@ -1,0 +1,415 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ofmf/internal/odata"
+	"ofmf/internal/service"
+	"ofmf/internal/store"
+	"ofmf/internal/store/persist"
+)
+
+// lateNode is a cluster member whose replication node starts after the
+// leader has already accumulated history — the snapshot-bootstrap
+// scenarios staggered starts that startTestCluster cannot express.
+type lateNode struct {
+	svc  *service.Service
+	node *Node
+	srv  *httptest.Server
+}
+
+func (ln *lateNode) stop() {
+	if ln.node != nil {
+		ln.node.Stop()
+	}
+	ln.srv.CloseClientConnections()
+	ln.srv.Close()
+	if ln.svc != nil {
+		ln.svc.Close()
+	}
+}
+
+// newLateNode reserves a listener (so peers can name this node before
+// it runs) without building the service or replication node yet.
+func newLateNode() (*lateNode, *http.ServeMux) {
+	mux := http.NewServeMux()
+	return &lateNode{srv: httptest.NewServer(mux)}, mux
+}
+
+// start builds the service and node on the reserved listener.
+func (ln *lateNode) start(t *testing.T, mux *http.ServeMux, mut func(cfg *Config)) {
+	t.Helper()
+	ln.svc = service.New(service.Config{Logger: quietLogger(), DirectWrites: true})
+	cfg := Config{
+		Store:        ln.svc.Store(),
+		Self:         ln.srv.URL,
+		LeaseTimeout: 300 * time.Millisecond,
+		Logger:       quietLogger(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.node = node
+	mux.Handle("/", ln.svc.Handler())
+	mux.Handle(PathPrefix, node.Handler())
+	node.Start()
+}
+
+// TestReplSnapshotBootstrapMidStream: a replica that joins after the
+// leader's in-memory backlog has evicted the history it needs must
+// bootstrap from a snapshot at the leader's current position and then
+// catch up over the stream with no gap and no duplicate apply — ending
+// byte-identical, and staying contiguous through later writes without
+// another bootstrap.
+func TestReplSnapshotBootstrapMidStream(t *testing.T) {
+	leader, leaderMux := newLateNode()
+	replica, replicaMux := newLateNode()
+	defer leader.stop()
+	defer replica.stop()
+
+	leader.start(t, leaderMux, func(cfg *Config) {
+		cfg.Leader = true
+		cfg.Peers = []string{replica.srv.URL}
+		cfg.RingSize = 64
+	})
+
+	// Push the backlog far past its ring so seq 1 is long evicted; with
+	// no disk tail configured, a from-zero follower can only be served
+	// by a snapshot.
+	client := leader.srv.Client()
+	for i := 0; i < 300; i++ {
+		if _, err := postChassis(client, leader.srv.URL, fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub := leader.node.currentHub()
+	if hub.RingFirst() <= 1 {
+		t.Fatalf("backlog never trimmed (ringFirst=%d); snapshot path not exercised", hub.RingFirst())
+	}
+
+	replica.start(t, replicaMux, func(cfg *Config) {
+		cfg.Peers = []string{leader.srv.URL}
+	})
+	waitFor(t, 5*time.Second, "replica caught up past the evicted backlog", func() bool {
+		return replica.node.Status().LastSeq == hub.LastSeq()
+	})
+
+	// The stream must keep flowing contiguously after the bootstrap; a
+	// second bootstrap or a sequence gap would show up as divergence or
+	// a stalled LastSeq.
+	for i := 0; i < 40; i++ {
+		if _, err := postChassis(client, leader.srv.URL, fmt.Sprintf("post-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "replica followed post-bootstrap writes", func() bool {
+		return replica.node.Status().LastSeq == hub.LastSeq()
+	})
+
+	want, err := leader.svc.Store().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.svc.Store().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("replica export differs after snapshot bootstrap (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestReplBootstrapAcrossCompaction: with a persist-backed leader, a
+// late replica is served the newest on-disk snapshot plus a WAL tail —
+// across a compaction that rotated the logs — and converges without the
+// leader holding its full history in memory.
+func TestReplBootstrapAcrossCompaction(t *testing.T) {
+	leader, leaderMux := newLateNode()
+	replica, replicaMux := newLateNode()
+	defer leader.stop()
+	defer replica.stop()
+
+	dir := t.TempDir()
+	leader.svc = service.New(service.Config{Logger: quietLogger(), DirectWrites: true})
+	b, err := persist.Open(persist.Options{Dir: dir, Shards: leader.svc.Store().ShardCount(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recover(leader.svc.Store()); err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(Config{
+		Store:        leader.svc.Store(),
+		Self:         leader.srv.URL,
+		Peers:        []string{replica.srv.URL},
+		Leader:       true,
+		RingSize:     64,
+		Inner:        b,
+		DiskTail:     b.ReadRecords,
+		DiskFlush:    b.Flush,
+		DiskSnapshot: b.LatestSnapshot,
+		LeaseTimeout: 300 * time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.node = node
+	leaderMux.Handle("/", leader.svc.Handler())
+	leaderMux.Handle(PathPrefix, node.Handler())
+	node.Start()
+
+	client := leader.srv.Client()
+	for i := 0; i < 120; i++ {
+		if _, err := postChassis(client, leader.srv.URL, fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := postChassis(client, leader.srv.URL, fmt.Sprintf("mid-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, seq, ok, err := b.LatestSnapshot(); err != nil || !ok || seq == 0 {
+		t.Fatalf("compaction left no usable snapshot (seq=%d ok=%v err=%v)", seq, ok, err)
+	}
+
+	replica.start(t, replicaMux, func(cfg *Config) {
+		cfg.Peers = []string{leader.srv.URL}
+	})
+	hub := leader.node.currentHub()
+	waitFor(t, 5*time.Second, "replica caught up across compaction", func() bool {
+		return replica.node.Status().LastSeq == hub.LastSeq()
+	})
+
+	want, err := leader.svc.Store().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.svc.Store().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("replica export differs after disk bootstrap (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestReplPromotedLeaderDurability: a replica promoted with
+// PromoteBackend gets a data directory positioned at its applied
+// sequence; writes accepted after the failover must be recoverable from
+// that directory by a fresh process.
+func TestReplPromotedLeaderDurability(t *testing.T) {
+	dir := t.TempDir()
+	leader, leaderMux := newLateNode()
+	replica, replicaMux := newLateNode()
+	defer leader.stop()
+	defer replica.stop()
+
+	leader.start(t, leaderMux, func(cfg *Config) {
+		cfg.Leader = true
+		cfg.Peers = []string{replica.srv.URL}
+		cfg.MinSync = 1
+		cfg.SyncTimeout = 5 * time.Second
+	})
+	var promoted atomic.Pointer[persist.FileBackend]
+	replica.start(t, replicaMux, func(cfg *Config) {
+		cfg.Peers = []string{leader.srv.URL}
+		cfg.PromoteBackend = func(st *store.Store, seq uint64) (store.Backend, error) {
+			pb, err := persist.Open(persist.Options{Dir: dir, Shards: st.ShardCount(), Logger: quietLogger()})
+			if err != nil {
+				return nil, err
+			}
+			if err := pb.Bootstrap(st, seq); err != nil {
+				pb.Close()
+				return nil, err
+			}
+			promoted.Store(pb)
+			return pb, nil
+		}
+	})
+	waitFor(t, 5*time.Second, "follower connected", func() bool {
+		return len(leader.node.Status().Followers) == 1
+	})
+
+	client := leader.srv.Client()
+	var preURI string
+	for i := 0; i < 10; i++ {
+		uri, err := postChassis(client, leader.srv.URL, fmt.Sprintf("pre-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		preURI = string(uri)
+	}
+	waitFor(t, 5*time.Second, "replica converged before failover", func() bool {
+		return replica.node.Status().LastSeq == leader.node.currentHub().LastSeq()
+	})
+
+	leader.node.Stop()
+	leader.srv.CloseClientConnections()
+	leader.srv.Close()
+	leader.svc.Close()
+	leader.node, leader.svc = nil, nil
+
+	waitFor(t, 5*time.Second, "replica promoted", func() bool {
+		return replica.node.Leading()
+	})
+	postURI, err := postChassis(replica.srv.Client(), replica.srv.URL, "post-failover")
+	if err != nil {
+		t.Fatalf("write on promoted leader: %v", err)
+	}
+
+	// Simulate a crash of the promoted leader: flush the WAL so the new
+	// term's records are on disk, but skip the graceful close — that
+	// would compact everything into a final snapshot and leave nothing
+	// for replay. Recovery must rebuild from the bootstrap snapshot plus
+	// the promoted term's WAL tail, and report the promoted epoch so a
+	// restart continues that term.
+	pb := promoted.Load()
+	if pb == nil {
+		t.Fatal("PromoteBackend never ran")
+	}
+	if err := pb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := store.New()
+	rb, err := persist.Open(persist.Options{Dir: dir, Shards: recovered.ShardCount(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rb.Recover(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	if stats.LastEpoch < 2 {
+		t.Errorf("recovered WAL epoch = %d, want the promoted term >= 2", stats.LastEpoch)
+	}
+	for _, uri := range []string{preURI, string(postURI)} {
+		if _, _, err := recovered.Get(odata.ID(uri)); err != nil {
+			t.Errorf("promoted leader's data dir lost %s: %v", uri, err)
+		}
+	}
+}
+
+// TestReplColdReplicaDoesNotSelfPromote: a replica that boots before
+// its leader (or with every peer down) has never followed any term and
+// holds no data; it must keep searching rather than promote an empty
+// tree into epoch 1 — an equal-epoch twin leader that fencing, which
+// only acts on *higher* epochs, could never depose. Once the real
+// leader comes up, the replica follows it.
+func TestReplColdReplicaDoesNotSelfPromote(t *testing.T) {
+	leader, leaderMux := newLateNode()
+	replica, replicaMux := newLateNode()
+	defer leader.stop()
+	defer replica.stop()
+
+	// Replica first; the leader's listener exists but 404s everything
+	// until the leader actually starts — the cold-boot race window.
+	replica.start(t, replicaMux, func(cfg *Config) {
+		cfg.Peers = []string{leader.srv.URL}
+	})
+	time.Sleep(1 * time.Second) // many election rounds at a 300ms lease
+	if replica.node.Leading() {
+		t.Fatal("cold replica promoted itself before ever seeing a leader")
+	}
+	if got := replica.node.Status().Role; got != RoleReplica {
+		t.Fatalf("cold replica role = %s, want replica", got)
+	}
+
+	leader.start(t, leaderMux, func(cfg *Config) {
+		cfg.Leader = true
+		cfg.Peers = []string{replica.srv.URL}
+	})
+	waitFor(t, 5*time.Second, "late leader adopted", func() bool {
+		st := replica.node.Status()
+		return st.Role == RoleReplica && st.LeaderURL == leader.srv.URL && st.Epoch == 1
+	})
+}
+
+// TestReplFencingDeposesStaleLeader: an acknowledgement carrying a
+// higher epoch proves a newer leader exists; the stale leader must
+// refuse it, fail pending writes, demote itself, and the group must
+// settle on a term above the fencing one.
+func TestReplFencingDeposesStaleLeader(t *testing.T) {
+	c := startTestCluster(t, 2, nil)
+	leader, replica := c.nodes[0], c.nodes[1]
+	waitFor(t, 5*time.Second, "follower connected", func() bool {
+		return len(leader.node.Status().Followers) == 1
+	})
+
+	resp, err := http.Post(leader.URL()+"/repl/v1/ack", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"Peer":%q,"Epoch":99,"Seq":0}`, replica.URL()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("higher-epoch ack: want 409, got %s", resp.Status)
+	}
+	waitFor(t, 5*time.Second, "stale leader demoted", func() bool {
+		return !leader.node.Leading()
+	})
+
+	// The group recovers into a term above the fencing epoch and writes
+	// flow again — through whichever node now leads.
+	waitFor(t, 10*time.Second, "new term elected past the fence", func() bool {
+		for _, tn := range c.nodes {
+			if tn.node.Leading() && tn.node.Status().Epoch > 99 {
+				return true
+			}
+		}
+		return false
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := postChassis(http.DefaultClient, c.leader().URL(), "after-fence")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writes never recovered after fencing: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplReplicaGetZeroAlloc guards the read-path acceptance bar:
+// replica-mode must not add allocations to the store's zero-copy read
+// path that local GETs are served from.
+func TestReplReplicaGetZeroAlloc(t *testing.T) {
+	c := startTestCluster(t, 2, nil)
+	leader, replica := c.nodes[0], c.nodes[1]
+	waitFor(t, 5*time.Second, "follower connected", func() bool {
+		return len(leader.node.Status().Followers) == 1
+	})
+	uri, err := postChassis(leader.srv.Client(), leader.URL(), "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged(5 * time.Second)
+
+	st := replica.svc.Store()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := st.View(uri, func(raw json.RawMessage, etag string) {}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("replica store read path allocates %v per op, want 0", allocs)
+	}
+}

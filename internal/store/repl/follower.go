@@ -1,0 +1,259 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ofmf/internal/odata"
+)
+
+// errResync asks the follower loop to restart followOnce; the snapshot
+// flag has already been set when a bootstrap is required.
+var errResync = errors.New("repl: resync required")
+
+// needsSnapshot reports (and clears are done by bootstrap) whether the
+// replica must replace its tree before streaming. The flag is set at
+// Start, on demotion, and whenever the stream reveals a gap — never
+// inferred from applied==0, which is a legitimate position on a fresh
+// cluster and must not force a re-bootstrap every reconnect.
+func (n *Node) needsSnapshot() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.needSnapshot
+}
+
+// bootstrap replaces the replica's tree with the leader's snapshot and
+// positions the stream cursor at the snapshot's sequence number. The
+// replacement goes through PutSubtree, which removes every local
+// resource absent from the snapshot — including a deposed leader's
+// divergent suffix — and publishes ordinary change notifications, so
+// watchers (host index, SSE sequencing) stay coherent.
+func (n *Node) bootstrap(ctx context.Context, leader string) error {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/repl/v1/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: snapshot fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("repl: snapshot fetch: %s from %s", resp.Status, leader)
+	}
+	var doc snapshotDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("repl: snapshot decode: %w", err)
+	}
+	var flat map[odata.ID]json.RawMessage
+	if err := json.Unmarshal(doc.Resources, &flat); err != nil {
+		return fmt.Errorf("repl: snapshot resources: %w", err)
+	}
+	resources := make(map[odata.ID]any, len(flat))
+	for id, raw := range flat {
+		resources[id] = raw
+	}
+	if err := n.st.PutSubtree(n.treeRoot, resources); err != nil {
+		return fmt.Errorf("repl: snapshot install: %w", err)
+	}
+	n.applied.Store(doc.Seq)
+	n.setEpoch(doc.Epoch)
+	n.mu.Lock()
+	n.needSnapshot = false
+	n.mu.Unlock()
+	if n.m != nil {
+		n.m.ReplAppliedSeq.Set(float64(doc.Seq))
+	}
+	n.log.Info("repl: snapshot bootstrap complete",
+		"leader", leader, "seq", doc.Seq, "epoch", doc.Epoch,
+		"resources", len(flat), "duration", time.Since(start))
+	return nil
+}
+
+// followOnce runs one bootstrap-if-needed + stream-and-apply cycle
+// against leader, returning when the stream dies, the lease expires,
+// or the leader tells the follower to do something else (resync,
+// elect). Record application is strict: a record must carry exactly
+// applied+1; anything later is a gap that forces a snapshot resync,
+// anything earlier is a replay duplicate and is skipped.
+func (n *Node) followOnce(ctx context.Context, leader string) error {
+	if n.needsSnapshot() {
+		if err := n.bootstrap(ctx, leader); err != nil {
+			return err
+		}
+	}
+
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// The lease: any frame resets the watchdog; silence for the full
+	// lease kills the stream, sending the loop into election.
+	watchdog := time.AfterFunc(n.lease, cancel)
+	defer watchdog.Stop()
+
+	from := n.applied.Load()
+	url := fmt.Sprintf("%s/repl/v1/stream?from=%d&peer=%s&epoch=%d",
+		leader, from, n.cfg.Self, n.epochNow())
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.streamClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: stream connect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ed errorDoc
+		json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ed)
+		if ed.Code == "not-leader" && ed.Leader != "" {
+			n.setLeader(ed.Leader)
+		}
+		return fmt.Errorf("repl: stream refused: %s (%s)", resp.Status, ed.Code)
+	}
+
+	// The ack pump coalesces acknowledgements: each applied batch pokes
+	// it, and while one POST is in flight further applies accumulate,
+	// so the next ack carries the newest position. Separate goroutine
+	// so a slow ack round-trip never stalls record application.
+	ackPoke := make(chan struct{}, 1)
+	ackDone := make(chan struct{})
+	var ackFailed atomic.Bool
+	go func() {
+		defer close(ackDone)
+		// The first ack always goes out, even at seq 0: it is what
+		// registers this follower in the leader's progress table (and
+		// unblocks MinSync writes on a fresh cluster).
+		var lastAcked uint64
+		sent := false
+		for {
+			select {
+			case <-streamCtx.Done():
+				return
+			case <-ackPoke:
+			}
+			seq := n.applied.Load()
+			if sent && seq <= lastAcked {
+				continue
+			}
+			if err := n.postAck(streamCtx, leader, seq); err != nil {
+				if errors.Is(err, errStaleEpoch) {
+					// The group moved to a newer term mid-stream;
+					// reconnect to adopt it.
+					ackFailed.Store(true)
+					cancel()
+					return
+				}
+				continue // transient; next poke retries with a newer seq
+			}
+			lastAcked, sent = seq, true
+		}
+	}()
+	defer func() { cancel(); <-ackDone }()
+	poke := func() {
+		select {
+		case ackPoke <- struct{}{}:
+		default:
+		}
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if ackFailed.Load() {
+				return errResync
+			}
+			if streamCtx.Err() != nil && ctx.Err() == nil {
+				return fmt.Errorf("repl: lease expired after %s of silence from %s", n.lease, leader)
+			}
+			return fmt.Errorf("repl: stream read: %w", err)
+		}
+		watchdog.Reset(n.lease)
+		switch f.T {
+		case frameHello, frameKA:
+			if f.E < n.epochNow() {
+				return fmt.Errorf("repl: leader %s is on old epoch %d (mine %d)", leader, f.E, n.epochNow())
+			}
+			n.setEpoch(f.E)
+			n.leaderSeq.Store(f.S)
+			poke() // re-assert progress so a restarted leader learns it
+		case frameRec:
+			if f.Rec == nil {
+				return fmt.Errorf("repl: rec frame without record")
+			}
+			applied := n.applied.Load()
+			switch {
+			case f.Rec.Seq <= applied:
+				continue // duplicate from a rewound stream position
+			case f.Rec.Seq != applied+1:
+				n.mu.Lock()
+				n.needSnapshot = true
+				n.mu.Unlock()
+				return fmt.Errorf("repl: sequence gap: have %d, got %d: %w", applied, f.Rec.Seq, errResync)
+			}
+			if err := n.st.Apply(*f.Rec); err != nil {
+				return fmt.Errorf("repl: apply seq %d: %w", f.Rec.Seq, err)
+			}
+			n.applied.Store(f.Rec.Seq)
+			if f.Rec.Epoch > 0 {
+				n.setEpoch(f.Rec.Epoch)
+			}
+			if n.m != nil {
+				n.m.ReplApplied.Add(1)
+				n.m.ReplAppliedSeq.Set(float64(f.Rec.Seq))
+			}
+			poke()
+		case frameEnd:
+			switch f.Reason {
+			case endSnapshot:
+				n.mu.Lock()
+				n.needSnapshot = true
+				n.mu.Unlock()
+				return errResync
+			case endFenced, endBehind:
+				return fmt.Errorf("repl: leader ended stream: %s", f.Reason)
+			default:
+				return fmt.Errorf("repl: stream ended: %s", f.Reason)
+			}
+		}
+	}
+}
+
+func (n *Node) epochNow() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// postAck reports the replica's applied high-water mark to the leader.
+func (n *Node) postAck(ctx context.Context, leader string, seq uint64) error {
+	body, _ := json.Marshal(ackReq{Peer: n.cfg.Self, Epoch: n.epochNow(), Seq: seq})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, leader+"/repl/v1/ack", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return errStaleEpoch
+	default:
+		return fmt.Errorf("repl: ack: %s", resp.Status)
+	}
+}

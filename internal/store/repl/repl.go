@@ -1,0 +1,185 @@
+// Package repl replicates one OFMF resource tree across nodes by
+// shipping the store's write-ahead records. One node is the leader: its
+// store carries a replication-aware backend (Tee) that hands every
+// committed record batch to a Hub, which reassembles global sequence
+// order and streams records to followers over HTTP. Followers replay
+// records through Store.Apply — the same code path boot recovery uses —
+// so a replica's tree is rebuilt by exactly the mutations the leader
+// performed, in commit order.
+//
+// # Protocol
+//
+// Four endpoints under /repl/v1, all served by Node.Handler:
+//
+//	GET  /repl/v1/status    role, epoch, last sequence, follower progress
+//	GET  /repl/v1/snapshot  full-tree export + the seq/epoch it reflects
+//	GET  /repl/v1/stream    NDJSON record stream from ?from=<seq>
+//	POST /repl/v1/ack       follower progress acknowledgement
+//
+// The stream opens with a hello frame carrying the leader's epoch, then
+// ships rec frames in contiguous sequence order, interleaved with ka
+// keepalives that double as the leadership lease. A follower whose
+// requested position has fallen out of the leader's in-memory backlog is
+// first served from the on-disk WAL (when the leader persists one); if
+// the position predates disk history too, the stream ends with an end
+// frame telling the follower to bootstrap from /repl/v1/snapshot and
+// catch up from the snapshot's sequence number.
+//
+// # Epochs and fencing
+//
+// Leadership terms are numbered by a monotonically increasing epoch,
+// stamped into every record the leader commits (store.Record.Epoch).
+// A follower promotes by bumping the highest epoch it has seen; the old
+// leader is fenced the moment it observes the higher epoch — on an ack,
+// a stream request, or a status probe — after which every in-flight and
+// subsequent write on it fails with ErrFenced and the node demotes
+// itself to a replica, discarding its divergent suffix via a fresh
+// snapshot bootstrap.
+//
+// # Acknowledged-write durability
+//
+// With MinSync > 0 a mutation is acknowledged to the client only after
+// MinSync followers confirm they applied its sequence number, so an
+// acknowledged write survives the loss of the leader: at least MinSync
+// replicas hold it, and the election picks the replica with the highest
+// (epoch, applied seq). MinSync = 0 is asynchronous shipping — cheaper
+// writes, and a failover may lose the tail that was never shipped.
+//
+// # Failover
+//
+// Election is lease-based, not quorum-based. A follower that misses
+// keepalives for LeaseTimeout polls every peer: a reachable leader with
+// an epoch at least its own is rejoined; otherwise the candidate with
+// the highest (epoch, applied seq, smallest URL) wins, and if that is
+// the local node it promotes in place — its store, already warm at the
+// applied sequence, becomes the read-write tree and a new Hub starts
+// backlogging from there. Nodes on the losing side of a partition can
+// elect a second leader; epoch fencing bounds the damage (the stale
+// leader is deposed on first contact) but writes accepted by two
+// leaders during a partition diverge, with the higher epoch winning.
+// Deploy an odd replica count across failure domains and size
+// LeaseTimeout above expected network hiccups.
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+
+	"ofmf/internal/store"
+)
+
+// Role names a node's current replication role.
+type Role string
+
+// The two roles. A node's role can change at runtime: a replica
+// promotes to leader when it wins an election, a fenced leader demotes
+// to replica.
+const (
+	RoleLeader  Role = "leader"
+	RoleReplica Role = "replica"
+)
+
+// ErrFenced is returned to writers on a leader that has observed a
+// higher epoch: another node holds leadership and this node's store
+// must no longer acknowledge mutations.
+var ErrFenced = errors.New("repl: fenced by a higher epoch")
+
+// ErrSyncTimeout is returned when a semi-synchronous write was not
+// acknowledged by MinSync followers within SyncTimeout. The in-memory
+// commit stands (matching the store's log-behind contract), but the
+// client is told the write failed, preserving the invariant that every
+// acknowledged write is on at least MinSync replicas.
+var ErrSyncTimeout = errors.New("repl: follower acknowledgement timeout")
+
+// errStaleEpoch rejects an ack or stream carrying an epoch below the
+// hub's: the follower is talking to a newer term than it knows and must
+// reconnect to adopt it.
+var errStaleEpoch = errors.New("repl: stale epoch")
+
+// Status is the /repl/v1/status document, served by every node.
+type Status struct {
+	// Self is the node's externally reachable base URL.
+	Self string `json:"Self"`
+	// Role is "leader" or "replica".
+	Role Role `json:"Role"`
+	// Epoch is the node's current leadership term.
+	Epoch uint64 `json:"Epoch"`
+	// LastSeq is the last committed sequence number on a leader, the
+	// last applied one on a replica.
+	LastSeq uint64 `json:"LastSeq"`
+	// LeaderSeq is the leader's last advertised sequence number, as a
+	// replica last heard it — LeaderSeq-LastSeq is the replica's lag.
+	LeaderSeq uint64 `json:"LeaderSeq,omitempty"`
+	// LeaderURL is the leader this replica follows (empty on a leader,
+	// or while searching).
+	LeaderURL string `json:"LeaderURL,omitempty"`
+	// Fenced reports a deposed leader that has not finished demoting.
+	Fenced bool `json:"Fenced,omitempty"`
+	// MinSync is the leader's configured semi-sync follower count.
+	MinSync int `json:"MinSync,omitempty"`
+	// Followers maps follower peer names to their shipping progress
+	// (leader only).
+	Followers map[string]Progress `json:"Followers,omitempty"`
+}
+
+// Progress is one follower's shipping progress as the leader sees it.
+type Progress struct {
+	// AckSeq is the highest sequence number the follower acknowledged.
+	AckSeq uint64 `json:"AckSeq"`
+	// AgoMillis is how long ago the last ack arrived, in milliseconds.
+	AgoMillis int64 `json:"AgoMillis"`
+}
+
+// snapshotDoc is the /repl/v1/snapshot payload: a full Store.Export
+// plus the commit sequence number and epoch it reflects. A follower
+// replacing its tree with Resources is exactly caught up to Seq.
+type snapshotDoc struct {
+	Seq       uint64          `json:"Seq"`
+	Epoch     uint64          `json:"Epoch"`
+	Resources json.RawMessage `json:"Resources"`
+}
+
+// Stream frame types. A frame is one NDJSON line on /repl/v1/stream.
+const (
+	frameHello = "hello" // first frame: leader epoch + last seq
+	frameRec   = "rec"   // one replicated record
+	frameKA    = "ka"    // keepalive; refreshes the leadership lease
+	frameEnd   = "end"   // stream over; Reason says what to do next
+)
+
+// End-frame reasons.
+const (
+	endSnapshot = "snapshot-required" // position unservable; bootstrap from snapshot
+	endBehind   = "leader-behind"     // follower is ahead of this leader; elect
+	endFenced   = "fenced"            // this leader was deposed mid-stream
+)
+
+// frame is one NDJSON stream frame.
+type frame struct {
+	T string `json:"t"`
+	// E is the leader's epoch (hello, ka, end).
+	E uint64 `json:"e,omitempty"`
+	// S is the leader's last committed sequence number (hello, ka).
+	S uint64 `json:"s,omitempty"`
+	// Reason qualifies an end frame.
+	Reason string `json:"x,omitempty"`
+	// Rec is the shipped record (rec frames).
+	Rec *store.Record `json:"r,omitempty"`
+}
+
+// ackReq is the /repl/v1/ack request body.
+type ackReq struct {
+	// Peer names the acknowledging follower (its Self URL).
+	Peer string `json:"Peer"`
+	// Epoch is the term the follower is applying under.
+	Epoch uint64 `json:"Epoch"`
+	// Seq is the highest sequence number the follower has applied.
+	Seq uint64 `json:"Seq"`
+}
+
+// errorDoc is the JSON body of a non-200 replication response.
+type errorDoc struct {
+	Code   string `json:"Code"`
+	Leader string `json:"Leader,omitempty"`
+	Epoch  uint64 `json:"Epoch,omitempty"`
+}

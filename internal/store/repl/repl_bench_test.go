@@ -1,0 +1,171 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReplBenchHarness measures the replication numbers reported in
+// BENCH_serving.json's "replication" section: aggregate read throughput
+// with 1 serving node vs the full 3-node group (read replicas are the
+// scaling story), the leader-commit-to-replica-apply shipping lag, and
+// the wall-clock cost of a leader failover. It only runs when
+// OFMF_REPL_BENCH=1 — it is a measurement harness, not a regression
+// gate — and writes its JSON to OFMF_REPL_BENCH_OUT (default stdout).
+//
+//	OFMF_REPL_BENCH=1 go test -run TestReplBenchHarness -count=1 ./internal/store/repl
+func TestReplBenchHarness(t *testing.T) {
+	if os.Getenv("OFMF_REPL_BENCH") == "" {
+		t.Skip("set OFMF_REPL_BENCH=1 to run the replication bench harness")
+	}
+
+	// MinSync 0: writes are acknowledged at local commit, so the ship-lag
+	// samples measure pure shipping+apply, not the round trip the leader
+	// already waited out.
+	c := startTestCluster(t, 3, func(i int, cfg *Config) {
+		cfg.MinSync = 0
+	})
+	leader := c.nodes[0]
+	waitFor(t, 5*time.Second, "followers connected", func() bool {
+		return len(leader.node.Status().Followers) == 2
+	})
+
+	// A working set comparable to the serving-path load harness.
+	const seedResources = 1000
+	client := leader.srv.Client()
+	uris := make([]string, 0, seedResources)
+	for i := 0; i < seedResources; i++ {
+		uri, err := postChassis(client, leader.URL(), fmt.Sprintf("seed-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		uris = append(uris, string(uri))
+	}
+	c.waitConverged(10 * time.Second)
+
+	readRPS := func(nodes []*testNode, d time.Duration) float64 {
+		const workers = 16
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		stop := time.Now().Add(d)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := &http.Client{}
+				n := 0
+				for time.Now().Before(stop) {
+					tn := nodes[(w+n)%len(nodes)]
+					resp, err := cl.Get(tn.URL() + uris[n%len(uris)])
+					if err == nil {
+						resp.Body.Close()
+						if resp.StatusCode == http.StatusOK {
+							n++
+						}
+					}
+				}
+				total.Add(int64(n))
+			}(w)
+		}
+		wg.Wait()
+		return float64(total.Load()) / d.Seconds()
+	}
+
+	const readWindow = 3 * time.Second
+	rps1 := readRPS(c.nodes[:1], readWindow)
+	rps3 := readRPS(c.nodes, readWindow)
+
+	// Shipping lag: commit-to-apply, measured from the hub's own commit
+	// timestamp (stamped under the shard lock at Offer) to the moment
+	// the slowest replica's applied position crosses the sequence. The
+	// poll yields between probes so the applier goroutines get the CPU
+	// on small machines.
+	const lagSamples = 300
+	hub := leader.node.currentHub()
+	commitTime := func(seq uint64) time.Time {
+		hub.mu.Lock()
+		defer hub.mu.Unlock()
+		return hub.ring[seq-hub.ringFirst].at
+	}
+	lags := make([]float64, 0, lagSamples)
+	for i := 0; i < lagSamples; i++ {
+		if _, err := postChassis(client, leader.URL(), fmt.Sprintf("lag-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		seq := hub.LastSeq()
+		committed := commitTime(seq)
+		for _, r := range c.nodes[1:] {
+			for r.node.applied.Load() < seq {
+				if time.Since(committed) > 5*time.Second {
+					t.Fatalf("replica never applied seq %d", seq)
+				}
+				runtime.Gosched()
+			}
+		}
+		lags = append(lags, float64(time.Since(committed).Microseconds()))
+	}
+	sort.Float64s(lags)
+	pct := func(p float64) float64 { return lags[int(p*float64(len(lags)-1))] }
+
+	// Failover: kill the leader, then hammer the survivors until a write
+	// is accepted again. The measured window covers lease expiry,
+	// election, promotion, and the client finding the new leader — the
+	// full outage as a writer experiences it.
+	failStart := time.Now()
+	leader.kill()
+	var failoverMS float64
+	for {
+		for _, tn := range c.nodes[1:] {
+			if _, err := postChassis(http.DefaultClient, tn.URL(), "failover-probe"); err == nil {
+				failoverMS = float64(time.Since(failStart).Microseconds()) / 1000
+			}
+		}
+		if failoverMS > 0 {
+			break
+		}
+		if time.Since(failStart) > 30*time.Second {
+			t.Fatal("no replica accepted writes within 30s of leader death")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	promoted := c.leader()
+
+	out := map[string]any{
+		"date":                time.Now().Format("2006-01-02"),
+		"goos":                runtime.GOOS,
+		"goarch":              runtime.GOARCH,
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"nodes":               3,
+		"seed_resources":      seedResources,
+		"read_window_s":       readWindow.Seconds(),
+		"read_rps_1_node":     rps1,
+		"read_rps_3_nodes":    rps3,
+		"read_scaling":        rps3 / rps1,
+		"ship_lag_samples":    lagSamples,
+		"ship_lag_p50_micros": pct(0.50),
+		"ship_lag_p99_micros": pct(0.99),
+		"lease_timeout_ms":    300,
+		"failover_ms":         failoverMS,
+		"failover_epoch":      promoted.node.Status().Epoch,
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := os.Getenv("OFMF_REPL_BENCH_OUT"); path != "" {
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("replication bench written to %s", path)
+	} else {
+		fmt.Printf("REPL_BENCH %s\n", enc)
+	}
+}

@@ -120,6 +120,10 @@ type Store struct {
 	// attached and is not persisted.
 	mutSeq atomic.Uint64
 
+	// epoch is the replication leadership term stamped into committed
+	// records (see SetEpoch); 0 when the store is not replicated.
+	epoch atomic.Uint64
+
 	// backend and sharded are written only while every shard lock is
 	// held (AttachBackend/Close) and read under at least one shard lock.
 	// sharded is backend when it routes per shard (see ShardedBackend)
